@@ -1,0 +1,427 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (the rows/series themselves are produced by
+// cmd/hotgauge-experiments; these benchmarks exercise each experiment's
+// computational kernel at reduced scale so `go test -bench=.` measures the
+// whole reproduction pipeline), plus the design-choice ablations called
+// out in DESIGN.md §4.
+package hotgauge
+
+import (
+	"math"
+	"testing"
+
+	"hotgauge/internal/core"
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/geometry"
+	"hotgauge/internal/mitigate"
+	"hotgauge/internal/perf"
+	"hotgauge/internal/power"
+	"hotgauge/internal/sim"
+	"hotgauge/internal/stats"
+	"hotgauge/internal/tech"
+	"hotgauge/internal/thermal"
+	"hotgauge/internal/workload"
+)
+
+// benchRun executes one short co-simulation; steps and resolution are
+// chosen so an iteration stays in the tens of milliseconds.
+func benchRun(b *testing.B, cfg sim.Config) *sim.Result {
+	b.Helper()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func benchConfig(node tech.Node, name string, steps int) sim.Config {
+	prof, err := workload.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return sim.Config{
+		Floorplan: floorplan.Config{Node: node},
+		Workload:  prof,
+		Steps:     steps,
+	}
+}
+
+// ---- Tables ----
+
+func BenchmarkTable3CdynValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := power.ValidateCdyn(tech.Node14); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4PsiTDP(b *testing.B) {
+	fp := floorplan.MustNew(floorplan.Config{Node: tech.Node7})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := thermal.Psi(fp.Die, thermal.DefaultResolution); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figures ----
+
+func BenchmarkFig01HotspotSnapshot(b *testing.B) {
+	cfg := benchConfig(tech.Node7, "gcc", 8)
+	cfg.Warmup = sim.WarmupIdle
+	for i := 0; i < b.N; i++ {
+		res := benchRun(b, cfg)
+		analyzer, err := core.NewAnalyzer(res.FinalField, core.DefaultDefinition())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if analyzer.Detect(res.FinalField) == nil {
+			b.Fatal("snapshot produced no hotspots")
+		}
+	}
+}
+
+func BenchmarkFig02DeltaDistribution(b *testing.B) {
+	cfg := benchConfig(tech.Node7, "bzip2", 8)
+	cfg.Record.CellDeltas = true
+	for i := 0; i < b.N; i++ {
+		res := benchRun(b, cfg)
+		if res.DeltaHist.Total() == 0 {
+			b.Fatal("no deltas recorded")
+		}
+	}
+}
+
+func BenchmarkFig07SeveritySurface(b *testing.B) {
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		for t := 40.0; t <= 130; t += 0.5 {
+			for m := 0.0; m <= 60; m += 0.5 {
+				sum += core.Severity(t, m)
+			}
+		}
+	}
+	if sum < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+func BenchmarkFig08WarmupHistogram(b *testing.B) {
+	cfg := benchConfig(tech.Node7, "gcc", 8)
+	cfg.Warmup = sim.WarmupIdle
+	cfg.Record.TempPercentiles = true
+	for i := 0; i < b.N; i++ {
+		benchRun(b, cfg)
+	}
+}
+
+func BenchmarkFig09MLTD(b *testing.B) {
+	cfg := benchConfig(tech.Node7, "gobmk", 8)
+	cfg.Warmup = sim.WarmupIdle
+	cfg.Record.MLTD = true
+	for i := 0; i < b.N; i++ {
+		benchRun(b, cfg)
+	}
+}
+
+func BenchmarkFig10TUHTechScaling(b *testing.B) {
+	c7 := benchConfig(tech.Node7, "gcc", 60)
+	c7.Warmup, c7.StopAtHotspot = sim.WarmupIdle, true
+	c14 := benchConfig(tech.Node14, "gcc", 60)
+	c14.Warmup, c14.StopAtHotspot = sim.WarmupIdle, true
+	for i := 0; i < b.N; i++ {
+		r7 := benchRun(b, c7)
+		r14 := benchRun(b, c14)
+		if !(r7.TUH <= r14.TUH) {
+			b.Fatalf("TUH ordering violated: 7nm %v vs 14nm %v", r7.TUH, r14.TUH)
+		}
+	}
+}
+
+func BenchmarkFig11TUHPerBenchmark(b *testing.B) {
+	var cfgs []sim.Config
+	for _, name := range []string{"hmmer", "gobmk"} {
+		for _, c := range []int{0, 6} {
+			cfg := benchConfig(tech.Node7, name, 40)
+			cfg.Core = c
+			cfg.StopAtHotspot = true
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Campaign(cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12HotspotLocations(b *testing.B) {
+	cfg := benchConfig(tech.Node7, "namd", 8)
+	cfg.Warmup = sim.WarmupIdle
+	cfg.Record.HotspotUnits = true
+	for i := 0; i < b.N; i++ {
+		res := benchRun(b, cfg)
+		if len(res.HotspotUnit) == 0 {
+			b.Fatal("no hotspot units")
+		}
+	}
+}
+
+func BenchmarkFig13UnitScaling(b *testing.B) {
+	cfg := benchConfig(tech.Node7, "milc", 8)
+	cfg.Warmup = sim.WarmupIdle
+	cfg.Floorplan.KindScale = map[floorplan.Kind]float64{floorplan.KindFpIWin: 10}
+	cfg.Record.Severity = true
+	for i := 0; i < b.N; i++ {
+		benchRun(b, cfg)
+	}
+}
+
+func BenchmarkFig14RATScaling(b *testing.B) {
+	cfg := benchConfig(tech.Node7, "gcc", 8)
+	cfg.Warmup = sim.WarmupIdle
+	cfg.Floorplan.KindScale = map[floorplan.Kind]float64{
+		floorplan.KindRATInt: 10, floorplan.KindRATFp: 10,
+	}
+	cfg.Record.Severity = true
+	for i := 0; i < b.N; i++ {
+		benchRun(b, cfg)
+	}
+}
+
+func BenchmarkSec5BICScaling(b *testing.B) {
+	cfg := benchConfig(tech.Node7, "gcc", 8)
+	cfg.Warmup = sim.WarmupIdle
+	cfg.Floorplan.ICAreaFactor = 2.0
+	cfg.Record.Severity = true
+	for i := 0; i < b.N; i++ {
+		benchRun(b, cfg)
+	}
+}
+
+func BenchmarkSec2APowerDensity(b *testing.B) {
+	fp := floorplan.MustNew(floorplan.Config{Node: tech.Node7})
+	pm, err := power.NewModel(fp, tech.TurboPoint)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, _ := workload.Lookup("bzip2")
+	src, _ := perf.NewIntervalModel(perf.DefaultConfig(), prof)
+	act := src.Step(0, workload.TimestepCycles)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var in power.Input
+		in.CoreActivity[0] = act.Unit
+		res := pm.Compute(in)
+		if pm.PowerDensity(res, 0) < 4 {
+			b.Fatal("density collapsed")
+		}
+	}
+}
+
+func BenchmarkSec4ATempScaling(b *testing.B) {
+	cfg := benchConfig(tech.Node7, "gcc", 15)
+	for i := 0; i < b.N; i++ {
+		benchRun(b, cfg)
+	}
+}
+
+// ---- Ablations (DESIGN.md §4) ----
+
+func BenchmarkAblationSolvers(b *testing.B) {
+	run := func(b *testing.B, solver thermal.Solver) {
+		cfg := benchConfig(tech.Node7, "gcc", 8)
+		cfg.Solver = solver
+		for i := 0; i < b.N; i++ {
+			benchRun(b, cfg)
+		}
+	}
+	b.Run("explicit", func(b *testing.B) { run(b, &thermal.Explicit{}) })
+	b.Run("implicit", func(b *testing.B) { run(b, &thermal.Implicit{}) })
+}
+
+func BenchmarkAblationPerfModels(b *testing.B) {
+	prof, _ := workload.Lookup("gcc")
+	b.Run("interval", func(b *testing.B) {
+		m, err := perf.NewIntervalModel(perf.DefaultConfig(), prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			m.Step(i, workload.TimestepCycles)
+		}
+	})
+	b.Run("cycle", func(b *testing.B) {
+		m, err := perf.NewCycleModel(perf.DefaultConfig(), prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Step(i, 100_000) // 1/10 of a timestep per iteration
+		}
+	})
+}
+
+func BenchmarkAblationDetection(b *testing.B) {
+	// A realistic frame from an actual run, analyzed with both detectors.
+	cfg := benchConfig(tech.Node7, "namd", 10)
+	cfg.Warmup = sim.WarmupIdle
+	res, err := sim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	field := res.FinalField
+	analyzer, err := core.NewAnalyzer(field, core.DefaultDefinition())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("candidates", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(analyzer.Detect(field)) == 0 {
+				b.Fatal("no hotspots")
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(analyzer.DetectNaive(field)) == 0 {
+				b.Fatal("no hotspots")
+			}
+		}
+	})
+}
+
+func BenchmarkAblationLeakage(b *testing.B) {
+	b.Run("feedback", func(b *testing.B) {
+		cfg := benchConfig(tech.Node7, "namd", 8)
+		for i := 0; i < b.N; i++ {
+			benchRun(b, cfg)
+		}
+	})
+	b.Run("frozen", func(b *testing.B) {
+		cfg := benchConfig(tech.Node7, "namd", 8)
+		cfg.DisableLeakageFeedback = true
+		for i := 0; i < b.N; i++ {
+			benchRun(b, cfg)
+		}
+	})
+}
+
+func BenchmarkAblationResolution(b *testing.B) {
+	for _, res := range []float64{0.1, 0.2} {
+		b.Run(map[float64]string{0.1: "100um", 0.2: "200um"}[res], func(b *testing.B) {
+			cfg := benchConfig(tech.Node7, "gcc", 8)
+			cfg.Resolution = res
+			for i := 0; i < b.N; i++ {
+				benchRun(b, cfg)
+			}
+		})
+	}
+}
+
+// ---- Kernel micro-benchmarks ----
+
+func BenchmarkKernelThermalStep(b *testing.B) {
+	fp := floorplan.MustNew(floorplan.Config{Node: tech.Node7})
+	grid, err := thermal.NewGrid(fp.Die, 0.1, thermal.DefaultStack(), thermal.SinkConductance, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := grid.NewState(40)
+	pf := geometry.NewField(grid.NX, grid.NY, 0.1)
+	pf.Rasterize(fp.CoreRects[0], 12)
+	var solver thermal.Explicit
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := solver.Step(grid, state, pf, sim.Timestep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelMLTDField(b *testing.B) {
+	f := geometry.NewField(46, 31, 0.1)
+	for i := range f.Data {
+		f.Data[i] = 60 + 40*math.Sin(float64(i)/17)
+	}
+	analyzer, err := core.NewAnalyzer(f, core.DefaultDefinition())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzer.MaxMLTD(f)
+	}
+}
+
+func BenchmarkKernelCacheAccess(b *testing.B) {
+	h, err := perf.NewHierarchy(perf.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr = addr*1664525 + 1013904223
+		h.Data(addr % (8 << 20))
+	}
+}
+
+func BenchmarkKernelSeverityRMS(b *testing.B) {
+	series := make([]float64, 1000)
+	for i := range series {
+		series[i] = core.Severity(60+float64(i%60), float64(i%40))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.RMS(series)
+	}
+}
+
+// ---- Extension benchmarks ----
+
+func BenchmarkExtensionDTMPolicy(b *testing.B) {
+	cfg := benchConfig(tech.Node7, "namd", 10)
+	cfg.Warmup = sim.WarmupIdle
+	for i := 0; i < b.N; i++ {
+		if _, err := mitigate.Evaluate(cfg, &mitigate.PIThrottle{Target: 90}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionCoolingVariant(b *testing.B) {
+	cfg := benchConfig(tech.Node7, "namd", 8)
+	cfg.Stack = thermal.LiquidCooledStack()
+	cfg.SinkConductance = thermal.LiquidSinkConductance
+	for i := 0; i < b.N; i++ {
+		benchRun(b, cfg)
+	}
+}
+
+func BenchmarkExtensionHotspotTracking(b *testing.B) {
+	cfg := benchConfig(tech.Node7, "namd", 10)
+	cfg.Warmup = sim.WarmupIdle
+	cfg.Record.FieldEvery = 1
+	res, err := sim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyzer, err := core.NewAnalyzer(res.Fields[0], core.DefaultDefinition())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := core.NewTracker(analyzer, 0.5)
+		for j, f := range res.Fields {
+			tr.Observe(res.FieldSteps[j], f)
+		}
+		if len(tr.Finish()) == 0 {
+			b.Fatal("nothing tracked")
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command hotgauge-experiments regenerates the paper's tables and figures
+// as text reports. Each subcommand is one artifact; `all` runs everything
+// in order.
+//
+// Usage:
+//
+//	hotgauge-experiments [-quick] <experiment|all>
+//
+// Experiments: table1 table2 table3 table4 powerdensity tempscaling
+// fig1 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 icscale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"hotgauge/internal/experiments"
+)
+
+// runner adapts each experiment to a common shape.
+type runner func(experiments.Options) (fmt.Stringer, error)
+
+func wrap[T fmt.Stringer](f func(experiments.Options) (T, error)) runner {
+	return func(o experiments.Options) (fmt.Stringer, error) { return f(o) }
+}
+
+var registry = map[string]runner{
+	"table1":        wrap(experiments.Table1),
+	"table2":        wrap(experiments.Table2),
+	"table3":        wrap(experiments.Table3),
+	"table4":        wrap(experiments.Table4),
+	"powerdensity":  wrap(experiments.PowerDensity),
+	"tempscaling":   wrap(experiments.TempScaling),
+	"fig1":          wrap(experiments.Fig1),
+	"fig2":          wrap(experiments.Fig2),
+	"fig7":          wrap(experiments.Fig7),
+	"fig8":          wrap(experiments.Fig8),
+	"fig9":          wrap(experiments.Fig9),
+	"fig10":         wrap(experiments.Fig10),
+	"fig11":         wrap(experiments.Fig11),
+	"fig12":         wrap(experiments.Fig12),
+	"fig13":         wrap(experiments.Fig13),
+	"fig14":         wrap(experiments.Fig14),
+	"icscale":       wrap(experiments.ICScale),
+	"dtm":           wrap(experiments.DTM),
+	"cooling":       wrap(experiments.Cooling),
+	"lifetimes":     wrap(experiments.Lifetimes),
+	"floorplanning": wrap(experiments.Floorplanning),
+	"avx":           wrap(experiments.AVX),
+	"beyond7":       wrap(experiments.Beyond7),
+}
+
+// order lists experiments in presentation order for `all`.
+var order = []string{
+	"table1", "table2", "table3", "table4", "powerdensity",
+	"fig1", "fig2", "fig7", "tempscaling", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "icscale",
+	"dtm", "cooling", "lifetimes", "floorplanning", "avx", "beyond7",
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced workload/core sets and step caps (~1 minute total)")
+	svgDir := flag.String("svg", "", "directory to write SVG figures into")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	opts := experiments.Options{Quick: *quick}
+
+	names := flag.Args()
+	if names[0] == "all" {
+		names = order
+	}
+	for _, name := range names {
+		run, ok := registry[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			usage()
+			os.Exit(2)
+		}
+		start := time.Now()
+		result, err := run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, time.Since(start).Seconds(), result)
+		if *svgDir != "" {
+			if err := writeFigures(*svgDir, result); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing figures: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeFigures saves an experiment's SVG figures, if it has any.
+func writeFigures(dir string, result fmt.Stringer) error {
+	fig, ok := result.(experiments.Figurer)
+	if !ok {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, doc := range fig.Figures() {
+		path := filepath.Join(dir, name+".svg")
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+func usage() {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "usage: hotgauge-experiments [-quick] <experiment|all>\nexperiments: %v\n", names)
+}

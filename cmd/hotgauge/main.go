@@ -1,0 +1,290 @@
+// Command hotgauge runs one perf-power-therm co-simulation and reports
+// the hotspot characterization: TUH, MLTD and severity series, the
+// hottest units, and (optionally) on-disk artifacts — the junction
+// temperature frames and CSV time series — for offline analysis with
+// hotspot-detect.
+//
+// Examples:
+//
+//	hotgauge -workload gcc -node 7 -warmup idle -steps 100
+//	hotgauge -workload namd -node 14 -core 3 -stop-at-hotspot
+//	hotgauge -workload milc -node 7 -steps 50 -out out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/perf"
+	"hotgauge/internal/report"
+	"hotgauge/internal/sim"
+	"hotgauge/internal/tech"
+	"hotgauge/internal/trace"
+	"hotgauge/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "gcc", "workload profile name (see -list)")
+		list     = flag.Bool("list", false, "list workload profiles and exit")
+		node     = flag.Int("node", 7, "process node in nm (14, 10 or 7)")
+		coreID   = flag.Int("core", 0, "core to pin the workload to (0-6)")
+		warmup   = flag.String("warmup", "idle", "initial thermal state: cold or idle")
+		steps    = flag.Int("steps", 100, "timesteps to simulate (200 us each)")
+		stop     = flag.Bool("stop-at-hotspot", false, "stop at the first detected hotspot")
+		cycleSim = flag.Bool("cycle-model", false, "use the cycle-level core model (slower)")
+		scaleStr = flag.String("scale-unit", "", "mitigation floorplan, e.g. fpIWin=10 or RAT_INT=10,RAT_FP=10")
+		icScale  = flag.Float64("ic-area", 0, "uniform IC area factor (§V-B), e.g. 1.75")
+		tempTh   = flag.Float64("temp-threshold", 80, "hotspot temperature threshold [C]")
+		mltdTh   = flag.Float64("mltd-threshold", 25, "hotspot MLTD threshold [C]")
+		radius   = flag.Float64("radius", 1.0, "MLTD radius [mm]")
+		outDir   = flag.String("out", "", "directory for CSV artifacts (series + frames)")
+		heat     = flag.Bool("heatmap", true, "print the final junction heatmap")
+		showPlan = flag.Bool("floorplan", false, "print the floorplan map and exit")
+		saveTr   = flag.String("save-trace", "", "record the workload's activity trace to this CSV")
+		replayTr = flag.String("replay-trace", "", "drive the simulation from a recorded activity trace instead of the performance model")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(workload.Names(), "\n"))
+		return
+	}
+	if *showPlan {
+		if err := printFloorplan(*node, *scaleStr, *icScale); err != nil {
+			fmt.Fprintln(os.Stderr, "hotgauge:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*wl, *node, *coreID, *warmup, *steps, *stop, *cycleSim,
+		*scaleStr, *icScale, *tempTh, *mltdTh, *radius, *outDir, *heat, *saveTr, *replayTr); err != nil {
+		fmt.Fprintln(os.Stderr, "hotgauge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl string, node, coreID int, warmup string, steps int, stop, cycleSim bool,
+	scaleStr string, icScale, tempTh, mltdTh, radius float64, outDir string, heat bool,
+	saveTrace, replayTrace string) error {
+	prof, err := workload.Lookup(wl)
+	if err != nil {
+		return err
+	}
+	kindScale, err := parseScale(scaleStr)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{
+		Floorplan: floorplan.Config{Node: tech.Node(node), KindScale: kindScale, ICAreaFactor: icScale},
+		Workload:  prof,
+		Core:      coreID,
+		Steps:     steps,
+		Record: sim.RecordOptions{
+			MLTD: true, Severity: true, TempPercentiles: true, HotspotUnits: true,
+		},
+		StopAtHotspot: stop,
+		UseCycleModel: cycleSim,
+	}
+	cfg.Definition.TempThreshold = tempTh
+	cfg.Definition.MLTDThreshold = mltdTh
+	cfg.Definition.Radius = radius
+	switch warmup {
+	case "cold":
+		cfg.Warmup = sim.WarmupCold
+	case "idle":
+		cfg.Warmup = sim.WarmupIdle
+	default:
+		return fmt.Errorf("unknown warmup mode %q (cold or idle)", warmup)
+	}
+
+	if replayTrace != "" {
+		src, err := loadTrace(replayTrace)
+		if err != nil {
+			return err
+		}
+		cfg.Source = src
+	}
+	if saveTrace != "" {
+		if err := recordTrace(cfg, saveTrace); err != nil {
+			return err
+		}
+		fmt.Printf("activity trace recorded to %s\n", saveTrace)
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	printSummary(cfg, res)
+	if heat {
+		fmt.Println("\nfinal junction temperature map:")
+		fmt.Print(report.Heatmap(res.FinalField))
+	}
+	if outDir != "" {
+		if err := writeArtifacts(outDir, res); err != nil {
+			return err
+		}
+		fmt.Printf("\nartifacts written to %s\n", outDir)
+	}
+	return nil
+}
+
+func parseScale(s string) (map[floorplan.Kind]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[floorplan.Kind]float64{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -scale-unit entry %q (want kind=factor)", part)
+		}
+		var factor float64
+		if _, err := fmt.Sscanf(kv[1], "%g", &factor); err != nil {
+			return nil, fmt.Errorf("bad scale factor %q: %w", kv[1], err)
+		}
+		out[floorplan.Kind(kv[0])] = factor
+	}
+	return out, nil
+}
+
+func printSummary(cfg sim.Config, res *sim.Result) {
+	n := res.StepsRun
+	fmt.Printf("hotgauge: %s on core %d @ %v, %s warmup, %d steps (%.1f ms simulated)\n",
+		cfg.Workload.Name, cfg.Core, cfg.Floorplan.Node, cfg.Warmup, n, float64(n)*sim.Timestep*1e3)
+	fmt.Printf("initial die temperature: %.1f C\n", res.InitialTemp)
+
+	if math.IsInf(res.TUH, 1) {
+		fmt.Println("time-until-hotspot: none within the simulated window")
+	} else {
+		fmt.Printf("time-until-hotspot: %.2f ms (step %d)\n", res.TUH*1e3, res.TUHStep)
+		for _, h := range res.FirstHotspots {
+			fmt.Printf("  first hotspot at (%.2f, %.2f) mm: %.1f C, MLTD %.1f C\n", h.X, h.Y, h.Temp, h.MLTD)
+		}
+	}
+
+	last := n - 1
+	peakSev, peakMLTD := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		peakSev = math.Max(peakSev, res.Severity[i])
+		peakMLTD = math.Max(peakMLTD, res.MLTD[i])
+	}
+	t := report.NewTable("metric", "final", "peak")
+	t.Row("max junction temp [C]", fmt.Sprintf("%.1f", res.MaxTemp[last]), fmt.Sprintf("%.1f", maxOf(res.MaxTemp)))
+	t.Row("MLTD [C]", fmt.Sprintf("%.1f", res.MLTD[last]), fmt.Sprintf("%.1f", peakMLTD))
+	t.Row("severity", fmt.Sprintf("%.2f", res.Severity[last]), fmt.Sprintf("%.2f", peakSev))
+	t.Row("die power [W]", fmt.Sprintf("%.1f", res.Power[last]), fmt.Sprintf("%.1f", maxOf(res.Power)))
+	t.Row("workload IPC", fmt.Sprintf("%.2f", res.IPC[last]), fmt.Sprintf("%.2f", maxOf(res.IPC)))
+	fmt.Print(t.String())
+
+	if len(res.HotspotUnit) > 0 {
+		type kc struct {
+			k floorplan.Kind
+			c int
+		}
+		var kinds []kc
+		for k, c := range res.HotspotUnit {
+			kinds = append(kinds, kc{k, c})
+		}
+		sort.Slice(kinds, func(a, b int) bool { return kinds[a].c > kinds[b].c })
+		fmt.Println("hotspot locations by unit kind:")
+		for _, e := range kinds {
+			fmt.Printf("  %-10s %d\n", e.k, e.c)
+		}
+	}
+	fmt.Printf("severity trend: %s\n", report.Sparkline(report.Downsample(res.Severity, 60)))
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range xs {
+		m = math.Max(m, v)
+	}
+	return m
+}
+
+func writeArtifacts(dir string, res *sim.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "series.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteSeries(f,
+		[]string{"maxTemp", "meanTemp", "power", "ipc", "mltd", "severity"},
+		res.MaxTemp, res.MeanTemp, res.Power, res.IPC, res.MLTD, res.Severity); err != nil {
+		return err
+	}
+	ff, err := os.Create(filepath.Join(dir, "final_frame.csv"))
+	if err != nil {
+		return err
+	}
+	defer ff.Close()
+	return trace.WriteField(ff, res.FinalField)
+}
+
+// loadTrace reads a recorded activity trace and wraps it as a source.
+func loadTrace(path string) (*perf.ReplaySource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	acts, err := trace.ReadActivities(f)
+	if err != nil {
+		return nil, err
+	}
+	return perf.NewReplaySource(acts)
+}
+
+// recordTrace captures the configured workload's activity trace to a CSV.
+func recordTrace(cfg sim.Config, path string) error {
+	var src perf.Source
+	var err error
+	if cfg.UseCycleModel {
+		src, err = perf.NewCycleModel(perf.DefaultConfig(), cfg.Workload)
+	} else {
+		src, err = perf.NewIntervalModel(perf.DefaultConfig(), cfg.Workload)
+	}
+	if err != nil {
+		return err
+	}
+	rec := perf.Record(src, cfg.Steps, workload.TimestepCycles)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteActivities(f, rec)
+}
+
+// printFloorplan renders the selected floorplan variant as ASCII art.
+func printFloorplan(node int, scaleStr string, icScale float64) error {
+	kindScale, err := parseScale(scaleStr)
+	if err != nil {
+		return err
+	}
+	fp, err := floorplan.New(floorplan.Config{
+		Node: tech.Node(node), KindScale: kindScale, ICAreaFactor: icScale,
+	})
+	if err != nil {
+		return err
+	}
+	boxes := make([]report.UnitBox, len(fp.Units))
+	for i, u := range fp.Units {
+		label := string(u.Kind)
+		boxes[i] = report.UnitBox{Label: label, X: u.Rect.X, Y: u.Rect.Y, W: u.Rect.W, H: u.Rect.H}
+	}
+	fmt.Printf("%v die: %.2f x %.2f mm, %d units\n", fp.Node, fp.Die.W, fp.Die.H, len(fp.Units))
+	fmt.Print(report.FloorplanMap(boxes, fp.Die.W, fp.Die.H, fp.Die.W/100))
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"hotgauge/internal/floorplan"
+)
+
+func TestParseScale(t *testing.T) {
+	m, err := parseScale("fpIWin=10,RAT_INT=2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[floorplan.KindFpIWin] != 10 || m[floorplan.Kind("RAT_INT")] != 2.5 {
+		t.Fatalf("parsed %v", m)
+	}
+	if m, err := parseScale(""); err != nil || m != nil {
+		t.Fatalf("empty scale: %v %v", m, err)
+	}
+	for _, bad := range []string{"fpIWin", "fpIWin=", "fpIWin=abc", "=3"} {
+		if _, err := parseScale(bad); err == nil && bad != "=3" {
+			t.Errorf("bad entry %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// DTM: evaluate dynamic thermal-management policies — the
+// architecture-level mitigation techniques the paper argues for — using
+// the co-simulation loop's controller hook. Compares no control, reactive
+// threshold throttling, PI throttling, migrate-to-coolest-core, and a
+// combined policy on a hot 7 nm workload, reporting thermal quality vs
+// performance cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hotgauge"
+	"hotgauge/internal/mitigate"
+	"hotgauge/internal/report"
+)
+
+func main() {
+	prof, err := hotgauge.LookupWorkload("namd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := hotgauge.Config{
+		Floorplan: hotgauge.FloorplanConfig{Node: hotgauge.Node7},
+		Workload:  prof,
+		Warmup:    hotgauge.WarmupIdle,
+		Steps:     150, // 30 ms
+	}
+
+	outcomes, err := mitigate.Compare(cfg,
+		mitigate.NoOp{},
+		&mitigate.ThresholdThrottle{TripTemp: 90, ResumeTemp: 82, LowSpeed: 0.3},
+		&mitigate.PIThrottle{Target: 90},
+		&mitigate.MigrateCoolest{TripTemp: 85, Patience: 3, Cooldown: 15},
+		&mitigate.Combined{
+			Migrate:  &mitigate.MigrateCoolest{TripTemp: 85, Patience: 3, Cooldown: 15},
+			Throttle: &mitigate.PIThrottle{Target: 90},
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("DTM policy comparison: %s @7nm, 30 ms, sensors at fpIWin with 2-step (400 us) latency\n\n", prof.Name)
+	t := report.NewTable("policy", "peak T [C]", "sev RMS", "violations", "perf loss", "migrations")
+	for _, o := range outcomes {
+		t.Row(o.Policy,
+			fmt.Sprintf("%.1f", o.PeakTemp),
+			fmt.Sprintf("%.3f", o.SevRMS),
+			o.Violations,
+			fmt.Sprintf("%.0f%%", o.PerfLossPct()),
+			o.Migrations)
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nviolations = 200 us steps at severity 1.0 (damage imminent).")
+	fmt.Println("The paper's thesis in action: throttling buys thermal safety with large")
+	fmt.Println("performance loss; migration helps without slowing the core but cannot fix")
+	fmt.Println("single-unit density alone; the combination dominates either.")
+}

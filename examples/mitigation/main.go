@@ -1,0 +1,69 @@
+// Mitigation: the §V case study — can floorplanning fix 7 nm hotspots?
+// Scales the hottest units' areas (reducing their power density) and
+// compares the resulting severity against the 14 nm target, then runs the
+// uniform IC-scaling limit test.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hotgauge"
+	"hotgauge/internal/stats"
+)
+
+func sevRMS(node hotgauge.Node, workloadName string, scale map[hotgauge.UnitKind]float64, icArea float64) float64 {
+	prof, err := hotgauge.LookupWorkload(workloadName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := hotgauge.Run(hotgauge.Config{
+		Floorplan: hotgauge.FloorplanConfig{Node: node, KindScale: scale, ICAreaFactor: icArea},
+		Workload:  prof,
+		Warmup:    hotgauge.WarmupIdle,
+		Steps:     60,
+		Record:    hotgauge.RecordOptions{Severity: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return stats.RMS(res.Severity)
+}
+
+func main() {
+	const wl = "milc"
+	fmt.Printf("unit-scaling mitigation study for %s (RMS of peak severity over 12 ms):\n\n", wl)
+
+	target := sevRMS(hotgauge.Node14, wl, nil, 0)
+	fmt.Printf("  %-22s %.3f   <- the 14nm target\n", "14nm baseline", target)
+
+	variants := []struct {
+		label string
+		scale map[hotgauge.UnitKind]float64
+	}{
+		{"7nm baseline", nil},
+		{"7nm fpIWin x2", map[hotgauge.UnitKind]float64{"fpIWin": 2}},
+		{"7nm fpIWin x10", map[hotgauge.UnitKind]float64{"fpIWin": 10}},
+		{"7nm RFs x10", map[hotgauge.UnitKind]float64{"intRF": 10, "fpRF": 10}},
+		{"7nm RATs x10", map[hotgauge.UnitKind]float64{"RAT_INT": 10, "RAT_FP": 10}},
+	}
+	for _, v := range variants {
+		rms := sevRMS(hotgauge.Node7, wl, v.scale, 0)
+		verdict := "still above target"
+		if rms <= target {
+			verdict = "reaches target"
+		}
+		fmt.Printf("  %-22s %.3f   %s\n", v.label, rms, verdict)
+	}
+
+	fmt.Println("\nIC-scaling limit test (uniform whitespace, §V-B):")
+	for _, factor := range []float64{1.0, 1.5, 2.0, 2.5} {
+		rms := sevRMS(hotgauge.Node7, wl, nil, factor)
+		marker := ""
+		if rms <= target {
+			marker = "  <- matches the 14nm target"
+		}
+		fmt.Printf("  7nm at %.2fx area: RMS(sev) = %.3f%s\n", factor, rms, marker)
+	}
+	fmt.Println("\npaper's conclusion: single-unit scaling cannot reach the target; uniform scaling needs +75%..150% area.")
+}

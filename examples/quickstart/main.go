@@ -1,0 +1,52 @@
+// Quickstart: run one workload on one core of the 7 nm case-study
+// processor and characterize its hotspot behaviour — the minimal
+// end-to-end use of the HotGauge methodology.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hotgauge"
+)
+
+func main() {
+	prof, err := hotgauge.LookupWorkload("gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 100 timesteps × 200 µs = 20 ms of execution on core 0 of the 7 nm
+	// die, starting from the idle-warmup thermal state, recording the
+	// MLTD and severity series.
+	res, err := hotgauge.Run(hotgauge.Config{
+		Floorplan: hotgauge.FloorplanConfig{Node: hotgauge.Node7},
+		Workload:  prof,
+		Core:      0,
+		Warmup:    hotgauge.WarmupIdle,
+		Steps:     100,
+		Record:    hotgauge.RecordOptions{MLTD: true, Severity: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s on a 7nm client CPU (idle warmup)\n", prof.Name)
+	if math.IsInf(res.TUH, 1) {
+		fmt.Println("no hotspot within 20 ms")
+	} else {
+		fmt.Printf("time-until-hotspot: %.2f ms\n", res.TUH*1e3)
+		h := res.FirstHotspots[0]
+		fmt.Printf("first hotspot: (%.2f, %.2f) mm at %.1f C with MLTD %.1f C\n",
+			h.X, h.Y, h.Temp, h.MLTD)
+	}
+
+	last := res.StepsRun - 1
+	fmt.Printf("after 20 ms: max junction %.1f C, MLTD %.1f C, severity %.2f\n",
+		res.MaxTemp[last], res.MLTD[last], res.Severity[last])
+
+	// The severity metric is also directly usable as a pure function.
+	fmt.Printf("sev(85C, 30C MLTD) = %.2f (0.5 means: mitigate now)\n",
+		hotgauge.Severity(85, 30))
+}

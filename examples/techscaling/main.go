@@ -1,0 +1,67 @@
+// Techscaling: the paper's headline experiment — how fast do hotspots
+// arrive as the process shrinks from 14 nm to 7 nm? Runs a set of
+// workloads on every node and compares time-until-hotspot, peak MLTD and
+// peak severity.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hotgauge"
+)
+
+func main() {
+	workloads := []string{"bzip2", "gcc", "gobmk", "hmmer", "milc", "namd"}
+	nodes := []hotgauge.Node{hotgauge.Node14, hotgauge.Node10, hotgauge.Node7}
+
+	// One batch across all (node, workload) pairs; RunAll fans the
+	// simulations out over the machine's cores.
+	var cfgs []hotgauge.Config
+	for _, node := range nodes {
+		for _, name := range workloads {
+			prof, err := hotgauge.LookupWorkload(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfgs = append(cfgs, hotgauge.Config{
+				Floorplan: hotgauge.FloorplanConfig{Node: node},
+				Workload:  prof,
+				Warmup:    hotgauge.WarmupIdle,
+				Steps:     75, // 15 ms
+				Record:    hotgauge.RecordOptions{MLTD: true, Severity: true},
+			})
+		}
+	}
+	results, err := hotgauge.RunAll(cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-8s", "node")
+	for _, w := range workloads {
+		fmt.Printf("  %-12s", w)
+	}
+	fmt.Println("\n  (per cell: TUH ms / peak MLTD C / peak severity)")
+	i := 0
+	for _, node := range nodes {
+		fmt.Printf("%-8s", node)
+		for range workloads {
+			res := results[i]
+			i++
+			tuh := "-"
+			if !math.IsInf(res.TUH, 1) {
+				tuh = fmt.Sprintf("%.1f", res.TUH*1e3)
+			}
+			peakM, peakS := 0.0, 0.0
+			for s := 0; s < res.StepsRun; s++ {
+				peakM = math.Max(peakM, res.MLTD[s])
+				peakS = math.Max(peakS, res.Severity[s])
+			}
+			fmt.Printf("  %4s/%4.1f/%.2f", tuh, peakM, peakS)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nexpected shape (paper §IV): TUH roughly halves per node; MLTD grows ~2x from 14nm to 7nm.")
+}

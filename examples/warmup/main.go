@@ -1,0 +1,60 @@
+// Warmup: how much does the initial thermal state matter? Reproduces the
+// Fig. 8 comparison — the same workload started from a cold (ambient) die
+// versus after an idle warmup — and prints the die temperature
+// distribution over time plus the final junction heatmap.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hotgauge"
+	"hotgauge/internal/report"
+)
+
+func main() {
+	prof, err := hotgauge.LookupWorkload("gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(w hotgauge.WarmupMode) *hotgauge.Result {
+		res, err := hotgauge.Run(hotgauge.Config{
+			Floorplan: hotgauge.FloorplanConfig{Node: hotgauge.Node7},
+			Workload:  prof,
+			Warmup:    w,
+			Steps:     150, // 30 ms
+			Record:    hotgauge.RecordOptions{TempPercentiles: true},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	cold := run(hotgauge.WarmupCold)
+	idle := run(hotgauge.WarmupIdle)
+
+	fmt.Printf("gcc @7nm: cold start %.1f C vs idle-warmup start %.1f C\n\n", cold.InitialTemp, idle.InitialTemp)
+	fmt.Println("time [ms]   cold p5/p50/p95/max         idle p5/p50/p95/max")
+	for _, i := range []int{0, 24, 74, 149} {
+		c, w := cold.TempPcts[i], idle.TempPcts[i]
+		fmt.Printf("%8.1f    %5.1f/%5.1f/%5.1f/%5.1f    %5.1f/%5.1f/%5.1f/%5.1f\n",
+			float64(i+1)*hotgauge.Timestep*1e3,
+			c[0], c[2], c[4], cold.MaxTemp[i],
+			w[0], w[2], w[4], idle.MaxTemp[i])
+	}
+
+	cross := func(res *hotgauge.Result, th float64) float64 {
+		for i, v := range res.MaxTemp {
+			if v > th {
+				return float64(i+1) * hotgauge.Timestep * 1e3
+			}
+		}
+		return math.Inf(1)
+	}
+	fmt.Printf("\n110 C crossed: cold %.1f ms, after idle warmup %.1f ms (paper: >4x faster when warm)\n",
+		cross(cold, 110), cross(idle, 110))
+
+	fmt.Println("\nfinal junction map (idle warmup):")
+	fmt.Print(report.Heatmap(idle.FinalField))
+}

@@ -1,0 +1,3 @@
+module hotgauge
+
+go 1.24

@@ -1,0 +1,177 @@
+// Package hotgauge is a from-scratch Go implementation of HotGauge
+// (Hankin, Werner, et al., IISWC 2021): an end-to-end methodology for
+// characterizing advanced thermal hotspots in modern and next-generation
+// processors.
+//
+// The package is a stable facade over the internal simulation stack:
+//
+//   - a window-centric out-of-order performance model plus a fast
+//     analytic interval model (internal/perf) driven by synthetic
+//     SPEC CPU2006-like workload profiles (internal/workload);
+//   - a McPAT-class per-unit power model with technology scaling and
+//     temperature-dependent leakage (internal/power);
+//   - a 3D-ICE-class transient finite-volume thermal solver for the
+//     die/TIM/spreader/grease/heatsink stack (internal/thermal);
+//   - a Skylake-like 7-core floorplan with 25 units per core
+//     (internal/floorplan);
+//   - and the paper's contribution: the formal hotspot definition, MLTD,
+//     candidate-based detection and the severity metric (internal/core),
+//     wired together by the co-simulation driver (internal/sim).
+//
+// Quick start:
+//
+//	prof, _ := hotgauge.LookupWorkload("gcc")
+//	res, err := hotgauge.Run(hotgauge.Config{
+//		Floorplan: hotgauge.FloorplanConfig{Node: hotgauge.Node7},
+//		Workload:  prof,
+//		Warmup:    hotgauge.WarmupIdle,
+//		Steps:     100, // 100 × 200 µs = 20 ms
+//	})
+//	if err != nil { ... }
+//	fmt.Printf("first hotspot after %.2f ms\n", res.TUH*1e3)
+package hotgauge
+
+import (
+	"hotgauge/internal/core"
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/geometry"
+	"hotgauge/internal/mitigate"
+	"hotgauge/internal/sim"
+	"hotgauge/internal/tech"
+	"hotgauge/internal/thermal"
+	"hotgauge/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Config describes one co-simulation run; see sim.Config.
+	Config = sim.Config
+	// Result carries every recorded series of a run; see sim.Result.
+	Result = sim.Result
+	// RecordOptions selects optional per-step recordings.
+	RecordOptions = sim.RecordOptions
+	// WarmupMode selects the initial thermal state.
+	WarmupMode = sim.WarmupMode
+
+	// FloorplanConfig selects node and mitigation floorplan variants.
+	FloorplanConfig = floorplan.Config
+	// Floorplan is a fully placed die.
+	Floorplan = floorplan.Floorplan
+	// UnitKind identifies a functional-unit type.
+	UnitKind = floorplan.Kind
+
+	// Workload is a synthetic benchmark profile.
+	Workload = workload.Profile
+	// Node is a process technology node.
+	Node = tech.Node
+
+	// HotspotDefinition parameterizes Definition 1 of the paper.
+	HotspotDefinition = core.Definition
+	// Hotspot is one detected hotspot.
+	Hotspot = core.Hotspot
+	// Analyzer performs MLTD/severity/detection analysis on frames.
+	Analyzer = core.Analyzer
+	// Field is a 2-D junction-temperature (or power) map.
+	Field = geometry.Field
+)
+
+// Warmup modes.
+const (
+	WarmupCold = sim.WarmupCold
+	WarmupIdle = sim.WarmupIdle
+)
+
+// Case-study technology nodes.
+const (
+	Node14 = tech.Node14
+	Node10 = tech.Node10
+	Node7  = tech.Node7
+)
+
+// Timestep is the simulation timestep: 1 M cycles at 5 GHz = 200 µs.
+const Timestep = sim.Timestep
+
+// Run executes one perf-power-therm co-simulation.
+func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// RunAll executes a batch of configurations in parallel across CPUs,
+// preserving order.
+func RunAll(cfgs []Config) ([]*Result, error) { return sim.Campaign(cfgs) }
+
+// SPEC2006 returns the 29 synthetic SPEC CPU2006 workload profiles of the
+// case study.
+func SPEC2006() []Workload { return workload.SPEC2006() }
+
+// LookupWorkload finds a suite profile by name ("gcc", "namd", ...,
+// plus "idle" and "avxstress").
+func LookupWorkload(name string) (Workload, error) { return workload.Lookup(name) }
+
+// NewFloorplan builds the 7-core case-study floorplan.
+func NewFloorplan(cfg FloorplanConfig) (*Floorplan, error) { return floorplan.New(cfg) }
+
+// DefaultHotspotDefinition returns the case-study hotspot thresholds:
+// 80 °C, 25 °C MLTD, 1 mm radius.
+func DefaultHotspotDefinition() HotspotDefinition { return core.DefaultDefinition() }
+
+// NewAnalyzer builds a hotspot analyzer for frames shaped like proto.
+func NewAnalyzer(proto *Field, def HotspotDefinition) (*Analyzer, error) {
+	return core.NewAnalyzer(proto, def)
+}
+
+// Severity evaluates the Equation 2 hotspot severity metric for a
+// temperature [°C] and an MLTD [°C]; see Fig. 7 of the paper.
+func Severity(temp, mltd float64) float64 { return core.Severity(temp, mltd) }
+
+// Psi computes the junction-to-ambient thermal resistance [°C/W] of the
+// default cooling stack for a die outline (Table IV).
+func Psi(die geometry.Rect, resolutionMM float64) (float64, error) {
+	return thermal.Psi(die, resolutionMM)
+}
+
+// ---- Dynamic thermal management (DTM) ----
+
+// DTM types: sensor arrays, policies, and evaluation outcomes; see
+// internal/mitigate for the full documentation.
+type (
+	// Policy decides per-timestep throttle/migration from sensor readings.
+	Policy = mitigate.Policy
+	// DTMOutcome scores a policy run: thermal quality vs performance cost.
+	DTMOutcome = mitigate.Outcome
+	// SensorArray is a set of on-die thermal sensors with latency.
+	SensorArray = mitigate.Array
+	// ThresholdThrottle is reactive DVFS with hysteresis.
+	ThresholdThrottle = mitigate.ThresholdThrottle
+	// PIThrottle is a proportional-integral speed controller.
+	PIThrottle = mitigate.PIThrottle
+	// MigrateCoolest moves the workload to the coolest core when hot.
+	MigrateCoolest = mitigate.MigrateCoolest
+	// CombinedPolicy composes a migration and a throttle policy.
+	CombinedPolicy = mitigate.Combined
+	// NoOpPolicy never intervenes (the uncontrolled baseline).
+	NoOpPolicy = mitigate.NoOp
+)
+
+// EvaluatePolicy runs cfg under the policy (sensors at the fpIWin of each
+// core, 400 µs latency) and scores the outcome.
+func EvaluatePolicy(cfg Config, p Policy) (*DTMOutcome, error) { return mitigate.Evaluate(cfg, p) }
+
+// ComparePolicies evaluates several policies on the same configuration.
+func ComparePolicies(cfg Config, ps ...Policy) ([]*DTMOutcome, error) {
+	return mitigate.Compare(cfg, ps...)
+}
+
+// ---- Hotspot tracking ----
+
+// Tracking types; see internal/core.
+type (
+	// Tracker associates hotspot detections across frames into lifetimes.
+	Tracker = core.Tracker
+	// TrackedHotspot is one hotspot's life: duration, peak, travel.
+	TrackedHotspot = core.TrackedHotspot
+)
+
+// NewTracker builds a hotspot tracker over an analyzer; matchRadius [mm]
+// bounds how far a hotspot may move between frames (0 = 0.5 mm).
+func NewTracker(a *Analyzer, matchRadius float64) *Tracker {
+	return core.NewTracker(a, matchRadius)
+}

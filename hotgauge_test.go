@@ -1,0 +1,69 @@
+package hotgauge
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	prof, err := LookupWorkload("namd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Floorplan:     FloorplanConfig{Node: Node7},
+		Workload:      prof,
+		Warmup:        WarmupIdle,
+		Steps:         20,
+		StopAtHotspot: true,
+		Resolution:    0.2, // coarse for test speed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.TUH, 1) {
+		t.Fatal("expected a hotspot from the facade quickstart path")
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if len(SPEC2006()) != 29 {
+		t.Fatal("suite size wrong through facade")
+	}
+	fp, err := NewFloorplan(FloorplanConfig{Node: Node14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psi, err := Psi(fp.Die, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psi < 0.7 || psi > 1.3 {
+		t.Fatalf("Psi through facade = %v", psi)
+	}
+	def := DefaultHotspotDefinition()
+	if def.TempThreshold != 80 {
+		t.Fatal("default definition wrong")
+	}
+	if s := Severity(120, 40); s != 1 {
+		t.Fatalf("Severity(120,40) = %v", s)
+	}
+	if Timestep != 200e-6 {
+		t.Fatal("timestep wrong")
+	}
+}
+
+func TestFacadeRunAll(t *testing.T) {
+	prof, _ := LookupWorkload("gcc")
+	cfgs := []Config{
+		{Workload: prof, Steps: 3, Resolution: 0.2},
+		{Workload: prof, Steps: 3, Resolution: 0.2, Core: 3},
+	}
+	results, err := RunAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].StepsRun != 3 {
+		t.Fatal("RunAll misbehaved")
+	}
+}

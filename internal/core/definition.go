@@ -1,0 +1,99 @@
+// Package core implements HotGauge's primary contribution: the formal
+// hotspot definition (Definition 1), the maximum localized temperature
+// difference (MLTD) metric, the candidate-based automated hotspot
+// detection algorithm (Fig. 6), and the hotspot severity metric
+// (Equations 1-2, Fig. 7).
+//
+// Everything operates on 2-D junction-temperature fields
+// (geometry.Field, °C, pitch in mm) produced by the thermal solver.
+package core
+
+import (
+	"fmt"
+
+	"hotgauge/internal/geometry"
+)
+
+// Definition parameterizes Definition 1 of the paper: a die location is a
+// hotspot iff its temperature exceeds TempThreshold AND the maximum
+// localized temperature difference within Radius exceeds MLTDThreshold.
+type Definition struct {
+	TempThreshold float64 // T_th [°C]
+	MLTDThreshold float64 // MLTD_th [°C]
+	Radius        float64 // neighbourhood radius [mm]
+}
+
+// DefaultDefinition returns the case-study parameters: 80 °C, 25 °C, and
+// a 1 mm radius (≈ the distance signals travel in one clock at 5 GHz,
+// kept constant across nodes because global wires do not scale).
+func DefaultDefinition() Definition {
+	return Definition{TempThreshold: 80, MLTDThreshold: 25, Radius: 1.0}
+}
+
+// Validate checks the definition parameters.
+func (d Definition) Validate() error {
+	if d.Radius <= 0 {
+		return fmt.Errorf("core: non-positive radius %v", d.Radius)
+	}
+	if d.MLTDThreshold <= 0 {
+		return fmt.Errorf("core: non-positive MLTD threshold %v", d.MLTDThreshold)
+	}
+	return nil
+}
+
+// Hotspot is one detected hotspot location.
+type Hotspot struct {
+	IX, IY int     // grid cell
+	X, Y   float64 // physical location [mm]
+	Temp   float64 // junction temperature [°C]
+	MLTD   float64 // max localized temperature difference [°C]
+}
+
+// Analyzer performs MLTD and hotspot analysis on temperature fields of a
+// fixed geometry. It precomputes the circular neighbourhood stencil once;
+// construct one per (grid shape, definition) pair and reuse it across
+// frames.
+type Analyzer struct {
+	def     Definition
+	nx, ny  int
+	offsets []stencilOffset
+}
+
+type stencilOffset struct{ dx, dy int }
+
+// NewAnalyzer builds an analyzer for fields shaped like proto.
+func NewAnalyzer(proto *geometry.Field, def Definition) (*Analyzer, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	if proto == nil || proto.NX <= 0 || proto.NY <= 0 {
+		return nil, fmt.Errorf("core: invalid prototype field")
+	}
+	rCells := def.Radius / proto.Dx
+	n := int(rCells)
+	a := &Analyzer{def: def, nx: proto.NX, ny: proto.NY}
+	for dy := -n; dy <= n; dy++ {
+		for dx := -n; dx <= n; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			if float64(dx*dx+dy*dy) <= rCells*rCells {
+				a.offsets = append(a.offsets, stencilOffset{dx, dy})
+			}
+		}
+	}
+	if len(a.offsets) == 0 {
+		return nil, fmt.Errorf("core: radius %v mm smaller than one %v mm cell", def.Radius, proto.Dx)
+	}
+	return a, nil
+}
+
+// Definition returns the analyzer's hotspot definition.
+func (a *Analyzer) Definition() Definition { return a.def }
+
+// checkShape validates that f matches the analyzer's geometry.
+func (a *Analyzer) checkShape(f *geometry.Field) {
+	if f.NX != a.nx || f.NY != a.ny {
+		panic(fmt.Sprintf("core: field %dx%d does not match analyzer %dx%d", f.NX, f.NY, a.nx, a.ny))
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import "math"
+
+// Sigmoid is the parameterized sigmoid of Equation 1:
+//
+//	σ(x; x₀, y₀, s, a) = a / (1 + e^(−s·(x−x₀))) + y₀
+func Sigmoid(x, x0, y0, s, a float64) float64 {
+	return a/(1+math.Exp(-s*(x-x0))) + y0
+}
+
+// The three fitted sigmoid components of Equation 2, tuned (per the
+// paper, from industry data) for high-speed CPU-like circuits without
+// DRAM in the thermal stack.
+
+// SigmaDF is the device-failure term: saturates to 1 at 115 °C, the
+// junction temperature of modern processors without a guardband.
+func SigmaDF(t float64) float64 { return Sigmoid(t, 115, 0, 0.2, 2) }
+
+// SigmaM is the marginal MLTD contribution to timing failure.
+func SigmaM(mltd float64) float64 { return Sigmoid(mltd, 15, -0.25, 0.2, 1.25) }
+
+// SigmaT is the marginal temperature contribution to timing failure;
+// MLTD and T must be considered together because temperature affects
+// logic and interconnect timing in opposite directions.
+func SigmaT(t float64) float64 { return Sigmoid(t, 60, 0.35, 0.05, 0.65) }
+
+// Severity is the hotspot severity metric of Equation 2, clipped to
+// [0, 1]:
+//
+//	sev(T, MLTD) = σ_df(T) + σ_M(MLTD)·σ_T(T)
+//
+// 0 means no hotspot concern; 0.5 means immediate mitigation is required;
+// 1 means errors or permanent damage are imminent.
+func Severity(t, mltd float64) float64 {
+	s := SigmaDF(t) + SigmaM(mltd)*SigmaT(t)
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}

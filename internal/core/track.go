@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"hotgauge/internal/geometry"
+)
+
+// TrackedHotspot is one hotspot's life across frames: when it appeared,
+// how long it lived, how hot and steep it got, and where it peaked.
+// Durations are in timesteps; callers multiply by their timestep to get
+// wall-clock.
+type TrackedHotspot struct {
+	ID        int
+	FirstStep int
+	LastStep  int     // last step the hotspot was observed
+	Frames    int     // number of frames it was present (≥1)
+	PeakTemp  float64 // hottest observed temperature [°C]
+	PeakMLTD  float64 // steepest observed MLTD [°C]
+	X, Y      float64 // location at the hottest observation [mm]
+	// TravelMM is the total distance the hotspot's center moved over its
+	// life [mm] — application phase changes drag hotspots across units.
+	TravelMM float64
+
+	lastX, lastY float64
+}
+
+// Duration returns the hotspot's lifetime in timesteps.
+func (h *TrackedHotspot) Duration() int { return h.LastStep - h.FirstStep + 1 }
+
+// Tracker associates detections across consecutive frames into hotspot
+// lifetimes. Association is greedy nearest-neighbour within MatchRadius;
+// a track that goes unmatched for one frame is closed (hotspots at these
+// time scales do not flicker within 200 µs unless they truly collapsed).
+type Tracker struct {
+	analyzer *Analyzer
+	// MatchRadius is the maximum distance [mm] a hotspot may move between
+	// frames and still be the same hotspot.
+	MatchRadius float64
+
+	nextID int
+	active []*TrackedHotspot
+	closed []*TrackedHotspot
+}
+
+// NewTracker builds a tracker over the analyzer's definition.
+func NewTracker(a *Analyzer, matchRadius float64) *Tracker {
+	if matchRadius <= 0 {
+		matchRadius = 0.5
+	}
+	return &Tracker{analyzer: a, MatchRadius: matchRadius}
+}
+
+// Observe detects hotspots in the frame and folds them into the tracks.
+// It returns the frame's clustered detections.
+func (t *Tracker) Observe(step int, f *geometry.Field) []Hotspot {
+	detections := clusterHotspots(t.analyzer.Detect(f), t.MatchRadius/2)
+
+	type pair struct {
+		dist   float64
+		track  int
+		detect int
+	}
+	var pairs []pair
+	for ti, tr := range t.active {
+		for di, d := range detections {
+			if dist := geometry.Dist(tr.lastX, tr.lastY, d.X, d.Y); dist <= t.MatchRadius {
+				pairs = append(pairs, pair{dist, ti, di})
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].dist < pairs[b].dist })
+
+	usedTrack := make([]bool, len(t.active))
+	usedDet := make([]bool, len(detections))
+	for _, p := range pairs {
+		if usedTrack[p.track] || usedDet[p.detect] {
+			continue
+		}
+		usedTrack[p.track] = true
+		usedDet[p.detect] = true
+		t.extend(t.active[p.track], step, detections[p.detect])
+	}
+
+	// Unmatched tracks close; unmatched detections start new tracks.
+	var stillActive []*TrackedHotspot
+	for ti, tr := range t.active {
+		if usedTrack[ti] {
+			stillActive = append(stillActive, tr)
+		} else {
+			t.closed = append(t.closed, tr)
+		}
+	}
+	t.active = stillActive
+	for di, d := range detections {
+		if usedDet[di] {
+			continue
+		}
+		tr := &TrackedHotspot{
+			ID: t.nextID, FirstStep: step, LastStep: step, Frames: 1,
+			PeakTemp: d.Temp, PeakMLTD: d.MLTD, X: d.X, Y: d.Y,
+			lastX: d.X, lastY: d.Y,
+		}
+		t.nextID++
+		t.active = append(t.active, tr)
+	}
+	return detections
+}
+
+func (t *Tracker) extend(tr *TrackedHotspot, step int, d Hotspot) {
+	tr.TravelMM += geometry.Dist(tr.lastX, tr.lastY, d.X, d.Y)
+	tr.lastX, tr.lastY = d.X, d.Y
+	tr.LastStep = step
+	tr.Frames++
+	if d.Temp > tr.PeakTemp {
+		tr.PeakTemp = d.Temp
+		tr.X, tr.Y = d.X, d.Y
+	}
+	tr.PeakMLTD = math.Max(tr.PeakMLTD, d.MLTD)
+}
+
+// clusterHotspots merges detections within `radius` mm of a hotter
+// detection into it: plateau tops and saddle ridges produce several
+// candidate cells for one physical hotspot, and tracking wants one
+// representative per physical spot.
+func clusterHotspots(hs []Hotspot, radius float64) []Hotspot {
+	if len(hs) <= 1 {
+		return hs
+	}
+	sort.Slice(hs, func(a, b int) bool { return hs[a].Temp > hs[b].Temp })
+	var out []Hotspot
+	for _, h := range hs {
+		merged := false
+		for _, kept := range out {
+			if geometry.Dist(kept.X, kept.Y, h.X, h.Y) <= radius {
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Finish closes all remaining tracks and returns every hotspot lifetime,
+// ordered by first appearance then ID.
+func (t *Tracker) Finish() []TrackedHotspot {
+	all := append(append([]*TrackedHotspot{}, t.closed...), t.active...)
+	t.active = nil
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].FirstStep != all[b].FirstStep {
+			return all[a].FirstStep < all[b].FirstStep
+		}
+		return all[a].ID < all[b].ID
+	})
+	out := make([]TrackedHotspot, len(all))
+	for i, h := range all {
+		out[i] = *h
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hotgauge/internal/geometry"
+)
+
+// bumpField places a hot gaussian bump on a warm background.
+func bumpField(nx, ny int, cx, cy float64) *geometry.Field {
+	f := geometry.NewField(nx, ny, 0.1)
+	f.Fill(55)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			x, y := f.CellCenter(ix, iy)
+			d2 := (x-cx)*(x-cx) + (y-cy)*(y-cy)
+			f.Add(ix, iy, 50*math.Exp(-d2/0.08))
+		}
+	}
+	return f
+}
+
+func newTracker(t *testing.T, f *geometry.Field) *Tracker {
+	t.Helper()
+	a, err := NewAnalyzer(f, DefaultDefinition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTracker(a, 0.5)
+}
+
+func TestTrackerStaticHotspotOneLifetime(t *testing.T) {
+	f := bumpField(40, 30, 2.0, 1.5)
+	tr := newTracker(t, f)
+	for step := 0; step < 10; step++ {
+		if hs := tr.Observe(step, f); len(hs) == 0 {
+			t.Fatal("bump not detected")
+		}
+	}
+	all := tr.Finish()
+	if len(all) != 1 {
+		t.Fatalf("got %d tracks, want 1 (static hotspot)", len(all))
+	}
+	h := all[0]
+	if h.Duration() != 10 || h.Frames != 10 {
+		t.Fatalf("duration %d frames %d, want 10/10", h.Duration(), h.Frames)
+	}
+	if h.TravelMM > 1e-9 {
+		t.Fatalf("static hotspot travelled %v mm", h.TravelMM)
+	}
+	if math.Abs(h.X-2.0) > 0.1 || math.Abs(h.Y-1.5) > 0.1 {
+		t.Fatalf("peak located at (%v,%v), want near (2.0,1.5)", h.X, h.Y)
+	}
+}
+
+func TestTrackerMovingHotspotAccumulatesTravel(t *testing.T) {
+	tr := newTracker(t, bumpField(40, 30, 1.0, 1.5))
+	for step := 0; step < 5; step++ {
+		// Move 0.2 mm per step: within the 0.5 mm match radius.
+		f := bumpField(40, 30, 1.0+0.2*float64(step), 1.5)
+		tr.Observe(step, f)
+	}
+	all := tr.Finish()
+	if len(all) != 1 {
+		t.Fatalf("got %d tracks, want 1 (slow drift)", len(all))
+	}
+	if all[0].TravelMM < 0.6 {
+		t.Fatalf("travel %v mm, want ≈0.8", all[0].TravelMM)
+	}
+}
+
+func TestTrackerJumpStartsNewTrack(t *testing.T) {
+	tr := newTracker(t, bumpField(40, 30, 1.0, 1.5))
+	tr.Observe(0, bumpField(40, 30, 1.0, 1.5))
+	tr.Observe(1, bumpField(40, 30, 3.0, 1.5)) // 2 mm jump > radius
+	all := tr.Finish()
+	if len(all) != 2 {
+		t.Fatalf("got %d tracks, want 2 (teleporting hotspot)", len(all))
+	}
+	if all[0].LastStep != 0 || all[1].FirstStep != 1 {
+		t.Fatalf("track boundaries wrong: %+v", all)
+	}
+}
+
+func TestTrackerTwoSimultaneousHotspots(t *testing.T) {
+	mk := func() *geometry.Field {
+		f := bumpField(50, 30, 1.0, 1.5)
+		g := bumpField(50, 30, 4.0, 1.5)
+		for i := range f.Data {
+			f.Data[i] = math.Max(f.Data[i], g.Data[i])
+		}
+		return f
+	}
+	f := mk()
+	tr := newTracker(t, f)
+	for step := 0; step < 4; step++ {
+		tr.Observe(step, mk())
+	}
+	all := tr.Finish()
+	if len(all) != 2 {
+		t.Fatalf("got %d tracks, want 2", len(all))
+	}
+	for _, h := range all {
+		if h.Duration() != 4 {
+			t.Fatalf("track %d duration %d, want 4", h.ID, h.Duration())
+		}
+	}
+}
+
+func TestTrackerGapClosesTrack(t *testing.T) {
+	hot := bumpField(40, 30, 2.0, 1.5)
+	cold := geometry.NewField(40, 30, 0.1)
+	cold.Fill(50)
+	tr := newTracker(t, hot)
+	tr.Observe(0, hot)
+	tr.Observe(1, cold) // hotspot collapses
+	tr.Observe(2, hot)  // reappears
+	all := tr.Finish()
+	if len(all) != 2 {
+		t.Fatalf("got %d tracks, want 2 (gap closes the first)", len(all))
+	}
+}
+
+func TestTrackerPeakTracksHotterObservation(t *testing.T) {
+	tr := newTracker(t, bumpField(40, 30, 2.0, 1.5))
+	f1 := bumpField(40, 30, 2.0, 1.5)
+	f2 := bumpField(40, 30, 2.0, 1.5)
+	f2.Scale(1.1) // hotter second frame
+	tr.Observe(0, f1)
+	tr.Observe(1, f2)
+	all := tr.Finish()
+	if len(all) != 1 {
+		t.Fatalf("tracks = %d", len(all))
+	}
+	m1, _, _ := f1.Max()
+	if all[0].PeakTemp <= m1 {
+		t.Fatalf("peak %v did not follow the hotter frame (> %v)", all[0].PeakTemp, m1)
+	}
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hotgauge/internal/sim"
+	"hotgauge/internal/stats"
+	"hotgauge/internal/svg"
+)
+
+// Figurer is implemented by experiment results that can render themselves
+// as SVG figures; cmd/hotgauge-experiments writes them when -svg is set.
+type Figurer interface {
+	// Figures returns file-base-name → SVG document.
+	Figures() map[string]string
+}
+
+// stepAxis builds a milliseconds x axis for an n-step series.
+func stepAxis(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i+1) * sim.Timestep * 1e3
+	}
+	return x
+}
+
+// Figures implements Figurer.
+func (r *Fig1Result) Figures() map[string]string {
+	return map[string]string{
+		"fig1_hotspot_map": svg.Heatmap(
+			fmt.Sprintf("Fig.1: junction temperature after %.1f ms (gcc @7nm)", r.ElapsedSec*1e3), r.Field),
+	}
+}
+
+// Figures implements Figurer.
+func (r *Fig2Result) Figures() map[string]string {
+	centers := make([]float64, len(r.Hist14.Counts))
+	for i := range centers {
+		centers[i] = r.Hist14.BinCenter(i)
+	}
+	return map[string]string{
+		"fig2_delta_distribution": svg.Lines(
+			"Fig.2: distribution of temperature deltas over 200us",
+			"delta [C]", "frequency",
+			[]svg.Series{
+				{Label: "14nm", X: centers, Y: r.Hist14.Normalized()},
+				{Label: "7nm", X: centers, Y: r.Hist7.Normalized()},
+			}),
+	}
+}
+
+// Figures implements Figurer.
+func (r *Fig7Result) Figures() map[string]string {
+	var series []svg.Series
+	for j, m := range r.MLTDs {
+		col := make([]float64, len(r.Temps))
+		for i := range r.Temps {
+			col[i] = r.Sev[i][j]
+		}
+		series = append(series, svg.Series{
+			Label: fmt.Sprintf("MLTD %.0fC", m), X: r.Temps, Y: col,
+		})
+	}
+	return map[string]string{
+		"fig7_severity_metric": svg.Lines("Fig.7: hotspot severity metric (Eq. 2)",
+			"temperature [C]", "severity", series),
+	}
+}
+
+// Figures implements Figurer.
+func (r *Fig8Result) Figures() map[string]string {
+	return map[string]string{
+		"fig8_warmup": svg.Lines("Fig.8: gcc @7nm, max junction temperature",
+			"time [ms]", "temperature [C]",
+			[]svg.Series{
+				{Label: "cold start", X: stepAxis(len(r.MaxCold)), Y: r.MaxCold},
+				{Label: "idle warmup", X: stepAxis(len(r.MaxIdle)), Y: r.MaxIdle},
+			}),
+	}
+}
+
+// Figures implements Figurer.
+func (r *Fig9Result) Figures() map[string]string {
+	var series []svg.Series
+	for _, s := range r.Series {
+		series = append(series, svg.Series{
+			Label: fmt.Sprintf("%v core %d (%s)", s.Node, s.Core, sideOf(s.Core)),
+			X:     stepAxis(len(s.MLTD)),
+			Y:     s.MLTD,
+		})
+	}
+	return map[string]string{
+		"fig9_mltd": svg.Lines("Fig.9: MLTD within 1mm, gobmk after idle warmup",
+			"time [ms]", "MLTD [C]", series),
+	}
+}
+
+// Figures implements Figurer.
+func (r *Fig10Result) Figures() map[string]string {
+	var labels []string
+	var boxes []stats.Box
+	for _, n := range r.Nodes {
+		ms := make([]float64, 0, len(r.TUH[n]))
+		for _, v := range r.TUH[n] {
+			ms = append(ms, v*1e3)
+		}
+		labels = append(labels, n.String())
+		boxes = append(boxes, stats.BoxOf(ms))
+	}
+	return map[string]string{
+		"fig10_tuh_nodes": svg.BoxPlot("Fig.10: time-until-hotspot by node (suite, idle warmup)",
+			"TUH [ms]", labels, boxes, true),
+	}
+}
+
+// Figures implements Figurer.
+func (r *Fig11Result) Figures() map[string]string {
+	out := map[string]string{}
+	for _, warm := range []sim.WarmupMode{sim.WarmupCold, sim.WarmupIdle} {
+		var labels []string
+		var boxes []stats.Box
+		for _, row := range r.Rows {
+			if row.Warmup != warm {
+				continue
+			}
+			labels = append(labels, row.Workload)
+			b := row.Box
+			// Present in milliseconds.
+			b.Min *= 1e3
+			b.Q1 *= 1e3
+			b.Median *= 1e3
+			b.Q3 *= 1e3
+			b.Max *= 1e3
+			boxes = append(boxes, b)
+		}
+		out["fig11_tuh_"+warm.String()] = svg.BoxPlot(
+			fmt.Sprintf("Fig.11: TUH at 7nm across cores (%s)", warm), "TUH [ms]", labels, boxes, true)
+	}
+	return out
+}
+
+// Figures implements Figurer.
+func (r *Fig12Result) Figures() map[string]string {
+	kinds := r.Top()
+	labels := make([]string, len(kinds))
+	values := make([]float64, len(kinds))
+	for i, k := range kinds {
+		labels[i] = string(k)
+		values[i] = float64(r.Counts[k])
+	}
+	return map[string]string{
+		"fig12_hotspot_units": svg.Bars("Fig.12: hotspot locations by unit (7nm, suite)",
+			"hotspot frames", labels, values),
+	}
+}
+
+// Figures implements Figurer.
+func (r *Fig13Result) Figures() map[string]string {
+	out := map[string]string{}
+	for _, wl := range []string{"gcc", "milc"} {
+		var series []svg.Series
+		for _, c := range r.Workload[wl] {
+			y := c.UnitSev["core0.fpIWin"]
+			series = append(series, svg.Series{Label: c.Label, X: stepAxis(len(y)), Y: y})
+		}
+		out["fig13_"+wl+"_fpiwin_severity"] = svg.Lines(
+			fmt.Sprintf("Fig.13: severity in the fpIWin, %s", wl),
+			"time [ms]", "severity", series)
+	}
+	return out
+}
+
+// Figures implements Figurer.
+func (r *Fig14Result) Figures() map[string]string {
+	labels := make([]string, len(r.Rows))
+	v14 := make([]float64, len(r.Rows))
+	vRAT := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		labels[i] = row.Workload
+		v14[i] = row.Sev14
+		vRAT[i] = row.Sev7RATx10
+	}
+	return map[string]string{
+		"fig14_rats_x10":    svg.Bars("Fig.14: max severity at 7nm with RATs x10", "severity", labels, vRAT),
+		"fig14_target_14nm": svg.Bars("Fig.14: max severity targets (14nm)", "severity", labels, v14),
+	}
+}
+
+// Figures implements Figurer.
+func (r *DTMResult) Figures() map[string]string {
+	labels := make([]string, len(r.Outcomes))
+	peaks := make([]float64, len(r.Outcomes))
+	for i, o := range r.Outcomes {
+		labels[i] = o.Policy
+		peaks[i] = o.PeakTemp
+	}
+	return map[string]string{
+		"ext_dtm_peak_temp": svg.Bars("DTM policies: peak junction temperature (namd @7nm)",
+			"peak temperature [C]", labels, peaks),
+	}
+}
+
+// Figures implements Figurer.
+func (r *Beyond7Result) Figures() map[string]string {
+	var x, mltd []float64
+	for _, row := range r.Rows {
+		x = append(x, float64(row.Node))
+		mltd = append(mltd, row.PeakMLTD)
+	}
+	return map[string]string{
+		"ext_beyond7_mltd": svg.Lines("Scaling beyond 7nm: peak MLTD (gcc)",
+			"node [nm]", "peak MLTD [C]",
+			[]svg.Series{{Label: "gcc", X: x, Y: mltd}}),
+	}
+}
+
+// Compile-time checks that the intended results implement Figurer.
+var (
+	_ Figurer = (*Fig1Result)(nil)
+	_ Figurer = (*Fig2Result)(nil)
+	_ Figurer = (*Fig7Result)(nil)
+	_ Figurer = (*Fig8Result)(nil)
+	_ Figurer = (*Fig9Result)(nil)
+	_ Figurer = (*Fig10Result)(nil)
+	_ Figurer = (*Fig11Result)(nil)
+	_ Figurer = (*Fig12Result)(nil)
+	_ Figurer = (*Fig13Result)(nil)
+	_ Figurer = (*Fig14Result)(nil)
+	_ Figurer = (*DTMResult)(nil)
+	_ Figurer = (*Beyond7Result)(nil)
+)

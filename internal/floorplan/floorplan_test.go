@@ -1,0 +1,252 @@
+package floorplan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hotgauge/internal/tech"
+)
+
+func TestBaselinePlansValidate(t *testing.T) {
+	for _, node := range tech.Nodes() {
+		fp, err := New(Config{Node: node})
+		if err != nil {
+			t.Fatalf("%v: %v", node, err)
+		}
+		if got := len(fp.UnitsOfKind(KindCALU)); got != NumCores {
+			t.Errorf("%v: %d cALUs, want %d", node, got, NumCores)
+		}
+	}
+}
+
+func TestCoreAreaMatchesTableI(t *testing.T) {
+	want := map[tech.Node]float64{tech.Node14: 5.0, tech.Node10: 2.5, tech.Node7: 1.25}
+	for node, area := range want {
+		fp := MustNew(Config{Node: node})
+		got := fp.CoreRects[0].Area()
+		if math.Abs(got-area)/area > 0.01 {
+			t.Errorf("%v core area = %.3f mm², want %.3f", node, got, area)
+		}
+	}
+}
+
+func TestCoreAspectRatio(t *testing.T) {
+	fp := MustNew(Config{Node: tech.Node14})
+	r := fp.CoreRects[0]
+	if math.Abs(r.W/r.H-CoreAspectW/CoreAspectH) > 1e-6 {
+		t.Fatalf("aspect = %.3f, want %.3f", r.W/r.H, CoreAspectW/CoreAspectH)
+	}
+}
+
+func TestDieShrinksWithNode(t *testing.T) {
+	a14 := MustNew(Config{Node: tech.Node14}).Die.Area()
+	a10 := MustNew(Config{Node: tech.Node10}).Die.Area()
+	a7 := MustNew(Config{Node: tech.Node7}).Die.Area()
+	if math.Abs(a10/a14-0.5) > 0.01 || math.Abs(a7/a14-0.25) > 0.01 {
+		t.Fatalf("die areas %v %v %v do not follow 1:0.5:0.25", a14, a10, a7)
+	}
+}
+
+func TestCorePositions(t *testing.T) {
+	fp := MustNew(Config{Node: tech.Node7})
+	// Left cores must be strictly left of right cores; core 3 in between.
+	for _, l := range LeftCores() {
+		for _, r := range RightCores() {
+			if fp.CoreRects[l].X >= fp.CoreRects[r].X {
+				t.Fatalf("core %d (x=%v) not left of core %d (x=%v)",
+					l, fp.CoreRects[l].X, r, fp.CoreRects[r].X)
+			}
+		}
+	}
+	mid := fp.CoreRects[3]
+	if mid.X <= fp.CoreRects[0].X || mid.X >= fp.CoreRects[1].X {
+		t.Fatalf("core 3 (x=%v) not between columns", mid.X)
+	}
+	// IMC/IO strip must be adjacent to the left column (x < left cores).
+	imc, ok := fp.Unit("IMC")
+	if !ok {
+		t.Fatal("no IMC unit")
+	}
+	if imc.Rect.X >= fp.CoreRects[0].X {
+		t.Fatal("IMC not on the left edge")
+	}
+}
+
+func TestUnitScalingGrowsOnlyTarget(t *testing.T) {
+	base := MustNew(Config{Node: tech.Node7})
+	scaled := MustNew(Config{Node: tech.Node7, KindScale: map[Kind]float64{KindFpIWin: 10}})
+
+	baseFpIWin := base.UnitsOfKind(KindFpIWin)[0].Area()
+	scaledFpIWin := scaled.UnitsOfKind(KindFpIWin)[0].Area()
+	if math.Abs(scaledFpIWin/baseFpIWin-10) > 0.01 {
+		t.Fatalf("fpIWin area ratio = %v, want 10", scaledFpIWin/baseFpIWin)
+	}
+	// Other units keep (approximately) their absolute area.
+	baseROB := base.UnitsOfKind(KindROB)[0].Area()
+	scaledROB := scaled.UnitsOfKind(KindROB)[0].Area()
+	if math.Abs(scaledROB/baseROB-1) > 0.05 {
+		t.Fatalf("ROB area changed by factor %v under fpIWin scaling", scaledROB/baseROB)
+	}
+	// The core must grow by exactly the added area (up to row re-packing).
+	added := (10 - 1) * baseFpIWin
+	growth := scaled.CoreRects[0].Area() - base.CoreRects[0].Area()
+	if math.Abs(growth-added)/added > 0.05 {
+		t.Fatalf("core growth = %v mm², want ≈ %v", growth, added)
+	}
+}
+
+func TestICScaling(t *testing.T) {
+	base := MustNew(Config{Node: tech.Node7})
+	big := MustNew(Config{Node: tech.Node7, ICAreaFactor: 1.75})
+	if math.Abs(big.Die.Area()/base.Die.Area()-1.75) > 1e-6 {
+		t.Fatalf("die area factor = %v, want 1.75", big.Die.Area()/base.Die.Area())
+	}
+	// Every unit's area grows by the same factor.
+	for i := range base.Units {
+		ratio := big.Units[i].Area() / base.Units[i].Area()
+		if math.Abs(ratio-1.75) > 1e-6 {
+			t.Fatalf("unit %s area ratio = %v", base.Units[i].Name, ratio)
+		}
+	}
+}
+
+func TestRejectsNonPositiveScale(t *testing.T) {
+	if _, err := New(Config{KindScale: map[Kind]float64{KindROB: 0}}); err == nil {
+		t.Fatal("expected error for zero kind scale")
+	}
+}
+
+func TestUnitAtFindsOwnCenters(t *testing.T) {
+	fp := MustNew(Config{Node: tech.Node14})
+	for _, u := range fp.Units {
+		cx, cy := u.Rect.Center()
+		got, ok := fp.UnitAt(cx, cy)
+		if !ok || got.Name != u.Name {
+			t.Fatalf("UnitAt(center of %s) = %v, %v", u.Name, got.Name, ok)
+		}
+	}
+}
+
+func TestWhitespaceSmall(t *testing.T) {
+	fp := MustNew(Config{Node: tech.Node14})
+	if ws := fp.WhitespaceFraction(); ws > 0.02 || ws < -1e-9 {
+		t.Fatalf("whitespace fraction = %v", ws)
+	}
+}
+
+func TestCategoryOfCoversAllKinds(t *testing.T) {
+	for _, k := range CoreKinds() {
+		if k == KindCoreOther {
+			continue
+		}
+		if CategoryOf(k) == CatOther {
+			t.Errorf("kind %s mapped to CatOther", k)
+		}
+	}
+	for _, k := range UncoreKinds() {
+		if CategoryOf(k) != CatUncore {
+			t.Errorf("kind %s not CatUncore", k)
+		}
+	}
+	if CategoryOf(KindCoreOther) != CatOther {
+		t.Error("core_other should be CatOther")
+	}
+}
+
+func TestUnitLookupByName(t *testing.T) {
+	fp := MustNew(Config{Node: tech.Node7})
+	u, ok := fp.Unit("core3.cALU")
+	if !ok || u.Core != 3 || u.Kind != KindCALU {
+		t.Fatalf("Unit(core3.cALU) = %+v, %v", u, ok)
+	}
+	if _, ok := fp.Unit("nope"); ok {
+		t.Fatal("lookup of missing unit succeeded")
+	}
+}
+
+func TestRandomUnitScalingProperty(t *testing.T) {
+	// ANY combination of per-kind area scales in [0.5, 12] must yield a
+	// valid (non-overlapping, gap-free) floorplan whose scaled units have
+	// the requested area ratios.
+	f := func(seedRaw int64) bool {
+		rng := rand.New(rand.NewSource(seedRaw))
+		kinds := CoreKinds()
+		scale := map[Kind]float64{}
+		for i := 0; i < 3; i++ {
+			k := kinds[rng.Intn(len(kinds))]
+			scale[k] = 0.5 + rng.Float64()*11.5
+		}
+		base, err := New(Config{Node: tech.Node7})
+		if err != nil {
+			return false
+		}
+		fp, err := New(Config{Node: tech.Node7, KindScale: scale})
+		if err != nil {
+			return false
+		}
+		for k, s := range scale {
+			b := base.UnitsOfKind(k)[0].Area()
+			g := fp.UnitsOfKind(k)[0].Area()
+			if math.Abs(g/b-s)/s > 0.02 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMirrorRightReversesRowOrder(t *testing.T) {
+	base := MustNew(Config{Node: tech.Node7})
+	mir := MustNew(Config{Node: tech.Node7, MirrorRight: true})
+	// Left cores unchanged.
+	b0, _ := base.Unit("core0.L1I")
+	m0, _ := mir.Unit("core0.L1I")
+	if b0.Rect != m0.Rect {
+		t.Fatal("left core changed under MirrorRight")
+	}
+	// Right cores: the first row's first unit (L1I) moves from the left
+	// end of the row to the right end.
+	b1, _ := base.Unit("core1.L1I")
+	m1, _ := mir.Unit("core1.L1I")
+	if !(m1.Rect.X > b1.Rect.X) {
+		t.Fatalf("core1.L1I did not move right: %v -> %v", b1.Rect.X, m1.Rect.X)
+	}
+	if err := mir.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowShuffleDeterministicAndValid(t *testing.T) {
+	a := MustNew(Config{Node: tech.Node7, RowShuffleSeed: 7})
+	b := MustNew(Config{Node: tech.Node7, RowShuffleSeed: 7})
+	c := MustNew(Config{Node: tech.Node7, RowShuffleSeed: 8})
+	ua, _ := a.Unit("core0.cALU")
+	ub, _ := b.Unit("core0.cALU")
+	if ua.Rect != ub.Rect {
+		t.Fatal("same seed produced different plans")
+	}
+	// A different seed must move at least one unit.
+	moved := false
+	for _, u := range a.Units {
+		v, _ := c.Unit(u.Name)
+		if v.Rect != u.Rect {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("different seeds produced identical plans")
+	}
+	// Areas are permutation-invariant.
+	for _, u := range a.Units {
+		v, _ := c.Unit(u.Name)
+		if math.Abs(u.Area()-v.Area()) > 1e-12 {
+			t.Fatalf("unit %s area changed under shuffle", u.Name)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package floorplan builds the physical layout of the case-study processor:
+// a Skylake-inspired out-of-order core floorplan (Fig. 5 of the paper) with
+// 25 functional units per core, assembled into a 7-core client die with
+// shared L3, system agent, memory controller and I/O — the additional units
+// the paper adds on top of McPAT's output.
+//
+// The die layout intentionally reproduces the asymmetry the paper observes:
+// cores 0, 2 and 5 sit on the left side of the die next to the IMC/IO
+// column, cores 1, 4 and 6 on the right edge, and core 3 in the middle
+// between two L3 slices.
+//
+// All geometry is in millimeters. The same layout is used for every
+// technology node with linear dimensions scaled by √(area scale), as in the
+// paper ("we keep the floorplan layout and processor composition consistent
+// across nodes").
+package floorplan
+
+// Kind identifies a functional-unit type. Kind values are shared between
+// the floorplan, the performance model (which reports per-kind activity)
+// and the power model (which assigns per-kind C_dyn budgets).
+type Kind string
+
+// Core-private functional units (Fig. 5).
+const (
+	KindL1I       Kind = "L1I"        // L1 instruction cache
+	KindBPred     Kind = "BPred"      // branch direction predictor
+	KindBTB       Kind = "BTB"        // branch target buffer
+	KindIFU       Kind = "IFU"        // fetch + decode pipeline
+	KindUopCache  Kind = "uopCache"   // decoded µop cache
+	KindITLB      Kind = "ITLB"       // instruction TLB
+	KindRATInt    Kind = "RAT_INT"    // integer register alias table
+	KindRATFp     Kind = "RAT_FP"     // floating-point register alias table
+	KindROB       Kind = "ROB"        // reorder buffer
+	KindIntIWin   Kind = "intIWin"    // integer instruction window / scheduler
+	KindFpIWin    Kind = "fpIWin"     // floating-point instruction window
+	KindCoreOther Kind = "core_other" // miscellaneous core logic
+	KindIntRF     Kind = "intRF"      // integer register file
+	KindFpRF      Kind = "fpRF"       // floating-point register file
+	KindIntALU    Kind = "intALU"     // simple integer ALUs
+	KindCALU      Kind = "cALU"       // complex ALU (multiply / divide)
+	KindAGU       Kind = "AGU"        // address generation units
+	KindFPU       Kind = "FPU"        // scalar / 128-bit FP units
+	KindAVX512    Kind = "AVX512"     // 512-bit vector unit
+	KindLQ        Kind = "LQ"         // load queue
+	KindSQ        Kind = "SQ"         // store queue
+	KindL1D       Kind = "L1D"        // L1 data cache
+	KindDTLB      Kind = "DTLB"       // data TLB
+	KindMOB       Kind = "MOB"        // memory ordering buffer / fill logic
+	KindL2        Kind = "L2"         // private L2 cache
+)
+
+// Uncore units (the paper's additions: AVX512 above, plus SoC/SA, IMC, IO
+// and the shared L3 ring).
+const (
+	KindL3  Kind = "L3"  // shared L3 slice
+	KindSA  Kind = "SA"  // system agent / SoC
+	KindIMC Kind = "IMC" // integrated memory controller
+	KindIO  Kind = "IO"  // I/O (PCIe, display, ...)
+)
+
+// Category groups kinds for power budgeting and reporting.
+type Category int
+
+// Categories of functional units.
+const (
+	CatFrontend Category = iota // fetch, decode, predict
+	CatOoO                      // rename, window, ROB
+	CatExec                     // ALUs, FPU, vector
+	CatRegfile                  // register files
+	CatMemory                   // LSQ, caches, TLBs
+	CatOther                    // miscellaneous core logic
+	CatUncore                   // L3, SA, IMC, IO
+)
+
+// CategoryOf returns the category a kind belongs to.
+func CategoryOf(k Kind) Category {
+	switch k {
+	case KindL1I, KindBPred, KindBTB, KindIFU, KindUopCache, KindITLB:
+		return CatFrontend
+	case KindRATInt, KindRATFp, KindROB, KindIntIWin, KindFpIWin:
+		return CatOoO
+	case KindIntALU, KindCALU, KindAGU, KindFPU, KindAVX512:
+		return CatExec
+	case KindIntRF, KindFpRF:
+		return CatRegfile
+	case KindLQ, KindSQ, KindL1D, KindDTLB, KindMOB, KindL2:
+		return CatMemory
+	case KindL3, KindSA, KindIMC, KindIO:
+		return CatUncore
+	default:
+		return CatOther
+	}
+}
+
+// CoreKinds lists every core-private kind in layout order.
+func CoreKinds() []Kind {
+	return []Kind{
+		KindL1I, KindBPred, KindBTB, KindIFU, KindUopCache, KindITLB,
+		KindRATInt, KindRATFp, KindROB, KindIntIWin, KindFpIWin, KindCoreOther,
+		KindIntRF, KindFpRF, KindIntALU, KindCALU, KindAGU, KindFPU, KindAVX512,
+		KindLQ, KindSQ, KindL1D, KindDTLB, KindMOB, KindL2,
+	}
+}
+
+// UncoreKinds lists every uncore kind.
+func UncoreKinds() []Kind { return []Kind{KindL3, KindSA, KindIMC, KindIO} }

@@ -1,0 +1,166 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+
+	"hotgauge/internal/geometry"
+)
+
+// rowSpec describes one horizontal strip of the core floorplan: the units
+// in the strip from left to right with their relative area weights. Row
+// heights are derived from the total weight of the row, so the layout
+// remains gap-free and overlap-free for any area-weight perturbation.
+type rowSpec struct {
+	units []unitWeight
+}
+
+type unitWeight struct {
+	kind   Kind
+	weight float64 // relative area share of the core
+}
+
+// coreRows is the Skylake-inspired core layout (Fig. 5), bottom to top:
+// frontend at the bottom, then rename/OoO, execution, load/store, and the
+// private L2 at the top. Weights are relative area shares summing to ~1.0
+// for the baseline core and were budgeted from annotated Skylake die shots.
+var coreRows = []rowSpec{
+	{units: []unitWeight{ // frontend
+		{KindL1I, 0.055}, {KindBPred, 0.022}, {KindBTB, 0.015},
+		{KindIFU, 0.050}, {KindUopCache, 0.028}, {KindITLB, 0.010},
+	}},
+	{units: []unitWeight{ // rename + out-of-order bookkeeping
+		{KindRATInt, 0.016}, {KindRATFp, 0.014}, {KindROB, 0.034},
+		{KindIntIWin, 0.026}, {KindFpIWin, 0.022}, {KindCoreOther, 0.058},
+	}},
+	{units: []unitWeight{ // register files + execution
+		{KindIntRF, 0.020}, {KindIntALU, 0.026}, {KindCALU, 0.018},
+		{KindAGU, 0.018}, {KindFpRF, 0.022}, {KindFPU, 0.036}, {KindAVX512, 0.060},
+	}},
+	{units: []unitWeight{ // memory pipeline
+		{KindLQ, 0.020}, {KindSQ, 0.016}, {KindL1D, 0.062},
+		{KindDTLB, 0.012}, {KindMOB, 0.040},
+	}},
+	{units: []unitWeight{ // private L2
+		{KindL2, 0.300},
+	}},
+}
+
+// CoreAspectW and CoreAspectH give the 3×2 core aspect ratio from Table I.
+const (
+	CoreAspectW = 3.0
+	CoreAspectH = 2.0
+)
+
+// Unit is one placed functional unit.
+type Unit struct {
+	Name string        // instance name, e.g. "core0.cALU" or "L3_1"
+	Kind Kind          // functional-unit type
+	Core int           // owning core index, or -1 for uncore units
+	Rect geometry.Rect // placement on the die [mm]
+}
+
+// Area returns the unit's area in mm².
+func (u Unit) Area() float64 { return u.Rect.Area() }
+
+// coreLayout places the core-private units of one core into a rectangle of
+// the given area [mm²] anchored at (x0, y0), applying per-kind area
+// multipliers (used by the unit-scaling mitigation study; nil means all 1).
+// Scaling a unit's weight grows the whole core so every *other* unit keeps
+// its absolute area, exactly like re-floorplanning with a bigger block.
+func coreLayout(core int, x0, y0, baseArea float64, kindScale map[Kind]float64, opts layoutOpts) ([]Unit, geometry.Rect) {
+	baseTotal := 0.0
+	for _, row := range coreRows {
+		for _, uw := range row.units {
+			baseTotal += uw.weight
+		}
+	}
+	// Effective weights after scaling; the core area grows in proportion to
+	// the added weight so unscaled units keep their absolute size.
+	total := 0.0
+	rowWeights := make([]float64, len(coreRows))
+	for ri, row := range coreRows {
+		for _, uw := range row.units {
+			w := uw.weight * scaleFor(kindScale, uw.kind)
+			rowWeights[ri] += w
+			total += w
+		}
+	}
+	area := baseArea * total / baseTotal
+	coreW := math.Sqrt(area * CoreAspectW / CoreAspectH)
+	coreH := area / coreW
+
+	units := make([]Unit, 0, 32)
+	y := y0
+	for ri, row := range coreRows {
+		rowH := coreH * rowWeights[ri] / total
+		x := x0
+		order := rowOrder(len(row.units), ri, opts)
+		for _, oi := range order {
+			uw := row.units[oi]
+			w := uw.weight * scaleFor(kindScale, uw.kind)
+			unitW := coreW * (w / rowWeights[ri])
+			units = append(units, Unit{
+				Name: fmt.Sprintf("core%d.%s", core, uw.kind),
+				Kind: uw.kind,
+				Core: core,
+				Rect: geometry.Rect{X: x, Y: y, W: unitW, H: rowH},
+			})
+			x += unitW
+		}
+		y += rowH
+	}
+	return units, geometry.Rect{X: x0, Y: y0, W: coreW, H: coreH}
+}
+
+func scaleFor(m map[Kind]float64, k Kind) float64 {
+	if m == nil {
+		return 1
+	}
+	if s, ok := m[k]; ok && s > 0 {
+		return s
+	}
+	return 1
+}
+
+// layoutOpts selects floorplan permutation variants: the floorplanning
+// mitigation axis the paper's introduction surveys (temperature-aware
+// floorplanning, standard-cell placement).
+type layoutOpts struct {
+	// mirror reverses each row's unit order (mirrored core orientation,
+	// as adjacent cores on real dies often are).
+	mirror bool
+	// shuffleSeed, when non-zero, deterministically permutes each row's
+	// unit order — one sample of the floorplanning design space.
+	shuffleSeed int64
+}
+
+// rowOrder returns the placement order of a row's units.
+func rowOrder(n, row int, opts layoutOpts) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if opts.shuffleSeed != 0 {
+		// Deterministic Fisher-Yates from a splitmix-style hash of
+		// (seed, row).
+		state := uint64(opts.shuffleSeed)*0x9E3779B97F4A7C15 ^ uint64(row+1)*0xD1B54A32D192ED03
+		next := func() uint64 {
+			state += 0x9E3779B97F4A7C15
+			z := state
+			z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+			z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+			return z ^ (z >> 31)
+		}
+		for i := n - 1; i > 0; i-- {
+			j := int(next() % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	if opts.mirror {
+		for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	return order
+}

@@ -1,0 +1,89 @@
+package mitigate
+
+import (
+	"fmt"
+	"math"
+
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/sim"
+	"hotgauge/internal/stats"
+)
+
+// Outcome scores one policy's run: thermal quality against performance
+// cost.
+type Outcome struct {
+	Policy string
+
+	// Thermal quality.
+	SevRMS     float64 // RMS of die peak severity (§V-B aggregation)
+	PeakTemp   float64 // hottest junction sample [°C]
+	PeakSev    float64 // worst severity sample
+	Violations int     // steps with severity ≥ 0.999 (damage-imminent)
+
+	// Performance cost.
+	MeanSpeed  float64 // mean throttle factor (1 = no loss)
+	Migrations int     // workload moves between cores
+
+	Result *sim.Result
+}
+
+// PerfLossPct returns the throughput loss in percent.
+func (o Outcome) PerfLossPct() float64 { return (1 - o.MeanSpeed) * 100 }
+
+// Evaluate runs the configuration under the policy (with sensors at the
+// hot units, 2-step latency) and scores the outcome. The configuration's
+// Record.Severity is forced on; its Controller is overwritten.
+func Evaluate(cfg sim.Config, policy Policy) (*Outcome, error) {
+	fp, err := floorplan.New(cfg.Floorplan)
+	if err != nil {
+		return nil, err
+	}
+	array, err := PlaceAtHotUnits(fp, floorplan.KindFpIWin, 2)
+	if err != nil {
+		return nil, err
+	}
+	return EvaluateWithSensors(cfg, policy, array)
+}
+
+// EvaluateWithSensors is Evaluate with a caller-supplied sensor array,
+// for studying sensor placement and latency effects.
+func EvaluateWithSensors(cfg sim.Config, policy Policy, array *Array) (*Outcome, error) {
+	cfg.Record.Severity = true
+	cfg.Controller = NewController(array, policy)
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := &Outcome{Policy: policy.Name(), Result: res, SevRMS: stats.RMS(res.Severity)}
+	for i := 0; i < res.StepsRun; i++ {
+		o.PeakTemp = math.Max(o.PeakTemp, res.MaxTemp[i])
+		o.PeakSev = math.Max(o.PeakSev, res.Severity[i])
+		if res.Severity[i] >= 0.999 {
+			o.Violations++
+		}
+	}
+	if n := len(res.ThrottleTrace); n > 0 {
+		o.MeanSpeed = stats.Mean(res.ThrottleTrace)
+		for i := 1; i < n; i++ {
+			if res.CoreTrace[i] != res.CoreTrace[i-1] {
+				o.Migrations++
+			}
+		}
+	} else {
+		o.MeanSpeed = 1
+	}
+	return o, nil
+}
+
+// Compare evaluates several policies on the same configuration.
+func Compare(cfg sim.Config, policies ...Policy) ([]*Outcome, error) {
+	out := make([]*Outcome, 0, len(policies))
+	for _, p := range policies {
+		o, err := Evaluate(cfg, p)
+		if err != nil {
+			return nil, fmt.Errorf("mitigate: policy %s: %w", p.Name(), err)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

@@ -1,0 +1,320 @@
+package mitigate
+
+import (
+	"math"
+	"testing"
+
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/geometry"
+	"hotgauge/internal/sim"
+	"hotgauge/internal/tech"
+	"hotgauge/internal/workload"
+)
+
+func testConfig(t *testing.T, name string, steps int) sim.Config {
+	t.Helper()
+	p, err := workload.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Config{
+		Floorplan:  floorplan.Config{Node: tech.Node7},
+		Workload:   p,
+		Warmup:     sim.WarmupIdle,
+		Steps:      steps,
+		Resolution: 0.2, // coarse for test speed
+	}
+}
+
+func TestSensorDelayLine(t *testing.T) {
+	s := Sensor{Latency: 2}
+	if got := s.sample(10); got != 10 {
+		t.Fatalf("first sample = %v, want passthrough", got)
+	}
+	s.sample(20)
+	if got := s.sample(30); got != 10 {
+		t.Fatalf("delayed sample = %v, want 10 (2 steps old)", got)
+	}
+	if got := s.sample(40); got != 20 {
+		t.Fatalf("delayed sample = %v, want 20", got)
+	}
+}
+
+func TestSensorZeroLatencyAndQuantization(t *testing.T) {
+	s := Sensor{Quantization: 0.5}
+	if got := s.sample(81.26); got != 81.5 {
+		t.Fatalf("quantized = %v, want 81.5", got)
+	}
+	if got := s.sample(81.24); got != 81.0 {
+		t.Fatalf("quantized = %v, want 81.0", got)
+	}
+}
+
+func TestPlaceAtHotUnits(t *testing.T) {
+	fp := floorplan.MustNew(floorplan.Config{Node: tech.Node7})
+	a, err := PlaceAtHotUnits(fp, floorplan.KindFpIWin, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sensors) != floorplan.NumCores {
+		t.Fatalf("%d sensors, want one per core", len(a.Sensors))
+	}
+	for _, s := range a.Sensors {
+		u, ok := fp.UnitAt(s.X, s.Y)
+		if !ok || u.Kind != floorplan.KindFpIWin {
+			t.Fatalf("sensor %s not inside a fpIWin (got %v)", s.Name, u.Kind)
+		}
+	}
+	if _, err := PlaceAtHotUnits(fp, "nonexistent", 2); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestArrayReadAndCoolest(t *testing.T) {
+	fp := floorplan.MustNew(floorplan.Config{Node: tech.Node7})
+	a := PlaceAtCoreCenters(fp, 0)
+	f := geometry.NewField(int(fp.Die.W/0.1)+1, int(fp.Die.H/0.1)+1, 0.1)
+	f.Fill(60)
+	// Heat core 3's center; cool core 6's.
+	x3, y3 := fp.CoreRects[3].Center()
+	ix, iy, _ := f.CellAt(x3, y3)
+	f.Set(ix, iy, 95)
+	x6, y6 := fp.CoreRects[6].Center()
+	ix, iy, _ = f.CellAt(x6, y6)
+	f.Set(ix, iy, 45)
+
+	r := a.Read(f)
+	if got := a.CoreReading(r, 3); got != 95 {
+		t.Fatalf("core 3 reading = %v", got)
+	}
+	if got := a.CoolestCore(r); got != 6 {
+		t.Fatalf("coolest core = %d, want 6", got)
+	}
+}
+
+func TestThresholdThrottleHysteresis(t *testing.T) {
+	p := &ThresholdThrottle{TripTemp: 90, ResumeTemp: 80, LowSpeed: 0.4}
+	in := func(temp float64) Input { return Input{Readings: []float64{temp}} }
+	if d := p.Decide(in(85)); d.Throttle != 1 {
+		t.Fatalf("throttled below trip: %v", d)
+	}
+	if d := p.Decide(in(91)); d.Throttle != 0.4 {
+		t.Fatalf("did not trip: %v", d)
+	}
+	// Between resume and trip: stays tripped (hysteresis).
+	if d := p.Decide(in(85)); d.Throttle != 0.4 {
+		t.Fatalf("resumed inside hysteresis band: %v", d)
+	}
+	if d := p.Decide(in(79)); d.Throttle != 1 {
+		t.Fatalf("did not resume: %v", d)
+	}
+}
+
+func TestPIThrottleConverges(t *testing.T) {
+	p := &PIThrottle{Target: 90}
+	speed := 1.0
+	temp := 70.0
+	// Crude closed loop: temperature tracks speed with a lag.
+	for i := 0; i < 300; i++ {
+		temp += 0.3 * (speed*40 + 60 - temp)
+		d := p.Decide(Input{Readings: []float64{temp}})
+		speed = d.Throttle
+	}
+	if math.Abs(temp-90) > 3 {
+		t.Fatalf("PI loop settled at %.1f, want ≈90", temp)
+	}
+	if speed <= 0.2 || speed >= 1 {
+		t.Fatalf("settled speed %v not interior", speed)
+	}
+}
+
+func TestMigrateCoolestPatienceAndCooldown(t *testing.T) {
+	fp := floorplan.MustNew(floorplan.Config{Node: tech.Node7})
+	array := PlaceAtCoreCenters(fp, 0)
+	p := &MigrateCoolest{TripTemp: 85, Patience: 2, Cooldown: 5}
+	readings := make([]float64, len(array.Sensors))
+	for i := range readings {
+		readings[i] = 60
+	}
+	readings[0] = 95 // core 0 hot
+	in := func(step int) Input {
+		return Input{Step: step, Readings: readings, Array: array, CurCore: 0}
+	}
+	if d := p.Decide(in(0)); d.MigrateTo != -1 {
+		t.Fatal("migrated before patience elapsed")
+	}
+	d := p.Decide(in(1))
+	if d.MigrateTo < 0 {
+		t.Fatal("did not migrate after patience")
+	}
+	if d.MigrateTo == 0 {
+		t.Fatal("migrated to the hot core")
+	}
+	// Immediately hot again: cooldown must block.
+	p.hotStreak = 5
+	if d := p.Decide(in(3)); d.MigrateTo != -1 {
+		t.Fatal("migrated during cooldown")
+	}
+}
+
+func TestEvaluateNoOpMatchesUncontrolled(t *testing.T) {
+	cfg := testConfig(t, "namd", 20)
+	o, err := Evaluate(cfg, NoOp{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.MeanSpeed != 1 || o.Migrations != 0 {
+		t.Fatalf("NoOp outcome has interventions: %+v", o)
+	}
+	if o.SevRMS <= 0 {
+		t.Fatal("no severity recorded")
+	}
+}
+
+func TestThrottlingReducesSeverityAtPerformanceCost(t *testing.T) {
+	cfg := testConfig(t, "namd", 30)
+	outcomes, err := Compare(cfg,
+		NoOp{},
+		&ThresholdThrottle{TripTemp: 85, ResumeTemp: 78, LowSpeed: 0.3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, throttled := outcomes[0], outcomes[1]
+	if throttled.SevRMS >= base.SevRMS {
+		t.Fatalf("throttling did not reduce severity: %.3f vs %.3f", throttled.SevRMS, base.SevRMS)
+	}
+	if throttled.MeanSpeed >= 1 {
+		t.Fatal("throttling was free — suspicious")
+	}
+	if throttled.PeakTemp >= base.PeakTemp {
+		t.Fatalf("throttling did not reduce peak temp: %.1f vs %.1f", throttled.PeakTemp, base.PeakTemp)
+	}
+}
+
+func TestMigrationMovesWork(t *testing.T) {
+	cfg := testConfig(t, "namd", 40)
+	o, err := Evaluate(cfg, &MigrateCoolest{TripTemp: 80, Patience: 2, Cooldown: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Migrations == 0 {
+		t.Fatal("hot workload never migrated")
+	}
+	if o.MeanSpeed != 1 {
+		t.Fatal("pure migration should not throttle")
+	}
+	// The workload must actually have moved cores in the trace.
+	first := o.Result.CoreTrace[0]
+	moved := false
+	for _, c := range o.Result.CoreTrace {
+		if c != first {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("core trace never changed")
+	}
+}
+
+func TestCombinedPolicy(t *testing.T) {
+	cfg := testConfig(t, "namd", 30)
+	o, err := Evaluate(cfg, &Combined{
+		Migrate:  &MigrateCoolest{TripTemp: 82, Patience: 2, Cooldown: 8},
+		Throttle: &PIThrottle{Target: 88},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Policy != "migrate-coolest+pi-throttle" {
+		t.Fatalf("combined name = %q", o.Policy)
+	}
+	if o.PeakTemp > 115 {
+		t.Fatalf("combined policy let the die reach %.1f C", o.PeakTemp)
+	}
+}
+
+func TestSensorLatencyDegradesControl(t *testing.T) {
+	cfg := testConfig(t, "namd", 30)
+	fp := floorplan.MustNew(cfg.Floorplan)
+	run := func(latency int) float64 {
+		array, err := PlaceAtHotUnits(fp, floorplan.KindFpIWin, latency)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := EvaluateWithSensors(cfg, &ThresholdThrottle{TripTemp: 85, ResumeTemp: 78, LowSpeed: 0.3}, array)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.PeakTemp
+	}
+	fast, slow := run(0), run(8)
+	// A slow sensor reacts late, so the die overshoots further — the
+	// paper's point about sensor response times.
+	if slow < fast {
+		t.Fatalf("slower sensor gave lower peak (%.1f vs %.1f)?", slow, fast)
+	}
+}
+
+func TestMultiProgramAssignments(t *testing.T) {
+	cfg := testConfig(t, "namd", 10)
+	second, err := workload.Lookup("hmmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Assignments = map[int]workload.Profile{4: second}
+	multi, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := sim.Run(testConfig(t, "namd", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := multi.StepsRun - 1
+	if multi.Power[last] <= solo.Power[last]+2 {
+		t.Fatalf("second workload added no power: %.1f vs %.1f W", multi.Power[last], solo.Power[last])
+	}
+	// Conflicting assignment must be rejected.
+	bad := testConfig(t, "namd", 5)
+	bad.Assignments = map[int]workload.Profile{0: second}
+	if _, err := sim.Run(bad); err == nil {
+		t.Fatal("assignment on the primary core accepted")
+	}
+}
+
+func TestRotateCoresPolicy(t *testing.T) {
+	p := &RotateCores{Period: 3}
+	in := func(step, cur int) Input { return Input{Step: step, CurCore: cur} }
+	if d := p.Decide(in(0, 0)); d.MigrateTo != -1 {
+		t.Fatal("rotated at step 0")
+	}
+	if d := p.Decide(in(3, 0)); d.MigrateTo != 1 {
+		t.Fatalf("step 3 target = %d, want 1", d.MigrateTo)
+	}
+	if d := p.Decide(in(6, 6)); d.MigrateTo != 0 {
+		t.Fatalf("wraparound target = %d, want 0", d.MigrateTo)
+	}
+	if d := p.Decide(in(4, 1)); d.MigrateTo != -1 {
+		t.Fatal("rotated off-period")
+	}
+}
+
+func TestCoolestMigrationBeatsBlindRotation(t *testing.T) {
+	cfg := testConfig(t, "namd", 40)
+	smart, err := Evaluate(cfg, &MigrateCoolest{TripTemp: 80, Patience: 2, Cooldown: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, err := Evaluate(cfg, &RotateCores{Period: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The thermally-aware policy must not be worse at the same (zero)
+	// performance cost.
+	if smart.PeakTemp > blind.PeakTemp+1 {
+		t.Fatalf("coolest-core migration (%.1f C) worse than blind rotation (%.1f C)",
+			smart.PeakTemp, blind.PeakTemp)
+	}
+}

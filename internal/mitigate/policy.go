@@ -1,0 +1,210 @@
+package mitigate
+
+import (
+	"math"
+
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/geometry"
+	"hotgauge/internal/sim"
+)
+
+// floorplanCores mirrors floorplan.NumCores for the rotation policy.
+const floorplanCores = floorplan.NumCores
+
+// Input is what a policy sees each timestep: delayed sensor readings,
+// never the true junction map.
+type Input struct {
+	Step     int
+	Readings []float64 // per Array sensor [°C]
+	Array    *Array
+	CurCore  int // core currently running the primary workload
+}
+
+// MaxReading returns the hottest sensor value.
+func (in Input) MaxReading() float64 {
+	m := math.Inf(-1)
+	for _, v := range in.Readings {
+		m = math.Max(m, v)
+	}
+	return m
+}
+
+// Policy decides the next-step directive from sensed state.
+type Policy interface {
+	Name() string
+	Decide(in Input) sim.Directive
+}
+
+// NoOp never intervenes — the uncontrolled baseline.
+type NoOp struct{}
+
+// Name implements Policy.
+func (NoOp) Name() string { return "none" }
+
+// Decide implements Policy.
+func (NoOp) Decide(Input) sim.Directive { return sim.Directive{MigrateTo: -1} }
+
+// ThresholdThrottle is classic reactive DVFS with hysteresis: when any
+// sensor crosses TripTemp, clamp the workload to LowSpeed until every
+// sensor falls below ResumeTemp.
+type ThresholdThrottle struct {
+	TripTemp   float64 // throttle when max sensor exceeds this [°C]
+	ResumeTemp float64 // resume full speed below this [°C]
+	LowSpeed   float64 // throttle factor while tripped (0..1)
+
+	tripped bool
+}
+
+// Name implements Policy.
+func (p *ThresholdThrottle) Name() string { return "threshold-throttle" }
+
+// Decide implements Policy.
+func (p *ThresholdThrottle) Decide(in Input) sim.Directive {
+	m := in.MaxReading()
+	if p.tripped {
+		if m < p.ResumeTemp {
+			p.tripped = false
+		}
+	} else if m > p.TripTemp {
+		p.tripped = true
+	}
+	d := sim.Directive{Throttle: 1, MigrateTo: -1}
+	if p.tripped {
+		d.Throttle = p.LowSpeed
+	}
+	return d
+}
+
+// PIThrottle is a proportional-integral speed controller holding the max
+// sensor at Target — smoother than threshold throttling, trading a small
+// steady-state overshoot for far less performance loss.
+type PIThrottle struct {
+	Target   float64 // temperature setpoint [°C]
+	Kp, Ki   float64 // gains (per °C); zero values default to 0.05 / 0.01
+	MinSpeed float64 // lowest allowed throttle (default 0.2)
+
+	integral float64
+}
+
+// Name implements Policy.
+func (p *PIThrottle) Name() string { return "pi-throttle" }
+
+// Decide implements Policy.
+func (p *PIThrottle) Decide(in Input) sim.Directive {
+	kp, ki := p.Kp, p.Ki
+	if kp == 0 {
+		kp = 0.05
+	}
+	if ki == 0 {
+		ki = 0.01
+	}
+	minSpeed := p.MinSpeed
+	if minSpeed == 0 {
+		minSpeed = 0.2
+	}
+	err := in.MaxReading() - p.Target
+	p.integral += err
+	// Anti-windup: keep the integral inside the actuator range.
+	if lim := 1 / ki; p.integral > lim {
+		p.integral = lim
+	} else if p.integral < -lim {
+		p.integral = -lim
+	}
+	speed := 1 - kp*err - ki*p.integral
+	speed = math.Max(minSpeed, math.Min(1, speed))
+	return sim.Directive{Throttle: speed, MigrateTo: -1}
+}
+
+// MigrateCoolest moves the workload to the coolest core after its own
+// sensor has exceeded TripTemp for Patience consecutive steps — the
+// thread-migration mitigation the paper's core-placement study motivates.
+type MigrateCoolest struct {
+	TripTemp float64 // migrate when own core's sensor exceeds this [°C]
+	Patience int     // consecutive hot steps before migrating
+	Cooldown int     // minimum steps between migrations
+
+	hotStreak int
+	lastMove  int
+	everMoved bool
+}
+
+// Name implements Policy.
+func (p *MigrateCoolest) Name() string { return "migrate-coolest" }
+
+// Decide implements Policy.
+func (p *MigrateCoolest) Decide(in Input) sim.Directive {
+	d := sim.Directive{Throttle: 1, MigrateTo: -1}
+	own := in.Array.CoreReading(in.Readings, in.CurCore)
+	if own > p.TripTemp {
+		p.hotStreak++
+	} else {
+		p.hotStreak = 0
+	}
+	cooldown := p.Cooldown
+	if cooldown == 0 {
+		cooldown = 10
+	}
+	if p.hotStreak >= max(1, p.Patience) && (!p.everMoved || in.Step-p.lastMove >= cooldown) {
+		if target := in.Array.CoolestCore(in.Readings); target != in.CurCore {
+			d.MigrateTo = target
+			p.lastMove = in.Step
+			p.everMoved = true
+			p.hotStreak = 0
+		}
+	}
+	return d
+}
+
+// Combined runs a migration policy and a throttle policy together; the
+// throttle applies whatever the migration decides.
+type Combined struct {
+	Migrate  Policy
+	Throttle Policy
+}
+
+// Name implements Policy.
+func (p *Combined) Name() string { return p.Migrate.Name() + "+" + p.Throttle.Name() }
+
+// Decide implements Policy.
+func (p *Combined) Decide(in Input) sim.Directive {
+	dm := p.Migrate.Decide(in)
+	dt := p.Throttle.Decide(in)
+	return sim.Directive{Throttle: dt.Throttle, MigrateTo: dm.MigrateTo}
+}
+
+// controller adapts an Array + Policy to sim.Controller.
+type controller struct {
+	array  *Array
+	policy Policy
+}
+
+// NewController wires a sensor array and a policy into a sim.Controller.
+func NewController(array *Array, policy Policy) sim.Controller {
+	return &controller{array: array, policy: policy}
+}
+
+// Control implements sim.Controller.
+func (c *controller) Control(step int, frame *geometry.Field, core int) sim.Directive {
+	readings := c.array.Read(frame)
+	return c.policy.Decide(Input{Step: step, Readings: readings, Array: c.array, CurCore: core})
+}
+
+// RotateCores migrates the workload to the next core every Period steps
+// regardless of temperature — the naive thermally-oblivious scheduler
+// baseline that MigrateCoolest should beat.
+type RotateCores struct {
+	Period int // steps between moves (≥1)
+}
+
+// Name implements Policy.
+func (p *RotateCores) Name() string { return "rotate-cores" }
+
+// Decide implements Policy.
+func (p *RotateCores) Decide(in Input) sim.Directive {
+	period := max(1, p.Period)
+	d := sim.Directive{Throttle: 1, MigrateTo: -1}
+	if in.Step > 0 && in.Step%period == 0 {
+		d.MigrateTo = (in.CurCore + 1) % floorplanCores
+	}
+	return d
+}

@@ -1,0 +1,150 @@
+// Package mitigate implements dynamic thermal-management (DTM) policies on
+// top of the co-simulation loop — the "architecture-level mitigation
+// techniques" the paper argues the community must build, and the reason
+// HotGauge exposes per-timestep thermal state. It models the sensing
+// limits the paper highlights (§IV-A): on-die sensors have finite response
+// time and only see the die where they are placed, so a policy's view lags
+// and undershoots the true hotspot.
+//
+// The package provides a sensor array model, a set of reference policies
+// (threshold throttling with hysteresis, PI throttling, migrate-to-coolest
+// -core, severity-guided throttling, and compositions), and an evaluation
+// harness that scores a policy's thermal outcome against its performance
+// cost.
+package mitigate
+
+import (
+	"fmt"
+	"math"
+
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/geometry"
+)
+
+// Sensor is one on-die thermal sensor.
+type Sensor struct {
+	Name string
+	X, Y float64 // die position [mm]
+	Core int     // owning core, or -1
+	// Latency is the sensing delay in timesteps (200 µs each): the reading
+	// a policy sees is the temperature Latency steps ago. The paper notes
+	// fast transients demand correspondingly fast sensors.
+	Latency int
+	// Quantization rounds readings to this granularity [°C]; 0 = exact.
+	Quantization float64
+
+	pipeline []float64 // delay line, len == Latency
+	filled   int
+}
+
+// sample pushes the current temperature through the delay line and
+// returns the visible (delayed, quantized) reading.
+func (s *Sensor) sample(t float64) float64 {
+	v := t
+	if s.Latency > 0 {
+		if s.pipeline == nil {
+			s.pipeline = make([]float64, s.Latency)
+		}
+		idx := s.filled % s.Latency
+		if s.filled >= s.Latency {
+			v = s.pipeline[idx]
+		} else {
+			v = s.pipeline[0] // before the line fills, hold the oldest sample
+			if s.filled == 0 {
+				v = t // very first sample: nothing older exists
+			}
+		}
+		s.pipeline[idx] = t
+		s.filled++
+	}
+	if s.Quantization > 0 {
+		v = math.Round(v/s.Quantization) * s.Quantization
+	}
+	return v
+}
+
+// Array is a set of sensors read together each timestep.
+type Array struct {
+	Sensors []Sensor
+}
+
+// PlaceAtHotUnits returns one sensor per core located at the center of
+// the given unit kind (default fpIWin — one of the paper's dominant
+// hotspot locations), which is where the paper says sensors must live:
+// "placed in regions of the die which are more likely to experience
+// extreme temperatures".
+func PlaceAtHotUnits(fp *floorplan.Floorplan, kind floorplan.Kind, latency int) (*Array, error) {
+	if kind == "" {
+		kind = floorplan.KindFpIWin
+	}
+	units := fp.UnitsOfKind(kind)
+	if len(units) == 0 {
+		return nil, fmt.Errorf("mitigate: floorplan has no units of kind %s", kind)
+	}
+	a := &Array{}
+	for _, u := range units {
+		if u.Core < 0 {
+			continue
+		}
+		x, y := u.Rect.Center()
+		a.Sensors = append(a.Sensors, Sensor{
+			Name: fmt.Sprintf("core%d.%s", u.Core, kind), X: x, Y: y,
+			Core: u.Core, Latency: latency, Quantization: 0.5,
+		})
+	}
+	return a, nil
+}
+
+// PlaceAtCoreCenters returns one sensor per core at the geometric core
+// center — the naive placement the paper warns about (it reads low when
+// the hotspot sits in a corner unit).
+func PlaceAtCoreCenters(fp *floorplan.Floorplan, latency int) *Array {
+	a := &Array{}
+	for c := 0; c < floorplan.NumCores; c++ {
+		x, y := fp.CoreRects[c].Center()
+		a.Sensors = append(a.Sensors, Sensor{
+			Name: fmt.Sprintf("core%d.center", c), X: x, Y: y,
+			Core: c, Latency: latency, Quantization: 0.5,
+		})
+	}
+	return a
+}
+
+// Read samples every sensor against a junction frame.
+func (a *Array) Read(frame *geometry.Field) []float64 {
+	out := make([]float64, len(a.Sensors))
+	for i := range a.Sensors {
+		s := &a.Sensors[i]
+		ix, iy, ok := frame.CellAt(s.X, s.Y)
+		t := frame.Mean()
+		if ok {
+			t = frame.At(ix, iy)
+		}
+		out[i] = s.sample(t)
+	}
+	return out
+}
+
+// CoreReading returns the (first) reading belonging to a core, or the max
+// reading if that core has no sensor.
+func (a *Array) CoreReading(readings []float64, core int) float64 {
+	maxR := math.Inf(-1)
+	for i, s := range a.Sensors {
+		if s.Core == core {
+			return readings[i]
+		}
+		maxR = math.Max(maxR, readings[i])
+	}
+	return maxR
+}
+
+// CoolestCore returns the core whose sensor reads lowest.
+func (a *Array) CoolestCore(readings []float64) int {
+	best, bestT := 0, math.Inf(1)
+	for i, s := range a.Sensors {
+		if s.Core >= 0 && readings[i] < bestT {
+			best, bestT = s.Core, readings[i]
+		}
+	}
+	return best
+}

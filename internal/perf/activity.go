@@ -1,0 +1,160 @@
+package perf
+
+import (
+	"math"
+
+	"hotgauge/internal/floorplan"
+)
+
+// Counters aggregates the microarchitectural events of one simulation
+// timestep. Both the cycle model and the interval model produce Counters;
+// the shared ToActivity mapping below converts them into per-unit activity
+// factors, so the power model is agnostic to which model ran.
+type Counters struct {
+	Cycles    uint64
+	Fetched   uint64
+	Committed uint64
+
+	// Issue counts per µop class.
+	IntALUOps, CALUOps, FPOps, AVXOps uint64
+	Loads, Stores                     uint64
+	Branches, Mispredicts             uint64
+
+	// Cache events.
+	L1IAccesses, L1IMisses uint64
+	L1DAccesses, L1DMisses uint64
+	L2Accesses, L2Misses   uint64
+	L3Accesses, L3Misses   uint64
+	MemAccesses            uint64
+
+	// Mean structure occupancies over the timestep, as fractions in [0,1].
+	ROBOcc, SchedOcc, LQOcc, SQOcc float64
+}
+
+// IPC returns committed instructions per cycle.
+func (c Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Committed) / float64(c.Cycles)
+}
+
+// Activity is the per-timestep output of a performance model: per-unit
+// activity factors in [0, 1] plus the raw counters they were derived from.
+type Activity struct {
+	Counters Counters
+	Unit     map[floorplan.Kind]float64
+}
+
+// Source yields one Activity per simulation timestep. Implementations are
+// the cycle model and the interval model.
+type Source interface {
+	// Step simulates timestep `step` over the given number of core cycles
+	// and returns the resulting activity.
+	Step(step int, cycles uint64) Activity
+}
+
+// rate returns events per cycle normalized to a capacity of `ports`
+// events/cycle, clamped to [0, 1].
+func rate(events uint64, cycles uint64, ports float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	v := float64(events) / (float64(cycles) * ports)
+	return math.Min(v, 1)
+}
+
+// ToActivity converts raw counters into per-unit activity factors using
+// the default configuration's port counts. The mapping follows McPAT's
+// accounting: each unit's activity is its event rate divided by its peak
+// event capacity, with occupancy-held structures (ROB, windows, queues)
+// blending event rate and occupancy because CAM/wakeup power burns on
+// occupancy, not just throughput.
+func ToActivity(cfg Config, c Counters) Activity {
+	cyc := c.Cycles
+	mem := c.Loads + c.Stores
+	dispatchRate := rate(c.Fetched, cyc, float64(cfg.FetchWidth))
+	fpShare := 0.0
+	if exec := c.IntALUOps + c.CALUOps + c.FPOps + c.AVXOps; exec > 0 {
+		fpShare = float64(c.FPOps+c.AVXOps) / float64(exec)
+	}
+
+	u := map[floorplan.Kind]float64{
+		// Frontend.
+		floorplan.KindL1I:      rate(c.L1IAccesses, cyc, 2),
+		floorplan.KindIFU:      dispatchRate,
+		floorplan.KindUopCache: 0.75 * dispatchRate,
+		floorplan.KindBPred:    rate(c.Branches, cyc, 1.5),
+		floorplan.KindBTB:      rate(c.Branches, cyc, 1.5),
+		floorplan.KindITLB:     rate(c.L1IAccesses, cyc, 2),
+
+		// Rename / OoO bookkeeping.
+		floorplan.KindRATInt:  clamp01((1 - fpShare) * dispatchRate * 1.6),
+		floorplan.KindRATFp:   clamp01(fpShare * dispatchRate * 1.8),
+		floorplan.KindROB:     clamp01(0.55*dispatchRate + 0.45*c.ROBOcc),
+		floorplan.KindIntIWin: clamp01(0.5*(1-fpShare)*dispatchRate*1.5 + 0.5*c.SchedOcc*(1-fpShare)*1.3),
+		floorplan.KindFpIWin:  clamp01(0.5*fpShare*dispatchRate*1.9 + 0.5*c.SchedOcc*fpShare*1.7),
+
+		// Register files and execution.
+		floorplan.KindIntRF:  rate(2*(c.IntALUOps+c.CALUOps)+mem, cyc, 2.2*float64(cfg.IntALUPorts)),
+		floorplan.KindFpRF:   rate(2*(c.FPOps+c.AVXOps), cyc, 2.2*float64(cfg.FPPorts)),
+		floorplan.KindIntALU: rate(c.IntALUOps, cyc, float64(cfg.IntALUPorts)),
+		floorplan.KindCALU:   rate(c.CALUOps, cyc, float64(cfg.CALUPorts)*0.18),
+		floorplan.KindAGU:    rate(mem, cyc, float64(cfg.LoadPorts+cfg.StorePorts)),
+		floorplan.KindFPU:    rate(c.FPOps, cyc, float64(cfg.FPPorts)),
+		floorplan.KindAVX512: rate(c.AVXOps, cyc, float64(cfg.AVXPorts)*0.8),
+
+		// Memory pipeline.
+		floorplan.KindLQ:   clamp01(0.5*c.LQOcc + 0.5*rate(c.Loads, cyc, float64(cfg.LoadPorts))),
+		floorplan.KindSQ:   clamp01(0.5*c.SQOcc + 0.5*rate(c.Stores, cyc, float64(cfg.StorePorts))),
+		floorplan.KindL1D:  rate(c.L1DAccesses, cyc, float64(cfg.LoadPorts+cfg.StorePorts)),
+		floorplan.KindDTLB: rate(mem, cyc, float64(cfg.LoadPorts+cfg.StorePorts)),
+		floorplan.KindMOB:  clamp01(rate(mem, cyc, float64(cfg.LoadPorts+cfg.StorePorts))*0.7 + rate(c.L1DMisses, cyc, 0.2)*0.3),
+		floorplan.KindL2:   rate(c.L2Accesses, cyc, 0.12),
+
+		// Miscellaneous core logic: clock distribution and control burn a
+		// baseline whenever the core is clocked, plus a share that tracks
+		// overall pipeline activity.
+		floorplan.KindCoreOther: clamp01(0.30 + 0.65*dispatchRate),
+
+		// Uncore, attributed per-core and merged by the power model.
+		floorplan.KindL3: rate(c.L3Accesses, cyc, 0.06),
+		// The DDR PHY and IO pads burn substantial always-on power (clock,
+		// termination, link training) regardless of traffic, which is what
+		// keeps the die's left strip — and the cores beside it — warm.
+		floorplan.KindIMC: clamp01(0.35 + rate(c.MemAccesses, cyc, 0.03)),
+		floorplan.KindSA:  clamp01(0.15 + rate(c.L3Accesses+c.MemAccesses, cyc, 0.08)),
+		floorplan.KindIO:  0.30,
+	}
+	return Activity{Counters: c, Unit: u}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// IdleActivity returns the activity of a powered-but-unused core: zero
+// event rates with only the core_other clock baseline and quiescent uncore
+// levels.
+func IdleActivity(cfg Config) Activity {
+	a := ToActivity(cfg, Counters{Cycles: 1})
+	for k := range a.Unit {
+		switch k {
+		case floorplan.KindCoreOther:
+			a.Unit[k] = 0.18 // gated clock trunk
+		case floorplan.KindSA:
+			a.Unit[k] = 0.12
+		case floorplan.KindIO:
+			a.Unit[k] = 0.08
+		default:
+			a.Unit[k] = 0.02
+		}
+	}
+	return a
+}

@@ -1,0 +1,73 @@
+package perf
+
+// Gshare is a global-history XOR-indexed branch direction predictor with a
+// direct-mapped branch target buffer. It is the branch unit of the cycle
+// model and supplies BPred/BTB activity counts.
+type Gshare struct {
+	table    []int8 // 2-bit saturating counters, -2..1, ≥0 predicts taken
+	history  uint32
+	histBits uint
+
+	btbTags  []uint64
+	btbValid []bool
+
+	Lookups, Mispredicts, BTBMisses uint64
+}
+
+// NewGshare builds a predictor with 2^tableBits counters and a BTB of
+// btbEntries entries.
+func NewGshare(tableBits uint, btbEntries int) *Gshare {
+	return &Gshare{
+		table:    make([]int8, 1<<tableBits),
+		histBits: tableBits,
+		btbTags:  make([]uint64, btbEntries),
+		btbValid: make([]bool, btbEntries),
+	}
+}
+
+// Predict consults and updates the predictor for a branch at pc with the
+// given actual outcome, and reports whether the prediction was correct.
+func (g *Gshare) Predict(pc uint64, taken bool) bool {
+	g.Lookups++
+	idx := (uint32(pc>>2) ^ g.history) & uint32(len(g.table)-1)
+	pred := g.table[idx] >= 0
+
+	// BTB: a taken branch whose target entry is cold costs a fetch bubble
+	// even when the direction was right; count it separately.
+	bidx := int(pc>>2) % len(g.btbTags)
+	if taken {
+		if !g.btbValid[bidx] || g.btbTags[bidx] != pc {
+			g.BTBMisses++
+		}
+		g.btbTags[bidx] = pc
+		g.btbValid[bidx] = true
+	}
+
+	// Update direction state.
+	if taken && g.table[idx] < 1 {
+		g.table[idx]++
+	} else if !taken && g.table[idx] > -2 {
+		g.table[idx]--
+	}
+	g.history = (g.history << 1) & (1<<g.histBits - 1)
+	if taken {
+		g.history |= 1
+	}
+
+	if pred != taken {
+		g.Mispredicts++
+		return false
+	}
+	return true
+}
+
+// MissRate returns the fraction of lookups that mispredicted.
+func (g *Gshare) MissRate() float64 {
+	if g.Lookups == 0 {
+		return 0
+	}
+	return float64(g.Mispredicts) / float64(g.Lookups)
+}
+
+// ResetCounters zeroes the event counters but keeps the learned state.
+func (g *Gshare) ResetCounters() { g.Lookups, g.Mispredicts, g.BTBMisses = 0, 0, 0 }

@@ -1,0 +1,92 @@
+package perf
+
+import "testing"
+
+func TestGshareLearnsBias(t *testing.T) {
+	g := NewGshare(12, 512)
+	for i := 0; i < 2000; i++ {
+		g.Predict(0x400, true)
+	}
+	g.ResetCounters()
+	for i := 0; i < 1000; i++ {
+		g.Predict(0x400, true)
+	}
+	if g.MissRate() > 0.01 {
+		t.Fatalf("miss rate on constant branch = %.3f", g.MissRate())
+	}
+}
+
+func TestGshareLearnsShortLoopPattern(t *testing.T) {
+	g := NewGshare(12, 512)
+	pattern := func(i int) bool { return i%5 != 0 } // 4 taken, 1 not
+	for i := 0; i < 5000; i++ {
+		g.Predict(0x80, pattern(i))
+	}
+	g.ResetCounters()
+	for i := 0; i < 5000; i++ {
+		g.Predict(0x80, pattern(i))
+	}
+	if g.MissRate() > 0.05 {
+		t.Fatalf("miss rate on period-5 loop = %.3f, want ≈ 0", g.MissRate())
+	}
+}
+
+func TestGshareRandomBranchesNearHalf(t *testing.T) {
+	g := NewGshare(12, 512)
+	rng := newTestRNG(11)
+	for i := 0; i < 20000; i++ {
+		g.Predict(0x1234, rng.next()&1 == 1)
+	}
+	if mr := g.MissRate(); mr < 0.35 || mr > 0.65 {
+		t.Fatalf("miss rate on random branches = %.3f, want ≈ 0.5", mr)
+	}
+}
+
+func TestGshareDistinguishesSites(t *testing.T) {
+	g := NewGshare(12, 512)
+	// Two sites with opposite constant behaviour must both be predictable.
+	for i := 0; i < 4000; i++ {
+		g.Predict(0x100, true)
+		g.Predict(0x200, false)
+	}
+	g.ResetCounters()
+	for i := 0; i < 1000; i++ {
+		g.Predict(0x100, true)
+		g.Predict(0x200, false)
+	}
+	if g.MissRate() > 0.02 {
+		t.Fatalf("miss rate on two biased sites = %.3f", g.MissRate())
+	}
+}
+
+func TestBTBMissesCountedForColdTargets(t *testing.T) {
+	g := NewGshare(12, 64)
+	g.Predict(0x40, true)
+	if g.BTBMisses != 1 {
+		t.Fatalf("BTBMisses = %d after first taken branch", g.BTBMisses)
+	}
+	g.Predict(0x40, true)
+	if g.BTBMisses != 1 {
+		t.Fatalf("BTBMisses = %d after warm taken branch", g.BTBMisses)
+	}
+	// Not-taken branches never consult the BTB target.
+	g.Predict(0x999, false)
+	if g.BTBMisses != 1 {
+		t.Fatal("not-taken branch counted a BTB miss")
+	}
+}
+
+func TestGshareResetKeepsLearnedState(t *testing.T) {
+	g := NewGshare(12, 512)
+	for i := 0; i < 2000; i++ {
+		g.Predict(0x40, true)
+	}
+	g.ResetCounters()
+	if g.Lookups != 0 || g.Mispredicts != 0 {
+		t.Fatal("counters not reset")
+	}
+	g.Predict(0x40, true)
+	if g.Mispredicts != 0 {
+		t.Fatal("learned direction lost across ResetCounters")
+	}
+}

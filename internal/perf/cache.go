@@ -1,0 +1,249 @@
+package perf
+
+import "fmt"
+
+// Cache is a set-associative, true-LRU cache model. It tracks tags only
+// (no data), which is all a timing/activity model needs.
+type Cache struct {
+	sets, ways int
+	lineShift  uint
+	setMask    uint64
+
+	lines []cacheLine // sets*ways entries, way-major within a set
+	clock uint64      // LRU timestamp source
+
+	Hits, Misses uint64
+}
+
+type cacheLine struct {
+	tag   uint64
+	used  uint64 // last-access timestamp
+	valid bool
+}
+
+// NewCache builds a cache of the given total size, associativity and line
+// size. Size must be a multiple of ways*lineSize and the set count a power
+// of two.
+func NewCache(size, ways, lineSize int) (*Cache, error) {
+	if size <= 0 || ways <= 0 || lineSize <= 0 {
+		return nil, fmt.Errorf("perf: invalid cache geometry %d/%d/%d", size, ways, lineSize)
+	}
+	if size%(ways*lineSize) != 0 {
+		return nil, fmt.Errorf("perf: size %d not divisible by ways*line %d", size, ways*lineSize)
+	}
+	sets := size / (ways * lineSize)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("perf: set count %d not a power of two", sets)
+	}
+	shift := uint(0)
+	for 1<<shift < lineSize {
+		shift++
+	}
+	return &Cache{
+		sets: sets, ways: ways, lineShift: shift, setMask: uint64(sets - 1),
+		lines: make([]cacheLine, sets*ways),
+	}, nil
+}
+
+// MustNewCache is NewCache for known-good geometries.
+func MustNewCache(size, ways, lineSize int) *Cache {
+	c, err := NewCache(size, ways, lineSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access looks the address up, updating LRU state and hit/miss counters,
+// and installs the line on a miss (evicting the LRU way). It reports
+// whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line&c.setMask) * c.ways
+	c.clock++
+	victim, oldest := set, ^uint64(0)
+	for w := set; w < set+c.ways; w++ {
+		l := &c.lines[w]
+		if l.valid && l.tag == line {
+			l.used = c.clock
+			c.Hits++
+			return true
+		}
+		if !l.valid {
+			victim, oldest = w, 0
+		} else if l.used < oldest {
+			victim, oldest = w, l.used
+		}
+	}
+	c.Misses++
+	c.lines[victim] = cacheLine{tag: line, used: c.clock, valid: true}
+	return false
+}
+
+// Probe reports whether the address is resident without disturbing LRU
+// state or counters.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line&c.setMask) * c.ways
+	for w := set; w < set+c.ways; w++ {
+		if c.lines[w].valid && c.lines[w].tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Install brings the address's line in without counting a hit or a miss
+// (used by the prefetcher).
+func (c *Cache) Install(addr uint64) {
+	line := addr >> c.lineShift
+	set := int(line&c.setMask) * c.ways
+	c.clock++
+	victim, oldest := set, ^uint64(0)
+	for w := set; w < set+c.ways; w++ {
+		l := &c.lines[w]
+		if l.valid && l.tag == line {
+			return // already resident; leave LRU alone
+		}
+		if !l.valid {
+			victim, oldest = w, 0
+		} else if l.used < oldest {
+			victim, oldest = w, l.used
+		}
+	}
+	c.lines[victim] = cacheLine{tag: line, used: c.clock, valid: true}
+}
+
+// Accesses returns the total number of counted accesses.
+func (c *Cache) Accesses() uint64 { return c.Hits + c.Misses }
+
+// ResetCounters zeroes the hit/miss counters but keeps cache contents, so
+// per-timestep statistics can be windowed.
+func (c *Cache) ResetCounters() { c.Hits, c.Misses = 0, 0 }
+
+// Hierarchy is the three-level private + shared-L3 cache system of
+// Table I, with a next-line prefetcher covering sequential streams (real
+// parts prefetch; without it, streaming workloads would serialize on DRAM).
+type Hierarchy struct {
+	L1I, L1D, L2, L3 *Cache
+	cfg              Config
+
+	// Per-window event counters (reset with ResetCounters).
+	DataAccesses uint64
+	MemAccesses  uint64 // accesses that went all the way to DRAM
+	Prefetches   uint64
+}
+
+// NewHierarchy builds the hierarchy for the given configuration.
+func NewHierarchy(cfg Config) (*Hierarchy, error) {
+	l1i, err := NewCache(cfg.L1ISize, cfg.L1IWays, cfg.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := NewCache(cfg.L1DSize, cfg.L1DWays, cfg.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache(cfg.L2Size, cfg.L2Ways, cfg.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	l3, err := NewCache(cfg.L3Size, cfg.L3Ways, cfg.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, L3: l3, cfg: cfg}, nil
+}
+
+// prefetchDepth is how many lines ahead the stream prefetcher runs. Depth
+// > 1 keeps sequential chains intact even when out-of-order issue reorders
+// nearby accesses.
+const prefetchDepth = 4
+
+// Data performs a data-side access and returns its latency in cycles.
+func (h *Hierarchy) Data(addr uint64) int {
+	h.DataAccesses++
+	hit := h.L1D.Access(addr)
+	// Stream prefetcher: pull the following lines toward the core so
+	// sequential streams hit after the first touch. Issued on both hits
+	// and misses (tagged-prefetch behaviour); without it, stride-64
+	// streams would alternate miss/hit forever.
+	for d := uint64(1); d <= prefetchDepth; d++ {
+		next := addr + d*uint64(h.cfg.LineSize)
+		if !h.L1D.Probe(next) {
+			h.Prefetches++
+			h.L1D.Install(next)
+			h.L2.Install(next)
+		}
+	}
+	if hit {
+		return h.cfg.L1Lat
+	}
+	if h.L2.Access(addr) {
+		return h.cfg.L2Lat
+	}
+	if h.L3.Access(addr) {
+		return h.cfg.L3Lat
+	}
+	h.MemAccesses++
+	return h.cfg.MemLat
+}
+
+// Inst performs an instruction-side access and returns its latency.
+// Instruction misses go through L2/L3 like data. The front end runs the
+// same next-line prefetcher as the data side, so straight-line code hits
+// after the first touch of a region.
+func (h *Hierarchy) Inst(addr uint64) int {
+	hit := h.L1I.Access(addr)
+	for d := uint64(1); d <= prefetchDepth; d++ {
+		next := addr + d*uint64(h.cfg.LineSize)
+		if !h.L1I.Probe(next) {
+			h.Prefetches++
+			h.L1I.Install(next)
+		}
+	}
+	if hit {
+		return h.cfg.L1Lat
+	}
+	if h.L2.Access(addr) {
+		return h.cfg.L2Lat
+	}
+	if h.L3.Access(addr) {
+		return h.cfg.L3Lat
+	}
+	h.MemAccesses++
+	return h.cfg.MemLat
+}
+
+// Warm pre-populates the hierarchy with the trailing portion of a working
+// set of the given size plus the code footprint, emulating the cache
+// warm-up the paper performs before every region of interest. Without it,
+// cold compulsory misses would need tens of millions of simulated cycles
+// to drain and would masquerade as steady-state DRAM traffic.
+func (h *Hierarchy) Warm(workingSet, codeFootprint uint64) {
+	line := uint64(h.cfg.LineSize)
+	span := workingSet
+	if limit := 2 * uint64(h.cfg.L3Size); span > limit {
+		span = limit // lines beyond ~L3 capacity cannot stay resident anyway
+	}
+	for a := uint64(0); a < span; a += line {
+		addr := workingSet - span + a
+		h.L3.Install(addr)
+		h.L2.Install(addr)
+		h.L1D.Install(addr)
+	}
+	for a := uint64(0); a < codeFootprint; a += line {
+		h.L1I.Install(a)
+		h.L2.Install(a)
+		h.L3.Install(a)
+	}
+}
+
+// ResetCounters zeroes all event counters (contents are preserved).
+func (h *Hierarchy) ResetCounters() {
+	h.L1I.ResetCounters()
+	h.L1D.ResetCounters()
+	h.L2.ResetCounters()
+	h.L3.ResetCounters()
+	h.DataAccesses, h.MemAccesses, h.Prefetches = 0, 0, 0
+}

@@ -1,0 +1,195 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCacheGeometryErrors(t *testing.T) {
+	cases := []struct{ size, ways, line int }{
+		{0, 8, 64}, // zero size
+		{32 << 10, 0, 64},
+		{32 << 10, 8, 0},
+		{100, 8, 64},      // not divisible
+		{24 << 10, 8, 64}, // 48 sets: not a power of two
+	}
+	for _, c := range cases {
+		if _, err := NewCache(c.size, c.ways, c.line); err == nil {
+			t.Errorf("NewCache(%d,%d,%d) succeeded, want error", c.size, c.ways, c.line)
+		}
+	}
+	if _, err := NewCache(32<<10, 8, 64); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := MustNewCache(1<<12, 4, 64)
+	if c.Access(0x1000) {
+		t.Fatal("first access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x1020) { // same 64-byte line
+		t.Fatal("same-line access missed")
+	}
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, 1 set: capacity 2 lines.
+	c := MustNewCache(128, 2, 64)
+	c.Access(0)   // miss, install A
+	c.Access(64)  // miss, install B
+	c.Access(0)   // hit A (B is now LRU)
+	c.Access(128) // miss, evicts B
+	if !c.Probe(0) {
+		t.Fatal("A evicted but was MRU")
+	}
+	if c.Probe(64) {
+		t.Fatal("B still resident; LRU not honored")
+	}
+	if !c.Probe(128) {
+		t.Fatal("C not installed")
+	}
+}
+
+func TestProbeDoesNotDisturbState(t *testing.T) {
+	c := MustNewCache(128, 2, 64)
+	c.Access(0)
+	c.Access(64)
+	hits, misses := c.Hits, c.Misses
+	for i := 0; i < 10; i++ {
+		c.Probe(0)
+		c.Probe(999999)
+	}
+	if c.Hits != hits || c.Misses != misses {
+		t.Fatal("Probe changed counters")
+	}
+	// Probing A many times must not have refreshed its LRU position.
+	c.Probe(0)
+	c.Access(64) // touch B so A is LRU
+	c.Access(128)
+	if c.Probe(0) {
+		t.Fatal("probe refreshed LRU of A")
+	}
+}
+
+func TestInstallIsSilent(t *testing.T) {
+	c := MustNewCache(1<<12, 4, 64)
+	c.Install(0x40)
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Fatal("Install counted as access")
+	}
+	if !c.Access(0x40) {
+		t.Fatal("installed line missed")
+	}
+}
+
+func TestCacheWorkingSetProperty(t *testing.T) {
+	// Any working set that fits entirely in the cache has zero misses on
+	// the second pass.
+	f := func(seed uint8) bool {
+		c := MustNewCache(1<<12, 4, 64) // 64 lines
+		base := uint64(seed) * 64
+		for pass := 0; pass < 2; pass++ {
+			if pass == 1 {
+				c.ResetCounters()
+			}
+			for i := uint64(0); i < 64; i++ {
+				c.Access(base + i*64)
+			}
+		}
+		return c.Misses == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchySequentialStreamPrefetched(t *testing.T) {
+	h, err := NewHierarchy(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(0)
+	for i := 0; i < 100000; i++ {
+		addr = (addr + 64) % (1 << 20)
+		h.Data(addr)
+	}
+	if mr := float64(h.L1D.Misses) / float64(h.L1D.Accesses()); mr > 0.01 {
+		t.Fatalf("sequential L1D miss rate = %.3f, want < 1%%", mr)
+	}
+}
+
+func TestHierarchyRandomBigFootprintReachesDRAM(t *testing.T) {
+	h, err := NewHierarchy(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newTestRNG(7)
+	const ws = 256 << 20
+	for i := 0; i < 50000; i++ {
+		h.Data(rng.next() % ws)
+	}
+	if h.MemAccesses == 0 {
+		t.Fatal("no DRAM accesses for 256 MiB random footprint")
+	}
+	frac := float64(h.MemAccesses) / float64(h.DataAccesses)
+	if frac < 0.5 {
+		t.Fatalf("DRAM fraction = %.2f, want most accesses to miss L3", frac)
+	}
+}
+
+func TestHierarchyWarmEliminatesColdMisses(t *testing.T) {
+	cfg := DefaultConfig()
+	cold, _ := NewHierarchy(cfg)
+	warm, _ := NewHierarchy(cfg)
+	const ws = 1 << 20
+	warm.Warm(ws, 256<<10)
+
+	rng := newTestRNG(3)
+	for i := 0; i < 20000; i++ {
+		a := rng.next() % ws
+		cold.Data(a)
+	}
+	rng = newTestRNG(3)
+	for i := 0; i < 20000; i++ {
+		a := rng.next() % ws
+		warm.Data(a)
+	}
+	if warm.MemAccesses*10 > cold.MemAccesses {
+		t.Fatalf("warmed DRAM accesses %d not ≪ cold %d", warm.MemAccesses, cold.MemAccesses)
+	}
+	if warm.MemAccesses != 0 {
+		t.Fatalf("1 MiB working set fits in L3; want 0 DRAM accesses after warm, got %d", warm.MemAccesses)
+	}
+}
+
+func TestHierarchyLatenciesOrdered(t *testing.T) {
+	cfg := DefaultConfig()
+	h, _ := NewHierarchy(cfg)
+	// Cold access: DRAM latency.
+	if lat := h.Data(1 << 30); lat != cfg.MemLat {
+		t.Fatalf("cold access latency = %d, want %d", lat, cfg.MemLat)
+	}
+	// Now resident everywhere: L1 latency.
+	if lat := h.Data(1 << 30); lat != cfg.L1Lat {
+		t.Fatalf("warm access latency = %d, want %d", lat, cfg.L1Lat)
+	}
+}
+
+// newTestRNG is a tiny deterministic RNG for cache tests.
+type testRNG struct{ s uint64 }
+
+func newTestRNG(seed uint64) *testRNG { return &testRNG{s: seed*2862933555777941757 + 1} }
+
+func (r *testRNG) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}

@@ -1,0 +1,127 @@
+// Package perf implements the performance-simulation substrate of the
+// toolchain: a from-scratch instruction-window-centric ("ROB model")
+// out-of-order core simulator in the style the paper requires of Sniper,
+// plus a fast analytic interval model fitted to the same mechanisms for
+// large campaigns.
+//
+// Both models consume workload profiles from internal/workload and emit,
+// for every 1 M-cycle timestep, the per-functional-unit activity factors
+// that the power model turns into a power trace. Only those activity
+// factors leave this package; callers never depend on which model produced
+// them.
+package perf
+
+import "fmt"
+
+// Config is the core microarchitecture configuration (Table I of the
+// paper plus the pipeline details it implies).
+type Config struct {
+	// Window sizes (Table I).
+	ROBEntries   int
+	LQEntries    int
+	SQEntries    int
+	SchedEntries int
+	SMT          int // modeled threads per core (workloads here are 1T)
+
+	// Pipeline widths.
+	FetchWidth  int
+	CommitWidth int
+
+	// Issue-port counts per µop class.
+	IntALUPorts int
+	CALUPorts   int
+	FPPorts     int
+	AVXPorts    int
+	LoadPorts   int
+	StorePorts  int
+	BranchPorts int
+
+	// Execution latencies [cycles].
+	IntALULat int
+	CALULat   int
+	FPLat     int
+	AVXLat    int
+
+	// Branch misprediction front-end redirect penalty [cycles].
+	MispredictPenalty int
+
+	// Cache hierarchy (Table I).
+	L1ISize, L1IWays int
+	L1DSize, L1DWays int
+	L2Size, L2Ways   int
+	L3Size, L3Ways   int
+	LineSize         int
+
+	// Access latencies [cycles].
+	L1Lat, L2Lat, L3Lat, MemLat int
+}
+
+// DefaultConfig returns the case-study client-CPU configuration of
+// Table I: 224-entry ROB, 72/56-entry load/store queues, a 97-entry
+// scheduler, 32 KiB private L1s, a 512 KiB private L2 and a 16 MiB shared
+// ring L3, with Skylake-class widths and latencies.
+func DefaultConfig() Config {
+	return Config{
+		ROBEntries:   224,
+		LQEntries:    72,
+		SQEntries:    56,
+		SchedEntries: 97,
+		SMT:          2,
+
+		FetchWidth:  6,
+		CommitWidth: 6,
+
+		IntALUPorts: 4,
+		CALUPorts:   1,
+		FPPorts:     2,
+		AVXPorts:    1,
+		LoadPorts:   2,
+		StorePorts:  1,
+		BranchPorts: 1,
+
+		IntALULat: 1,
+		CALULat:   10,
+		FPLat:     4,
+		AVXLat:    5,
+
+		MispredictPenalty: 14,
+
+		L1ISize: 32 << 10, L1IWays: 8,
+		L1DSize: 32 << 10, L1DWays: 8,
+		L2Size: 512 << 10, L2Ways: 8,
+		L3Size: 16 << 20, L3Ways: 16,
+		LineSize: 64,
+
+		L1Lat: 4, L2Lat: 14, L3Lat: 38, MemLat: 250,
+	}
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	pos := []struct {
+		name string
+		v    int
+	}{
+		{"ROBEntries", c.ROBEntries}, {"LQEntries", c.LQEntries}, {"SQEntries", c.SQEntries},
+		{"SchedEntries", c.SchedEntries}, {"FetchWidth", c.FetchWidth}, {"CommitWidth", c.CommitWidth},
+		{"IntALUPorts", c.IntALUPorts}, {"CALUPorts", c.CALUPorts}, {"FPPorts", c.FPPorts},
+		{"AVXPorts", c.AVXPorts}, {"LoadPorts", c.LoadPorts}, {"StorePorts", c.StorePorts},
+		{"BranchPorts", c.BranchPorts}, {"IntALULat", c.IntALULat}, {"CALULat", c.CALULat},
+		{"FPLat", c.FPLat}, {"AVXLat", c.AVXLat}, {"MispredictPenalty", c.MispredictPenalty},
+		{"L1ISize", c.L1ISize}, {"L1DSize", c.L1DSize}, {"L2Size", c.L2Size}, {"L3Size", c.L3Size},
+		{"LineSize", c.LineSize}, {"L1Lat", c.L1Lat}, {"L2Lat", c.L2Lat}, {"L3Lat", c.L3Lat},
+		{"MemLat", c.MemLat},
+	}
+	for _, p := range pos {
+		if p.v <= 0 {
+			return fmt.Errorf("perf: %s must be positive, got %d", p.name, p.v)
+		}
+	}
+	if c.SchedEntries > c.ROBEntries {
+		return fmt.Errorf("perf: scheduler (%d) larger than ROB (%d)", c.SchedEntries, c.ROBEntries)
+	}
+	if !(c.L1Lat < c.L2Lat && c.L2Lat < c.L3Lat && c.L3Lat < c.MemLat) {
+		return fmt.Errorf("perf: cache latencies must increase with level")
+	}
+	return nil
+}

@@ -1,0 +1,394 @@
+package perf
+
+import (
+	"fmt"
+
+	"hotgauge/internal/workload"
+)
+
+// µop lifecycle states inside the window.
+const (
+	stWaiting uint8 = iota // dispatched, waiting on operands
+	stReady                // operands available, waiting for a port
+	stIssued               // executing
+	stDone                 // complete, waiting to commit
+)
+
+// readyClass indexes the per-port-class ready queues.
+type readyClass int
+
+const (
+	clsIntALU readyClass = iota
+	clsCALU
+	clsFP
+	clsAVX
+	clsLoad
+	clsStore
+	clsBranch
+	numClasses
+)
+
+func classOf(k workload.UopKind) readyClass {
+	switch k {
+	case workload.UopIntALU:
+		return clsIntALU
+	case workload.UopCALU:
+		return clsCALU
+	case workload.UopFP:
+		return clsFP
+	case workload.UopAVX:
+		return clsAVX
+	case workload.UopLoad:
+		return clsLoad
+	case workload.UopStore:
+		return clsStore
+	default:
+		return clsBranch
+	}
+}
+
+type robEntry struct {
+	uop       workload.Uop
+	state     uint8
+	depsLeft  int8
+	mispred   bool
+	consumers []int32 // ROB slots of waiting dependents
+}
+
+// eventRingSize bounds the completion-event lookahead; it must exceed the
+// longest possible latency (a DRAM access).
+const eventRingSize = 512
+
+// CycleModel is the instruction-window-centric out-of-order core model:
+// the Go equivalent of Sniper's ROB model that the paper requires for
+// accuracy. It tracks the reorder buffer, scheduler, load/store queues,
+// per-class issue ports with real latencies, a gshare branch unit with
+// misprediction-driven front-end redirects, and a full cache hierarchy.
+type CycleModel struct {
+	cfg    Config
+	prof   workload.Profile
+	stream *workload.Stream
+	hier   *Hierarchy
+	bp     *Gshare
+
+	rob      []robEntry
+	robHead  int
+	robCount int
+
+	sched  int // scheduler occupancy
+	lq, sq int
+
+	ready  [numClasses][]int32
+	events [eventRingSize][]int32
+	now    uint64
+
+	fetchBuf        []workload.Uop
+	fetchStallUntil uint64
+	wrongPath       bool // an unresolved mispredicted branch blocks fetch
+	intensityAcc    float64
+
+	// Window counters.
+	ctr                            Counters
+	occROB, occSched, occLQ, occSQ float64
+
+	// Stalls attributes front-end and dispatch stall cycles to causes;
+	// maintained for diagnostics and model-validation tests.
+	Stalls StallBreakdown
+}
+
+// StallBreakdown counts, per window, the cycles each pipeline condition
+// blocked forward progress.
+type StallBreakdown struct {
+	FetchWrongPath uint64 // unresolved mispredicted branch
+	FetchRedirect  uint64 // post-resolution refill penalty / I-miss
+	FetchBufFull   uint64 // dispatch backpressure
+	FetchIntensity uint64 // workload had no µops available
+	DispatchROB    uint64
+	DispatchSched  uint64
+	DispatchLQ     uint64
+	DispatchSQ     uint64
+	DispatchEmpty  uint64 // nothing fetched to dispatch
+}
+
+// NewCycleModel builds a cycle model for the given profile.
+func NewCycleModel(cfg Config, prof workload.Profile) (*CycleModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MemLat+cfg.AVXLat >= eventRingSize {
+		return nil, fmt.Errorf("perf: MemLat %d too large for event ring", cfg.MemLat)
+	}
+	hier, err := NewHierarchy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hier.Warm(uint64(prof.WorkingSet), 256<<10)
+	return &CycleModel{
+		cfg:    cfg,
+		prof:   prof,
+		stream: workload.NewStream(prof),
+		hier:   hier,
+		bp:     NewGshare(12, 512),
+		rob:    make([]robEntry, cfg.ROBEntries),
+	}, nil
+}
+
+// Step implements Source: it simulates `cycles` core cycles of timestep
+// `step` and returns the per-unit activity.
+func (m *CycleModel) Step(step int, cycles uint64) Activity {
+	m.stream.SetParams(m.prof.ParamsAt(step))
+	m.resetWindow()
+	for c := uint64(0); c < cycles; c++ {
+		m.tick()
+	}
+	m.collect(cycles)
+	return ToActivity(m.cfg, m.ctr)
+}
+
+func (m *CycleModel) resetWindow() {
+	m.ctr = Counters{}
+	m.Stalls = StallBreakdown{}
+	m.occROB, m.occSched, m.occLQ, m.occSQ = 0, 0, 0, 0
+	m.hier.ResetCounters()
+	m.bp.ResetCounters()
+}
+
+func (m *CycleModel) collect(cycles uint64) {
+	m.ctr.Cycles = cycles
+	m.ctr.L1IAccesses = m.hier.L1I.Accesses()
+	m.ctr.L1IMisses = m.hier.L1I.Misses
+	m.ctr.L1DAccesses = m.hier.L1D.Accesses()
+	m.ctr.L1DMisses = m.hier.L1D.Misses
+	m.ctr.L2Accesses = m.hier.L2.Accesses() + m.hier.Prefetches
+	m.ctr.L2Misses = m.hier.L2.Misses
+	m.ctr.L3Accesses = m.hier.L3.Accesses()
+	m.ctr.L3Misses = m.hier.L3.Misses
+	m.ctr.MemAccesses = m.hier.MemAccesses
+	m.ctr.Branches = m.bp.Lookups
+	m.ctr.Mispredicts = m.bp.Mispredicts
+	n := float64(cycles)
+	m.ctr.ROBOcc = m.occROB / (n * float64(m.cfg.ROBEntries))
+	m.ctr.SchedOcc = m.occSched / (n * float64(m.cfg.SchedEntries))
+	m.ctr.LQOcc = m.occLQ / (n * float64(m.cfg.LQEntries))
+	m.ctr.SQOcc = m.occSQ / (n * float64(m.cfg.SQEntries))
+}
+
+// tick advances one cycle: complete → commit → issue → dispatch → fetch.
+// Workload intensity gates the forward pipe: for (1-intensity) of cycles
+// the workload has no work to run (OS time, synchronization, I/O waits),
+// so nothing issues or fetches — in-flight work still completes and
+// commits. This makes activity, and therefore power, scale with the phase
+// schedule.
+func (m *CycleModel) tick() {
+	m.intensityAcc += m.stream.Params().Intensity
+	if m.intensityAcc >= 1 {
+		m.intensityAcc--
+		m.complete()
+		m.commit()
+		m.issue()
+		m.dispatch()
+		m.fetch()
+		m.now++ // model time advances only while the workload runs
+	} else {
+		m.Stalls.FetchIntensity++
+	}
+
+	m.occROB += float64(m.robCount)
+	m.occSched += float64(m.sched)
+	m.occLQ += float64(m.lq)
+	m.occSQ += float64(m.sq)
+}
+
+func (m *CycleModel) complete() {
+	bucket := &m.events[m.now%eventRingSize]
+	for _, slot := range *bucket {
+		e := &m.rob[slot]
+		e.state = stDone
+		for _, cs := range e.consumers {
+			c := &m.rob[cs]
+			if c.depsLeft--; c.depsLeft == 0 && c.state == stWaiting {
+				c.state = stReady
+				m.ready[classOf(c.uop.Kind)] = append(m.ready[classOf(c.uop.Kind)], cs)
+			}
+		}
+		e.consumers = e.consumers[:0]
+		if e.mispred {
+			// The mispredicted branch resolved: redirect the front end
+			// after the pipeline-refill penalty.
+			m.wrongPath = false
+			if until := m.now + uint64(m.cfg.MispredictPenalty); until > m.fetchStallUntil {
+				m.fetchStallUntil = until
+			}
+		}
+	}
+	*bucket = (*bucket)[:0]
+}
+
+func (m *CycleModel) commit() {
+	for n := 0; n < m.cfg.CommitWidth && m.robCount > 0; n++ {
+		e := &m.rob[m.robHead]
+		if e.state != stDone {
+			return
+		}
+		switch e.uop.Kind {
+		case workload.UopLoad:
+			m.lq--
+		case workload.UopStore:
+			m.sq--
+		}
+		m.ctr.Committed++
+		m.robHead = (m.robHead + 1) % m.cfg.ROBEntries
+		m.robCount--
+	}
+}
+
+func (m *CycleModel) issue() {
+	ports := [numClasses]int{
+		clsIntALU: m.cfg.IntALUPorts,
+		clsCALU:   m.cfg.CALUPorts,
+		clsFP:     m.cfg.FPPorts,
+		clsAVX:    m.cfg.AVXPorts,
+		clsLoad:   m.cfg.LoadPorts,
+		clsStore:  m.cfg.StorePorts,
+		clsBranch: m.cfg.BranchPorts,
+	}
+	for cls := readyClass(0); cls < numClasses; cls++ {
+		q := m.ready[cls]
+		n := min(ports[cls], len(q))
+		for i := 0; i < n; i++ {
+			slot := q[i]
+			e := &m.rob[slot]
+			e.state = stIssued
+			m.sched--
+			lat := m.latency(e)
+			m.events[(m.now+uint64(lat))%eventRingSize] = append(m.events[(m.now+uint64(lat))%eventRingSize], slot)
+		}
+		m.ready[cls] = append(q[:0], q[n:]...)
+	}
+}
+
+func (m *CycleModel) latency(e *robEntry) int {
+	switch e.uop.Kind {
+	case workload.UopIntALU:
+		m.ctr.IntALUOps++
+		return m.cfg.IntALULat
+	case workload.UopCALU:
+		m.ctr.CALUOps++
+		return m.cfg.CALULat
+	case workload.UopFP:
+		m.ctr.FPOps++
+		return m.cfg.FPLat
+	case workload.UopAVX:
+		m.ctr.AVXOps++
+		return m.cfg.AVXLat
+	case workload.UopLoad:
+		m.ctr.Loads++
+		return m.hier.Data(e.uop.Addr)
+	case workload.UopStore:
+		m.ctr.Stores++
+		m.hier.Data(e.uop.Addr) // write-allocate line fill
+		return 1                // value forwarded; completion at commit handled by SQ
+	default: // branch
+		return m.cfg.IntALULat
+	}
+}
+
+func (m *CycleModel) dispatch() {
+	if len(m.fetchBuf) == 0 {
+		m.Stalls.DispatchEmpty++
+		return
+	}
+	for n := 0; n < m.cfg.FetchWidth && len(m.fetchBuf) > 0; n++ {
+		if m.robCount == m.cfg.ROBEntries {
+			m.Stalls.DispatchROB++
+			return
+		}
+		if m.sched == m.cfg.SchedEntries {
+			m.Stalls.DispatchSched++
+			return
+		}
+		u := m.fetchBuf[0]
+		switch u.Kind {
+		case workload.UopLoad:
+			if m.lq == m.cfg.LQEntries {
+				m.Stalls.DispatchLQ++
+				return
+			}
+		case workload.UopStore:
+			if m.sq == m.cfg.SQEntries {
+				m.Stalls.DispatchSQ++
+				return
+			}
+		}
+		m.fetchBuf = m.fetchBuf[1:]
+
+		slot := int32((m.robHead + m.robCount) % m.cfg.ROBEntries)
+		e := &m.rob[slot]
+		*e = robEntry{uop: u, consumers: e.consumers[:0]}
+		m.robCount++
+		m.sched++
+		m.ctr.Fetched++
+		switch u.Kind {
+		case workload.UopLoad:
+			m.lq++
+		case workload.UopStore:
+			m.sq++
+		case workload.UopBranch:
+			if !m.bp.Predict(u.PC, u.Taken) {
+				e.mispred = true
+				m.wrongPath = true // stop fetching until this resolves
+			}
+		}
+
+		m.link(slot, u.Dep1, e)
+		m.link(slot, u.Dep2, e)
+		if e.depsLeft == 0 {
+			e.state = stReady
+			m.ready[classOf(u.Kind)] = append(m.ready[classOf(u.Kind)], slot)
+		} else {
+			e.state = stWaiting
+		}
+	}
+}
+
+// link registers a dependence of the µop in `slot` on the producer `dist`
+// µops back, if that producer is still in flight and incomplete.
+func (m *CycleModel) link(slot int32, dist int32, e *robEntry) {
+	if dist <= 0 || int(dist) >= m.robCount {
+		return // producer already committed (or no dependence)
+	}
+	pSlot := (int(slot) - int(dist) + 2*m.cfg.ROBEntries) % m.cfg.ROBEntries
+	p := &m.rob[pSlot]
+	if p.state == stDone {
+		return
+	}
+	p.consumers = append(p.consumers, slot)
+	e.depsLeft++
+}
+
+func (m *CycleModel) fetch() {
+	switch {
+	case m.wrongPath:
+		m.Stalls.FetchWrongPath++
+		return
+	case m.now < m.fetchStallUntil:
+		m.Stalls.FetchRedirect++
+		return
+	case len(m.fetchBuf) >= 2*m.cfg.FetchWidth:
+		m.Stalls.FetchBufFull++
+		return
+	}
+	for n := 0; n < m.cfg.FetchWidth; n++ {
+		u := m.stream.Next()
+		// One I-cache access per 16-byte fetch block (≈4 µops).
+		if n == 0 {
+			if lat := m.hier.Inst(u.PC); lat > m.cfg.L1Lat {
+				m.fetchStallUntil = m.now + uint64(lat)
+			}
+		}
+		m.fetchBuf = append(m.fetchBuf, u)
+	}
+}

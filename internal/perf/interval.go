@@ -1,0 +1,156 @@
+package perf
+
+import (
+	"math"
+
+	"hotgauge/internal/workload"
+)
+
+// IntervalModel is the fast analytic performance model: a first-order
+// interval analysis (in the spirit of Eyerman et al.'s mechanistic core
+// models) fitted to the same mechanisms as the cycle model. It computes a
+// sustained dispatch rate from the workload's ILP, branch behaviour and
+// memory behaviour, then converts it into the same Counters the cycle
+// model measures. Campaigns over 29 workloads × 7 cores × 3 nodes run
+// through this model; the cycle model is the per-configuration ground
+// truth.
+type IntervalModel struct {
+	cfg  Config
+	prof workload.Profile
+}
+
+// NewIntervalModel builds an interval model for the given profile.
+func NewIntervalModel(cfg Config, prof workload.Profile) (*IntervalModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	return &IntervalModel{cfg: cfg, prof: prof}, nil
+}
+
+// missProfile is the analytic cache-behaviour estimate for a profile:
+// the fraction of data accesses that are satisfied by each level.
+type missProfile struct {
+	toL2, toL3, toMem float64 // fraction of data accesses reaching each level
+}
+
+// estimateMisses predicts the per-access miss fractions from the working
+// set and stride locality, mirroring the cycle model's hierarchy with its
+// next-line prefetcher: sequential traffic is prefetch-covered, random
+// traffic misses a level whenever the working set exceeds its capacity.
+func estimateMisses(cfg Config, p workload.Profile) missProfile {
+	ws := float64(p.WorkingSet)
+	randMiss := func(capacity int) float64 {
+		c := float64(capacity)
+		if ws <= c {
+			return 0
+		}
+		return 1 - c/ws
+	}
+	seq := p.StrideLocality
+	rnd := 1 - seq
+	return missProfile{
+		toL2:  seq*0.02 + rnd*randMiss(cfg.L1DSize),
+		toL3:  seq*0.004 + rnd*randMiss(cfg.L2Size),
+		toMem: seq*0.001 + rnd*randMiss(cfg.L3Size),
+	}
+}
+
+// Step implements Source analytically.
+func (m *IntervalModel) Step(step int, cycles uint64) Activity {
+	cfg := m.cfg
+	par := m.prof.ParamsAt(step)
+	mix := par.Mix.Normalized()
+	memFrac := mix.Load + mix.Store
+	width := float64(cfg.FetchWidth)
+
+	// Base dispatch rate: the front end supplies width×intensity µops per
+	// cycle; the window extracts min(1, ILP-limited) of that.
+	ilpLimit := math.Min(1, par.ILP/(width*0.8))
+	base := width * par.Intensity * ilpLimit
+	if base < 0.05 {
+		base = 0.05
+	}
+
+	// Branch stalls: each mispredict costs the redirect penalty plus the
+	// mean resolution depth (the branch must reach execution before the
+	// front end can redirect).
+	missRate := (1-m.prof.BranchPredictability)*0.5 + 0.04
+	brStall := mix.Branch * missRate * (float64(cfg.MispredictPenalty) + 22)
+
+	// Memory stalls. L3-latency misses are largely hidden by the window
+	// (the ROB holds ~60 cycles of work at moderate IPC), so they are
+	// discounted twice: by MLP and by window overlap. DRAM misses exceed
+	// what the window can hide, and the ROB also caps how much DRAM-level
+	// MLP is realizable, so their MLP discount saturates.
+	mp := estimateMisses(cfg, m.prof)
+	const windowHide = 2.5
+	// Realizable DRAM-level MLP is bounded by how many independent misses
+	// the ROB can hold at once: a workload whose misses are sparse (one
+	// per several hundred µops) cannot overlap them no matter how
+	// independent they are.
+	windowMLP := float64(cfg.ROBEntries) * memFrac * mp.toMem
+	dramMLP := math.Min(m.prof.MLP, math.Max(1, windowMLP))
+	perAccess := mp.toL3*float64(cfg.L3Lat-cfg.L2Lat)/(m.prof.MLP*windowHide) +
+		mp.toMem*float64(cfg.MemLat-cfg.L3Lat)/dramMLP
+	memStall := memFrac * perAccess
+
+	uopsPerCycle := 1 / (1/base + brStall + memStall)
+
+	// Deterministic per-timestep jitter so temperature-delta distributions
+	// (Fig. 2) show realistic variance.
+	jitter := 0.94 + 0.12*workload.Noise(m.prof.Seed, step, 0xA11CE)
+	uopsPerCycle *= jitter
+	if lim := width * 1.0; uopsPerCycle > lim {
+		uopsPerCycle = lim
+	}
+
+	total := uopsPerCycle * float64(cycles)
+	c := Counters{
+		Cycles:    cycles,
+		Fetched:   uint64(total),
+		Committed: uint64(total),
+
+		IntALUOps: uint64(total * mix.IntALU),
+		CALUOps:   uint64(total * mix.CALU),
+		FPOps:     uint64(total * mix.FP),
+		AVXOps:    uint64(total * mix.AVX),
+		Loads:     uint64(total * mix.Load),
+		Stores:    uint64(total * mix.Store),
+		Branches:  uint64(total * mix.Branch),
+	}
+	c.Mispredicts = uint64(float64(c.Branches) * missRate)
+
+	mem := float64(c.Loads + c.Stores)
+	c.L1IAccesses = c.Fetched / 4
+	c.L1IMisses = c.L1IAccesses / 500
+	c.L1DAccesses = uint64(mem)
+	c.L1DMisses = uint64(mem * mp.toL2)
+	// L2 sees demand misses plus the prefetch stream covering sequential
+	// accesses (the cycle model counts prefetch installs as L2 work too).
+	c.L2Accesses = uint64(mem*mp.toL2 + mem*m.prof.StrideLocality*0.5)
+	c.L2Misses = uint64(mem * mp.toL3)
+	c.L3Accesses = uint64(mem * mp.toL3)
+	c.L3Misses = uint64(mem * mp.toMem)
+	c.MemAccesses = uint64(mem * mp.toMem)
+
+	// Occupancies via Little's law (occupancy = rate × residency), plus a
+	// stall-fill term: while the head of the ROB waits on a long miss,
+	// dispatch keeps filling the window behind it.
+	residency := 14 + memFrac*(mp.toL3*float64(cfg.L3Lat)+mp.toMem*float64(cfg.MemLat))
+	stallFrac := memStall / (1/base + brStall + memStall)
+	c.ROBOcc = clamp01(uopsPerCycle*residency/float64(cfg.ROBEntries) + 0.55*stallFrac)
+	// When long misses stall the pipe, the scheduler fills with waiting
+	// dependents; model that as direct memory pressure on top of the
+	// throughput term.
+	memPressure := math.Min(0.35, memFrac*mp.toMem*4)
+	c.SchedOcc = clamp01(uopsPerCycle*6/float64(cfg.SchedEntries) + memPressure)
+	loadRate := uopsPerCycle * mix.Load
+	storeRate := uopsPerCycle * mix.Store
+	c.LQOcc = clamp01(loadRate * (float64(cfg.L1Lat) + 4 + mp.toMem*float64(cfg.MemLat)) / float64(cfg.LQEntries))
+	c.SQOcc = clamp01(storeRate * (10 + residency*0.3) / float64(cfg.SQEntries))
+
+	return ToActivity(cfg, c)
+}

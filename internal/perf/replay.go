@@ -1,0 +1,55 @@
+package perf
+
+import "fmt"
+
+// ReplaySource replays a recorded per-timestep activity trace — the
+// equivalent of the original HotGauge's "bring your own power trace"
+// input path. Runs longer than the trace loop it, so a short recorded
+// region of interest can drive arbitrarily long thermal simulations (as
+// the paper does with its 200 M-instruction ROIs).
+type ReplaySource struct {
+	trace []Activity
+}
+
+// NewReplaySource wraps a recorded trace.
+func NewReplaySource(trace []Activity) (*ReplaySource, error) {
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("perf: empty replay trace")
+	}
+	for i, a := range trace {
+		if len(a.Unit) == 0 {
+			return nil, fmt.Errorf("perf: trace entry %d has no unit activity", i)
+		}
+	}
+	return &ReplaySource{trace: trace}, nil
+}
+
+// Len returns the trace length in timesteps.
+func (r *ReplaySource) Len() int { return len(r.trace) }
+
+// Step implements Source by cycling through the recorded trace.
+func (r *ReplaySource) Step(step int, cycles uint64) Activity {
+	a := r.trace[step%len(r.trace)]
+	// Rescale the counters to the requested window so IPC stays correct
+	// even if the recording used a different cycle count.
+	if a.Counters.Cycles != 0 && a.Counters.Cycles != cycles {
+		scale := float64(cycles) / float64(a.Counters.Cycles)
+		c := a.Counters
+		c.Cycles = cycles
+		c.Fetched = uint64(float64(c.Fetched) * scale)
+		c.Committed = uint64(float64(c.Committed) * scale)
+		a.Counters = c
+	}
+	return a
+}
+
+// Record runs a source for n timesteps and captures its activity trace.
+func Record(src Source, n int, cyclesPerStep uint64) []Activity {
+	out := make([]Activity, n)
+	for i := 0; i < n; i++ {
+		out[i] = src.Step(i, cyclesPerStep)
+	}
+	return out
+}
+
+var _ Source = (*ReplaySource)(nil)

@@ -1,0 +1,73 @@
+package perf
+
+// SMTSource models two hardware threads sharing one physical core
+// (Table I: SMT 2). Each thread runs its own performance model; the
+// merged activity reflects shared-resource contention: combined
+// throughput saturates below the sum of the threads' solo rates, and
+// per-unit activities add up to the unit's capacity.
+type SMTSource struct {
+	A, B Source
+	// Efficiency is the fraction of the two solo throughputs SMT
+	// retains (default 0.85: SMT typically yields ~1.2-1.4× one thread,
+	// not 2×).
+	Efficiency float64
+}
+
+// NewSMTSource pairs two sources on one core.
+func NewSMTSource(a, b Source) *SMTSource {
+	return &SMTSource{A: a, B: b, Efficiency: 0.85}
+}
+
+// Step implements Source: both threads advance and their activities merge.
+func (s *SMTSource) Step(step int, cycles uint64) Activity {
+	aa := s.A.Step(step, cycles)
+	bb := s.B.Step(step, cycles)
+	eff := s.Efficiency
+	if eff <= 0 || eff > 1 {
+		eff = 0.85
+	}
+
+	merged := Counters{Cycles: cycles}
+	scale := func(x, y uint64) uint64 { return uint64(float64(x+y) * eff) }
+	ca, cb := aa.Counters, bb.Counters
+	merged.Fetched = scale(ca.Fetched, cb.Fetched)
+	merged.Committed = scale(ca.Committed, cb.Committed)
+	merged.IntALUOps = scale(ca.IntALUOps, cb.IntALUOps)
+	merged.CALUOps = scale(ca.CALUOps, cb.CALUOps)
+	merged.FPOps = scale(ca.FPOps, cb.FPOps)
+	merged.AVXOps = scale(ca.AVXOps, cb.AVXOps)
+	merged.Loads = scale(ca.Loads, cb.Loads)
+	merged.Stores = scale(ca.Stores, cb.Stores)
+	merged.Branches = scale(ca.Branches, cb.Branches)
+	merged.Mispredicts = scale(ca.Mispredicts, cb.Mispredicts)
+	merged.L1IAccesses = scale(ca.L1IAccesses, cb.L1IAccesses)
+	merged.L1IMisses = scale(ca.L1IMisses, cb.L1IMisses)
+	merged.L1DAccesses = scale(ca.L1DAccesses, cb.L1DAccesses)
+	merged.L1DMisses = scale(ca.L1DMisses, cb.L1DMisses)
+	merged.L2Accesses = scale(ca.L2Accesses, cb.L2Accesses)
+	merged.L2Misses = scale(ca.L2Misses, cb.L2Misses)
+	merged.L3Accesses = scale(ca.L3Accesses, cb.L3Accesses)
+	merged.L3Misses = scale(ca.L3Misses, cb.L3Misses)
+	merged.MemAccesses = scale(ca.MemAccesses, cb.MemAccesses)
+	// Shared structures fill toward capacity under two threads.
+	merged.ROBOcc = clamp01(ca.ROBOcc + cb.ROBOcc)
+	merged.SchedOcc = clamp01(ca.SchedOcc + cb.SchedOcc)
+	merged.LQOcc = clamp01(ca.LQOcc + cb.LQOcc)
+	merged.SQOcc = clamp01(ca.SQOcc + cb.SQOcc)
+
+	out := ToActivity(DefaultConfig(), merged)
+	// Per-unit activity cannot be less busy than the busier thread alone
+	// (scaling counters down can momentarily suggest otherwise).
+	for k, v := range out.Unit {
+		solo := aa.Unit[k]
+		if bb.Unit[k] > solo {
+			solo = bb.Unit[k]
+		}
+		if v < solo {
+			out.Unit[k] = solo
+		}
+	}
+	return out
+}
+
+var _ Source = (*SMTSource)(nil)

@@ -1,0 +1,119 @@
+package perf
+
+import (
+	"testing"
+
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/workload"
+)
+
+func smtPair(t *testing.T, a, b string) (*SMTSource, Source, Source) {
+	t.Helper()
+	pa, err := workload.Lookup(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := workload.Lookup(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := NewIntervalModel(DefaultConfig(), pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := NewIntervalModel(DefaultConfig(), pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := NewIntervalModel(DefaultConfig(), pa)
+	rb, _ := NewIntervalModel(DefaultConfig(), pb)
+	return NewSMTSource(sa, sb), ra, rb
+}
+
+func TestSMTThroughputBetweenOneAndTwoThreads(t *testing.T) {
+	smt, solo1, solo2 := smtPair(t, "hmmer", "namd")
+	merged := smt.Step(0, workload.TimestepCycles)
+	a := solo1.Step(0, workload.TimestepCycles)
+	b := solo2.Step(0, workload.TimestepCycles)
+	ipcSMT := merged.Counters.IPC()
+	ipcMax := a.Counters.IPC()
+	if b.Counters.IPC() > ipcMax {
+		ipcMax = b.Counters.IPC()
+	}
+	sum := a.Counters.IPC() + b.Counters.IPC()
+	if ipcSMT < ipcMax*0.99 {
+		t.Fatalf("SMT IPC %.2f below the better single thread %.2f", ipcSMT, ipcMax)
+	}
+	if ipcSMT > sum {
+		t.Fatalf("SMT IPC %.2f exceeds the sum of solo threads %.2f", ipcSMT, sum)
+	}
+}
+
+func TestSMTMixesUnitActivity(t *testing.T) {
+	// An int thread plus an FP thread must light up both unit families.
+	smt, solo1, _ := smtPair(t, "bzip2", "namd")
+	merged := smt.Step(0, workload.TimestepCycles)
+	intOnly := solo1.Step(0, workload.TimestepCycles)
+	if merged.Unit[floorplan.KindFPU] < 0.1 {
+		t.Fatalf("FP unit idle under int+fp SMT: %.2f", merged.Unit[floorplan.KindFPU])
+	}
+	if merged.Unit[floorplan.KindIntALU] < intOnly.Unit[floorplan.KindIntALU]*0.5 {
+		t.Fatalf("int activity collapsed under SMT")
+	}
+	for k, v := range merged.Unit {
+		if v < 0 || v > 1 {
+			t.Fatalf("activity[%s] = %v", k, v)
+		}
+	}
+}
+
+func TestSMTOccupancySaturates(t *testing.T) {
+	smt, solo1, _ := smtPair(t, "milc", "milc")
+	merged := smt.Step(0, workload.TimestepCycles)
+	solo := solo1.Step(0, workload.TimestepCycles)
+	if merged.Counters.ROBOcc < solo.Counters.ROBOcc {
+		t.Fatalf("SMT ROB occupancy %.2f below solo %.2f", merged.Counters.ROBOcc, solo.Counters.ROBOcc)
+	}
+	if merged.Counters.ROBOcc > 1 {
+		t.Fatalf("occupancy above 1: %v", merged.Counters.ROBOcc)
+	}
+}
+
+func TestReplaySourceRoundTrip(t *testing.T) {
+	p, err := workload.Lookup("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewIntervalModel(DefaultConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record(src, 5, workload.TimestepCycles)
+	rs, err := NewReplaySource(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 5 {
+		t.Fatalf("Len = %d", rs.Len())
+	}
+	// Replay matches the recording, and loops beyond its end.
+	a := rs.Step(2, workload.TimestepCycles)
+	if a.Unit[floorplan.KindIntALU] != rec[2].Unit[floorplan.KindIntALU] {
+		t.Fatal("replay diverges from recording")
+	}
+	b := rs.Step(7, workload.TimestepCycles) // 7 % 5 == 2
+	if b.Unit[floorplan.KindIntALU] != a.Unit[floorplan.KindIntALU] {
+		t.Fatal("replay does not loop")
+	}
+	// Counter rescaling keeps IPC stable across window sizes.
+	half := rs.Step(2, workload.TimestepCycles/2)
+	if d := half.Counters.IPC() - a.Counters.IPC(); d > 0.01 || d < -0.01 {
+		t.Fatalf("IPC changed under rescaling: %v vs %v", half.Counters.IPC(), a.Counters.IPC())
+	}
+	if _, err := NewReplaySource(nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := NewReplaySource([]Activity{{}}); err == nil {
+		t.Fatal("trace entry without activity accepted")
+	}
+}

@@ -1,0 +1,105 @@
+// Package power implements the power-modeling substrate of the toolchain:
+// the role McPAT v1.2 (with the paper's sub-22 nm extensions) plays in the
+// original. Each functional unit has an effective switching capacitance
+// budget; dynamic power is a·C·V²·f at the turbo operating point, plus a
+// clock-tree idle floor (real cores burn a large fraction of C_dyn in
+// clock distribution even at low IPC — this is why measured per-workload
+// C_dyn varies only ~1.6× across SPEC). Leakage is area-proportional and
+// exponential in temperature, which closes the electrothermal feedback
+// loop with the thermal solver.
+//
+// Node scaling follows §III-B exactly: 50 % area per generation and a 20 %
+// C_dyn reduction, with leakage density rising per tech.Node.
+package power
+
+import "hotgauge/internal/floorplan"
+
+// peakDensity14 is the peak dynamic power density of each unit kind at
+// full activity, at 14 nm and the 1.4 V / 5 GHz turbo point [W/mm²].
+// The ranking encodes the physics the paper's Fig. 12 reflects: small,
+// hyperactive structures (complex ALU, FP instruction window, register
+// alias tables, register files, ROB) are several times denser than SRAM
+// arrays, which is why hotspots form there.
+var peakDensity14 = map[floorplan.Kind]float64{
+	// Frontend.
+	floorplan.KindL1I:      0.6,
+	floorplan.KindBPred:    2.4,
+	floorplan.KindBTB:      2.0,
+	floorplan.KindIFU:      2.6,
+	floorplan.KindUopCache: 1.2,
+	floorplan.KindITLB:     2.0,
+
+	// Rename and out-of-order control.
+	floorplan.KindRATInt:    20.0,
+	floorplan.KindRATFp:     20.0,
+	floorplan.KindROB:       13.0,
+	floorplan.KindIntIWin:   18.0,
+	floorplan.KindFpIWin:    22.0,
+	floorplan.KindCoreOther: 2.4,
+
+	// Register files and execution.
+	floorplan.KindIntRF:  18.0,
+	floorplan.KindFpRF:   18.0,
+	floorplan.KindIntALU: 15.0,
+	floorplan.KindCALU:   24.0,
+	floorplan.KindAGU:    10.0,
+	floorplan.KindFPU:    15.0,
+	floorplan.KindAVX512: 19.0,
+
+	// Memory pipeline.
+	floorplan.KindLQ:   7.0,
+	floorplan.KindSQ:   7.0,
+	floorplan.KindL1D:  0.9,
+	floorplan.KindDTLB: 2.0,
+	floorplan.KindMOB:  2.0,
+	floorplan.KindL2:   0.25,
+
+	// Uncore.
+	floorplan.KindL3:  0.22,
+	floorplan.KindSA:  0.55,
+	floorplan.KindIMC: 3.40,
+	floorplan.KindIO:  1.70,
+}
+
+// PeakDensity14 returns the peak 14 nm dynamic power density for a kind
+// [W/mm²]. Unknown kinds fall back to a modest logic density.
+func PeakDensity14(k floorplan.Kind) float64 {
+	if d, ok := peakDensity14[k]; ok {
+		return d
+	}
+	return 2.0
+}
+
+// Clock-gating floors: the fraction of a unit's peak C_dyn that switches
+// regardless of activity (clock distribution, free-running control).
+const (
+	// ActiveGateFloor applies to cores that are running a workload.
+	ActiveGateFloor = 0.30
+	// IdleGateFloor applies to cores that are clock-gated (C-state).
+	IdleGateFloor = 0.02
+	// UncoreGateFloor applies to the always-on uncore blocks.
+	UncoreGateFloor = 0.10
+)
+
+// CdynCalibration is the global scale applied to the per-kind density
+// budget so the modelled per-workload effective C_dyn lands on the silicon
+// measurements of Table III (the paper similarly calibrates McPAT's C_dyn
+// against industry data). Calibrated so bzip2 at 14 nm ≈ 1.36 nF.
+const CdynCalibration = 1.10
+
+// Leakage constants.
+const (
+	// LeakDensity14 is the leakage power density at 14 nm at the
+	// reference temperature and 1.4 V [W/mm²].
+	LeakDensity14 = 0.28
+	// LeakRefTemp is the temperature at which LeakDensity14 is quoted [°C].
+	LeakRefTemp = 85.0
+	// LeakTempSlope is the exponential temperature scale of leakage [°C]:
+	// leakage roughly doubles every ~28 °C, a standard FinFET-era figure.
+	LeakTempSlope = 40.0
+	// LeakTempCap bounds the temperature fed into the exponential [°C].
+	// Beyond it the compact model is outside its validity range, and an
+	// unthrottled runaway would otherwise diverge numerically; real parts
+	// are long dead (or throttled) before this point.
+	LeakTempCap = 150.0
+)

@@ -1,0 +1,221 @@
+package power
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/tech"
+)
+
+// Model computes per-unit power for a floorplan at an operating point.
+// It is constructed once per simulation; Compute is called every timestep
+// with fresh activities and temperatures.
+type Model struct {
+	fp *floorplan.Floorplan
+	op tech.OperatingPoint
+
+	// peakCdyn is the per-unit effective switching capacitance at full
+	// activity [F], derived from the kind's density budget and the unit's
+	// *baseline* area, then node-scaled. Unit scaling (the mitigation
+	// study) deliberately does NOT increase C_dyn: a scaled unit does the
+	// same work over more silicon, which is the whole point of the
+	// mitigation.
+	peakCdyn map[string]float64
+
+	// leakRef is the per-unit leakage power at LeakRefTemp [W].
+	leakRef map[string]float64
+}
+
+// NewModel builds a power model for the floorplan at the given operating
+// point. Pass tech.TurboPoint for the paper's case study.
+func NewModel(fp *floorplan.Floorplan, op tech.OperatingPoint) (*Model, error) {
+	if op.Voltage <= 0 || op.Frequency <= 0 {
+		return nil, fmt.Errorf("power: invalid operating point %+v", op)
+	}
+	m := &Model{
+		fp:       fp,
+		op:       op,
+		peakCdyn: make(map[string]float64, len(fp.Units)),
+		leakRef:  make(map[string]float64, len(fp.Units)),
+	}
+	node := fp.Node
+	// Baseline (unscaled) plan at the same node provides the areas that
+	// set C_dyn, so that mitigation floorplans keep unit work constant.
+	base, err := floorplan.New(floorplan.Config{Node: node, CoreArea14: fp.Config.CoreArea14})
+	if err != nil {
+		return nil, err
+	}
+	vf := tech.TurboPoint.Voltage * tech.TurboPoint.Voltage * tech.TurboPoint.Frequency
+	for _, u := range fp.Units {
+		baseArea := u.Rect.Area()
+		if bu, ok := base.Unit(u.Name); ok {
+			baseArea = bu.Rect.Area()
+		}
+		// Density budgets are quoted at 14 nm; a unit at node n has
+		// area×AreaScale and C_dyn×CdynScale relative to its 14 nm self.
+		area14 := baseArea / node.AreaScale()
+		peakPower14 := PeakDensity14(u.Kind) * area14 * CdynCalibration
+		m.peakCdyn[u.Name] = peakPower14 / vf * node.CdynScale()
+		// Leakage scales with the *actual* (possibly mitigation-scaled)
+		// silicon area: more transistorless spread area still leaks at
+		// the fill-cell rate, approximated here by full density.
+		m.leakRef[u.Name] = LeakDensity14 * node.LeakageDensityScale() * u.Rect.Area()
+	}
+	return m, nil
+}
+
+// Floorplan returns the floorplan the model was built for.
+func (m *Model) Floorplan() *floorplan.Floorplan { return m.fp }
+
+// Input is the per-timestep input to Compute.
+type Input struct {
+	// CoreActivity holds the per-unit-kind activity of each core; nil
+	// entries mean the core is idle (clock-gated).
+	CoreActivity [floorplan.NumCores]map[floorplan.Kind]float64
+
+	// CoreFloor optionally overrides the clock-gate floor per core
+	// (0 = automatic: ActiveGateFloor for cores with activity,
+	// IdleGateFloor otherwise). A core running rare background bursts
+	// with deep C-states in between sits near IdleGateFloor even though
+	// its activity map is non-nil.
+	CoreFloor [floorplan.NumCores]float64
+
+	// UnitTemp gives each unit's current temperature [°C] for leakage.
+	// Missing units default to TempDefault.
+	UnitTemp map[string]float64
+
+	// TempDefault is used when UnitTemp has no entry [°C]; zero means 45.
+	TempDefault float64
+}
+
+// Result is the per-unit power breakdown of one timestep.
+type Result struct {
+	Dynamic map[string]float64 // [W]
+	Leakage map[string]float64 // [W]
+}
+
+// Total returns dynamic+leakage for a unit.
+func (r Result) Total(unit string) float64 { return r.Dynamic[unit] + r.Leakage[unit] }
+
+// TotalPower sums power over all units [W]. Summation runs in sorted unit
+// order so the result is bit-for-bit reproducible (map iteration order
+// would otherwise perturb the last ulp from run to run).
+func (r Result) TotalPower() float64 {
+	names := make([]string, 0, len(r.Dynamic))
+	for n := range r.Dynamic {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	t := 0.0
+	for _, n := range names {
+		t += r.Dynamic[n] + r.Leakage[n]
+	}
+	return t
+}
+
+// Compute evaluates per-unit dynamic and leakage power for one timestep.
+// Uncore units receive the maximum uncore activity reported by any core
+// (they serve whoever is running).
+func (m *Model) Compute(in Input) Result {
+	res := Result{
+		Dynamic: make(map[string]float64, len(m.fp.Units)),
+		Leakage: make(map[string]float64, len(m.fp.Units)),
+	}
+	tempDefault := in.TempDefault
+	if tempDefault == 0 {
+		tempDefault = 45
+	}
+
+	// Merge uncore activity across cores.
+	uncore := map[floorplan.Kind]float64{}
+	for _, ca := range in.CoreActivity {
+		if ca == nil {
+			continue
+		}
+		for _, k := range floorplan.UncoreKinds() {
+			if v := ca[k]; v > uncore[k] {
+				uncore[k] = v
+			}
+		}
+	}
+
+	vf := m.op.Voltage * m.op.Voltage * m.op.Frequency
+	for _, u := range m.fp.Units {
+		var act, floor float64
+		if u.Core >= 0 {
+			ca := in.CoreActivity[u.Core]
+			if ca == nil {
+				act, floor = 0, IdleGateFloor
+			} else {
+				act, floor = ca[u.Kind], ActiveGateFloor
+			}
+			if f := in.CoreFloor[u.Core]; f > 0 {
+				floor = f
+			}
+		} else {
+			// The uncore never sleeps while the package is on.
+			act, floor = uncore[u.Kind], UncoreGateFloor
+		}
+		eff := floor + (1-floor)*act
+		res.Dynamic[u.Name] = eff * m.peakCdyn[u.Name] * vf
+
+		t, ok := in.UnitTemp[u.Name]
+		if !ok {
+			t = tempDefault
+		}
+		if t > LeakTempCap {
+			t = LeakTempCap
+		}
+		res.Leakage[u.Name] = m.leakRef[u.Name] * math.Exp((t-LeakRefTemp)/LeakTempSlope)
+	}
+	return res
+}
+
+// EffectiveCdyn returns the workload's effective switching capacitance
+// [F] for a single core running with the given activity: the quantity the
+// paper validates against silicon in Table III (dynamic power divided by
+// V²·f, leakage excluded). It includes the active core's units and the
+// workload's share of the uncore it exercises.
+func (m *Model) EffectiveCdyn(core int, activity map[floorplan.Kind]float64) float64 {
+	c := 0.0
+	for _, u := range m.fp.Units {
+		var act, floor float64
+		switch {
+		case u.Core == core:
+			act, floor = activity[u.Kind], ActiveGateFloor
+		case u.Core < 0:
+			act, floor = activity[u.Kind], UncoreGateFloor
+			// The single-core share of the uncore: attribute 1/NumCores
+			// of the always-on uncore to this core, as a per-core power
+			// plane measurement would.
+			c += (floor + (1-floor)*act) * m.peakCdyn[u.Name] / floorplan.NumCores
+			continue
+		default:
+			continue // other cores are not part of this core's power plane
+		}
+		c += (floor + (1-floor)*act) * m.peakCdyn[u.Name]
+	}
+	return c
+}
+
+// CorePower sums a Result over one core's units [W].
+func (m *Model) CorePower(res Result, core int) float64 {
+	p := 0.0
+	for _, u := range m.fp.Units {
+		if u.Core == core {
+			p += res.Total(u.Name)
+		}
+	}
+	return p
+}
+
+// CoreArea returns the core's silicon area [mm²].
+func (m *Model) CoreArea(core int) float64 { return m.fp.CoreRects[core].Area() }
+
+// PowerDensity returns a core's power density [W/mm²] for a Result — the
+// §II-A metric that motivates the whole paper.
+func (m *Model) PowerDensity(res Result, core int) float64 {
+	return m.CorePower(res, core) / m.CoreArea(core)
+}

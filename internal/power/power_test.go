@@ -1,0 +1,263 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/perf"
+	"hotgauge/internal/tech"
+	"hotgauge/internal/workload"
+)
+
+func newModel(t *testing.T, cfg floorplan.Config) *Model {
+	t.Helper()
+	fp, err := floorplan.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(fp, tech.TurboPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func activityFor(t *testing.T, name string, step int) map[floorplan.Kind]float64 {
+	t.Helper()
+	p, err := workload.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := perf.NewIntervalModel(perf.DefaultConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src.Step(step, workload.TimestepCycles).Unit
+}
+
+func TestComputeProducesPowerForEveryUnit(t *testing.T) {
+	m := newModel(t, floorplan.Config{Node: tech.Node14})
+	var in Input
+	in.CoreActivity[0] = activityFor(t, "bzip2", 0)
+	res := m.Compute(in)
+	for _, u := range m.Floorplan().Units {
+		if res.Dynamic[u.Name] <= 0 {
+			t.Errorf("unit %s has non-positive dynamic power", u.Name)
+		}
+		if res.Leakage[u.Name] <= 0 {
+			t.Errorf("unit %s has non-positive leakage", u.Name)
+		}
+	}
+}
+
+func TestActiveCoreDominatesIdleCores(t *testing.T) {
+	m := newModel(t, floorplan.Config{Node: tech.Node7})
+	var in Input
+	in.CoreActivity[3] = activityFor(t, "namd", 0)
+	res := m.Compute(in)
+	active := m.CorePower(res, 3)
+	for c := 0; c < floorplan.NumCores; c++ {
+		if c == 3 {
+			continue
+		}
+		if idle := m.CorePower(res, c); idle > active/3 {
+			t.Fatalf("idle core %d power %.2f W not ≪ active %.2f W", c, idle, active)
+		}
+	}
+}
+
+func TestCorePowerInPlausibleRange(t *testing.T) {
+	// Calibration target: a heavy workload at 14 nm turbo draws roughly
+	// 10-25 W per core; at 7 nm the same workload draws ~0.64×.
+	m14 := newModel(t, floorplan.Config{Node: tech.Node14})
+	var in Input
+	in.CoreActivity[0] = activityFor(t, "bzip2", 0)
+	p14 := m14.CorePower(m14.Compute(in), 0)
+	if p14 < 8 || p14 > 28 {
+		t.Fatalf("14nm bzip2 core power = %.1f W, want 8-28 W", p14)
+	}
+	m7 := newModel(t, floorplan.Config{Node: tech.Node7})
+	p7 := m7.CorePower(m7.Compute(in), 0)
+	ratio := p7 / p14
+	if ratio < 0.55 || ratio > 0.85 {
+		t.Fatalf("7nm/14nm core power ratio = %.2f, want ≈ 0.64 (dynamic) + leakage effects", ratio)
+	}
+}
+
+func TestPowerDensityMatchesSection2A(t *testing.T) {
+	// §II-A: power density ≳ 8 W/mm² at 7 nm for bzip2, roughly 2× what
+	// Dennard scaling would have predicted from the 14 nm baseline.
+	m7 := newModel(t, floorplan.Config{Node: tech.Node7})
+	m14 := newModel(t, floorplan.Config{Node: tech.Node14})
+	var in Input
+	in.CoreActivity[0] = activityFor(t, "bzip2", 0)
+	d7 := m7.PowerDensity(m7.Compute(in), 0)
+	d14 := m14.PowerDensity(m14.Compute(in), 0)
+	if d7 < 6 || d7 > 12 {
+		t.Fatalf("7nm bzip2 power density = %.1f W/mm², want ≈ 8", d7)
+	}
+	if r := d7 / d14; r < 2.0 || r > 3.2 {
+		t.Fatalf("7nm/14nm density ratio = %.2f, want ≈ 2.56", r)
+	}
+}
+
+func TestLeakageGrowsExponentiallyWithTemperature(t *testing.T) {
+	m := newModel(t, floorplan.Config{Node: tech.Node7})
+	var in Input
+	in.CoreActivity[0] = activityFor(t, "gcc", 0)
+	in.TempDefault = 45
+	cold := m.Compute(in)
+	in.TempDefault = 45 + LeakTempSlope // one e-fold hotter
+	hot := m.Compute(in)
+	for _, u := range m.Floorplan().Units {
+		r := hot.Leakage[u.Name] / cold.Leakage[u.Name]
+		if math.Abs(r-math.E) > 1e-6 {
+			t.Fatalf("unit %s leakage ratio = %v, want e", u.Name, r)
+		}
+		if hot.Dynamic[u.Name] != cold.Dynamic[u.Name] {
+			t.Fatalf("dynamic power of %s changed with temperature", u.Name)
+		}
+	}
+}
+
+func TestUnitTemperatureOverridesDefault(t *testing.T) {
+	m := newModel(t, floorplan.Config{Node: tech.Node7})
+	var in Input
+	in.CoreActivity[0] = activityFor(t, "gcc", 0)
+	in.UnitTemp = map[string]float64{"core0.cALU": 120}
+	in.TempDefault = 45
+	res := m.Compute(in)
+	var calu0, calu1 float64
+	for _, u := range m.Floorplan().Units {
+		switch u.Name {
+		case "core0.cALU":
+			calu0 = res.Leakage[u.Name]
+		case "core1.cALU":
+			calu1 = res.Leakage[u.Name]
+		}
+	}
+	if calu0 <= calu1 {
+		t.Fatalf("hot unit leakage %.3g not above cool unit %.3g", calu0, calu1)
+	}
+}
+
+func TestUnitScalingReducesPowerDensityOnlyOfTarget(t *testing.T) {
+	// The §V-A premise: scaling a unit's area by k divides its power
+	// density by ≈k while its total (dynamic) power stays constant.
+	base := newModel(t, floorplan.Config{Node: tech.Node7})
+	scaled := newModel(t, floorplan.Config{Node: tech.Node7,
+		KindScale: map[floorplan.Kind]float64{floorplan.KindFpIWin: 10}})
+	var in Input
+	in.CoreActivity[0] = activityFor(t, "milc", 0)
+	rb, rs := base.Compute(in), scaled.Compute(in)
+
+	bu, _ := base.Floorplan().Unit("core0.fpIWin")
+	su, _ := scaled.Floorplan().Unit("core0.fpIWin")
+	if math.Abs(rs.Dynamic["core0.fpIWin"]/rb.Dynamic["core0.fpIWin"]-1) > 1e-9 {
+		t.Fatal("dynamic power changed under area scaling")
+	}
+	db := rb.Dynamic["core0.fpIWin"] / bu.Area()
+	ds := rs.Dynamic["core0.fpIWin"] / su.Area()
+	if r := db / ds; math.Abs(r-10) > 0.1 {
+		t.Fatalf("density reduction = %.2f, want 10", r)
+	}
+}
+
+func TestHotUnitsHaveHighestPowerDensity(t *testing.T) {
+	// Fig. 12 prerequisite: the paper's hotspot units must be the densest.
+	m := newModel(t, floorplan.Config{Node: tech.Node7})
+	var in Input
+	in.CoreActivity[0] = activityFor(t, "gcc", 0)
+	res := m.Compute(in)
+	density := func(name string) float64 {
+		u, ok := m.Floorplan().Unit(name)
+		if !ok {
+			t.Fatalf("no unit %s", name)
+		}
+		return res.Total(name) / u.Area()
+	}
+	hot := density("core0.cALU")
+	for _, cool := range []string{"core0.L2", "core0.L1D", "L3_0", "SA"} {
+		if density(cool) >= hot {
+			t.Errorf("%s density %.2f ≥ cALU density %.2f", cool, density(cool), hot)
+		}
+	}
+}
+
+func TestEffectiveCdynValidationMatchesPaper(t *testing.T) {
+	rows14, avg14, err := ValidateCdyn(tech.Node14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows14) != 5 {
+		t.Fatalf("got %d validation rows", len(rows14))
+	}
+	// Paper: 11% average error at 14 nm; require same ballpark.
+	if avg14 > 0.16 {
+		t.Fatalf("14nm avg |error| = %.0f%%, want ≤ 16%%", avg14*100)
+	}
+	_, avg10, err := ValidateCdyn(tech.Node10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg10 > 0.28 {
+		t.Fatalf("10nm avg |error| = %.0f%%, want ≤ 28%%", avg10*100)
+	}
+	if avg10 < avg14 {
+		t.Fatal("10nm error should exceed 14nm error (different µarch silicon)")
+	}
+	if _, _, err := ValidateCdyn(tech.Node7); err == nil {
+		t.Fatal("7nm validation should fail: no silicon reference exists")
+	}
+}
+
+func TestTotalPowerAndTotalAgree(t *testing.T) {
+	m := newModel(t, floorplan.Config{Node: tech.Node14})
+	var in Input
+	in.CoreActivity[2] = activityFor(t, "hmmer", 0)
+	res := m.Compute(in)
+	sum := 0.0
+	for _, u := range m.Floorplan().Units {
+		sum += res.Total(u.Name)
+	}
+	if math.Abs(sum-res.TotalPower()) > 1e-9 {
+		t.Fatalf("TotalPower %.3f != unit sum %.3f", res.TotalPower(), sum)
+	}
+}
+
+func TestNewModelRejectsBadOperatingPoint(t *testing.T) {
+	fp, _ := floorplan.New(floorplan.Config{Node: tech.Node14})
+	if _, err := NewModel(fp, tech.OperatingPoint{}); err == nil {
+		t.Fatal("zero operating point accepted")
+	}
+}
+
+func TestAllIdleDieIsLowPower(t *testing.T) {
+	m := newModel(t, floorplan.Config{Node: tech.Node7})
+	res := m.Compute(Input{TempDefault: 40})
+	if p := res.TotalPower(); p > 8 {
+		t.Fatalf("fully idle die draws %.1f W, want a few watts at most", p)
+	}
+}
+
+func TestLeakageClampedAtValidityLimit(t *testing.T) {
+	// Beyond the model's validity range leakage must saturate (otherwise
+	// an unthrottled thermal runaway diverges numerically).
+	m := newModel(t, floorplan.Config{Node: tech.Node7})
+	var in Input
+	in.CoreActivity[0] = activityFor(t, "namd", 0)
+	in.TempDefault = LeakTempCap
+	capRes := m.Compute(in)
+	in.TempDefault = 400
+	hotRes := m.Compute(in)
+	for _, u := range m.Floorplan().Units {
+		if hotRes.Leakage[u.Name] != capRes.Leakage[u.Name] {
+			t.Fatalf("unit %s leakage not clamped: %v vs %v",
+				u.Name, hotRes.Leakage[u.Name], capRes.Leakage[u.Name])
+		}
+		if math.IsInf(hotRes.Leakage[u.Name], 0) || math.IsNaN(hotRes.Leakage[u.Name]) {
+			t.Fatalf("unit %s leakage not finite", u.Name)
+		}
+	}
+}

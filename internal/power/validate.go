@@ -1,0 +1,82 @@
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/perf"
+	"hotgauge/internal/tech"
+	"hotgauge/internal/workload"
+)
+
+// SiliconCdyn holds the per-workload C_dyn values the paper measured on
+// real parts with the Intel Thermal Analysis Tool (Table III): an
+// i5-10310U (14 nm) and an i7-1165G7 (10 nm SuperFin). Units: nF.
+var SiliconCdyn = map[string]struct{ NF14, NF10 float64 }{
+	"bzip2":   {1.33, 1.32},
+	"gcc":     {1.51, 1.80},
+	"omnetpp": {1.16, 0.99},
+	"povray":  {1.87, 1.87},
+	"hmmer":   {1.52, 1.49},
+}
+
+// ValidationRow is one Table III row: modelled vs silicon C_dyn.
+type ValidationRow struct {
+	Workload  string
+	SiliconNF float64 // measured silicon C_dyn [nF]
+	ModelNF   float64 // our model's effective C_dyn [nF]
+	Error     float64 // signed relative error
+}
+
+// ValidateCdyn reproduces the Table III validation for one node: it runs
+// each validation workload through the performance model, evaluates the
+// power model's effective C_dyn, and compares against the published
+// silicon measurement. The returned absolute-average error is the
+// figure of merit (the paper reports 11 % at 14 nm and 20 % at 10 nm).
+func ValidateCdyn(node tech.Node) ([]ValidationRow, float64, error) {
+	if node != tech.Node14 && node != tech.Node10 {
+		return nil, 0, fmt.Errorf("power: no silicon reference for %v", node)
+	}
+	fp, err := floorplan.New(floorplan.Config{Node: node})
+	if err != nil {
+		return nil, 0, err
+	}
+	model, err := NewModel(fp, tech.TurboPoint)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := perf.DefaultConfig()
+
+	var rows []ValidationRow
+	sumAbs := 0.0
+	for _, prof := range workload.ValidationSet() {
+		src, err := perf.NewIntervalModel(cfg, prof)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Average activity over several timesteps of the phase schedule.
+		const steps = 12
+		cd := 0.0
+		for s := 0; s < steps; s++ {
+			act := src.Step(s, workload.TimestepCycles)
+			cd += model.EffectiveCdyn(0, act.Unit)
+		}
+		cd /= steps
+
+		si := SiliconCdyn[prof.Name]
+		ref := si.NF14
+		if node == tech.Node10 {
+			ref = si.NF10
+		}
+		row := ValidationRow{
+			Workload:  prof.Name,
+			SiliconNF: ref,
+			ModelNF:   cd * 1e9,
+			Error:     (cd*1e9 - ref) / ref,
+		}
+		rows = append(rows, row)
+		sumAbs += math.Abs(row.Error)
+	}
+	return rows, sumAbs / float64(len(rows)), nil
+}

@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Campaign runs a batch of configurations in parallel across CPUs,
+// preserving result order. The first error aborts nothing (independent
+// runs continue) but is reported.
+func Campaign(cfgs []Config) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("sim: run %d (%s on core %d): %w",
+				i, cfgs[i].Workload.Name, cfgs[i].Core, err)
+		}
+	}
+	return results, nil
+}

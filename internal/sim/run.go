@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"hotgauge/internal/core"
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/geometry"
+	"hotgauge/internal/perf"
+	"hotgauge/internal/power"
+	"hotgauge/internal/stats"
+	"hotgauge/internal/tech"
+	"hotgauge/internal/thermal"
+)
+
+// Result is everything a run produced.
+type Result struct {
+	Config Config
+
+	// StepsRun is how many timesteps actually executed (≤ Config.Steps
+	// when StopAtHotspot fired).
+	StepsRun int
+
+	// TUH is the time until the first hotspot [s]; +Inf if none occurred.
+	TUH float64
+	// TUHStep is the 0-based step index of the first hotspot (-1 if none).
+	TUHStep int
+	// FirstHotspots are the hotspots of the first affected frame.
+	FirstHotspots []core.Hotspot
+
+	// Per-step series (always recorded; cheap).
+	MaxTemp  []float64 // max junction temperature per step [°C]
+	MeanTemp []float64 // mean junction temperature per step [°C]
+	Power    []float64 // total die power per step [W]
+	IPC      []float64 // workload IPC per step
+
+	// Optional series per RecordOptions.
+	MLTD        []float64    // die max MLTD per step [°C]
+	Severity    []float64    // die peak severity per step
+	TempPcts    [][5]float64 // per-step die temperature percentiles
+	DeltaHist   *stats.Histogram
+	Fields      []*geometry.Field // sampled junction frames
+	FieldSteps  []int             // step index of each sampled frame
+	FinalField  *geometry.Field   // last junction frame
+	HotspotUnit map[floorplan.Kind]int
+	// UnitSeverity holds per-step unit-local severity series for the
+	// units requested in Record.UnitSeverity.
+	UnitSeverity map[string][]float64
+	InitialTemp  float64 // mean junction temperature at t=0 [°C]
+
+	// Controller traces (recorded only when a Controller is set).
+	ThrottleTrace []float64 // applied throttle per step
+	CoreTrace     []int     // core running the primary workload per step
+}
+
+// SevRMS returns the RMS of the recorded severity series (§V-B).
+func (r *Result) SevRMS() float64 { return stats.RMS(r.Severity) }
+
+// Run executes one co-simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	fp, err := floorplan.New(cfg.Floorplan)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := power.NewModel(fp, tech.TurboPoint)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := thermal.NewGrid(fp.Die, cfg.Resolution, cfg.Stack, cfg.SinkConductance, cfg.Ambient)
+	if err != nil {
+		return nil, err
+	}
+	src, err := cfg.newSource()
+	if err != nil {
+		return nil, err
+	}
+	proto := geometry.NewField(grid.NX, grid.NY, cfg.Resolution)
+	analyzer, err := core.NewAnalyzer(proto, cfg.Definition)
+	if err != nil {
+		return nil, err
+	}
+	raster := newRasterCache(fp, grid.NX, grid.NY, cfg.Resolution)
+
+	state, err := initialState(cfg, fp, pm, grid, raster)
+	if err != nil {
+		return nil, err
+	}
+
+	// Secondary multi-programmed workloads, one source per assigned core.
+	secondary := map[int]perf.Source{}
+	for c, prof := range cfg.Assignments {
+		s, err := (&Config{Workload: prof, UseCycleModel: cfg.UseCycleModel}).newSource()
+		if err != nil {
+			return nil, err
+		}
+		secondary[c] = s
+	}
+
+	res := &Result{Config: cfg, TUH: math.Inf(1), TUHStep: -1, InitialTemp: grid.MeanTemp(state)}
+	if cfg.Record.CellDeltas {
+		res.DeltaHist, _ = stats.NewHistogram(-5, 5, 200)
+	}
+	if cfg.Record.HotspotUnits {
+		res.HotspotUnit = map[floorplan.Kind]int{}
+	}
+	if len(cfg.Record.UnitSeverity) > 0 {
+		res.UnitSeverity = map[string][]float64{}
+		for _, name := range cfg.Record.UnitSeverity {
+			if _, ok := fp.Unit(name); !ok {
+				return nil, fmt.Errorf("sim: unknown unit %q in Record.UnitSeverity", name)
+			}
+			res.UnitSeverity[name] = nil
+		}
+	}
+
+	idle := perf.IdleActivity(perf.DefaultConfig()).Unit
+	prevField := grid.ActiveField(state)
+	powerField := geometry.NewField(grid.NX, grid.NY, cfg.Resolution)
+
+	curCore := cfg.Core
+	throttle := 1.0
+	for step := 0; step < cfg.Steps; step++ {
+		act := src.Step(step, cfg.CyclesPerStep)
+		if throttle < 1 {
+			act = scaleActivity(act, throttle)
+		}
+
+		// Assemble per-core activity: the pinned core runs the (possibly
+		// throttled) primary workload, assigned cores run their own
+		// workloads, and the rest run OS background noise with deep
+		// C-states. A *stalled* core still burns its full clock floor,
+		// but a core whose workload is mostly descheduled (low phase
+		// intensity) drops into C-states between bursts, so its floor
+		// scales with duty until it saturates at the active floor.
+		floorFor := func(intensity float64) float64 {
+			duty := math.Min(1, intensity/0.5)
+			return power.IdleGateFloor + (power.ActiveGateFloor-power.IdleGateFloor)*duty
+		}
+		var in power.Input
+		for c := 0; c < floorplan.NumCores; c++ {
+			switch {
+			case c == curCore:
+				in.CoreActivity[c] = act.Unit
+				in.CoreFloor[c] = floorFor(cfg.Workload.ParamsAt(step).Intensity * throttle)
+			case secondary[c] != nil:
+				sAct := secondary[c].Step(step, cfg.CyclesPerStep)
+				prof := cfg.Assignments[c]
+				in.CoreActivity[c] = sAct.Unit
+				in.CoreFloor[c] = floorFor(prof.ParamsAt(step).Intensity)
+			default:
+				in.CoreActivity[c] = idle
+				in.CoreFloor[c] = power.IdleGateFloor
+			}
+		}
+		in.TempDefault = cfg.Ambient
+		if !cfg.DisableLeakageFeedback {
+			in.UnitTemp = raster.unitMeans(grid, state)
+		}
+		pr := pm.Compute(in)
+
+		// Rasterize unit powers onto the active layer.
+		for i := range powerField.Data {
+			powerField.Data[i] = 0
+		}
+		raster.inject(powerField, pr)
+
+		if err := cfg.Solver.Step(grid, state, powerField, Timestep); err != nil {
+			return nil, err
+		}
+		field := grid.ActiveField(state)
+
+		if cfg.Controller != nil {
+			res.ThrottleTrace = append(res.ThrottleTrace, throttle)
+			res.CoreTrace = append(res.CoreTrace, curCore)
+			d := cfg.Controller.Control(step, field, curCore)
+			if d.Throttle > 0 {
+				throttle = math.Min(d.Throttle, 1)
+			} else {
+				throttle = 1
+			}
+			if t := d.MigrateTo; t >= 0 && t < floorplan.NumCores && t != curCore && secondary[t] == nil {
+				curCore = t
+			}
+		}
+
+		// Per-step series.
+		maxT, _, _ := field.Max()
+		res.MaxTemp = append(res.MaxTemp, maxT)
+		res.MeanTemp = append(res.MeanTemp, field.Mean())
+		res.Power = append(res.Power, pr.TotalPower())
+		res.IPC = append(res.IPC, act.Counters.IPC())
+		if cfg.Record.MLTD {
+			res.MLTD = append(res.MLTD, analyzer.MaxMLTD(field))
+		}
+		if cfg.Record.Severity {
+			res.Severity = append(res.Severity, analyzer.MaxSeverity(field))
+		}
+		if cfg.Record.TempPercentiles {
+			p := stats.Percentiles(field.Data, 5, 25, 50, 75, 95)
+			res.TempPcts = append(res.TempPcts, [5]float64{p[0], p[1], p[2], p[3], p[4]})
+		}
+		if cfg.Record.CellDeltas {
+			for i := range field.Data {
+				res.DeltaHist.Add(field.Data[i] - prevField.Data[i])
+			}
+		}
+		for _, name := range cfg.Record.UnitSeverity {
+			res.UnitSeverity[name] = append(res.UnitSeverity[name],
+				unitSeverity(fp, analyzer, field, name))
+		}
+		if cfg.Record.FieldEvery > 0 && step%cfg.Record.FieldEvery == 0 {
+			res.Fields = append(res.Fields, field.Clone())
+			res.FieldSteps = append(res.FieldSteps, step)
+		}
+
+		// Hotspot detection.
+		needDetect := cfg.StopAtHotspot || cfg.Record.HotspotUnits || res.TUHStep < 0
+		if needDetect {
+			hs := analyzer.Detect(field)
+			if len(hs) > 0 {
+				if res.TUHStep < 0 {
+					res.TUHStep = step
+					res.TUH = float64(step+1) * Timestep
+					res.FirstHotspots = hs
+				}
+				if cfg.Record.HotspotUnits {
+					for _, h := range hs {
+						if u, ok := fp.UnitAt(h.X, h.Y); ok {
+							res.HotspotUnit[u.Kind]++
+						}
+					}
+				}
+				if cfg.StopAtHotspot {
+					res.StepsRun = step + 1
+					res.FinalField = field
+					return res, nil
+				}
+			}
+		}
+		prevField = field
+		res.StepsRun = step + 1
+	}
+	res.FinalField = prevField
+	return res, nil
+}
+
+// initialState prepares the thermal state for the configured warmup mode.
+func initialState(cfg Config, fp *floorplan.Floorplan, pm *power.Model, grid *thermal.Grid, raster *rasterCache) (*thermal.State, error) {
+	state := grid.NewState(cfg.Ambient)
+	if cfg.Warmup == WarmupCold {
+		return state, nil
+	}
+	// Idle warmup: steady state under the idle background-task power on
+	// every core (OS noise, recently descheduled work), giving the
+	// non-uniform initial condition the paper adds to 3D-ICE. Background
+	// cores duty-cycle between short bursts and C-states: a light clock
+	// floor above the deep-idle one.
+	const backgroundFloor = 0.02
+	idle := perf.IdleActivity(perf.DefaultConfig()).Unit
+	var in power.Input
+	for c := 0; c < floorplan.NumCores; c++ {
+		in.CoreActivity[c] = idle
+		in.CoreFloor[c] = backgroundFloor
+	}
+	in.TempDefault = cfg.Ambient + 10 // mild leakage estimate for warm idle silicon
+	pr := pm.Compute(in)
+	pf := geometry.NewField(grid.NX, grid.NY, cfg.Resolution)
+	raster.inject(pf, pr)
+	if err := thermal.WarmStart(grid, state, pf); err != nil {
+		return nil, err
+	}
+	if _, err := thermal.SolveSteady(grid, state, pf, 1e-4, 0); err != nil {
+		return nil, err
+	}
+
+	return state, nil
+}
+
+// scaleActivity returns a copy of the activity with every per-unit factor
+// multiplied by k — the DVFS-like effect of a Controller throttle.
+func scaleActivity(a perf.Activity, k float64) perf.Activity {
+	out := perf.Activity{Counters: a.Counters, Unit: make(map[floorplan.Kind]float64, len(a.Unit))}
+	for kind, v := range a.Unit {
+		out.Unit[kind] = v * k
+	}
+	return out
+}
+
+// unitSeverity evaluates the unit-local hotspot severity: the maximum of
+// sev(T, MLTD) over the central region of the unit (the central half in
+// each dimension). The central region is where the unit's own switching
+// power concentrates; edge cells mostly report the neighbours'
+// temperature, which would mask the effect of scaling the unit itself.
+func unitSeverity(fp *floorplan.Floorplan, analyzer *core.Analyzer, field *geometry.Field, name string) float64 {
+	u, ok := fp.Unit(name)
+	if !ok {
+		return 0
+	}
+	best := 0.0
+	r := u.Rect.ScaledAbout(0.5)
+	if r.W < field.Dx || r.H < field.Dx {
+		r = u.Rect // tiny units: use the whole rect
+	}
+	ix0, iy0, _ := field.CellAt(r.X+1e-9, r.Y+1e-9)
+	ix1, iy1, _ := field.CellAt(r.MaxX()-1e-9, r.MaxY()-1e-9)
+	for iy := max(iy0, 0); iy <= min(iy1, field.NY-1); iy++ {
+		for ix := max(ix0, 0); ix <= min(ix1, field.NX-1); ix++ {
+			if s := core.Severity(field.At(ix, iy), analyzer.MLTDAt(field, ix, iy)); s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,235 @@
+// Package stats provides the summary statistics the paper's evaluation
+// uses: percentiles and box-whisker summaries (Figs. 10-11), histograms
+// and temperature-delta distributions (Figs. 2 and 8), and the RMS
+// aggregation of severity time series (§V-B).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between order statistics. It copies and sorts internally.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Percentiles evaluates several percentiles with a single sort.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, p := range ps {
+		out[i] = percentileSorted(s, p)
+	}
+	return out
+}
+
+// Box is a five-number box-and-whisker summary (Fig. 11's plot elements:
+// the box spans Q1..Q3, whiskers span min..max).
+type Box struct {
+	N                        int
+	Min, Q1, Median, Q3, Max float64
+}
+
+// BoxOf summarizes xs.
+func BoxOf(xs []float64) Box {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Box{N: 0, Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Box{
+		N:      len(s),
+		Min:    s[0],
+		Q1:     percentileSorted(s, 25),
+		Median: percentileSorted(s, 50),
+		Q3:     percentileSorted(s, 75),
+		Max:    s[len(s)-1],
+	}
+}
+
+// IQR returns the interquartile range.
+func (b Box) IQR() float64 { return b.Q3 - b.Q1 }
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation.
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, v := range xs {
+		s += (v - m) * (v - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// RMS returns the root mean square of xs — the §V-B aggregation of
+// sev(t), chosen because it weights high-severity intervals more than
+// proportionally (1 ms at severity X is worse than 2 ms at X/2).
+func RMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Deltas returns successive differences xs[i+1]−xs[i]: the per-timestep
+// temperature deltas whose distribution Fig. 2 compares across nodes.
+func Deltas(xs []float64) []float64 {
+	if len(xs) < 2 {
+		return nil
+	}
+	out := make([]float64, len(xs)-1)
+	for i := range out {
+		out[i] = xs[i+1] - xs[i]
+	}
+	return out
+}
+
+// Histogram is a fixed-range linear-bin histogram. Values outside the
+// range clamp into the end bins so mass is never lost.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram builds a histogram over [lo, hi) with the given bin count.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 || hi <= lo {
+		return nil, fmt.Errorf("stats: invalid histogram range [%v,%v)/%d", lo, hi, bins)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records a value.
+func (h *Histogram) Add(v float64) {
+	bin := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(h.Counts) {
+		bin = len(h.Counts) - 1
+	}
+	h.Counts[bin]++
+	h.total++
+}
+
+// AddAll records every value of xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, v := range xs {
+		h.Add(v)
+	}
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Normalized returns bin frequencies summing to 1 (all zeros when empty).
+func (h *Histogram) Normalized() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// Peak returns the center and frequency of the most populated bin.
+func (h *Histogram) Peak() (center, freq float64) {
+	best, bi := -1, 0
+	for i, c := range h.Counts {
+		if c > best {
+			best, bi = c, i
+		}
+	}
+	if h.total == 0 {
+		return h.BinCenter(bi), 0
+	}
+	return h.BinCenter(bi), float64(best) / float64(h.total)
+}
+
+// Spread returns the value range covering the central `frac` of mass
+// (e.g. 0.98 gives a robust width measure of the distribution — the
+// Fig. 2 "variance widening" comparison).
+func (h *Histogram) Spread(frac float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	tail := (1 - frac) / 2
+	loCut := int(math.Ceil(tail * float64(h.total)))
+	hiCut := h.total - loCut
+	cum := 0
+	lo, hi := h.Lo, h.Hi
+	for i, c := range h.Counts {
+		prev := cum
+		cum += c
+		if prev < loCut && cum >= loCut {
+			lo = h.BinCenter(i)
+		}
+		if prev < hiCut && cum >= hiCut {
+			hi = h.BinCenter(i)
+			break
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,312 @@
+// Package svg renders experiment results as standalone SVG figures —
+// heatmaps, line charts, bar charts and box plots — using only the
+// standard library. cmd/hotgauge-experiments writes these next to the
+// text reports so every paper figure has a graphical counterpart.
+package svg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hotgauge/internal/geometry"
+	"hotgauge/internal/stats"
+)
+
+// Canvas geometry shared by the chart types.
+const (
+	chartW   = 720
+	chartH   = 440
+	marginL  = 70
+	marginR  = 24
+	marginT  = 46
+	marginB  = 58
+	plotW    = chartW - marginL - marginR
+	plotH    = chartH - marginT - marginB
+	fontFace = "font-family=\"Helvetica,Arial,sans-serif\""
+)
+
+// palette cycles through distinguishable series colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#17becf", "#7f7f7f", "#bcbd22", "#e377c2",
+}
+
+// header opens an SVG document.
+func header(w, h int) string {
+	return fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		w, h, w, h) + fmt.Sprintf(`<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+}
+
+// esc escapes XML-special characters in text content.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func title(b *strings.Builder, text string) {
+	fmt.Fprintf(b, `<text x="%d" y="24" font-size="16" %s font-weight="bold">%s</text>`+"\n",
+		marginL, fontFace, esc(text))
+}
+
+// niceTicks returns ~n rounded tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for span/step > float64(n)*2 {
+		step *= 2
+	}
+	for span/step > float64(n) {
+		step *= 2.5
+		if span/step <= float64(n) {
+			break
+		}
+	}
+	var ticks []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+1e-12; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// axes draws the plot frame, ticks, and axis labels.
+func axes(b *strings.Builder, xlo, xhi, ylo, yhi float64, xlabel, ylabel string) (xmap, ymap func(float64) float64) {
+	xmap = func(v float64) float64 {
+		return marginL + (v-xlo)/(xhi-xlo)*float64(plotW)
+	}
+	ymap = func(v float64) float64 {
+		return marginT + float64(plotH) - (v-ylo)/(yhi-ylo)*float64(plotH)
+	}
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+	for _, t := range niceTicks(xlo, xhi, 8) {
+		x := xmap(t)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#333"/>`+"\n",
+			x, marginT+plotH, x, marginT+plotH+5)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="11" %s text-anchor="middle">%s</text>`+"\n",
+			x, marginT+plotH+18, fontFace, formatTick(t))
+	}
+	for _, t := range niceTicks(ylo, yhi, 6) {
+		y := ymap(t)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#333"/>`+"\n",
+			marginL-5, y, marginL, y)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#eee"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="11" %s text-anchor="end">%s</text>`+"\n",
+			marginL-8, y+4, fontFace, formatTick(t))
+	}
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="13" %s text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, chartH-14, fontFace, esc(xlabel))
+	fmt.Fprintf(b, `<text x="18" y="%d" font-size="13" %s text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`+"\n",
+		marginT+plotH/2, fontFace, marginT+plotH/2, esc(ylabel))
+	return xmap, ymap
+}
+
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// Series is one line of a line chart.
+type Series struct {
+	Label string
+	X     []float64 // nil means 0..len(Y)-1
+	Y     []float64
+}
+
+// Lines renders a multi-series line chart.
+func Lines(name, xlabel, ylabel string, series []Series) string {
+	var b strings.Builder
+	b.WriteString(header(chartW, chartH))
+	title(&b, name)
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i, v := range s.Y {
+			x := float64(i)
+			if s.X != nil {
+				x = s.X[i]
+			}
+			xlo, xhi = math.Min(xlo, x), math.Max(xhi, x)
+			ylo, yhi = math.Min(ylo, v), math.Max(yhi, v)
+		}
+	}
+	if math.IsInf(xlo, 1) {
+		xlo, xhi, ylo, yhi = 0, 1, 0, 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+	pad := (yhi - ylo) * 0.05
+	xmap, ymap := axes(&b, xlo, xhi, ylo-pad, yhi+pad, xlabel, ylabel)
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i, v := range s.Y {
+			x := float64(i)
+			if s.X != nil {
+				x = s.X[i]
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xmap(x), ymap(v)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		// Legend entry.
+		ly := marginT + 14 + 16*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			marginL+plotW-150, ly, marginL+plotW-130, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" %s>%s</text>`+"\n",
+			marginL+plotW-124, ly+4, fontFace, esc(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Bars renders a labeled horizontal bar chart.
+func Bars(name, xlabel string, labels []string, values []float64) string {
+	var b strings.Builder
+	h := marginT + marginB + 22*len(values)
+	b.WriteString(header(chartW, h))
+	title(&b, name)
+	maxV := 0.0
+	for _, v := range values {
+		maxV = math.Max(maxV, v)
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	for i, v := range values {
+		y := marginT + 22*i
+		w := v / maxV * float64(plotW-140)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" %s text-anchor="end">%s</text>`+"\n",
+			marginL+70, y+14, fontFace, esc(labels[i]))
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="16" fill="%s"/>`+"\n",
+			marginL+78, y+2, w, palette[0])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" %s>%s</text>`+"\n",
+			float64(marginL+84)+w, y+14, fontFace, formatTick(v))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" %s text-anchor="middle">%s</text>`+"\n",
+		chartW/2, h-14, fontFace, esc(xlabel))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// BoxPlot renders box-whisker summaries, optionally on a log10 y axis
+// (the paper's Fig. 10/11 TUH plots are log scale).
+func BoxPlot(name, ylabel string, labels []string, boxes []stats.Box, logY bool) string {
+	var b strings.Builder
+	w := marginL + marginR + max(28*len(boxes), plotW)
+	b.WriteString(header(w, chartH))
+	title(&b, name)
+	tx := func(v float64) float64 {
+		if logY {
+			return math.Log10(v)
+		}
+		return v
+	}
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, bx := range boxes {
+		if bx.N == 0 {
+			continue
+		}
+		ylo = math.Min(ylo, tx(bx.Min))
+		yhi = math.Max(yhi, tx(bx.Max))
+	}
+	if math.IsInf(ylo, 1) {
+		ylo, yhi = 0, 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+	pad := (yhi - ylo) * 0.06
+	_, ymap := axes(&b, 0, float64(len(boxes)), ylo-pad, yhi+pad, "", ylabel+logSuffix(logY))
+	step := float64(w-marginL-marginR) / float64(len(boxes))
+	for i, bx := range boxes {
+		if bx.N == 0 {
+			continue
+		}
+		cx := float64(marginL) + step*(float64(i)+0.5)
+		boxW := math.Min(step*0.6, 22)
+		q1, q3 := ymap(tx(bx.Q1)), ymap(tx(bx.Q3))
+		med := ymap(tx(bx.Median))
+		lo, hi := ymap(tx(bx.Min)), ymap(tx(bx.Max))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n", cx, lo, cx, hi)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.55" stroke="#333"/>`+"\n",
+			cx-boxW/2, q3, boxW, math.Max(q1-q3, 1), palette[0])
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#111" stroke-width="2"/>`+"\n",
+			cx-boxW/2, med, cx+boxW/2, med)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="9" %s text-anchor="end" transform="rotate(-45 %.1f %d)">%s</text>`+"\n",
+			cx, marginT+plotH+14, fontFace, cx, marginT+plotH+14, esc(labels[i]))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func logSuffix(logY bool) string {
+	if logY {
+		return " (log10)"
+	}
+	return ""
+}
+
+// Heatmap renders a temperature field as an SVG raster with a
+// blue-to-red color scale and a labeled color bar.
+func Heatmap(name string, f *geometry.Field) string {
+	cell := math.Min(float64(plotW)/float64(f.NX), float64(plotH)/float64(f.NY))
+	w := marginL + marginR + int(cell*float64(f.NX)) + 70
+	h := marginT + marginB + int(cell*float64(f.NY))
+	var b strings.Builder
+	b.WriteString(header(w, h))
+	title(&b, name)
+	lo, _, _ := f.Min()
+	hi, _, _ := f.Max()
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	for iy := 0; iy < f.NY; iy++ {
+		for ix := 0; ix < f.NX; ix++ {
+			q := (f.At(ix, iy) - lo) / span
+			x := float64(marginL) + float64(ix)*cell
+			y := float64(marginT) + float64(f.NY-1-iy)*cell
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.2f" height="%.2f" fill="%s"/>`+"\n",
+				x, y, cell+0.2, cell+0.2, heatColor(q))
+		}
+	}
+	// Color bar.
+	barX := marginL + int(cell*float64(f.NX)) + 16
+	barH := int(cell * float64(f.NY))
+	for i := 0; i < barH; i++ {
+		q := 1 - float64(i)/float64(barH-1)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="14" height="1.5" fill="%s"/>`+"\n",
+			barX, marginT+i, heatColor(q))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" %s>%.0fC</text>`+"\n", barX+18, marginT+10, fontFace, hi)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" %s>%.0fC</text>`+"\n", barX+18, marginT+barH, fontFace, lo)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// heatColor maps q in [0,1] to a blue→yellow→red ramp.
+func heatColor(q float64) string {
+	q = math.Max(0, math.Min(1, q))
+	var r, g, bl float64
+	switch {
+	case q < 0.5:
+		t := q / 0.5 // blue → yellow
+		r = t
+		g = 0.3 + 0.7*t
+		bl = 1 - t
+	default:
+		t := (q - 0.5) / 0.5 // yellow → red
+		r = 1
+		g = 1 - t
+		bl = 0
+	}
+	return fmt.Sprintf("#%02x%02x%02x", int(r*255), int(g*255), int(bl*255))
+}

@@ -1,0 +1,115 @@
+package svg
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"hotgauge/internal/geometry"
+	"hotgauge/internal/stats"
+)
+
+// wellFormed checks the output parses as XML.
+func wellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("not well-formed XML: %v\n%s", err, doc[:min(len(doc), 400)])
+		}
+	}
+}
+
+func TestLinesChart(t *testing.T) {
+	doc := Lines("MLTD over time", "time [ms]", "MLTD [C]", []Series{
+		{Label: "7nm", Y: []float64{10, 20, 30, 35}},
+		{Label: "14nm & friends", Y: []float64{5, 10, 15, 18}},
+	})
+	wellFormed(t, doc)
+	if !strings.Contains(doc, "polyline") {
+		t.Fatal("no polylines")
+	}
+	if !strings.Contains(doc, "14nm &amp; friends") {
+		t.Fatal("label not escaped")
+	}
+	if !strings.Contains(doc, "MLTD over time") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestLinesEmptySeries(t *testing.T) {
+	wellFormed(t, Lines("empty", "x", "y", nil))
+}
+
+func TestLinesFlatSeries(t *testing.T) {
+	wellFormed(t, Lines("flat", "x", "y", []Series{{Label: "c", Y: []float64{5, 5, 5}}}))
+}
+
+func TestBarsChart(t *testing.T) {
+	doc := Bars("hotspots per unit", "count", []string{"fpIWin", "ROB"}, []float64{120, 80})
+	wellFormed(t, doc)
+	if strings.Count(doc, "<rect") < 3 { // background + 2 bars
+		t.Fatal("bars missing")
+	}
+	wellFormed(t, Bars("zeros", "v", []string{"a"}, []float64{0}))
+}
+
+func TestBoxPlotLog(t *testing.T) {
+	boxes := []stats.Box{
+		stats.BoxOf([]float64{0.2, 0.4, 0.6, 1.2, 150}),
+		stats.BoxOf([]float64{0.2, 0.2, 0.2}),
+		{}, // empty box must be skipped without panic
+	}
+	doc := BoxPlot("TUH", "TUH [ms]", []string{"a", "b", "c"}, boxes, true)
+	wellFormed(t, doc)
+	if !strings.Contains(doc, "log10") {
+		t.Fatal("log axis not labeled")
+	}
+}
+
+func TestHeatmapChart(t *testing.T) {
+	f := geometry.NewField(12, 8, 0.1)
+	f.Fill(50)
+	f.Set(6, 4, 120)
+	doc := Heatmap("junction temperature", f)
+	wellFormed(t, doc)
+	if strings.Count(doc, "<rect") < 12*8 {
+		t.Fatalf("expected at least %d cells", 12*8)
+	}
+	if !strings.Contains(doc, "120C") || !strings.Contains(doc, "50C") {
+		t.Fatal("color bar labels missing")
+	}
+	// Uniform field must not divide by zero.
+	g := geometry.NewField(4, 4, 0.1)
+	g.Fill(60)
+	wellFormed(t, Heatmap("uniform", g))
+}
+
+func TestHeatColorEndpoints(t *testing.T) {
+	if heatColor(0) != "#004cff" { // blue with the ramp's green floor
+		t.Fatalf("cold color = %s", heatColor(0))
+	}
+	if heatColor(1) != "#ff0000" {
+		t.Fatalf("hot color = %s", heatColor(1))
+	}
+	if heatColor(-5) != heatColor(0) || heatColor(5) != heatColor(1) {
+		t.Fatal("out-of-range not clamped")
+	}
+}
+
+func TestNiceTicksCoverRange(t *testing.T) {
+	ticks := niceTicks(0, 103, 8)
+	if len(ticks) < 3 || len(ticks) > 20 {
+		t.Fatalf("tick count %d", len(ticks))
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 103.0001 {
+		t.Fatalf("ticks out of range: %v", ticks)
+	}
+	if got := niceTicks(5, 5, 4); len(got) == 0 {
+		t.Fatal("degenerate range produced no ticks")
+	}
+}

@@ -1,0 +1,199 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"hotgauge/internal/geometry"
+)
+
+// Grid is the discretized RC network of one die + cooling stack. It is
+// immutable after construction; State carries the evolving temperatures.
+type Grid struct {
+	NX, NY int     // in-plane cells
+	NL     int     // grid layers (after sublayer expansion)
+	Dx     float64 // in-plane pitch [m]
+
+	layerName []string
+	thick     []float64 // per grid layer [m]
+
+	gLat  []float64 // lateral pair conductance per layer [W/K]
+	gUp   []float64 // vertical per-cell conductance layer l ↔ l+1 [W/K]
+	capC  []float64 // per-cell heat capacity per layer [J/K]
+	gConv float64   // per-cell convective conductance on the top layer [W/K]
+
+	Ambient float64 // ambient temperature [°C]
+
+	dtStable float64 // largest stable explicit substep [s]
+}
+
+// NewGrid builds the network for a die of the given outline (mm), grid
+// resolution (mm), stack and total sink conductance. The ambient
+// temperature is the convective boundary condition.
+func NewGrid(die geometry.Rect, resolutionMM float64, stack []Layer, sinkConductance, ambient float64) (*Grid, error) {
+	if die.Empty() {
+		return nil, fmt.Errorf("thermal: empty die outline")
+	}
+	if resolutionMM <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive resolution")
+	}
+	if len(stack) == 0 {
+		return nil, fmt.Errorf("thermal: empty stack")
+	}
+	nx := int(math.Ceil(die.W / resolutionMM))
+	ny := int(math.Ceil(die.H / resolutionMM))
+	if nx < 3 || ny < 3 {
+		return nil, fmt.Errorf("thermal: grid %dx%d too coarse for die %v", nx, ny, die)
+	}
+	dx := resolutionMM * 1e-3
+
+	g := &Grid{NX: nx, NY: ny, Dx: dx, Ambient: ambient}
+	for _, l := range stack {
+		if l.Thickness <= 0 || l.Conductivity <= 0 || l.VolumetricHeatCapacity <= 0 {
+			return nil, fmt.Errorf("thermal: invalid layer %q", l.Name)
+		}
+		sub := l.Sublayers
+		if sub < 1 {
+			sub = 1
+		}
+		t := l.Thickness / float64(sub)
+		for s := 0; s < sub; s++ {
+			g.layerName = append(g.layerName, l.Name)
+			g.thick = append(g.thick, t)
+			g.gLat = append(g.gLat, l.effK()*t)
+			g.capC = append(g.capC, l.effCv()*dx*dx*t)
+			// Vertical resistance half-contribution; combined below.
+			g.gUp = append(g.gUp, l.effK()) // temporarily store k_eff
+		}
+	}
+	g.NL = len(g.thick)
+	// Combine vertical conductances: series of the two half-slabs.
+	for l := 0; l < g.NL-1; l++ {
+		r := g.thick[l]/(2*g.gUp[l]) + g.thick[l+1]/(2*g.gUp[l+1])
+		g.gUp[l] = dx * dx / r
+	}
+	g.gUp[g.NL-1] = 0 // replaced by convection
+	if sinkConductance <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive sink conductance")
+	}
+	g.gConv = sinkConductance / float64(nx*ny)
+
+	// Explicit stability: dt < C / ΣG per cell; the binding cell is the
+	// worst layer (interior cell with 4 lateral + 2 vertical neighbours).
+	g.dtStable = math.Inf(1)
+	for l := 0; l < g.NL; l++ {
+		sum := 4 * g.gLat[l]
+		if l > 0 {
+			sum += g.gUp[l-1]
+		}
+		if l < g.NL-1 {
+			sum += g.gUp[l]
+		} else {
+			sum += g.gConv
+		}
+		if dt := g.capC[l] / sum; dt < g.dtStable {
+			g.dtStable = dt
+		}
+	}
+	g.dtStable *= 0.5 // safety margin
+	return g, nil
+}
+
+// Cells returns the total cell count.
+func (g *Grid) Cells() int { return g.NX * g.NY * g.NL }
+
+// StableStep returns the explicit solver's stability-bounded substep [s].
+func (g *Grid) StableStep() float64 { return g.dtStable }
+
+// LayerName returns the material name of grid layer l.
+func (g *Grid) LayerName(l int) string { return g.layerName[l] }
+
+// idx maps (layer, iy, ix) to the flat cell index.
+func (g *Grid) idx(l, iy, ix int) int { return (l*g.NY+iy)*g.NX + ix }
+
+// State is the temperature field of a grid [°C].
+type State struct {
+	T []float64
+}
+
+// NewState returns a state with every cell at the given temperature.
+func (g *Grid) NewState(temp float64) *State {
+	s := &State{T: make([]float64, g.Cells())}
+	for i := range s.T {
+		s.T[i] = temp
+	}
+	return s
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	t := make([]float64, len(s.T))
+	copy(t, s.T)
+	return &State{T: t}
+}
+
+// ActiveField extracts the active-layer (junction) temperatures as a 2-D
+// field with pitch in millimeters — the surface the hotspot detector and
+// all of the paper's thermal maps operate on.
+func (g *Grid) ActiveField(s *State) *geometry.Field {
+	f := geometry.NewField(g.NX, g.NY, g.Dx*1e3)
+	copy(f.Data, s.T[:g.NX*g.NY])
+	return f
+}
+
+// SetActiveField overwrites the active-layer temperatures from a field
+// (used to impose non-uniform initial conditions).
+func (g *Grid) SetActiveField(s *State, f *geometry.Field) error {
+	if f.NX != g.NX || f.NY != g.NY {
+		return fmt.Errorf("thermal: field %dx%d does not match grid %dx%d", f.NX, f.NY, g.NX, g.NY)
+	}
+	copy(s.T[:g.NX*g.NY], f.Data)
+	return nil
+}
+
+// MaxTemp returns the hottest cell of the active layer.
+func (g *Grid) MaxTemp(s *State) float64 {
+	m := math.Inf(-1)
+	for _, t := range s.T[:g.NX*g.NY] {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// MeanTemp returns the mean active-layer temperature.
+func (g *Grid) MeanTemp(s *State) float64 {
+	sum := 0.0
+	plane := g.NX * g.NY
+	for _, t := range s.T[:plane] {
+		sum += t
+	}
+	return sum / float64(plane)
+}
+
+// EnergyAbove returns the total thermal energy stored in the stack
+// relative to a reference temperature [J]. Used by conservation tests.
+func (g *Grid) EnergyAbove(s *State, ref float64) float64 {
+	e := 0.0
+	for l := 0; l < g.NL; l++ {
+		c := g.capC[l]
+		base := l * g.NY * g.NX
+		for i := 0; i < g.NX*g.NY; i++ {
+			e += c * (s.T[base+i] - ref)
+		}
+	}
+	return e
+}
+
+// checkPower validates a power map against the grid.
+func (g *Grid) checkPower(power *geometry.Field) error {
+	if power == nil {
+		return fmt.Errorf("thermal: nil power field")
+	}
+	if power.NX != g.NX || power.NY != g.NY {
+		return fmt.Errorf("thermal: power field %dx%d does not match grid %dx%d",
+			power.NX, power.NY, g.NX, g.NY)
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"hotgauge/internal/geometry"
+)
+
+// Solver advances a thermal state by one simulation timestep under a
+// power map (W per active-layer cell). Implementations: Explicit (default)
+// and Implicit (backward Euler, for large steps).
+type Solver interface {
+	// Step advances s by dt seconds with the given active-layer power.
+	Step(g *Grid, s *State, power *geometry.Field, dt float64) error
+	// Name identifies the solver in reports and benchmarks.
+	Name() string
+}
+
+// Explicit is the forward-Euler transient solver with automatic
+// stability-bounded substepping (≈10 µs substeps for the default stack at
+// 100 µm resolution, so a 200 µs simulation timestep runs ~20 substeps).
+type Explicit struct {
+	scratch []float64
+}
+
+// Name implements Solver.
+func (e *Explicit) Name() string { return "explicit" }
+
+// Step implements Solver.
+func (e *Explicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) error {
+	if err := g.checkPower(power); err != nil {
+		return err
+	}
+	if dt <= 0 {
+		return fmt.Errorf("thermal: non-positive dt %v", dt)
+	}
+	n := int(math.Ceil(dt / g.dtStable))
+	sub := dt / float64(n)
+	if cap(e.scratch) < len(s.T) {
+		e.scratch = make([]float64, len(s.T))
+	}
+	cur, next := s.T, e.scratch[:len(s.T)]
+	for it := 0; it < n; it++ {
+		stepOnce(g, cur, next, power.Data, sub)
+		cur, next = next, cur
+	}
+	if &cur[0] != &s.T[0] {
+		copy(s.T, cur)
+	}
+	return nil
+}
+
+// stepOnce performs one explicit substep from cur into next.
+func stepOnce(g *Grid, cur, next, power []float64, dt float64) {
+	nx, ny, nl := g.NX, g.NY, g.NL
+	plane := nx * ny
+	for l := 0; l < nl; l++ {
+		gl := g.gLat[l]
+		invC := dt / g.capC[l]
+		base := l * plane
+		top := l == nl-1
+		var gUp, gDown float64
+		if l < nl-1 {
+			gUp = g.gUp[l]
+		}
+		if l > 0 {
+			gDown = g.gUp[l-1]
+		}
+		for iy := 0; iy < ny; iy++ {
+			row := base + iy*nx
+			for ix := 0; ix < nx; ix++ {
+				i := row + ix
+				t := cur[i]
+				flux := 0.0
+				if ix > 0 {
+					flux += gl * (cur[i-1] - t)
+				}
+				if ix < nx-1 {
+					flux += gl * (cur[i+1] - t)
+				}
+				if iy > 0 {
+					flux += gl * (cur[i-nx] - t)
+				}
+				if iy < ny-1 {
+					flux += gl * (cur[i+nx] - t)
+				}
+				if gDown != 0 {
+					flux += gDown * (cur[i-plane] - t)
+				}
+				if gUp != 0 {
+					flux += gUp * (cur[i+plane] - t)
+				}
+				if top {
+					flux += g.gConv * (g.Ambient - t)
+				}
+				if l == 0 {
+					flux += power[i]
+				}
+				next[i] = t + flux*invC
+			}
+		}
+	}
+}
+
+// Implicit is a backward-Euler transient solver using Gauss-Seidel inner
+// iterations. Unconditionally stable, so it takes the full timestep in one
+// solve; used for the solver ablation and for very large timesteps.
+type Implicit struct {
+	// MaxIters bounds the inner Gauss-Seidel sweeps (default 60).
+	MaxIters int
+	// Tol is the max per-sweep temperature change at which the inner
+	// solve stops [°C] (default 1e-5).
+	Tol float64
+}
+
+// Name implements Solver.
+func (im *Implicit) Name() string { return "implicit" }
+
+// Step implements Solver.
+func (im *Implicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) error {
+	if err := g.checkPower(power); err != nil {
+		return err
+	}
+	if dt <= 0 {
+		return fmt.Errorf("thermal: non-positive dt %v", dt)
+	}
+	maxIters := im.MaxIters
+	if maxIters <= 0 {
+		maxIters = 60
+	}
+	tol := im.Tol
+	if tol <= 0 {
+		tol = 1e-5
+	}
+	nx, ny, nl := g.NX, g.NY, g.NL
+	plane := nx * ny
+	old := s.T
+	t := make([]float64, len(old))
+	copy(t, old)
+	for it := 0; it < maxIters; it++ {
+		maxDelta := 0.0
+		for l := 0; l < nl; l++ {
+			gl := g.gLat[l]
+			cOverDt := g.capC[l] / dt
+			base := l * plane
+			top := l == nl-1
+			var gUp, gDown float64
+			if l < nl-1 {
+				gUp = g.gUp[l]
+			}
+			if l > 0 {
+				gDown = g.gUp[l-1]
+			}
+			for iy := 0; iy < ny; iy++ {
+				row := base + iy*nx
+				for ix := 0; ix < nx; ix++ {
+					i := row + ix
+					num := cOverDt * old[i]
+					den := cOverDt
+					if ix > 0 {
+						num += gl * t[i-1]
+						den += gl
+					}
+					if ix < nx-1 {
+						num += gl * t[i+1]
+						den += gl
+					}
+					if iy > 0 {
+						num += gl * t[i-nx]
+						den += gl
+					}
+					if iy < ny-1 {
+						num += gl * t[i+nx]
+						den += gl
+					}
+					if gDown != 0 {
+						num += gDown * t[i-plane]
+						den += gDown
+					}
+					if gUp != 0 {
+						num += gUp * t[i+plane]
+						den += gUp
+					}
+					if top {
+						num += g.gConv * g.Ambient
+						den += g.gConv
+					}
+					if l == 0 {
+						num += power.Data[i]
+					}
+					nv := num / den
+					if d := math.Abs(nv - t[i]); d > maxDelta {
+						maxDelta = d
+					}
+					t[i] = nv
+				}
+			}
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+	copy(s.T, t)
+	return nil
+}
+
+// WarmStart overwrites the state with the analytic layer-wise solution of
+// the 1-D (laterally averaged) network for the given power map. For a
+// uniform power map this IS the steady state; for structured maps it is a
+// starting guess that removes the slowest (vertical offset) error modes
+// from the SOR iteration.
+func WarmStart(g *Grid, s *State, power *geometry.Field) error {
+	if err := g.checkPower(power); err != nil {
+		return err
+	}
+	total := power.Sum()
+	plane := float64(g.NX * g.NY)
+	layerT := make([]float64, g.NL)
+	layerT[g.NL-1] = g.Ambient + total/(g.gConv*plane)
+	for l := g.NL - 2; l >= 0; l-- {
+		layerT[l] = layerT[l+1] + total/(g.gUp[l]*plane)
+	}
+	for l := 0; l < g.NL; l++ {
+		base := l * g.NX * g.NY
+		for i := 0; i < g.NX*g.NY; i++ {
+			s.T[base+i] = layerT[l]
+		}
+	}
+	return nil
+}
+
+// SolveSteady relaxes the state to the steady-state solution for the given
+// power map using SOR, and returns the iteration count. The state is used
+// as the starting guess; use WarmStart first when no better guess exists.
+func SolveSteady(g *Grid, s *State, power *geometry.Field, tol float64, maxIters int) (int, error) {
+	if err := g.checkPower(power); err != nil {
+		return 0, err
+	}
+	if tol <= 0 {
+		tol = 1e-5
+	}
+	if maxIters <= 0 {
+		maxIters = 20000
+	}
+	const omega = 1.85
+	nx, ny, nl := g.NX, g.NY, g.NL
+	plane := nx * ny
+	t := s.T
+	for it := 1; it <= maxIters; it++ {
+		maxDelta := 0.0
+		for l := 0; l < nl; l++ {
+			gl := g.gLat[l]
+			base := l * plane
+			top := l == nl-1
+			var gUp, gDown float64
+			if l < nl-1 {
+				gUp = g.gUp[l]
+			}
+			if l > 0 {
+				gDown = g.gUp[l-1]
+			}
+			for iy := 0; iy < ny; iy++ {
+				row := base + iy*nx
+				for ix := 0; ix < nx; ix++ {
+					i := row + ix
+					num, den := 0.0, 0.0
+					if ix > 0 {
+						num += gl * t[i-1]
+						den += gl
+					}
+					if ix < nx-1 {
+						num += gl * t[i+1]
+						den += gl
+					}
+					if iy > 0 {
+						num += gl * t[i-nx]
+						den += gl
+					}
+					if iy < ny-1 {
+						num += gl * t[i+nx]
+						den += gl
+					}
+					if gDown != 0 {
+						num += gDown * t[i-plane]
+						den += gDown
+					}
+					if gUp != 0 {
+						num += gUp * t[i+plane]
+						den += gUp
+					}
+					if top {
+						num += g.gConv * g.Ambient
+						den += g.gConv
+					}
+					if l == 0 {
+						num += power.Data[i]
+					}
+					gs := num / den
+					nv := t[i] + omega*(gs-t[i])
+					if d := math.Abs(nv - t[i]); d > maxDelta {
+						maxDelta = d
+					}
+					t[i] = nv
+				}
+			}
+		}
+		if maxDelta < tol {
+			return it, nil
+		}
+	}
+	return maxIters, fmt.Errorf("thermal: steady solve did not converge in %d iterations", maxIters)
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/perf"
+)
+
+// activityMagic tags a serialized activity trace.
+const activityMagic = "hotgauge-activity"
+
+// WriteActivities serializes a per-timestep activity trace as CSV: one
+// column per unit kind (sorted), plus ipc. This is the interchange format
+// for driving thermal simulations from externally produced activity (the
+// original tool's power-trace input path).
+func WriteActivities(w io.Writer, trace []perf.Activity) error {
+	if len(trace) == 0 {
+		return fmt.Errorf("trace: empty activity trace")
+	}
+	kinds := make([]string, 0, len(trace[0].Unit))
+	for k := range trace[0].Unit {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %s steps=%d\n", activityMagic, len(trace)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "step,ipc,%s\n", strings.Join(kinds, ",")); err != nil {
+		return err
+	}
+	for i, a := range trace {
+		if _, err := fmt.Fprintf(bw, "%d,%s", i, strconv.FormatFloat(a.Counters.IPC(), 'g', -1, 64)); err != nil {
+			return err
+		}
+		for _, k := range kinds {
+			v, ok := a.Unit[floorplan.Kind(k)]
+			if !ok {
+				return fmt.Errorf("trace: step %d missing kind %s", i, k)
+			}
+			if _, err := fmt.Fprintf(bw, ",%s", strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadActivities parses a trace written by WriteActivities. The returned
+// activities carry per-unit factors and an IPC-consistent counter shell
+// (full microarchitectural counters are not round-tripped).
+func ReadActivities(r io.Reader) ([]perf.Activity, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty activity file")
+	}
+	var steps int
+	if _, err := fmt.Sscanf(strings.TrimSpace(sc.Text()), "# "+activityMagic+" steps=%d", &steps); err != nil {
+		return nil, fmt.Errorf("trace: bad activity header %q", sc.Text())
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: missing column header")
+	}
+	cols := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	if len(cols) < 3 || cols[0] != "step" || cols[1] != "ipc" {
+		return nil, fmt.Errorf("trace: bad activity columns %v", cols)
+	}
+	kinds := cols[2:]
+
+	var out []perf.Activity
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cells := strings.Split(line, ",")
+		if len(cells) != len(cols) {
+			return nil, fmt.Errorf("trace: row %d has %d cells, want %d", len(out), len(cells), len(cols))
+		}
+		ipc, err := strconv.ParseFloat(cells[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d ipc: %w", len(out), err)
+		}
+		a := perf.Activity{Unit: make(map[floorplan.Kind]float64, len(kinds))}
+		const cyc = 1_000_000
+		a.Counters.Cycles = cyc
+		a.Counters.Committed = uint64(ipc * cyc)
+		for i, k := range kinds {
+			v, err := strconv.ParseFloat(cells[i+2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d kind %s: %w", len(out), k, err)
+			}
+			if v < 0 || v > 1 {
+				return nil, fmt.Errorf("trace: row %d kind %s out of [0,1]: %v", len(out), k, v)
+			}
+			a.Unit[floorplan.Kind(k)] = v
+		}
+		out = append(out, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) != steps {
+		return nil, fmt.Errorf("trace: header says %d steps, file has %d", steps, len(out))
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+// Package trace reads and writes the on-disk artifacts of the toolchain:
+// junction-temperature frames (the thermal simulator's output consumed by
+// the offline hotspot detector), per-unit power traces, and scalar time
+// series. Formats are plain CSV with a typed header line so artifacts
+// remain diffable and tool-friendly.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hotgauge/internal/geometry"
+)
+
+// fieldMagic is the header tag of a serialized field.
+const fieldMagic = "hotgauge-field"
+
+// WriteField serializes a 2-D field as CSV: a header line with the grid
+// shape, then one row per y line (bottom to top), comma-separated.
+func WriteField(w io.Writer, f *geometry.Field) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %s nx=%d ny=%d dx=%g\n", fieldMagic, f.NX, f.NY, f.Dx); err != nil {
+		return err
+	}
+	for iy := 0; iy < f.NY; iy++ {
+		for ix := 0; ix < f.NX; ix++ {
+			if ix > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(f.At(ix, iy), 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadField parses a field written by WriteField.
+func ReadField(r io.Reader) (*geometry.Field, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	var nx, ny int
+	var dx float64
+	if _, err := fmt.Sscanf(strings.TrimSpace(header), "# "+fieldMagic+" nx=%d ny=%d dx=%g", &nx, &ny, &dx); err != nil {
+		return nil, fmt.Errorf("trace: bad field header %q: %w", strings.TrimSpace(header), err)
+	}
+	if nx <= 0 || ny <= 0 || dx <= 0 {
+		return nil, fmt.Errorf("trace: invalid field shape %dx%d dx=%g", nx, ny, dx)
+	}
+	f := geometry.NewField(nx, ny, dx)
+	for iy := 0; iy < ny; iy++ {
+		line, err := br.ReadString('\n')
+		if err != nil && !(err == io.EOF && line != "") {
+			return nil, fmt.Errorf("trace: reading row %d: %w", iy, err)
+		}
+		cells := strings.Split(strings.TrimSpace(line), ",")
+		if len(cells) != nx {
+			return nil, fmt.Errorf("trace: row %d has %d cells, want %d", iy, len(cells), nx)
+		}
+		for ix, c := range cells {
+			v, err := strconv.ParseFloat(c, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d col %d: %w", iy, ix, err)
+			}
+			f.Set(ix, iy, v)
+		}
+	}
+	return f, nil
+}
+
+// WriteSeries writes named scalar time series as CSV: a header row of
+// names, then one row per step. All series must share a length.
+func WriteSeries(w io.Writer, names []string, series ...[]float64) error {
+	if len(names) != len(series) {
+		return fmt.Errorf("trace: %d names for %d series", len(names), len(series))
+	}
+	n := 0
+	for i, s := range series {
+		if i == 0 {
+			n = len(s)
+		} else if len(s) != n {
+			return fmt.Errorf("trace: series %q has length %d, want %d", names[i], len(s), n)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "step,%s\n", strings.Join(names, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintf(bw, "%d", i); err != nil {
+			return err
+		}
+		for _, s := range series {
+			if _, err := fmt.Fprintf(bw, ",%s", strconv.FormatFloat(s[i], 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSeries parses a CSV written by WriteSeries, returning column names
+// (without the leading "step") and the series values.
+func ReadSeries(r io.Reader) ([]string, [][]float64, error) {
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 1<<20), 1<<20)
+	if !br.Scan() {
+		return nil, nil, fmt.Errorf("trace: empty series file")
+	}
+	cols := strings.Split(strings.TrimSpace(br.Text()), ",")
+	if len(cols) < 2 || cols[0] != "step" {
+		return nil, nil, fmt.Errorf("trace: bad series header %q", br.Text())
+	}
+	names := cols[1:]
+	series := make([][]float64, len(names))
+	row := 0
+	for br.Scan() {
+		line := strings.TrimSpace(br.Text())
+		if line == "" {
+			continue
+		}
+		cells := strings.Split(line, ",")
+		if len(cells) != len(cols) {
+			return nil, nil, fmt.Errorf("trace: row %d has %d cells, want %d", row, len(cells), len(cols))
+		}
+		for i := range names {
+			v, err := strconv.ParseFloat(cells[i+1], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("trace: row %d col %s: %w", row, names[i], err)
+			}
+			series[i] = append(series[i], v)
+		}
+		row++
+	}
+	return names, series, br.Err()
+}

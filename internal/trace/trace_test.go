@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hotgauge/internal/geometry"
+	"hotgauge/internal/perf"
+	"hotgauge/internal/workload"
+)
+
+func TestFieldRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := geometry.NewField(17, 9, 0.1)
+	for i := range f.Data {
+		f.Data[i] = rng.Float64()*100 - 20
+	}
+	var buf bytes.Buffer
+	if err := WriteField(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadField(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NX != f.NX || g.NY != f.NY || g.Dx != f.Dx {
+		t.Fatalf("shape mismatch: %dx%d dx=%v", g.NX, g.NY, g.Dx)
+	}
+	for i := range f.Data {
+		if f.Data[i] != g.Data[i] {
+			t.Fatalf("cell %d: %v != %v", i, f.Data[i], g.Data[i])
+		}
+	}
+}
+
+func TestReadFieldRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a field\n",
+		"# hotgauge-field nx=0 ny=3 dx=0.1\n",
+		"# hotgauge-field nx=2 ny=1 dx=0.1\n1.0\n",     // short row
+		"# hotgauge-field nx=2 ny=1 dx=0.1\n1.0,abc\n", // bad number
+		"# hotgauge-field nx=2 ny=2 dx=0.1\n1.0,2.0\n", // missing row
+	}
+	for i, c := range cases {
+		if _, err := ReadField(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSeriesRoundTrip(t *testing.T) {
+	a := []float64{1, 2.5, -3}
+	b := []float64{0.125, 0, 9e9}
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, []string{"maxT", "power"}, a, b); err != nil {
+		t.Fatal(err)
+	}
+	names, series, err := ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "maxT" || names[1] != "power" {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range a {
+		if series[0][i] != a[i] || series[1][i] != b[i] {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestWriteSeriesValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, []string{"a"}, []float64{1}, []float64{2}); err == nil {
+		t.Fatal("name/series count mismatch accepted")
+	}
+	if err := WriteSeries(&buf, []string{"a", "b"}, []float64{1}, []float64{2, 3}); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+}
+
+func TestReadSeriesRejectsGarbage(t *testing.T) {
+	for i, c := range []string{"", "foo,bar\n1,2\n", "step,a\n1\n", "step,a\n0,xyz\n"} {
+		if _, _, err := ReadSeries(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestActivityTraceRoundTrip(t *testing.T) {
+	p, err := workload.Lookup("milc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := perf.NewIntervalModel(perf.DefaultConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := perf.Record(src, 4, workload.TimestepCycles)
+	var buf bytes.Buffer
+	if err := WriteActivities(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadActivities(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("round trip length %d", len(got))
+	}
+	for i := range rec {
+		for k, v := range rec[i].Unit {
+			if got[i].Unit[k] != v {
+				t.Fatalf("step %d kind %s: %v != %v", i, k, got[i].Unit[k], v)
+			}
+		}
+		if d := got[i].Counters.IPC() - rec[i].Counters.IPC(); d > 1e-9 || d < -1e-9 {
+			t.Fatalf("step %d IPC mismatch", i)
+		}
+	}
+}
+
+func TestReadActivitiesRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"# wrong header\n",
+		"# hotgauge-activity steps=1\nbad,cols\n",
+		"# hotgauge-activity steps=2\nstep,ipc,cALU\n0,1.0,0.5\n", // count mismatch
+		"# hotgauge-activity steps=1\nstep,ipc,cALU\n0,1.0,1.5\n", // out of range
+		"# hotgauge-activity steps=1\nstep,ipc,cALU\n0,x,0.5\n",   // bad ipc
+	}
+	for i, c := range cases {
+		if _, err := ReadActivities(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

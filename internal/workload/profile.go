@@ -1,0 +1,207 @@
+// Package workload models the benchmark programs driven through the
+// toolchain. The paper uses SPEC CPU2006 binaries executed under Sniper;
+// SPEC binaries (and Pin) are unavailable here, so each benchmark is
+// replaced by a deterministic synthetic profile that reproduces the
+// microarchitectural signature that matters for hotspot formation: the
+// instruction mix (which functional units are exercised), the intrinsic
+// instruction-level parallelism, branch predictability, memory footprint
+// and locality, and the temporal phase structure (front-loaded vs
+// late-spiking computational intensity).
+//
+// Profiles drive both performance models in internal/perf: the
+// window-centric cycle model consumes the µop stream from NewStream, and
+// the analytic interval model consumes the phase-adjusted parameters from
+// ParamsAt. The same profile therefore produces consistent behaviour in
+// both.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// TimestepCycles is the number of core cycles per simulation timestep
+// (1 M cycles, which at 5 GHz is 200 µs — the paper's time base).
+const TimestepCycles = 1_000_000
+
+// InstrMix is the fractional instruction mix of a workload. Fields should
+// sum to 1; Normalize enforces it.
+type InstrMix struct {
+	IntALU float64 // simple integer ops
+	CALU   float64 // complex integer ops (multiply, divide)
+	FP     float64 // scalar / 128-bit floating point
+	AVX    float64 // wide (512-bit) vector ops
+	Load   float64
+	Store  float64
+	Branch float64
+}
+
+// Sum returns the total of all mix fractions.
+func (m InstrMix) Sum() float64 {
+	return m.IntALU + m.CALU + m.FP + m.AVX + m.Load + m.Store + m.Branch
+}
+
+// Normalized returns m scaled so the fractions sum to 1.
+func (m InstrMix) Normalized() InstrMix {
+	s := m.Sum()
+	if s <= 0 {
+		return InstrMix{IntALU: 1}
+	}
+	return InstrMix{
+		IntALU: m.IntALU / s, CALU: m.CALU / s, FP: m.FP / s, AVX: m.AVX / s,
+		Load: m.Load / s, Store: m.Store / s, Branch: m.Branch / s,
+	}
+}
+
+// Phase is one stage of a workload's cyclic phase schedule.
+type Phase struct {
+	// Timesteps is the phase duration in simulation timesteps (200 µs
+	// each). Must be ≥ 1.
+	Timesteps int
+	// Intensity scales the workload's computational intensity during the
+	// phase (1.0 = the profile's nominal intensity). Low-intensity phases
+	// model I/O-ish or memory-stalled stretches; values slightly above 1
+	// model hot inner loops.
+	Intensity float64
+	// Mix optionally overrides the profile's instruction mix during the
+	// phase (nil keeps the profile mix). Used for e.g. AVX bursts.
+	Mix *InstrMix
+}
+
+// Profile is a complete synthetic workload description.
+type Profile struct {
+	Name string
+	FP   bool // floating-point-suite benchmark
+
+	Mix InstrMix // nominal instruction mix
+
+	// ILP is the mean register-dependency distance in µops: the average
+	// number of younger µops between a producer and its consumer. Higher
+	// means more instruction-level parallelism.
+	ILP float64
+
+	// BranchPredictability is the fraction of conditional branches that
+	// follow the workload's repeating history pattern; the remainder are
+	// random. A gshare predictor achieves low miss rates on values near 1.
+	BranchPredictability float64
+
+	// WorkingSet is the resident data footprint in bytes; it determines
+	// which cache level the workload streams from.
+	WorkingSet int64
+
+	// StrideLocality is the fraction of memory accesses that follow a
+	// sequential stride; the rest are uniform random within the working
+	// set.
+	StrideLocality float64
+
+	// MLP is the average number of overlapping outstanding misses the
+	// workload sustains (memory-level parallelism), used by the interval
+	// model to discount miss penalties.
+	MLP float64
+
+	// Intensity is the nominal fraction of peak dispatch bandwidth the
+	// workload sustains when not stalled (0..1].
+	Intensity float64
+
+	// Phases is the cyclic phase schedule. Empty means a single steady
+	// phase at nominal intensity.
+	Phases []Phase
+
+	// Seed makes every derived stream deterministic.
+	Seed int64
+}
+
+// Validate checks that the profile's parameters are in range.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile has no name")
+	}
+	if s := p.Mix.Sum(); math.Abs(s-1) > 1e-6 {
+		return fmt.Errorf("workload %s: mix sums to %v, want 1", p.Name, s)
+	}
+	if p.ILP < 1 || p.ILP > 64 {
+		return fmt.Errorf("workload %s: ILP %v out of range [1,64]", p.Name, p.ILP)
+	}
+	if p.BranchPredictability < 0 || p.BranchPredictability > 1 {
+		return fmt.Errorf("workload %s: branch predictability %v out of [0,1]", p.Name, p.BranchPredictability)
+	}
+	if p.WorkingSet <= 0 {
+		return fmt.Errorf("workload %s: non-positive working set", p.Name)
+	}
+	if p.StrideLocality < 0 || p.StrideLocality > 1 {
+		return fmt.Errorf("workload %s: stride locality %v out of [0,1]", p.Name, p.StrideLocality)
+	}
+	if p.MLP < 1 || p.MLP > 16 {
+		return fmt.Errorf("workload %s: MLP %v out of range [1,16]", p.Name, p.MLP)
+	}
+	if p.Intensity <= 0 || p.Intensity > 1.2 {
+		return fmt.Errorf("workload %s: intensity %v out of (0,1.2]", p.Name, p.Intensity)
+	}
+	for i, ph := range p.Phases {
+		if ph.Timesteps < 1 {
+			return fmt.Errorf("workload %s: phase %d has %d timesteps", p.Name, i, ph.Timesteps)
+		}
+		if ph.Intensity <= 0 || ph.Intensity > 1.5 {
+			return fmt.Errorf("workload %s: phase %d intensity %v out of range", p.Name, i, ph.Intensity)
+		}
+	}
+	return nil
+}
+
+// Params are the phase-adjusted effective parameters at one timestep.
+type Params struct {
+	Mix       InstrMix
+	ILP       float64
+	Intensity float64 // profile intensity × phase intensity, clamped to 1.2
+}
+
+// ParamsAt returns the effective parameters for the given timestep,
+// following the cyclic phase schedule.
+func (p *Profile) ParamsAt(step int) Params {
+	out := Params{Mix: p.Mix, ILP: p.ILP, Intensity: p.Intensity}
+	if len(p.Phases) == 0 {
+		return out
+	}
+	total := 0
+	for _, ph := range p.Phases {
+		total += ph.Timesteps
+	}
+	pos := step % total
+	for _, ph := range p.Phases {
+		if pos < ph.Timesteps {
+			out.Intensity = math.Min(p.Intensity*ph.Intensity, 1.2)
+			if ph.Mix != nil {
+				out.Mix = *ph.Mix
+			}
+			return out
+		}
+		pos -= ph.Timesteps
+	}
+	return out // unreachable: pos < total by construction
+}
+
+// PhasePeriod returns the length of one full phase cycle in timesteps
+// (1 if the profile has no explicit phases).
+func (p *Profile) PhasePeriod() int {
+	if len(p.Phases) == 0 {
+		return 1
+	}
+	total := 0
+	for _, ph := range p.Phases {
+		total += ph.Timesteps
+	}
+	return total
+}
+
+// PeakIntensityStep returns the first timestep at which the schedule
+// reaches its maximum intensity — a cheap analytic predictor of when the
+// workload can first produce its worst hotspot.
+func (p *Profile) PeakIntensityStep() int {
+	best, bestStep := -1.0, 0
+	for s := 0; s < p.PhasePeriod(); s++ {
+		if in := p.ParamsAt(s).Intensity; in > best {
+			best, bestStep = in, s
+		}
+	}
+	return bestStep
+}

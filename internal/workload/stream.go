@@ -1,0 +1,268 @@
+package workload
+
+import "math"
+
+// UopKind classifies a micro-operation for the cycle-level performance
+// model.
+type UopKind uint8
+
+// Micro-op kinds, matching the InstrMix categories.
+const (
+	UopIntALU UopKind = iota
+	UopCALU
+	UopFP
+	UopAVX
+	UopLoad
+	UopStore
+	UopBranch
+	numUopKinds
+)
+
+// String implements fmt.Stringer.
+func (k UopKind) String() string {
+	switch k {
+	case UopIntALU:
+		return "intALU"
+	case UopCALU:
+		return "cALU"
+	case UopFP:
+		return "fp"
+	case UopAVX:
+		return "avx"
+	case UopLoad:
+		return "load"
+	case UopStore:
+		return "store"
+	case UopBranch:
+		return "branch"
+	default:
+		return "?"
+	}
+}
+
+// Uop is one micro-operation of the synthetic instruction stream.
+type Uop struct {
+	Kind  UopKind
+	Dep1  int32  // distance (in µops) back to the first source producer; 0 = none
+	Dep2  int32  // distance back to the second source producer; 0 = none
+	Addr  uint64 // memory byte address (loads/stores)
+	PC    uint64 // instruction address
+	Taken bool   // branch outcome (branches)
+}
+
+// Stream generates an endless deterministic µop sequence for a profile.
+// The caller switches phase behaviour by calling SetParams with the
+// profile's ParamsAt(step) at each timestep boundary.
+type Stream struct {
+	prof   Profile
+	params Params
+	rng    splitmix
+
+	cum     [numUopKinds]float64 // cumulative mix distribution
+	seqPC   uint64               // code pointer, offset within the hot region
+	hotPC   uint64               // base of the current hot code region
+	seqMem  uint64               // sequential data pointer
+	sites   []branchSite         // static branch sites
+	curSite int                  // site currently executing its loop
+	recent  [16]UopKind          // kinds of the most recent µops
+	count   uint64               // µops generated
+}
+
+// branchSite is one static conditional branch in the synthetic program.
+// Most sites behave like loop back-edges: taken for period-1 iterations,
+// then not taken once — the dominant, highly learnable pattern in real
+// code.
+type branchSite struct {
+	pc     uint64
+	period uint32 // loop trip count (≥2)
+	iter   uint32
+}
+
+// numBranchSites is the static branch-site count of the synthetic program.
+const numBranchSites = 48
+
+// NewStream returns a deterministic µop stream for p seeded from p.Seed.
+func NewStream(p Profile) *Stream {
+	s := &Stream{prof: p, rng: newSplitmix(uint64(p.Seed))}
+	s.sites = make([]branchSite, numBranchSites)
+	// Branch sites live at fixed addresses in the low 16 KiB of the code
+	// footprint: their lines are touched constantly, so they stay
+	// I-cache-resident, and their fixed PCs let the direction predictor
+	// accumulate history across hot-region moves.
+	for i := range s.sites {
+		s.sites[i] = branchSite{
+			pc:     (s.rng.uint64() % hotCodeSize) &^ 3,
+			period: 2 + uint32(s.rng.uint64()%14),
+		}
+	}
+	s.SetParams(p.ParamsAt(0))
+	return s
+}
+
+// Params returns the parameters most recently set with SetParams.
+func (s *Stream) Params() Params { return s.params }
+
+// SetParams switches the stream to the given phase-adjusted parameters.
+func (s *Stream) SetParams(par Params) {
+	s.params = par
+	m := par.Mix.Normalized()
+	fr := [numUopKinds]float64{m.IntALU, m.CALU, m.FP, m.AVX, m.Load, m.Store, m.Branch}
+	acc := 0.0
+	for i, f := range fr {
+		acc += f
+		s.cum[i] = acc
+	}
+	s.cum[numUopKinds-1] = 1.0 // guard against rounding
+}
+
+// codeFootprint bounds the instruction address range [bytes]; modest so the
+// L1I mostly hits, as it does for SPEC INT/FP. hotCodeSize is the hot
+// region most jumps stay inside.
+const (
+	codeFootprint = 256 << 10
+	hotCodeSize   = 16 << 10
+)
+
+// Next generates the next µop.
+func (s *Stream) Next() Uop {
+	s.count++
+	r := s.rng.float64()
+	var kind UopKind
+	for k := UopIntALU; k < numUopKinds; k++ {
+		if r < s.cum[k] {
+			kind = k
+			break
+		}
+	}
+
+	u := Uop{Kind: kind}
+	if kind == UopBranch {
+		// Branch conditions come from loop counters and short ALU chains
+		// (compare-and-branch), not directly from in-flight loads: most
+		// branches are ready at dispatch, the rest depend on the nearest
+		// recent simple-ALU µop. This is what lets hardware resolve
+		// mispredicts quickly.
+		if s.rng.float64() < 0.4 {
+			u.Dep1 = s.nearestALU()
+		}
+	} else {
+		u.Dep1 = s.depDistance()
+		if s.rng.float64() < 0.35 { // roughly a third of µops have two register sources
+			u.Dep2 = s.depDistance()
+		}
+	}
+	s.recent[s.count%uint64(len(s.recent))] = kind
+
+	// Instruction addresses walk the current 16 KiB hot code region (real
+	// programs have strong instruction locality: execution sits in loop
+	// nests). Near jumps stay inside the region; rare far jumps move the
+	// region elsewhere in the footprint, which is when I-cache misses
+	// happen.
+	if s.rng.float64() < 0.01 {
+		switch r := s.rng.float64(); {
+		case r < 0.85:
+			// Near jumps are mostly loop back-edges: short backward hops
+			// into just-executed (warm) code.
+			s.seqPC = (s.seqPC - s.rng.uint64()%4096) % hotCodeSize
+		case r < 0.95:
+			s.seqPC = s.rng.uint64() % hotCodeSize
+		default:
+			s.hotPC = (s.rng.uint64() % codeFootprint) &^ (hotCodeSize - 1)
+		}
+	}
+	s.seqPC = (s.seqPC + 4) % hotCodeSize
+	u.PC = s.hotPC + s.seqPC
+
+	switch kind {
+	case UopLoad, UopStore:
+		ws := uint64(s.prof.WorkingSet)
+		if s.rng.float64() < s.prof.StrideLocality {
+			s.seqMem = (s.seqMem + 64) % ws
+			u.Addr = s.seqMem
+		} else {
+			u.Addr = (s.rng.uint64() % ws) &^ 7
+		}
+	case UopBranch:
+		// Branches come from a fixed set of static sites, visited in
+		// bursts like real loop back-edges: the current site's branch
+		// repeats (taken) until its trip count expires (not taken), then
+		// control moves to another site. Burstiness is what lets a
+		// history-based predictor learn the exits. Unpredictable branches
+		// are coin flips no predictor can learn.
+		site := &s.sites[s.curSite]
+		u.PC = site.pc
+		site.iter++
+		patterned := site.iter%site.period != 0
+		if !patterned {
+			s.curSite = int(s.rng.uint64() % numBranchSites)
+		}
+		if s.rng.float64() < s.prof.BranchPredictability {
+			u.Taken = patterned
+		} else {
+			u.Taken = s.rng.uint64()&1 == 1
+		}
+	}
+	return u
+}
+
+// Count returns the number of µops generated so far.
+func (s *Stream) Count() uint64 { return s.count }
+
+// nearestALU returns the distance back to the most recent simple-ALU µop
+// within the recent-kind window, or 1 if none is that close.
+func (s *Stream) nearestALU() int32 {
+	n := uint64(len(s.recent))
+	for d := uint64(1); d < n && d < s.count; d++ {
+		if s.recent[(s.count-d)%n] == UopIntALU {
+			return int32(d)
+		}
+	}
+	return 1
+}
+
+// depDistance samples a geometric-ish dependency distance with mean ≈ the
+// phase-adjusted ILP. Zero means the µop has no register dependence.
+func (s *Stream) depDistance() int32 {
+	ilp := s.params.ILP
+	if ilp <= 0 {
+		ilp = 1
+	}
+	// 20% of µops depend on nothing at all (immediates, loop counters in
+	// registers renamed long ago, etc.).
+	if s.rng.float64() < 0.20 {
+		return 0
+	}
+	// Geometric with mean ilp, capped so lookups stay inside the window.
+	d := 1 + int32(math.Floor(-ilp*math.Log(1-s.rng.float64()+1e-12)))
+	if d > 192 {
+		d = 192
+	}
+	return d
+}
+
+// splitmix is a tiny fast deterministic PRNG (splitmix64). It exists so
+// that streams are reproducible regardless of math/rand's evolution and
+// cheap enough to sit inside a cycle-level simulator's inner loop.
+type splitmix struct{ state uint64 }
+
+func newSplitmix(seed uint64) splitmix { return splitmix{state: seed*0x9E3779B97F4A7C15 + 1} }
+
+func (s *splitmix) uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix) float64() float64 {
+	return float64(s.uint64()>>11) / (1 << 53)
+}
+
+// Noise returns a deterministic pseudo-random value in [0, 1) derived from
+// (seed, step, salt). The interval performance model uses it to give each
+// timestep realistic activity jitter without any global RNG state.
+func Noise(seed int64, step int, salt uint64) float64 {
+	s := newSplitmix(uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(step)*0xD1B54A32D192ED03 ^ salt)
+	return s.float64()
+}

@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mixes used as bases for the suite profiles.
+var (
+	intMix = InstrMix{IntALU: 0.40, CALU: 0.04, FP: 0.01, Load: 0.25, Store: 0.10, Branch: 0.20}
+	fpMix  = InstrMix{IntALU: 0.20, CALU: 0.02, FP: 0.37, AVX: 0.05, Load: 0.25, Store: 0.08, Branch: 0.03}
+)
+
+const (
+	kib = 1 << 10
+	mib = 1 << 20
+)
+
+// spec2006 holds the 29 non-Fortran-dependent-on-nothing synthetic profiles
+// named after the SPEC CPU2006 suite. Parameters were budgeted from the
+// published characterization literature for each benchmark: instruction
+// mixes, IPC class, branch behaviour and footprint are qualitatively
+// faithful (e.g. mcf is memory-bound and low-IPC, hmmer is a high-IPC
+// integer loop nest, lbm is a pure stream kernel, gobmk mispredicts often).
+var spec2006 = []Profile{
+	// ---- integer suite ----
+	{
+		Name: "perlbench", Mix: InstrMix{IntALU: 0.38, CALU: 0.03, FP: 0.01, Load: 0.26, Store: 0.12, Branch: 0.20}.Normalized(),
+		ILP: 3.2, BranchPredictability: 0.94, WorkingSet: 8 * mib, StrideLocality: 0.60, MLP: 2.0, Intensity: 0.78, Seed: 101,
+	},
+	{
+		Name: "bzip2", Mix: InstrMix{IntALU: 0.45, CALU: 0.05, Load: 0.26, Store: 0.12, Branch: 0.12}.Normalized(),
+		ILP: 4.2, BranchPredictability: 0.93, WorkingSet: 4 * mib, StrideLocality: 0.80, MLP: 3.0, Intensity: 0.92, Seed: 102,
+	},
+	{
+		Name: "gcc", Mix: InstrMix{IntALU: 0.40, CALU: 0.03, Load: 0.27, Store: 0.14, Branch: 0.16}.Normalized(),
+		ILP: 3.0, BranchPredictability: 0.92, WorkingSet: 16 * mib, StrideLocality: 0.65, MLP: 2.5, Intensity: 0.85, Seed: 103,
+		Phases: []Phase{{Timesteps: 4, Intensity: 1.05}, {Timesteps: 2, Intensity: 0.60}, {Timesteps: 5, Intensity: 1.12}, {Timesteps: 3, Intensity: 0.75}},
+	},
+	{
+		Name: "mcf", Mix: InstrMix{IntALU: 0.30, CALU: 0.02, Load: 0.40, Store: 0.08, Branch: 0.20}.Normalized(),
+		ILP: 2.2, BranchPredictability: 0.90, WorkingSet: 512 * mib, StrideLocality: 0.25, MLP: 4.0, Intensity: 0.55, Seed: 104,
+	},
+	{
+		Name: "gobmk", Mix: InstrMix{IntALU: 0.42, CALU: 0.04, Load: 0.24, Store: 0.10, Branch: 0.20}.Normalized(),
+		ILP: 2.8, BranchPredictability: 0.82, WorkingSet: 8 * mib, StrideLocality: 0.60, MLP: 2.0, Intensity: 0.88, Seed: 105,
+		Phases: []Phase{{Timesteps: 6, Intensity: 1.1}, {Timesteps: 4, Intensity: 0.8}},
+	},
+	{
+		Name: "hmmer", Mix: InstrMix{IntALU: 0.52, CALU: 0.06, Load: 0.28, Store: 0.08, Branch: 0.06}.Normalized(),
+		ILP: 6.0, BranchPredictability: 0.98, WorkingSet: 1 * mib, StrideLocality: 0.90, MLP: 2.0, Intensity: 0.97, Seed: 106,
+	},
+	{
+		Name: "sjeng", Mix: InstrMix{IntALU: 0.44, CALU: 0.05, Load: 0.22, Store: 0.09, Branch: 0.20}.Normalized(),
+		ILP: 3.0, BranchPredictability: 0.85, WorkingSet: 4 * mib, StrideLocality: 0.55, MLP: 2.0, Intensity: 0.82, Seed: 107,
+	},
+	{
+		Name: "libquantum", Mix: InstrMix{IntALU: 0.35, CALU: 0.02, Load: 0.38, Store: 0.15, Branch: 0.10}.Normalized(),
+		ILP: 5.0, BranchPredictability: 0.99, WorkingSet: 64 * mib, StrideLocality: 0.95, MLP: 6.0, Intensity: 0.80, Seed: 108,
+	},
+	{
+		Name: "h264ref", Mix: InstrMix{IntALU: 0.40, CALU: 0.05, FP: 0.03, AVX: 0.08, Load: 0.28, Store: 0.10, Branch: 0.06}.Normalized(),
+		ILP: 5.0, BranchPredictability: 0.95, WorkingSet: 2 * mib, StrideLocality: 0.85, MLP: 3.0, Intensity: 0.95, Seed: 109,
+	},
+	{
+		Name: "omnetpp", Mix: InstrMix{IntALU: 0.36, CALU: 0.03, Load: 0.32, Store: 0.12, Branch: 0.17}.Normalized(),
+		ILP: 2.4, BranchPredictability: 0.90, WorkingSet: 64 * mib, StrideLocality: 0.35, MLP: 1.5, Intensity: 0.62, Seed: 110,
+	},
+	{
+		Name: "astar", Mix: InstrMix{IntALU: 0.38, CALU: 0.03, Load: 0.32, Store: 0.09, Branch: 0.18}.Normalized(),
+		ILP: 2.6, BranchPredictability: 0.88, WorkingSet: 32 * mib, StrideLocality: 0.40, MLP: 2.0, Intensity: 0.70, Seed: 111,
+	},
+	{
+		Name: "xalancbmk", Mix: InstrMix{IntALU: 0.37, CALU: 0.02, Load: 0.30, Store: 0.11, Branch: 0.20}.Normalized(),
+		ILP: 2.8, BranchPredictability: 0.91, WorkingSet: 32 * mib, StrideLocality: 0.50, MLP: 2.0, Intensity: 0.72, Seed: 112,
+	},
+	// ---- floating-point suite ----
+	{
+		Name: "bwaves", FP: true, Mix: InstrMix{IntALU: 0.18, CALU: 0.02, FP: 0.40, AVX: 0.06, Load: 0.24, Store: 0.08, Branch: 0.02}.Normalized(),
+		ILP: 5.5, BranchPredictability: 0.99, WorkingSet: 128 * mib, StrideLocality: 0.95, MLP: 6.0, Intensity: 0.85, Seed: 201,
+	},
+	{
+		Name: "gamess", FP: true, Mix: InstrMix{IntALU: 0.22, CALU: 0.03, FP: 0.42, AVX: 0.02, Load: 0.22, Store: 0.07, Branch: 0.02}.Normalized(),
+		ILP: 4.5, BranchPredictability: 0.97, WorkingSet: 1 * mib, StrideLocality: 0.85, MLP: 2.0, Intensity: 0.90, Seed: 202,
+		Phases: []Phase{{Timesteps: 100, Intensity: 0.22}, {Timesteps: 30, Intensity: 1.12}},
+	},
+	{
+		Name: "milc", FP: true, Mix: InstrMix{IntALU: 0.18, CALU: 0.02, FP: 0.36, AVX: 0.08, Load: 0.26, Store: 0.09, Branch: 0.01}.Normalized(),
+		ILP: 4.0, BranchPredictability: 0.99, WorkingSet: 96 * mib, StrideLocality: 0.85, MLP: 5.0, Intensity: 0.78, Seed: 203,
+	},
+	{
+		Name: "zeusmp", FP: true, Mix: InstrMix{IntALU: 0.20, CALU: 0.02, FP: 0.40, AVX: 0.04, Load: 0.24, Store: 0.08, Branch: 0.02}.Normalized(),
+		ILP: 4.5, BranchPredictability: 0.98, WorkingSet: 64 * mib, StrideLocality: 0.90, MLP: 4.0, Intensity: 0.85, Seed: 204,
+	},
+	{
+		Name: "gromacs", FP: true, Mix: InstrMix{IntALU: 0.24, CALU: 0.03, FP: 0.45, AVX: 0.04, Load: 0.17, Store: 0.05, Branch: 0.02}.Normalized(),
+		ILP: 5.0, BranchPredictability: 0.97, WorkingSet: 2 * mib, StrideLocality: 0.85, MLP: 2.0, Intensity: 0.95, Seed: 205,
+	},
+	{
+		Name: "cactusADM", FP: true, Mix: InstrMix{IntALU: 0.16, CALU: 0.02, FP: 0.46, AVX: 0.06, Load: 0.22, Store: 0.07, Branch: 0.01}.Normalized(),
+		ILP: 4.2, BranchPredictability: 0.99, WorkingSet: 48 * mib, StrideLocality: 0.90, MLP: 4.0, Intensity: 0.80, Seed: 206,
+	},
+	{
+		Name: "leslie3d", FP: true, Mix: InstrMix{IntALU: 0.18, CALU: 0.02, FP: 0.42, AVX: 0.05, Load: 0.24, Store: 0.08, Branch: 0.01}.Normalized(),
+		ILP: 4.8, BranchPredictability: 0.99, WorkingSet: 64 * mib, StrideLocality: 0.92, MLP: 4.5, Intensity: 0.82, Seed: 207,
+	},
+	{
+		Name: "namd", FP: true, Mix: InstrMix{IntALU: 0.22, CALU: 0.02, FP: 0.48, AVX: 0.04, Load: 0.17, Store: 0.05, Branch: 0.02}.Normalized(),
+		ILP: 5.5, BranchPredictability: 0.98, WorkingSet: 1 * mib, StrideLocality: 0.90, MLP: 2.0, Intensity: 1.0, Seed: 208,
+	},
+	{
+		Name: "dealII", FP: true, Mix: InstrMix{IntALU: 0.26, CALU: 0.03, FP: 0.38, AVX: 0.02, Load: 0.22, Store: 0.07, Branch: 0.02}.Normalized(),
+		ILP: 3.8, BranchPredictability: 0.95, WorkingSet: 16 * mib, StrideLocality: 0.70, MLP: 2.5, Intensity: 0.82, Seed: 209,
+		Phases: []Phase{{Timesteps: 250, Intensity: 0.22}, {Timesteps: 50, Intensity: 1.15}},
+	},
+	{
+		Name: "soplex", FP: true, Mix: InstrMix{IntALU: 0.26, CALU: 0.02, FP: 0.30, AVX: 0.01, Load: 0.29, Store: 0.07, Branch: 0.05}.Normalized(),
+		ILP: 3.0, BranchPredictability: 0.93, WorkingSet: 64 * mib, StrideLocality: 0.50, MLP: 3.0, Intensity: 0.65, Seed: 210,
+	},
+	{
+		Name: "povray", FP: true, Mix: InstrMix{IntALU: 0.28, CALU: 0.04, FP: 0.35, Load: 0.20, Store: 0.06, Branch: 0.07}.Normalized(),
+		ILP: 3.5, BranchPredictability: 0.92, WorkingSet: 1 * mib, StrideLocality: 0.80, MLP: 1.5, Intensity: 0.92, Seed: 211,
+	},
+	{
+		Name: "calculix", FP: true, Mix: InstrMix{IntALU: 0.24, CALU: 0.03, FP: 0.40, AVX: 0.03, Load: 0.21, Store: 0.07, Branch: 0.02}.Normalized(),
+		ILP: 4.2, BranchPredictability: 0.97, WorkingSet: 8 * mib, StrideLocality: 0.80, MLP: 2.5, Intensity: 0.86, Seed: 212,
+	},
+	{
+		Name: "GemsFDTD", FP: true, Mix: InstrMix{IntALU: 0.17, CALU: 0.02, FP: 0.42, AVX: 0.06, Load: 0.24, Store: 0.08, Branch: 0.01}.Normalized(),
+		ILP: 4.6, BranchPredictability: 0.99, WorkingSet: 128 * mib, StrideLocality: 0.92, MLP: 5.0, Intensity: 0.76, Seed: 213,
+	},
+	{
+		Name: "tonto", FP: true, Mix: InstrMix{IntALU: 0.24, CALU: 0.03, FP: 0.40, AVX: 0.02, Load: 0.21, Store: 0.07, Branch: 0.03}.Normalized(),
+		ILP: 4.0, BranchPredictability: 0.96, WorkingSet: 4 * mib, StrideLocality: 0.80, MLP: 2.0, Intensity: 0.84, Seed: 214,
+		Phases: []Phase{{Timesteps: 700, Intensity: 0.22}, {Timesteps: 50, Intensity: 1.15}},
+	},
+	{
+		Name: "lbm", FP: true, Mix: InstrMix{IntALU: 0.14, CALU: 0.01, FP: 0.42, AVX: 0.10, Load: 0.22, Store: 0.10, Branch: 0.01}.Normalized(),
+		ILP: 6.0, BranchPredictability: 0.99, WorkingSet: 256 * mib, StrideLocality: 0.98, MLP: 8.0, Intensity: 0.80, Seed: 215,
+	},
+	{
+		Name: "wrf", FP: true, Mix: InstrMix{IntALU: 0.22, CALU: 0.02, FP: 0.40, AVX: 0.04, Load: 0.22, Store: 0.08, Branch: 0.02}.Normalized(),
+		ILP: 4.2, BranchPredictability: 0.97, WorkingSet: 32 * mib, StrideLocality: 0.85, MLP: 3.0, Intensity: 0.82, Seed: 216,
+		Phases: []Phase{{Timesteps: 450, Intensity: 0.25}, {Timesteps: 60, Intensity: 1.10}},
+	},
+	{
+		Name: "sphinx3", FP: true, Mix: InstrMix{IntALU: 0.24, CALU: 0.02, FP: 0.36, AVX: 0.02, Load: 0.25, Store: 0.07, Branch: 0.04}.Normalized(),
+		ILP: 3.6, BranchPredictability: 0.95, WorkingSet: 16 * mib, StrideLocality: 0.70, MLP: 2.5, Intensity: 0.76, Seed: 217,
+	},
+}
+
+// SPEC2006 returns the 29 synthetic SPEC CPU2006 profiles used in the case
+// study. The returned slice is a fresh copy; callers may modify it.
+func SPEC2006() []Profile {
+	out := make([]Profile, len(spec2006))
+	copy(out, spec2006)
+	return out
+}
+
+// ValidationSet returns the five profiles used for the Table III C_dyn
+// validation (the paper's non-Fortran validation set).
+func ValidationSet() []Profile {
+	names := []string{"bzip2", "gcc", "omnetpp", "povray", "hmmer"}
+	out := make([]Profile, 0, len(names))
+	for _, n := range names {
+		p, err := Lookup(n)
+		if err != nil {
+			panic(err) // validation names are part of the suite by construction
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Idle returns the background/OS profile used for the paper's idle-warmup
+// thermal initialization: low, steady, integer-dominated activity.
+func Idle() Profile {
+	return Profile{
+		Name: "idle",
+		Mix:  InstrMix{IntALU: 0.35, CALU: 0.01, Load: 0.30, Store: 0.10, Branch: 0.24}.Normalized(),
+		ILP:  2.0, BranchPredictability: 0.95, WorkingSet: 8 * mib,
+		StrideLocality: 0.5, MLP: 1.5, Intensity: 0.08, Seed: 999,
+	}
+}
+
+// AVXStress returns an AVX-512-dominated profile. The paper notes that
+// AVX-intensive workloads would concentrate hotspots in the AVX unit; this
+// profile exists to demonstrate that behaviour (it is not part of the
+// SPEC2006 campaign).
+func AVXStress() Profile {
+	return Profile{
+		Name: "avxstress", FP: true,
+		Mix: InstrMix{IntALU: 0.10, CALU: 0.01, FP: 0.08, AVX: 0.55, Load: 0.18, Store: 0.07, Branch: 0.01}.Normalized(),
+		ILP: 6.0, BranchPredictability: 0.99, WorkingSet: 2 * mib,
+		StrideLocality: 0.95, MLP: 3.0, Intensity: 1.0, Seed: 998,
+	}
+}
+
+// Lookup returns the suite profile with the given name (including "idle"
+// and "avxstress").
+func Lookup(name string) (Profile, error) {
+	for _, p := range spec2006 {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	switch name {
+	case "idle":
+		return Idle(), nil
+	case "avxstress":
+		return AVXStress(), nil
+	}
+	return Profile{}, fmt.Errorf("workload: unknown profile %q (known: %v)", name, Names())
+}
+
+// Names returns the sorted names of all SPEC2006 suite profiles.
+func Names() []string {
+	out := make([]string, len(spec2006))
+	for i, p := range spec2006 {
+		out[i] = p.Name
+	}
+	sort.Strings(out)
+	return out
+}
