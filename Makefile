@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+# The full CI gate: build, tests (incl. the internal-package docs lint),
+# vet, and gofmt cleanliness.
+check: build test vet fmt-check
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -14,6 +14,7 @@ import (
 	"hotgauge/internal/floorplan"
 	"hotgauge/internal/geometry"
 	"hotgauge/internal/mitigate"
+	"hotgauge/internal/obs"
 	"hotgauge/internal/perf"
 	"hotgauge/internal/power"
 	"hotgauge/internal/sim"
@@ -378,6 +379,96 @@ func BenchmarkKernelSeverityRMS(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		stats.RMS(series)
+	}
+}
+
+// ---- Observability overhead (ISSUE 1 acceptance) ----
+
+// BenchmarkObsOverhead measures the cost of full instrumentation on the
+// sim.Run hot path. "baseline" runs with a nil registry (every metric
+// call a nil-check no-op); "instrumented" records all stage timers and
+// counters into a live registry. Compare with:
+//
+//	go test -bench=ObsOverhead -count=10 | benchstat
+//
+// The instrumented path must stay within 2% of baseline: per 200 µs
+// timestep it adds ~6 timer spans (two clock reads each) and a handful
+// of atomic adds against a multi-millisecond thermal solve.
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, reg *obs.Registry) {
+		cfg := benchConfig(tech.Node7, "gcc", 8)
+		cfg.Obs = reg
+		for i := 0; i < b.N; i++ {
+			benchRun(b, cfg)
+		}
+	}
+	b.Run("baseline", func(b *testing.B) { run(b, nil) })
+	b.Run("instrumented", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		run(b, reg)
+		if reg.Counter("sim/steps").Value() == 0 {
+			b.Fatal("instrumentation did not record")
+		}
+	})
+}
+
+// BenchmarkObsCampaignOverhead is the same comparison across a parallel
+// campaign sharing one registry between workers — the contended case.
+func BenchmarkObsCampaignOverhead(b *testing.B) {
+	cfgs := func() []sim.Config {
+		var out []sim.Config
+		for _, name := range []string{"gcc", "namd", "milc", "hmmer"} {
+			out = append(out, benchConfig(tech.Node7, name, 6))
+		}
+		return out
+	}
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Campaign(cfgs()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.CampaignOpts(cfgs(), sim.CampaignOptions{Obs: reg}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Registry micro-benchmarks: the per-event costs the <2% bound rests on.
+func BenchmarkObsCounterAdd(b *testing.B) {
+	c := obs.NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsCounterAddNil(b *testing.B) {
+	var c *obs.Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsTimerSpan(b *testing.B) {
+	t := obs.NewRegistry().Timer("t")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Start().End()
+	}
+}
+
+func BenchmarkObsTimerSpanNil(b *testing.B) {
+	var t *obs.Timer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Start().End()
 	}
 }
 

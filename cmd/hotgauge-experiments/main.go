@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hotgauge-experiments [-quick] <experiment|all>
+//	hotgauge-experiments [-quick] [-v] [-metrics-json m.json] [-pprof-cpu cpu.out] <experiment|all>
 //
 // Experiments: table1 table2 table3 table4 powerdensity tempscaling
 // fig1 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 icscale
@@ -19,6 +19,9 @@ import (
 	"time"
 
 	"hotgauge/internal/experiments"
+	"hotgauge/internal/obs"
+	"hotgauge/internal/report"
+	"hotgauge/internal/sim"
 )
 
 // runner adapts each experiment to a common shape.
@@ -65,39 +68,85 @@ var order = []string{
 func main() {
 	quick := flag.Bool("quick", false, "reduced workload/core sets and step caps (~1 minute total)")
 	svgDir := flag.String("svg", "", "directory to write SVG figures into")
+	metricsJSON := flag.String("metrics-json", "", "write a JSON dump of the aggregated metrics registry to this file")
+	pprofCPU := flag.String("pprof-cpu", "", "write a CPU profile of the experiment run to this file")
+	pprofMem := flag.String("pprof-mem", "", "write a heap profile after the run to this file")
+	verbose := flag.Bool("v", false, "print the aggregated per-stage wall-time breakdown at the end")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	opts := experiments.Options{Quick: *quick}
+	if err := runAll(flag.Args(), *quick, *svgDir, *metricsJSON, *pprofCPU, *pprofMem, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
-	names := flag.Args()
+// runAll executes the named experiments with the observability plumbing
+// wired; it is separate from main so profile/metrics defers run before
+// exit.
+func runAll(names []string, quick bool, svgDir, metricsJSON, pprofCPU, pprofMem string, verbose bool) error {
+	opts := experiments.Options{Quick: quick}
+	if metricsJSON != "" || verbose {
+		opts.Obs = obs.NewRegistry()
+	}
+	if pprofCPU != "" {
+		stop, err := obs.StartCPUProfile(pprofCPU)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpu profile:", err)
+			}
+		}()
+	}
+	if pprofMem != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(pprofMem); err != nil {
+				fmt.Fprintln(os.Stderr, "heap profile:", err)
+			}
+		}()
+	}
+
 	if names[0] == "all" {
 		names = order
 	}
 	for _, name := range names {
 		run, ok := registry[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			usage()
-			os.Exit(2)
+			return fmt.Errorf("unknown experiment %q", name)
 		}
 		start := time.Now()
 		result, err := run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, time.Since(start).Seconds(), result)
-		if *svgDir != "" {
-			if err := writeFigures(*svgDir, result); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: writing figures: %v\n", name, err)
-				os.Exit(1)
+		if svgDir != "" {
+			if err := writeFigures(svgDir, result); err != nil {
+				return fmt.Errorf("%s: writing figures: %w", name, err)
 			}
 		}
 	}
+
+	if verbose {
+		snap := opts.Obs.Snapshot()
+		runT := snap.Timers[sim.MetricRunTime]
+		fmt.Printf("==== stage breakdown (%d runs, %d steps, %d thermal substeps) ====\n",
+			snap.Counters[sim.MetricRuns], snap.Counters[sim.MetricSteps], snap.Counters[sim.MetricThermalSubsteps])
+		fmt.Print(report.StageTable(snap.Stages(sim.StagePrefix), time.Duration(runT.TotalSeconds*float64(time.Second))))
+	}
+	if metricsJSON != "" {
+		if err := obs.WriteMetricsJSON(metricsJSON, opts.Obs); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s\n", metricsJSON)
+	}
+	return nil
 }
 
 // writeFigures saves an experiment's SVG figures, if it has any.

@@ -9,6 +9,7 @@
 //	hotgauge -workload gcc -node 7 -warmup idle -steps 100
 //	hotgauge -workload namd -node 14 -core 3 -stop-at-hotspot
 //	hotgauge -workload milc -node 7 -steps 50 -out out/
+//	hotgauge -workload gcc -steps 50 -v -metrics-json metrics.json -pprof-cpu cpu.out
 package main
 
 import (
@@ -19,8 +20,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"hotgauge/internal/floorplan"
+	"hotgauge/internal/obs"
 	"hotgauge/internal/perf"
 	"hotgauge/internal/report"
 	"hotgauge/internal/sim"
@@ -29,27 +32,54 @@ import (
 	"hotgauge/internal/workload"
 )
 
+// options carries every parsed flag of one invocation.
+type options struct {
+	workload    string
+	node        int
+	core        int
+	warmup      string
+	steps       int
+	stop        bool
+	cycleModel  bool
+	scaleUnit   string
+	icArea      float64
+	tempTh      float64
+	mltdTh      float64
+	radius      float64
+	outDir      string
+	heatmap     bool
+	saveTrace   string
+	replayTrace string
+	metricsJSON string
+	pprofCPU    string
+	pprofMem    string
+	verbose     bool
+}
+
 func main() {
-	var (
-		wl       = flag.String("workload", "gcc", "workload profile name (see -list)")
-		list     = flag.Bool("list", false, "list workload profiles and exit")
-		node     = flag.Int("node", 7, "process node in nm (14, 10 or 7)")
-		coreID   = flag.Int("core", 0, "core to pin the workload to (0-6)")
-		warmup   = flag.String("warmup", "idle", "initial thermal state: cold or idle")
-		steps    = flag.Int("steps", 100, "timesteps to simulate (200 us each)")
-		stop     = flag.Bool("stop-at-hotspot", false, "stop at the first detected hotspot")
-		cycleSim = flag.Bool("cycle-model", false, "use the cycle-level core model (slower)")
-		scaleStr = flag.String("scale-unit", "", "mitigation floorplan, e.g. fpIWin=10 or RAT_INT=10,RAT_FP=10")
-		icScale  = flag.Float64("ic-area", 0, "uniform IC area factor (§V-B), e.g. 1.75")
-		tempTh   = flag.Float64("temp-threshold", 80, "hotspot temperature threshold [C]")
-		mltdTh   = flag.Float64("mltd-threshold", 25, "hotspot MLTD threshold [C]")
-		radius   = flag.Float64("radius", 1.0, "MLTD radius [mm]")
-		outDir   = flag.String("out", "", "directory for CSV artifacts (series + frames)")
-		heat     = flag.Bool("heatmap", true, "print the final junction heatmap")
-		showPlan = flag.Bool("floorplan", false, "print the floorplan map and exit")
-		saveTr   = flag.String("save-trace", "", "record the workload's activity trace to this CSV")
-		replayTr = flag.String("replay-trace", "", "drive the simulation from a recorded activity trace instead of the performance model")
-	)
+	var o options
+	flag.StringVar(&o.workload, "workload", "gcc", "workload profile name (see -list)")
+	list := flag.Bool("list", false, "list workload profiles and exit")
+	flag.IntVar(&o.node, "node", 7, "process node in nm (14, 10 or 7)")
+	flag.IntVar(&o.core, "core", 0, "core to pin the workload to (0-6)")
+	flag.StringVar(&o.warmup, "warmup", "idle", "initial thermal state: cold or idle")
+	flag.IntVar(&o.steps, "steps", 100, "timesteps to simulate (200 us each)")
+	flag.BoolVar(&o.stop, "stop-at-hotspot", false, "stop at the first detected hotspot")
+	flag.BoolVar(&o.cycleModel, "cycle-model", false, "use the cycle-level core model (slower)")
+	flag.StringVar(&o.scaleUnit, "scale-unit", "", "mitigation floorplan, e.g. fpIWin=10 or RAT_INT=10,RAT_FP=10")
+	flag.Float64Var(&o.icArea, "ic-area", 0, "uniform IC area factor (§V-B), e.g. 1.75")
+	flag.Float64Var(&o.tempTh, "temp-threshold", 80, "hotspot temperature threshold [C]")
+	flag.Float64Var(&o.mltdTh, "mltd-threshold", 25, "hotspot MLTD threshold [C]")
+	flag.Float64Var(&o.radius, "radius", 1.0, "MLTD radius [mm]")
+	flag.StringVar(&o.outDir, "out", "", "directory for CSV artifacts (series + frames)")
+	flag.BoolVar(&o.heatmap, "heatmap", true, "print the final junction heatmap")
+	showPlan := flag.Bool("floorplan", false, "print the floorplan map and exit")
+	flag.StringVar(&o.saveTrace, "save-trace", "", "record the workload's activity trace to this CSV")
+	flag.StringVar(&o.replayTrace, "replay-trace", "", "drive the simulation from a recorded activity trace instead of the performance model")
+	flag.StringVar(&o.metricsJSON, "metrics-json", "", "write a JSON dump of the run's metrics registry to this file")
+	flag.StringVar(&o.pprofCPU, "pprof-cpu", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&o.pprofMem, "pprof-mem", "", "write a heap profile after the run to this file")
+	flag.BoolVar(&o.verbose, "v", false, "print the per-stage wall-time breakdown")
 	flag.Parse()
 
 	if *list {
@@ -57,65 +87,84 @@ func main() {
 		return
 	}
 	if *showPlan {
-		if err := printFloorplan(*node, *scaleStr, *icScale); err != nil {
+		if err := printFloorplan(o.node, o.scaleUnit, o.icArea); err != nil {
 			fmt.Fprintln(os.Stderr, "hotgauge:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*wl, *node, *coreID, *warmup, *steps, *stop, *cycleSim,
-		*scaleStr, *icScale, *tempTh, *mltdTh, *radius, *outDir, *heat, *saveTr, *replayTr); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "hotgauge:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl string, node, coreID int, warmup string, steps int, stop, cycleSim bool,
-	scaleStr string, icScale, tempTh, mltdTh, radius float64, outDir string, heat bool,
-	saveTrace, replayTrace string) error {
-	prof, err := workload.Lookup(wl)
+func run(o options) error {
+	prof, err := workload.Lookup(o.workload)
 	if err != nil {
 		return err
 	}
-	kindScale, err := parseScale(scaleStr)
+	kindScale, err := parseScale(o.scaleUnit)
 	if err != nil {
 		return err
 	}
 	cfg := sim.Config{
-		Floorplan: floorplan.Config{Node: tech.Node(node), KindScale: kindScale, ICAreaFactor: icScale},
+		Floorplan: floorplan.Config{Node: tech.Node(o.node), KindScale: kindScale, ICAreaFactor: o.icArea},
 		Workload:  prof,
-		Core:      coreID,
-		Steps:     steps,
+		Core:      o.core,
+		Steps:     o.steps,
 		Record: sim.RecordOptions{
 			MLTD: true, Severity: true, TempPercentiles: true, HotspotUnits: true,
 		},
-		StopAtHotspot: stop,
-		UseCycleModel: cycleSim,
+		StopAtHotspot: o.stop,
+		UseCycleModel: o.cycleModel,
 	}
-	cfg.Definition.TempThreshold = tempTh
-	cfg.Definition.MLTDThreshold = mltdTh
-	cfg.Definition.Radius = radius
-	switch warmup {
+	cfg.Definition.TempThreshold = o.tempTh
+	cfg.Definition.MLTDThreshold = o.mltdTh
+	cfg.Definition.Radius = o.radius
+	switch o.warmup {
 	case "cold":
 		cfg.Warmup = sim.WarmupCold
 	case "idle":
 		cfg.Warmup = sim.WarmupIdle
 	default:
-		return fmt.Errorf("unknown warmup mode %q (cold or idle)", warmup)
+		return fmt.Errorf("unknown warmup mode %q (cold or idle)", o.warmup)
+	}
+	if o.metricsJSON != "" || o.verbose {
+		cfg.Obs = obs.NewRegistry()
 	}
 
-	if replayTrace != "" {
-		src, err := loadTrace(replayTrace)
+	if o.pprofCPU != "" {
+		stop, err := obs.StartCPUProfile(o.pprofCPU)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "hotgauge: cpu profile:", err)
+			}
+		}()
+	}
+	if o.pprofMem != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(o.pprofMem); err != nil {
+				fmt.Fprintln(os.Stderr, "hotgauge: heap profile:", err)
+			}
+		}()
+	}
+
+	if o.replayTrace != "" {
+		src, err := loadTrace(o.replayTrace)
 		if err != nil {
 			return err
 		}
 		cfg.Source = src
 	}
-	if saveTrace != "" {
-		if err := recordTrace(cfg, saveTrace); err != nil {
+	if o.saveTrace != "" {
+		if err := recordTrace(cfg, o.saveTrace); err != nil {
 			return err
 		}
-		fmt.Printf("activity trace recorded to %s\n", saveTrace)
+		fmt.Printf("activity trace recorded to %s\n", o.saveTrace)
 	}
 
 	res, err := sim.Run(cfg)
@@ -123,17 +172,36 @@ func run(wl string, node, coreID int, warmup string, steps int, stop, cycleSim b
 		return err
 	}
 	printSummary(cfg, res)
-	if heat {
+	if o.heatmap {
 		fmt.Println("\nfinal junction temperature map:")
 		fmt.Print(report.Heatmap(res.FinalField))
 	}
-	if outDir != "" {
-		if err := writeArtifacts(outDir, res); err != nil {
+	if o.verbose {
+		printStages(cfg.Obs)
+	}
+	if o.metricsJSON != "" {
+		if err := obs.WriteMetricsJSON(o.metricsJSON, cfg.Obs); err != nil {
 			return err
 		}
-		fmt.Printf("\nartifacts written to %s\n", outDir)
+		fmt.Printf("\nmetrics written to %s\n", o.metricsJSON)
+	}
+	if o.outDir != "" {
+		if err := writeArtifacts(o.outDir, res); err != nil {
+			return err
+		}
+		fmt.Printf("\nartifacts written to %s\n", o.outDir)
 	}
 	return nil
+}
+
+// printStages renders the -v per-stage wall-time breakdown.
+func printStages(reg *obs.Registry) {
+	snap := reg.Snapshot()
+	run := snap.Timers[sim.MetricRunTime]
+	fmt.Println("\nstage breakdown:")
+	fmt.Print(report.StageTable(snap.Stages(sim.StagePrefix), time.Duration(run.TotalSeconds*float64(time.Second))))
+	fmt.Printf("thermal substeps: %d (%d stability-bound hits)\n",
+		snap.Counters[sim.MetricThermalSubsteps], snap.Counters[sim.MetricThermalStability])
 }
 
 func parseScale(s string) (map[floorplan.Kind]float64, error) {

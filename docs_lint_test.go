@@ -1,0 +1,92 @@
+package hotgauge
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInternalPackageDocs is the docs lint: every internal/ package
+// must carry a doc.go whose package comment says what the package
+// models (CI runs this via `go test`, so a new package without docs
+// fails the build).
+func TestInternalPackageDocs(t *testing.T) {
+	var pkgDirs []string
+	err := filepath.WalkDir("internal", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		matches, err := filepath.Glob(filepath.Join(path, "*.go"))
+		if err != nil {
+			return err
+		}
+		if len(matches) > 0 {
+			pkgDirs = append(pkgDirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgDirs) < 15 {
+		t.Fatalf("found only %d internal packages; lint walk is broken", len(pkgDirs))
+	}
+
+	for _, dir := range pkgDirs {
+		docPath := filepath.Join(dir, "doc.go")
+		if _, err := os.Stat(docPath); err != nil {
+			t.Errorf("package %s lacks a doc.go with package documentation", dir)
+			continue
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, docPath, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Errorf("%s: %v", docPath, err)
+			continue
+		}
+		if f.Doc == nil {
+			t.Errorf("%s has no package comment attached to the package clause", docPath)
+			continue
+		}
+		text := f.Doc.Text()
+		want := "Package " + f.Name.Name
+		if !strings.HasPrefix(text, want) {
+			t.Errorf("%s: package comment must start with %q", docPath, want)
+		}
+		if len(text) < 120 {
+			t.Errorf("%s: package comment is too thin (%d chars) to document what the package models", docPath, len(text))
+		}
+	}
+}
+
+// TestNoStrayPackageComments keeps each package's documentation in its
+// doc.go: another file carrying a second package comment would win the
+// godoc lottery nondeterministically.
+func TestNoStrayPackageComments(t *testing.T) {
+	err := filepath.WalkDir("internal", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "doc.go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if perr != nil {
+			return perr
+		}
+		if f.Doc != nil && strings.HasPrefix(f.Doc.Text(), "Package ") {
+			t.Errorf("%s carries a package comment; move it into the package's doc.go", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

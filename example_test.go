@@ -61,3 +61,56 @@ func ExampleAnalyzer() {
 	// Output:
 	// hotspot at (1.55, 1.55) mm: 105 C, MLTD 45 C
 }
+
+// Instrumenting a run: a Metrics registry records per-stage wall time
+// and per-run counters; Snapshot serializes them (the CLIs' -metrics-json).
+func ExampleNewMetrics() {
+	prof, err := hotgauge.LookupWorkload("gcc")
+	if err != nil {
+		panic(err)
+	}
+	metrics := hotgauge.NewMetrics()
+	res, err := hotgauge.Run(hotgauge.Config{
+		Floorplan:  hotgauge.FloorplanConfig{Node: hotgauge.Node7},
+		Workload:   prof,
+		Steps:      5,
+		Resolution: 0.2,
+		Obs:        metrics,
+	})
+	if err != nil {
+		panic(err)
+	}
+	snap := metrics.Snapshot()
+	fmt.Printf("steps counted: %d (ran %d)\n", snap.Counters["sim/steps"], res.StepsRun)
+	fmt.Printf("thermal substeps > steps: %v\n", snap.Counters["thermal/substeps"] > snap.Counters["sim/steps"])
+	fmt.Printf("stages timed: %d\n", len(snap.Stages("sim/stage/")))
+	// Output:
+	// steps counted: 5 (ran 5)
+	// thermal substeps > steps: true
+	// stages timed: 6
+}
+
+// RunAllOpts reports live campaign progress and joins all failures.
+func ExampleRunAllOpts() {
+	prof, err := hotgauge.LookupWorkload("gcc")
+	if err != nil {
+		panic(err)
+	}
+	base := hotgauge.Config{
+		Floorplan:  hotgauge.FloorplanConfig{Node: hotgauge.Node7},
+		Workload:   prof,
+		Steps:      3,
+		Resolution: 0.2,
+	}
+	cfgs := []hotgauge.Config{base, base, base}
+	completions := 0
+	_, err = hotgauge.RunAllOpts(cfgs, hotgauge.CampaignOptions{
+		OnProgress: func(p hotgauge.CampaignProgress) { completions++ },
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("progress callbacks: %d of %d runs\n", completions, len(cfgs))
+	// Output:
+	// progress callbacks: 3 of 3 runs
+}

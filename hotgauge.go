@@ -36,6 +36,7 @@ import (
 	"hotgauge/internal/floorplan"
 	"hotgauge/internal/geometry"
 	"hotgauge/internal/mitigate"
+	"hotgauge/internal/obs"
 	"hotgauge/internal/sim"
 	"hotgauge/internal/tech"
 	"hotgauge/internal/thermal"
@@ -95,8 +96,36 @@ const Timestep = sim.Timestep
 func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
 
 // RunAll executes a batch of configurations in parallel across CPUs,
-// preserving order.
+// preserving order. Independent runs continue past failures; the
+// returned error joins every per-run error.
 func RunAll(cfgs []Config) ([]*Result, error) { return sim.Campaign(cfgs) }
+
+// RunAllOpts is RunAll with worker, observability and progress controls.
+func RunAllOpts(cfgs []Config, opts CampaignOptions) ([]*Result, error) {
+	return sim.CampaignOpts(cfgs, opts)
+}
+
+// ---- Observability ----
+
+// Observability types; see internal/obs and internal/sim for the metric
+// names recorded by Run.
+type (
+	// Metrics is a registry of counters, gauges, timers and histograms.
+	// Set Config.Obs to record a run's per-stage wall time and counters;
+	// share one registry across RunAll workers to aggregate a campaign.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time, JSON-serializable registry copy.
+	MetricsSnapshot = obs.Snapshot
+	// CampaignOptions tunes RunAllOpts: worker cap, shared metrics
+	// registry, and a per-run-completion progress callback.
+	CampaignOptions = sim.CampaignOptions
+	// CampaignProgress is the live progress (runs completed/total, ETA)
+	// delivered to CampaignOptions.OnProgress.
+	CampaignProgress = sim.Progress
+)
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // SPEC2006 returns the 29 synthetic SPEC CPU2006 workload profiles of the
 // case study.

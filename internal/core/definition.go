@@ -1,11 +1,3 @@
-// Package core implements HotGauge's primary contribution: the formal
-// hotspot definition (Definition 1), the maximum localized temperature
-// difference (MLTD) metric, the candidate-based automated hotspot
-// detection algorithm (Fig. 6), and the hotspot severity metric
-// (Equations 1-2, Fig. 7).
-//
-// Everything operates on 2-D junction-temperature fields
-// (geometry.Field, °C, pitch in mm) produced by the thermal solver.
 package core
 
 import (

@@ -1,0 +1,11 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§II-A, §IV, §V and the validation tables) from the
+// simulation stack. Each experiment is a function returning a typed
+// result with a String() rendering; cmd/hotgauge-experiments exposes them
+// as subcommands and bench_test.go benchmarks each one.
+//
+// Absolute numbers differ from the paper (our substrate is a from-scratch
+// simulator, not the authors' calibrated testbed); the *shape* — who
+// wins, by what factor, where crossovers fall — is the reproduction
+// target, recorded side by side in EXPERIMENTS.md.
+package experiments

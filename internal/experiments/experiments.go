@@ -1,19 +1,10 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§II-A, §IV, §V and the validation tables) from the
-// simulation stack. Each experiment is a function returning a typed
-// result with a String() rendering; cmd/hotgauge-experiments exposes them
-// as subcommands and bench_test.go benchmarks each one.
-//
-// Absolute numbers differ from the paper (our substrate is a from-scratch
-// simulator, not the authors' calibrated testbed); the *shape* — who
-// wins, by what factor, where crossovers fall — is the reproduction
-// target, recorded side by side in EXPERIMENTS.md.
 package experiments
 
 import (
 	"fmt"
 
 	"hotgauge/internal/floorplan"
+	"hotgauge/internal/obs"
 	"hotgauge/internal/sim"
 	"hotgauge/internal/tech"
 	"hotgauge/internal/workload"
@@ -24,6 +15,12 @@ import (
 // mode reproduces the paper's sweeps.
 type Options struct {
 	Quick bool
+
+	// Obs, when non-nil, aggregates every run's metrics (stage timers,
+	// substep counters, campaign progress) across all experiments into
+	// one registry — the -metrics-json/-v plumbing of
+	// cmd/hotgauge-experiments.
+	Obs *obs.Registry
 }
 
 // suite returns the workload set for an experiment: the full 29-profile
@@ -76,14 +73,16 @@ func mustProfile(name string) workload.Profile {
 	return p
 }
 
-// baseConfig assembles the standard single-workload run configuration.
-func baseConfig(node tech.Node, prof workload.Profile, core int, warm sim.WarmupMode, steps int) sim.Config {
+// baseConfig assembles the standard single-workload run configuration,
+// threading the experiment-wide metrics registry into every run.
+func (o Options) baseConfig(node tech.Node, prof workload.Profile, core int, warm sim.WarmupMode, steps int) sim.Config {
 	return sim.Config{
 		Floorplan: floorplan.Config{Node: node},
 		Workload:  prof,
 		Core:      core,
 		Warmup:    warm,
 		Steps:     steps,
+		Obs:       o.Obs,
 	}
 }
 

@@ -34,7 +34,7 @@ func DTM(o Options) (*DTMResult, error) {
 	if o.Quick {
 		steps = 60
 	}
-	cfg := baseConfig(tech.Node7, mustProfile("namd"), 0, sim.WarmupIdle, steps)
+	cfg := o.baseConfig(tech.Node7, mustProfile("namd"), 0, sim.WarmupIdle, steps)
 	outcomes, err := mitigate.Compare(cfg,
 		mitigate.NoOp{},
 		&mitigate.ThresholdThrottle{TripTemp: 90, ResumeTemp: 82, LowSpeed: 0.3},
@@ -113,7 +113,7 @@ func Cooling(o Options) (*CoolingResult, error) {
 			return nil, err
 		}
 
-		cfg := baseConfig(tech.Node7, mustProfile("namd"), 0, sim.WarmupIdle, steps)
+		cfg := o.baseConfig(tech.Node7, mustProfile("namd"), 0, sim.WarmupIdle, steps)
 		cfg.Stack = v.stack
 		cfg.SinkConductance = v.sinkG
 		cfg.Record.Severity = true
@@ -181,7 +181,7 @@ func Lifetimes(o Options) (*LifetimeResult, error) {
 	}
 	var cfgs []sim.Config
 	for _, prof := range o.suite() {
-		cfg := baseConfig(tech.Node7, prof, 0, sim.WarmupIdle, steps)
+		cfg := o.baseConfig(tech.Node7, prof, 0, sim.WarmupIdle, steps)
 		cfg.Record.FieldEvery = 1
 		cfgs = append(cfgs, cfg)
 	}
@@ -297,7 +297,7 @@ func Floorplanning(o Options) (*FloorplanningResult, error) {
 	}
 	var cfgs []sim.Config
 	for _, v := range variants {
-		cfg := baseConfig(tech.Node7, prof, 0, sim.WarmupIdle, steps)
+		cfg := o.baseConfig(tech.Node7, prof, 0, sim.WarmupIdle, steps)
 		cfg.Floorplan = v.fpc
 		cfg.Record.Severity = true
 		cfg.Record.MLTD = true

@@ -31,7 +31,7 @@ func AVX(o Options) (*AVXResult, error) {
 		steps = 25
 	}
 	share := func(prof workload.Profile) (map[floorplan.Kind]int, float64, error) {
-		cfg := baseConfig(tech.Node7, prof, 0, sim.WarmupIdle, steps)
+		cfg := o.baseConfig(tech.Node7, prof, 0, sim.WarmupIdle, steps)
 		cfg.Record.HotspotUnits = true
 		res, err := sim.Run(cfg)
 		if err != nil {
@@ -98,7 +98,7 @@ func Beyond7(o Options) (*Beyond7Result, error) {
 	prof := mustProfile("gcc")
 	r := &Beyond7Result{}
 	for _, node := range []tech.Node{tech.Node14, tech.Node10, tech.Node7, tech.Node(5)} {
-		cfg := baseConfig(node, prof, 0, sim.WarmupIdle, steps)
+		cfg := o.baseConfig(node, prof, 0, sim.WarmupIdle, steps)
 		cfg.Record.MLTD = true
 		cfg.Record.Severity = true
 		res, err := sim.Run(cfg)

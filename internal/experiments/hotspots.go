@@ -82,7 +82,7 @@ func Fig9(o Options) (*Fig9Result, error) {
 	var meta []Fig9Series
 	for _, node := range []tech.Node{tech.Node14, tech.Node7} {
 		for _, c := range o.cores() {
-			cfg := baseConfig(node, prof, c, sim.WarmupIdle, steps)
+			cfg := o.baseConfig(node, prof, c, sim.WarmupIdle, steps)
 			cfg.Record.MLTD = true
 			cfgs = append(cfgs, cfg)
 			meta = append(meta, Fig9Series{Node: node, Core: c})
@@ -195,7 +195,7 @@ func Fig10(o Options) (*Fig10Result, error) {
 	for _, node := range r.Nodes {
 		var cfgs []sim.Config
 		for _, prof := range o.suite() {
-			cfg := baseConfig(node, prof, 0, sim.WarmupIdle, o.stepCap())
+			cfg := o.baseConfig(node, prof, 0, sim.WarmupIdle, o.stepCap())
 			cfg.StopAtHotspot = true
 			cfgs = append(cfgs, cfg)
 		}
@@ -264,7 +264,7 @@ func Fig11(o Options) (*Fig11Result, error) {
 	for _, warm := range []sim.WarmupMode{sim.WarmupCold, sim.WarmupIdle} {
 		for _, prof := range o.suite() {
 			for _, c := range o.cores() {
-				cfg := baseConfig(tech.Node7, prof, c, warm, o.stepCap())
+				cfg := o.baseConfig(tech.Node7, prof, c, warm, o.stepCap())
 				cfg.StopAtHotspot = true
 				cfgs = append(cfgs, cfg)
 				keys = append(keys, key{prof.Name, warm})
@@ -347,7 +347,7 @@ func Fig12(o Options) (*Fig12Result, error) {
 	}
 	var cfgs []sim.Config
 	for _, prof := range o.suite() {
-		cfg := baseConfig(tech.Node7, prof, 0, sim.WarmupIdle, steps)
+		cfg := o.baseConfig(tech.Node7, prof, 0, sim.WarmupIdle, steps)
 		cfg.Record.HotspotUnits = true
 		cfgs = append(cfgs, cfg)
 	}

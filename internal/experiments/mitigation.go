@@ -54,7 +54,7 @@ func Fig13(o Options) (*Fig13Result, error) {
 		prof := mustProfile(wl)
 		var cfgs []sim.Config
 		for _, v := range variants {
-			cfg := baseConfig(v.node, prof, 0, sim.WarmupIdle, steps)
+			cfg := o.baseConfig(v.node, prof, 0, sim.WarmupIdle, steps)
 			cfg.Floorplan.KindScale = v.scale
 			cfg.Record.Severity = true
 			// The paper's Fig. 13 tracks severity *in* the unit under
@@ -133,7 +133,7 @@ func Fig14(o Options) (*Fig14Result, error) {
 			node  tech.Node
 			scale map[floorplan.Kind]float64
 		}{{tech.Node14, nil}, {tech.Node7, nil}, {tech.Node7, ratScale}} {
-			cfg := baseConfig(v.node, prof, 0, sim.WarmupIdle, steps)
+			cfg := o.baseConfig(v.node, prof, 0, sim.WarmupIdle, steps)
 			cfg.Floorplan.KindScale = v.scale
 			cfg.Record.Severity = true
 			cfgs = append(cfgs, cfg)
@@ -210,7 +210,7 @@ func ICScale(o Options) (*ICScaleResult, error) {
 		names = names[:3]
 	}
 	rms := func(prof workload.Profile, node tech.Node, factor float64) (float64, error) {
-		cfg := baseConfig(node, prof, 0, sim.WarmupIdle, steps)
+		cfg := o.baseConfig(node, prof, 0, sim.WarmupIdle, steps)
 		cfg.Floorplan.ICAreaFactor = factor
 		cfg.Record.Severity = true
 		res, err := sim.Run(cfg)
@@ -299,7 +299,7 @@ func TempScaling(o Options) (*TempScalingResult, error) {
 		TimeToMax90:  map[tech.Node]float64{},
 	}
 	for _, node := range r.Nodes {
-		cfg := baseConfig(node, mustProfile("gcc"), 0, sim.WarmupCold, steps)
+		cfg := o.baseConfig(node, mustProfile("gcc"), 0, sim.WarmupCold, steps)
 		res, err := sim.Run(cfg)
 		if err != nil {
 			return nil, err

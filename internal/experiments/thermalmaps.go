@@ -36,7 +36,7 @@ func Fig1(o Options) (*Fig1Result, error) {
 	if o.Quick {
 		steps = 10
 	}
-	cfg := baseConfig(tech.Node7, mustProfile("gcc"), 0, sim.WarmupIdle, steps)
+	cfg := o.baseConfig(tech.Node7, mustProfile("gcc"), 0, sim.WarmupIdle, steps)
 	res, err := sim.Run(cfg)
 	if err != nil {
 		return nil, err
@@ -107,7 +107,7 @@ func Fig2(o Options) (*Fig2Result, error) {
 		steps = 25
 	}
 	run := func(node tech.Node) (*stats.Histogram, float64, error) {
-		cfg := baseConfig(node, mustProfile("bzip2"), 0, sim.WarmupIdle, steps)
+		cfg := o.baseConfig(node, mustProfile("bzip2"), 0, sim.WarmupIdle, steps)
 		cfg.Record.CellDeltas = true
 		res, err := sim.Run(cfg)
 		if err != nil {
@@ -176,7 +176,7 @@ func Fig8(o Options) (*Fig8Result, error) {
 		steps = 80
 	}
 	run := func(w sim.WarmupMode) (*sim.Result, error) {
-		cfg := baseConfig(tech.Node7, mustProfile("gcc"), 0, w, steps)
+		cfg := o.baseConfig(tech.Node7, mustProfile("gcc"), 0, w, steps)
 		cfg.Record.TempPercentiles = true
 		return sim.Run(cfg)
 	}

@@ -1,0 +1,16 @@
+// Package floorplan builds the physical layout of the case-study processor:
+// a Skylake-inspired out-of-order core floorplan (Fig. 5 of the paper) with
+// 25 functional units per core, assembled into a 7-core client die with
+// shared L3, system agent, memory controller and I/O — the additional units
+// the paper adds on top of McPAT's output.
+//
+// The die layout intentionally reproduces the asymmetry the paper observes:
+// cores 0, 2 and 5 sit on the left side of the die next to the IMC/IO
+// column, cores 1, 4 and 6 on the right edge, and core 3 in the middle
+// between two L3 slices.
+//
+// All geometry is in millimeters. The same layout is used for every
+// technology node with linear dimensions scaled by √(area scale), as in the
+// paper ("we keep the floorplan layout and processor composition consistent
+// across nodes").
+package floorplan

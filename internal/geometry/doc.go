@@ -1,0 +1,12 @@
+// Package geometry provides the planar primitives shared by the floorplan
+// and thermal packages: millimeter-denominated rectangles, regular 2-D
+// scalar fields, and rasterization of rectangles onto cell grids.
+//
+// Conventions: all lengths are in millimeters, areas in mm², and the origin
+// is the lower-left corner of the die with x growing right and y growing up.
+//
+// It models no paper section itself; it is the substrate every spatial
+// quantity of the paper lives on — Fig. 5's floorplan rectangles, the
+// junction-temperature frames the MLTD of §IV-B is computed over, and
+// the per-cell power maps of the Fig. 3 loop.
+package geometry

@@ -1,9 +1,3 @@
-// Package geometry provides the planar primitives shared by the floorplan
-// and thermal packages: millimeter-denominated rectangles, regular 2-D
-// scalar fields, and rasterization of rectangles onto cell grids.
-//
-// Conventions: all lengths are in millimeters, areas in mm², and the origin
-// is the lower-left corner of the die with x growing right and y growing up.
 package geometry
 
 import (

@@ -1,16 +1,3 @@
-// Package mitigate implements dynamic thermal-management (DTM) policies on
-// top of the co-simulation loop — the "architecture-level mitigation
-// techniques" the paper argues the community must build, and the reason
-// HotGauge exposes per-timestep thermal state. It models the sensing
-// limits the paper highlights (§IV-A): on-die sensors have finite response
-// time and only see the die where they are placed, so a policy's view lags
-// and undershoots the true hotspot.
-//
-// The package provides a sensor array model, a set of reference policies
-// (threshold throttling with hysteresis, PI throttling, migrate-to-coolest
-// -core, severity-guided throttling, and compositions), and an evaluation
-// harness that scores a policy's thermal outcome against its performance
-// cost.
 package mitigate
 
 import (

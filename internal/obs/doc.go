@@ -1,0 +1,35 @@
+// Package obs is the observability layer of the simulation stack: a
+// lightweight, allocation-conscious metrics registry (counters, gauges,
+// timers and histograms, all with lock-free atomic fast paths) plus a
+// Span stage-timer API for attributing wall-clock time to pipeline
+// stages.
+//
+// It does not reproduce a section of the HotGauge paper; it exists so
+// the reproduction can be characterized the way the paper characterizes
+// its subject — by measuring. internal/sim records per-stage wall time
+// (performance model, power map, thermal step, hotspot detection) and
+// per-run counters (thermal substeps, frames sampled, hotspots found)
+// into a Registry, internal/thermal reports solver substep counts and
+// stability-bound hits, and sim.CampaignOpts aggregates across workers
+// with live progress. Both CLIs expose the result via -metrics-json and
+// a -v stage-time summary.
+//
+// Every type is nil-safe: methods on a nil *Registry, *Counter, *Gauge,
+// *Timer or *Histogram are no-ops that avoid even the time.Now call, so
+// instrumented code paths need no conditional guards and a nil registry
+// is the zero-overhead baseline (bench_test.go asserts the instrumented
+// hot path stays within a few percent of that baseline).
+//
+// Typical use:
+//
+//	reg := obs.NewRegistry()
+//	steps := reg.Counter("sim/steps")
+//	stage := reg.Timer("sim/stage/thermal")
+//	for i := 0; i < n; i++ {
+//		span := stage.Start()
+//		// ... thermal solve ...
+//		span.End()
+//		steps.Inc()
+//	}
+//	_ = reg.WriteJSON(os.Stdout)
+package obs

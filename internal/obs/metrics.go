@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float64 (e.g. a progress fraction or a
+// current temperature). The zero value is ready to use; nil is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v as the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Timer aggregates wall-clock durations of one pipeline stage: call
+// count, total and maximum. The zero value is ready to use; nil is a
+// no-op (Start on a nil timer skips even the clock read).
+type Timer struct {
+	count atomic.Int64
+	total atomic.Int64 // nanoseconds
+	max   atomic.Int64 // nanoseconds
+}
+
+// Span is one in-flight timed region, created by Timer.Start.
+type Span struct {
+	t  *Timer
+	t0 time.Time
+}
+
+// Start opens a span; close it with End. On a nil timer the returned
+// span is inert and no clock is read.
+func (t *Timer) Start() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, t0: time.Now()}
+}
+
+// End closes the span, recording the elapsed time into its timer.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Observe(time.Since(s.t0))
+}
+
+// Observe records one duration directly.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	ns := int64(d)
+	t.count.Add(1)
+	t.total.Add(ns)
+	for {
+		old := t.max.Load()
+		if ns <= old || t.max.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// Count returns how many durations were observed.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Total returns the summed duration.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.total.Load())
+}
+
+// Max returns the longest observed duration.
+func (t *Timer) Max() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.max.Load())
+}
+
+// Histogram is a fixed-bin linear histogram over [Lo, Hi) with atomic
+// bucket counts; samples outside the range land in underflow/overflow.
+// Nil is a no-op.
+type Histogram struct {
+	lo, width   float64
+	buckets     []atomic.Int64
+	under, over atomic.Int64
+	count       atomic.Int64
+	sumBits     atomic.Uint64
+}
+
+func newHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{lo: lo, width: (hi - lo) / float64(n), buckets: make([]atomic.Int64, n)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			break
+		}
+	}
+	i := int(math.Floor((v - h.lo) / h.width))
+	switch {
+	case i < 0:
+		h.under.Add(1)
+	case i >= len(h.buckets):
+		h.over.Add(1)
+	default:
+		h.buckets[i].Add(1)
+	}
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Mean returns the mean of observed samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if n := h.Count(); n > 0 {
+		return h.Sum() / float64(n)
+	}
+	return 0
+}

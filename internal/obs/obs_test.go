@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	tm := r.Timer("x")
+	h := r.Histogram("x", 0, 1, 10)
+	if c != nil || g != nil || tm != nil || h != nil {
+		t.Fatal("nil registry must return nil metrics")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	tm.Observe(time.Second)
+	tm.Start().End()
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || tm.Count() != 0 || h.Count() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Timers) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestRegistryIdempotentLookup(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name must return same counter")
+	}
+	if r.Timer("a") != r.Timer("a") {
+		t.Fatal("same name must return same timer")
+	}
+	r.Counter("a").Add(2)
+	r.Counter("a").Inc()
+	if got := r.Counter("a").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			g := r.Gauge("sum")
+			h := r.Histogram("h", 0, 1, 4)
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("sum").Value(); got != workers*per {
+		t.Fatalf("gauge = %g, want %d", got, workers*per)
+	}
+	if got := r.Histogram("h", 0, 1, 4).Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestTimerAggregation(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("stage")
+	tm.Observe(10 * time.Millisecond)
+	tm.Observe(30 * time.Millisecond)
+	if tm.Count() != 2 {
+		t.Fatalf("count = %d, want 2", tm.Count())
+	}
+	if tm.Total() != 40*time.Millisecond {
+		t.Fatalf("total = %v, want 40ms", tm.Total())
+	}
+	if tm.Max() != 30*time.Millisecond {
+		t.Fatalf("max = %v, want 30ms", tm.Max())
+	}
+	span := tm.Start()
+	span.End()
+	if tm.Count() != 3 {
+		t.Fatalf("count after span = %d, want 3", tm.Count())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 9.9, 10, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.under.Load() != 1 {
+		t.Fatalf("underflow = %d, want 1", h.under.Load())
+	}
+	if h.over.Load() != 2 {
+		t.Fatalf("overflow = %d, want 2", h.over.Load())
+	}
+	if got := h.buckets[0].Load(); got != 2 { // 0 and 1.9
+		t.Fatalf("bucket0 = %d, want 2", got)
+	}
+	if got := h.buckets[1].Load(); got != 1 { // 2
+		t.Fatalf("bucket1 = %d, want 1", got)
+	}
+	if got := h.buckets[4].Load(); got != 1 { // 9.9
+		t.Fatalf("bucket4 = %d, want 1", got)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs").Add(3)
+	r.Gauge("progress").Set(0.5)
+	r.Timer("stage/thermal").Observe(2 * time.Second)
+	r.Histogram("temps", 40, 120, 8).Observe(85)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON dump: %v", err)
+	}
+	if s.Counters["runs"] != 3 {
+		t.Fatalf("runs = %d, want 3", s.Counters["runs"])
+	}
+	if s.Gauges["progress"] != 0.5 {
+		t.Fatalf("progress = %g, want 0.5", s.Gauges["progress"])
+	}
+	ts := s.Timers["stage/thermal"]
+	if ts.Count != 1 || ts.TotalSeconds != 2 || ts.MeanSeconds != 2 || ts.MaxSeconds != 2 {
+		t.Fatalf("timer snapshot = %+v", ts)
+	}
+	hs := s.Histograms["temps"]
+	if hs.Count != 1 || hs.Sum != 85 || len(hs.Buckets) != 8 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+}
+
+func TestStages(t *testing.T) {
+	r := NewRegistry()
+	r.Timer("sim/stage/thermal").Observe(3 * time.Second)
+	r.Timer("sim/stage/perf").Observe(1 * time.Second)
+	r.Timer("sim/run").Observe(4 * time.Second)
+
+	stages := r.Snapshot().Stages("sim/stage/")
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(stages))
+	}
+	if stages[0].Name != "thermal" || stages[1].Name != "perf" {
+		t.Fatalf("stage order = %v, %v; want thermal, perf", stages[0].Name, stages[1].Name)
+	}
+	if stages[0].Total != 3*time.Second {
+		t.Fatalf("thermal total = %v, want 3s", stages[0].Total)
+	}
+}

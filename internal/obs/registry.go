@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry is a named collection of metrics. Lookups are idempotent:
+// asking for the same name twice returns the same metric, so concurrent
+// workers naturally aggregate into shared counters. A nil *Registry is
+// the no-op baseline — every lookup returns nil and every metric method
+// on nil no-ops.
+//
+// Hot paths should look metrics up once and hold the pointers; lookup
+// takes a mutex, metric updates are lock-free atomics.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		timers:   map[string]*Timer{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Histogram returns the named histogram, creating it on first use with n
+// linear bins over [lo, hi). The bounds of an existing histogram are not
+// changed.
+func (r *Registry) Histogram(name string, lo, hi float64, n int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(lo, hi, n)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// TimerSnapshot is the JSON-serializable state of one Timer.
+type TimerSnapshot struct {
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MeanSeconds  float64 `json:"mean_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+}
+
+// HistogramSnapshot is the JSON-serializable state of one Histogram.
+type HistogramSnapshot struct {
+	Count     int64   `json:"count"`
+	Sum       float64 `json:"sum"`
+	Mean      float64 `json:"mean"`
+	Lo        float64 `json:"lo"`
+	BinWidth  float64 `json:"bin_width"`
+	Underflow int64   `json:"underflow"`
+	Overflow  int64   `json:"overflow"`
+	Buckets   []int64 `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of a registry, shaped for JSON.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Timers     map[string]TimerSnapshot     `json:"timers,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state. Safe to call while
+// workers are still updating metrics; each metric is read atomically.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.timers) > 0 {
+		s.Timers = make(map[string]TimerSnapshot, len(r.timers))
+		for name, t := range r.timers {
+			ts := TimerSnapshot{
+				Count:        t.Count(),
+				TotalSeconds: t.Total().Seconds(),
+				MaxSeconds:   t.Max().Seconds(),
+			}
+			if ts.Count > 0 {
+				ts.MeanSeconds = ts.TotalSeconds / float64(ts.Count)
+			}
+			s.Timers[name] = ts
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{
+				Count:     h.count.Load(),
+				Sum:       h.Sum(),
+				Mean:      h.Mean(),
+				Lo:        h.lo,
+				BinWidth:  h.width,
+				Underflow: h.under.Load(),
+				Overflow:  h.over.Load(),
+				Buckets:   make([]int64, len(h.buckets)),
+			}
+			for i := range h.buckets {
+				hs.Buckets[i] = h.buckets[i].Load()
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON dumps a snapshot of the registry as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Stage is one row of a stage-time breakdown derived from timers.
+type Stage struct {
+	Name  string // timer name with the prefix stripped
+	Count int64
+	Total time.Duration
+	Mean  time.Duration
+}
+
+// Stages extracts the timers whose names start with prefix, sorted by
+// total time descending — the stage breakdown the CLIs print under -v.
+func (s Snapshot) Stages(prefix string) []Stage {
+	var out []Stage
+	for name, t := range s.Timers {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		st := Stage{
+			Name:  strings.TrimPrefix(name, prefix),
+			Count: t.Count,
+			Total: time.Duration(t.TotalSeconds * float64(time.Second)),
+			Mean:  time.Duration(t.MeanSeconds * float64(time.Second)),
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,14 +1,3 @@
-// Package perf implements the performance-simulation substrate of the
-// toolchain: a from-scratch instruction-window-centric ("ROB model")
-// out-of-order core simulator in the style the paper requires of Sniper,
-// plus a fast analytic interval model fitted to the same mechanisms for
-// large campaigns.
-//
-// Both models consume workload profiles from internal/workload and emit,
-// for every 1 M-cycle timestep, the per-functional-unit activity factors
-// that the power model turns into a power trace. Only those activity
-// factors leave this package; callers never depend on which model produced
-// them.
 package perf
 
 import "fmt"

@@ -1,0 +1,27 @@
+package perf
+
+import "hotgauge/internal/obs"
+
+// CountingSource wraps a Source and mirrors its output into obs
+// counters: timesteps stepped, instructions committed and core cycles
+// simulated. The wrapped activity is returned unchanged, and nil
+// counters are free no-ops, so the wrapper can sit on the hot path
+// unconditionally.
+type CountingSource struct {
+	src                         Source
+	steps, instructions, cycles *obs.Counter
+}
+
+// NewCountingSource wraps src; any of the counters may be nil.
+func NewCountingSource(src Source, steps, instructions, cycles *obs.Counter) *CountingSource {
+	return &CountingSource{src: src, steps: steps, instructions: instructions, cycles: cycles}
+}
+
+// Step implements Source.
+func (c *CountingSource) Step(step int, cycles uint64) Activity {
+	a := c.src.Step(step, cycles)
+	c.steps.Inc()
+	c.instructions.Add(int64(a.Counters.Committed))
+	c.cycles.Add(int64(a.Counters.Cycles))
+	return a
+}

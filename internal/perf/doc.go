@@ -1,0 +1,17 @@
+// Package perf implements the performance-simulation substrate of the
+// toolchain: a from-scratch instruction-window-centric ("ROB model")
+// out-of-order core simulator in the style the paper requires of Sniper,
+// plus a fast analytic interval model fitted to the same mechanisms for
+// large campaigns.
+//
+// Both models consume workload profiles from internal/workload and emit,
+// for every 1 M-cycle timestep, the per-functional-unit activity factors
+// that the power model turns into a power trace. Only those activity
+// factors leave this package; callers never depend on which model produced
+// them. This is the first stage of the Fig. 3 toolchain (§III-A).
+//
+// CountingSource wraps any Source with internal/obs throughput counters
+// (timesteps, committed instructions, cycles) for the observability
+// layer; ReplaySource re-drives a simulation from a recorded activity
+// trace.
+package perf

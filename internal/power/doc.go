@@ -1,0 +1,13 @@
+// Package power implements the power-modeling substrate of the toolchain:
+// the role McPAT v1.2 (with the paper's sub-22 nm extensions) plays in the
+// original. Each functional unit has an effective switching capacitance
+// budget; dynamic power is a·C·V²·f at the turbo operating point, plus a
+// clock-tree idle floor (real cores burn a large fraction of C_dyn in
+// clock distribution even at low IPC — this is why measured per-workload
+// C_dyn varies only ~1.6× across SPEC). Leakage is area-proportional and
+// exponential in temperature, which closes the electrothermal feedback
+// loop with the thermal solver.
+//
+// Node scaling follows §III-B exactly: 50 % area per generation and a 20 %
+// C_dyn reduction, with leakage density rising per tech.Node.
+package power

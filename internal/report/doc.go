@@ -1,0 +1,6 @@
+// Package report renders experiment results as plain text: aligned
+// tables, ASCII heatmaps of junction-temperature fields, histogram bars
+// and sparklines. Every figure of the paper has a text rendering built
+// from these primitives, and StageTable renders the per-stage wall-time
+// breakdown the CLIs print under -v from internal/obs snapshots.
+package report

@@ -1,7 +1,3 @@
-// Package report renders experiment results as plain text: aligned
-// tables, ASCII heatmaps of junction-temperature fields, histogram bars
-// and sparklines. Every figure of the paper has a text rendering built
-// from these primitives.
 package report
 
 import (

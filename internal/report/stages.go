@@ -1,0 +1,46 @@
+package report
+
+import (
+	"fmt"
+	"time"
+
+	"hotgauge/internal/obs"
+)
+
+// StageTable renders a per-stage wall-time breakdown: one row per
+// stage (calls, total, mean, share of the run) plus a footer row
+// showing how much of the total run time the stages account for. Pass
+// the sim/run timer's total as runTotal; zero suppresses percentages.
+func StageTable(stages []obs.Stage, runTotal time.Duration) string {
+	t := NewTable("stage", "calls", "total", "mean", "% of run")
+	var sum time.Duration
+	for _, s := range stages {
+		sum += s.Total
+		t.Row(s.Name, fmt.Sprint(s.Count), fmtDuration(s.Total), fmtDuration(s.Mean), pctOf(s.Total, runTotal))
+	}
+	t.Row("stages (sum)", "", fmtDuration(sum), "", pctOf(sum, runTotal))
+	if runTotal > 0 {
+		t.Row("run (total)", "", fmtDuration(runTotal), "", "100.0%")
+	}
+	return t.String()
+}
+
+// fmtDuration renders a duration at millisecond-ish precision without
+// the noise of full nanosecond printing.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+func pctOf(d, total time.Duration) string {
+	if total <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*d.Seconds()/total.Seconds())
+}

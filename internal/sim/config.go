@@ -1,12 +1,3 @@
-// Package sim is the perf-power-therm co-simulation driver of Fig. 3: it
-// advances the performance model one timestep at a time, converts the
-// resulting per-unit activity into a power map (closing the
-// leakage-temperature feedback loop against the current thermal state),
-// steps the thermal solver, and runs the hotspot characterization of
-// internal/core on every junction-temperature frame.
-//
-// One Run is one (floorplan, workload, core, warmup) configuration; the
-// Campaign helper fans Runs out across CPUs for the paper's sweeps.
 package sim
 
 import (
@@ -15,6 +6,7 @@ import (
 	"hotgauge/internal/core"
 	"hotgauge/internal/floorplan"
 	"hotgauge/internal/geometry"
+	"hotgauge/internal/obs"
 	"hotgauge/internal/perf"
 	"hotgauge/internal/tech"
 	"hotgauge/internal/thermal"
@@ -127,6 +119,14 @@ type Config struct {
 	// thermal-management policies (the architecture-level mitigation the
 	// paper calls for). Secondary Assignments workloads are not steered.
 	Controller Controller
+
+	// Obs, when non-nil, receives the run's metrics: per-stage wall time
+	// (sim/stage/*), per-run counters (sim/steps, sim/hotspots,
+	// sim/frames_sampled, thermal/substeps, ...) and performance-model
+	// throughput (perf/*). Counters are atomic, so one registry may be
+	// shared across an entire Campaign to aggregate over workers. Nil
+	// disables instrumentation at (near) zero cost.
+	Obs *obs.Registry
 }
 
 // Controller steers a run between timesteps.

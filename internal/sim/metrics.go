@@ -1,0 +1,76 @@
+package sim
+
+import "hotgauge/internal/obs"
+
+// Metric names Run records into Config.Obs. Stage timers share the
+// StagePrefix so CLIs can extract the breakdown with Snapshot.Stages.
+const (
+	// StagePrefix is the common prefix of all per-stage timers.
+	StagePrefix = "sim/stage/"
+
+	// MetricRunTime is the whole-of-Run wall-time timer; the stage
+	// timers below partition (nearly all of) it.
+	MetricRunTime = "sim/run"
+	// MetricStageSetup covers model construction and thermal warmup.
+	MetricStageSetup = StagePrefix + "setup"
+	// MetricStagePerf covers the performance model and per-core
+	// activity assembly.
+	MetricStagePerf = StagePrefix + "perf"
+	// MetricStagePower covers the power model and rasterization onto
+	// the active layer.
+	MetricStagePower = StagePrefix + "power"
+	// MetricStageThermal covers the thermal solver step.
+	MetricStageThermal = StagePrefix + "thermal"
+	// MetricStageDetect covers hotspot detection.
+	MetricStageDetect = StagePrefix + "detect"
+	// MetricStageRecord covers controller steering and per-step series
+	// recording (MLTD, severity, percentiles, deltas, frames).
+	MetricStageRecord = StagePrefix + "record"
+
+	// MetricRuns counts completed Run invocations.
+	MetricRuns = "sim/runs"
+	// MetricSteps counts executed simulation timesteps.
+	MetricSteps = "sim/steps"
+	// MetricHotspots counts hotspots returned by the detector.
+	MetricHotspots = "sim/hotspots"
+	// MetricFrames counts junction frames sampled into Result.Fields.
+	MetricFrames = "sim/frames_sampled"
+
+	// MetricThermalSubsteps counts solver substeps (explicit) or inner
+	// sweeps (implicit); MetricThermalStability counts steps that hit
+	// the stability bound (explicit) or the iteration cap (implicit).
+	MetricThermalSubsteps  = "thermal/substeps"
+	MetricThermalStability = "thermal/stability_hits"
+
+	// Perf-model throughput counters, recorded via perf.CountingSource.
+	MetricPerfSteps        = "perf/steps"
+	MetricPerfInstructions = "perf/instructions"
+	MetricPerfCycles       = "perf/cycles"
+)
+
+// runMetrics holds the resolved metric handles of one Run. All fields
+// are nil when the registry is nil, making every record site a cheap
+// nil-check no-op — the "no-op registry" baseline of bench_test.go.
+type runMetrics struct {
+	runs, steps, hotspots, frames *obs.Counter
+
+	run, setup, perf, power, thermal, detect, record *obs.Timer
+}
+
+// newRunMetrics resolves every handle once so the hot loop never
+// touches the registry's mutex.
+func newRunMetrics(r *obs.Registry) runMetrics {
+	return runMetrics{
+		runs:     r.Counter(MetricRuns),
+		steps:    r.Counter(MetricSteps),
+		hotspots: r.Counter(MetricHotspots),
+		frames:   r.Counter(MetricFrames),
+		run:      r.Timer(MetricRunTime),
+		setup:    r.Timer(MetricStageSetup),
+		perf:     r.Timer(MetricStagePerf),
+		power:    r.Timer(MetricStagePower),
+		thermal:  r.Timer(MetricStageThermal),
+		detect:   r.Timer(MetricStageDetect),
+		record:   r.Timer(MetricStageRecord),
+	}
+}

@@ -59,9 +59,22 @@ func (r *Result) SevRMS() float64 { return stats.RMS(r.Severity) }
 
 // Run executes one co-simulation.
 func Run(cfg Config) (*Result, error) {
+	m := newRunMetrics(cfg.Obs)
+	runSpan := m.run.Start()
+	defer runSpan.End()
+	if cfg.Obs != nil && cfg.Solver == nil {
+		// Default solver with substep accounting. A caller-supplied
+		// solver is left untouched (it may be shared across runs); wire
+		// its counters at construction to instrument it.
+		cfg.Solver = &thermal.Explicit{
+			Substeps:      cfg.Obs.Counter(MetricThermalSubsteps),
+			StabilityHits: cfg.Obs.Counter(MetricThermalStability),
+		}
+	}
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	setupSpan := m.setup.Start()
 	fp, err := floorplan.New(cfg.Floorplan)
 	if err != nil {
 		return nil, err
@@ -77,6 +90,12 @@ func Run(cfg Config) (*Result, error) {
 	src, err := cfg.newSource()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Obs != nil {
+		src = perf.NewCountingSource(src,
+			cfg.Obs.Counter(MetricPerfSteps),
+			cfg.Obs.Counter(MetricPerfInstructions),
+			cfg.Obs.Counter(MetricPerfCycles))
 	}
 	proto := geometry.NewField(grid.NX, grid.NY, cfg.Resolution)
 	analyzer, err := core.NewAnalyzer(proto, cfg.Definition)
@@ -99,6 +118,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		secondary[c] = s
 	}
+	setupSpan.End()
 
 	res := &Result{Config: cfg, TUH: math.Inf(1), TUHStep: -1, InitialTemp: grid.MeanTemp(state)}
 	if cfg.Record.CellDeltas {
@@ -124,6 +144,7 @@ func Run(cfg Config) (*Result, error) {
 	curCore := cfg.Core
 	throttle := 1.0
 	for step := 0; step < cfg.Steps; step++ {
+		perfSpan := m.perf.Start()
 		act := src.Step(step, cfg.CyclesPerStep)
 		if throttle < 1 {
 			act = scaleActivity(act, throttle)
@@ -156,6 +177,9 @@ func Run(cfg Config) (*Result, error) {
 				in.CoreFloor[c] = power.IdleGateFloor
 			}
 		}
+		perfSpan.End()
+
+		powerSpan := m.power.Start()
 		in.TempDefault = cfg.Ambient
 		if !cfg.DisableLeakageFeedback {
 			in.UnitTemp = raster.unitMeans(grid, state)
@@ -167,12 +191,16 @@ func Run(cfg Config) (*Result, error) {
 			powerField.Data[i] = 0
 		}
 		raster.inject(powerField, pr)
+		powerSpan.End()
 
+		thermalSpan := m.thermal.Start()
 		if err := cfg.Solver.Step(grid, state, powerField, Timestep); err != nil {
 			return nil, err
 		}
 		field := grid.ActiveField(state)
+		thermalSpan.End()
 
+		recordSpan := m.record.Start()
 		if cfg.Controller != nil {
 			res.ThrottleTrace = append(res.ThrottleTrace, throttle)
 			res.CoreTrace = append(res.CoreTrace, curCore)
@@ -215,12 +243,16 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.Record.FieldEvery > 0 && step%cfg.Record.FieldEvery == 0 {
 			res.Fields = append(res.Fields, field.Clone())
 			res.FieldSteps = append(res.FieldSteps, step)
+			m.frames.Inc()
 		}
+		recordSpan.End()
 
 		// Hotspot detection.
 		needDetect := cfg.StopAtHotspot || cfg.Record.HotspotUnits || res.TUHStep < 0
 		if needDetect {
+			detectSpan := m.detect.Start()
 			hs := analyzer.Detect(field)
+			m.hotspots.Add(int64(len(hs)))
 			if len(hs) > 0 {
 				if res.TUHStep < 0 {
 					res.TUHStep = step
@@ -235,16 +267,22 @@ func Run(cfg Config) (*Result, error) {
 					}
 				}
 				if cfg.StopAtHotspot {
+					detectSpan.End()
+					m.steps.Inc()
+					m.runs.Inc()
 					res.StepsRun = step + 1
 					res.FinalField = field
 					return res, nil
 				}
 			}
+			detectSpan.End()
 		}
 		prevField = field
 		res.StepsRun = step + 1
+		m.steps.Inc()
 	}
 	res.FinalField = prevField
+	m.runs.Inc()
 	return res, nil
 }
 

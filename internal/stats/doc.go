@@ -1,0 +1,5 @@
+// Package stats provides the summary statistics the paper's evaluation
+// uses: percentiles and box-whisker summaries (Figs. 10-11), histograms
+// and temperature-delta distributions (Figs. 2 and 8), and the RMS
+// aggregation of severity time series (§V-B).
+package stats

@@ -1,0 +1,6 @@
+// Package svg renders experiment results as standalone SVG figures —
+// heatmaps, line charts, bar charts and box plots — using only the
+// standard library. cmd/hotgauge-experiments writes these next to the
+// text reports so every paper figure (Figs. 1-2 and 7-14, plus the
+// extension studies) has a graphical counterpart.
+package svg

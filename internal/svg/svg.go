@@ -1,7 +1,3 @@
-// Package svg renders experiment results as standalone SVG figures —
-// heatmaps, line charts, bar charts and box plots — using only the
-// standard library. cmd/hotgauge-experiments writes these next to the
-// text reports so every paper figure has a graphical counterpart.
 package svg
 
 import (

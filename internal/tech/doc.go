@@ -1,0 +1,9 @@
+// Package tech models process-technology nodes and the scaling rules the
+// paper applies between them: 50 % area reduction and 20 % effective
+// switching-capacitance (C_dyn) reduction per node generation, with leakage
+// density rising as transistors pack tighter (post-Dennard scaling).
+//
+// The case study covers 14 nm, 10 nm and 7 nm, all run at the turbo-boost
+// operating point of 1.4 V and 5 GHz. The scaling helpers extrapolate, so
+// nodes beyond 7 nm can be constructed as the paper suggests.
+package tech

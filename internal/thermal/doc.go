@@ -1,0 +1,19 @@
+// Package thermal implements the transient thermal-simulation substrate of
+// the toolchain: the role 3D-ICE 3.0 plays in the original. It is a
+// from-scratch 3-D finite-volume compact thermal model (an RC network over
+// a regular grid) of the Fig. 4 stack: silicon die (split into active and
+// bulk layers for vertical resolution, as §III-C requires), solder TIM,
+// copper heat spreader, thermal grease, and a fan-cooled heatsink with a
+// convective boundary to ambient.
+//
+// Three solvers are provided: an explicit forward-Euler transient solver
+// with an automatically derived stability substep (the default), an
+// implicit backward-Euler solver for large timesteps, and a steady-state
+// SOR solver used for Ψ/TDP computation (Table IV) and idle-warmup
+// initialization.
+//
+// Both transient solvers optionally report their work into internal/obs
+// counters (Substeps, StabilityHits): the explicit solver counts its
+// stability-bounded substeps, the implicit one its inner Gauss-Seidel
+// sweeps and iteration-cap hits.
+package thermal

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"hotgauge/internal/geometry"
+	"hotgauge/internal/obs"
 )
 
 // Solver advances a thermal state by one simulation timestep under a
@@ -22,6 +23,14 @@ type Solver interface {
 // 100 µm resolution, so a 200 µs simulation timestep runs ~20 substeps).
 type Explicit struct {
 	scratch []float64
+
+	// Substeps, when set, counts the stability-bounded substeps executed
+	// (obs counters are nil-safe, so leaving these nil disables
+	// instrumentation at no cost).
+	Substeps *obs.Counter
+	// StabilityHits counts Step calls whose dt exceeded the stable bound
+	// and therefore had to be split into more than one substep.
+	StabilityHits *obs.Counter
 }
 
 // Name implements Solver.
@@ -37,6 +46,10 @@ func (e *Explicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) er
 	}
 	n := int(math.Ceil(dt / g.dtStable))
 	sub := dt / float64(n)
+	e.Substeps.Add(int64(n))
+	if n > 1 {
+		e.StabilityHits.Inc()
+	}
 	if cap(e.scratch) < len(s.T) {
 		e.scratch = make([]float64, len(s.T))
 	}
@@ -112,6 +125,13 @@ type Implicit struct {
 	// Tol is the max per-sweep temperature change at which the inner
 	// solve stops [°C] (default 1e-5).
 	Tol float64
+
+	// Substeps, when set, counts the inner Gauss-Seidel sweeps executed
+	// (the implicit analogue of the explicit solver's substeps).
+	Substeps *obs.Counter
+	// StabilityHits counts Step calls whose inner solve hit MaxIters
+	// without reaching Tol.
+	StabilityHits *obs.Counter
 }
 
 // Name implements Solver.
@@ -138,7 +158,9 @@ func (im *Implicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) e
 	old := s.T
 	t := make([]float64, len(old))
 	copy(t, old)
+	converged := false
 	for it := 0; it < maxIters; it++ {
+		im.Substeps.Inc()
 		maxDelta := 0.0
 		for l := 0; l < nl; l++ {
 			gl := g.gLat[l]
@@ -198,8 +220,12 @@ func (im *Implicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) e
 			}
 		}
 		if maxDelta < tol {
+			converged = true
 			break
 		}
+	}
+	if !converged {
+		im.StabilityHits.Inc()
 	}
 	copy(s.T, t)
 	return nil

@@ -1,0 +1,13 @@
+// Package trace reads and writes the on-disk artifacts of the toolchain:
+// junction-temperature frames (the thermal simulator's output consumed by
+// the offline hotspot detector), per-unit power traces, and scalar time
+// series. Formats are plain CSV with a typed header line so artifacts
+// remain diffable and tool-friendly.
+//
+// This reproduces HotGauge's decoupled workflow (Fig. 3): the
+// simulation stage persists frames and traces, and the §IV analyses
+// (detection, MLTD, severity) can rerun offline over saved artifacts —
+// cmd/hotspot-detect is that offline consumer. Activity traces recorded
+// with WriteActivities replay through perf.ReplaySource, skipping the
+// performance model entirely.
+package trace

@@ -1,8 +1,3 @@
-// Package trace reads and writes the on-disk artifacts of the toolchain:
-// junction-temperature frames (the thermal simulator's output consumed by
-// the offline hotspot detector), per-unit power traces, and scalar time
-// series. Formats are plain CSV with a typed header line so artifacts
-// remain diffable and tool-friendly.
 package trace
 
 import (

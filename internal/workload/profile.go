@@ -1,18 +1,3 @@
-// Package workload models the benchmark programs driven through the
-// toolchain. The paper uses SPEC CPU2006 binaries executed under Sniper;
-// SPEC binaries (and Pin) are unavailable here, so each benchmark is
-// replaced by a deterministic synthetic profile that reproduces the
-// microarchitectural signature that matters for hotspot formation: the
-// instruction mix (which functional units are exercised), the intrinsic
-// instruction-level parallelism, branch predictability, memory footprint
-// and locality, and the temporal phase structure (front-loaded vs
-// late-spiking computational intensity).
-//
-// Profiles drive both performance models in internal/perf: the
-// window-centric cycle model consumes the µop stream from NewStream, and
-// the analytic interval model consumes the phase-adjusted parameters from
-// ParamsAt. The same profile therefore produces consistent behaviour in
-// both.
 package workload
 
 import (
