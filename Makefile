@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check check bench
+# Benchmark settings: BENCH_COUNT feeds -count (benchstat wants >= 10
+# samples); BENCH_PATTERN selects the hot kernels plus one end-to-end run.
+BENCH_COUNT ?= 10
+BENCH_PATTERN ?= BenchmarkKernelThermalStep|BenchmarkKernelMLTDField|BenchmarkSec4ATempScaling
+
+.PHONY: all build test vet fmt-check check bench bench-all
 
 all: check
 
@@ -23,5 +28,13 @@ fmt-check:
 # vet, and gofmt cleanliness.
 check: build test vet fmt-check
 
+# Kernel + end-to-end benchmarks with benchstat-ready repetition; the raw
+# output lands in BENCH_thermal.txt and a machine-readable summary (name,
+# ns/op, allocs/op) in BENCH_thermal.json.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run=NONE -bench='$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . | tee BENCH_thermal.txt
+	$(GO) run ./cmd/benchjson -out BENCH_thermal.json BENCH_thermal.txt
+
+# Every benchmark in the repo, once (the paper-artifact sweep).
+bench-all:
+	$(GO) test -run=NONE -bench=. -benchmem .

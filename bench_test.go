@@ -335,6 +335,7 @@ func BenchmarkKernelThermalStep(b *testing.B) {
 	pf := geometry.NewField(grid.NX, grid.NY, 0.1)
 	pf.Rasterize(fp.CoreRects[0], 12)
 	var solver thermal.Explicit
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := solver.Step(grid, state, pf, sim.Timestep); err != nil {
@@ -352,6 +353,8 @@ func BenchmarkKernelMLTDField(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	analyzer.MaxMLTD(f) // warm the scan's scratch buffers
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		analyzer.MaxMLTD(f)

@@ -1,0 +1,140 @@
+// Command benchjson converts `go test -bench` output into a small JSON
+// summary for machine consumption (regression dashboards, the repo's
+// BENCH_thermal.json artifact). Repeated samples of one benchmark — the
+// `-count=N` runs benchstat wants — are aggregated into mean and min.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=Kernel -benchmem -count=10 . | benchjson -out BENCH_thermal.json
+//	benchjson bench-output.txt
+//
+// With no -out the JSON goes to stdout; file arguments are read instead
+// of stdin when given.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one result line, e.g.
+//
+//	BenchmarkKernelThermalStep-8  520  2201453 ns/op  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+var (
+	bytesRE  = regexp.MustCompile(`([0-9.]+) B/op`)
+	allocsRE = regexp.MustCompile(`([0-9.]+) allocs/op`)
+)
+
+// Result is the aggregated summary of one benchmark across samples.
+type Result struct {
+	Name        string  `json:"name"`
+	Samples     int     `json:"samples"`
+	NsPerOp     float64 `json:"ns_per_op"`     // mean across samples
+	MinNsPerOp  float64 `json:"min_ns_per_op"` // best sample
+	BytesPerOp  float64 `json:"bytes_per_op"`  // mean; -1 without -benchmem
+	AllocsPerOp float64 `json:"allocs_per_op"` // mean; -1 without -benchmem
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		var readers []io.Reader
+		for _, name := range flag.Args() {
+			f, err := os.Open(name)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+
+	results, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found"))
+	}
+
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+func parse(in io.Reader) ([]Result, error) {
+	agg := map[string]*Result{}
+	var order []string
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		bytesOp, allocsOp := -1.0, -1.0
+		if bm := bytesRE.FindStringSubmatch(m[4]); bm != nil {
+			bytesOp, _ = strconv.ParseFloat(bm[1], 64)
+		}
+		if am := allocsRE.FindStringSubmatch(m[4]); am != nil {
+			allocsOp, _ = strconv.ParseFloat(am[1], 64)
+		}
+		r, ok := agg[name]
+		if !ok {
+			r = &Result{Name: name, MinNsPerOp: ns}
+			agg[name] = r
+			order = append(order, name)
+		}
+		if ns < r.MinNsPerOp {
+			r.MinNsPerOp = ns
+		}
+		// Running means keep the JSON numbers stable whatever -count is.
+		n := float64(r.Samples)
+		r.NsPerOp = (r.NsPerOp*n + ns) / (n + 1)
+		r.BytesPerOp = (r.BytesPerOp*n + bytesOp) / (n + 1)
+		r.AllocsPerOp = (r.AllocsPerOp*n + allocsOp) / (n + 1)
+		r.Samples++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Strings(order)
+	results := make([]Result, 0, len(agg))
+	for _, name := range order {
+		results = append(results, *agg[name])
+	}
+	return results, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -34,15 +34,39 @@ func (a *Analyzer) Candidates(f *geometry.Field) []Hotspot {
 
 // Detect runs the full Fig. 6 detection pipeline: find candidate local
 // maxima, compute MLTD only there, and keep candidates whose temperature
-// and MLTD both exceed the definition thresholds.
+// and MLTD both exceed the definition thresholds. With few hot
+// candidates the per-cell disk scan is cheapest; when candidates are
+// dense the chord-decomposed sliding-window scan wins, so Detect picks
+// by estimated cost — both paths are bit-equal, so the choice never
+// changes the result.
 func (a *Analyzer) Detect(f *geometry.Field) []Hotspot {
 	a.checkShape(f)
+	cands := a.Candidates(f)
+	hot := 0
+	for _, c := range cands {
+		if c.Temp > a.def.TempThreshold {
+			hot++
+		}
+	}
+	if hot == 0 {
+		return nil
+	}
+	// Reference path: ~len(offsets) disk cells per hot candidate.
+	// Sliding scan: ~(chords + width passes + combine) ops per die cell.
+	var scan []float64
+	if hot*len(a.offsets) > a.nx*a.ny*(len(a.chords)+len(a.widths)+3) {
+		scan = a.mltdScan(f)
+	}
 	var out []Hotspot
-	for _, c := range a.Candidates(f) {
+	for _, c := range cands {
 		if c.Temp <= a.def.TempThreshold {
 			continue
 		}
-		c.MLTD = a.MLTDAt(f, c.IX, c.IY)
+		if scan != nil {
+			c.MLTD = scan[c.IY*a.nx+c.IX]
+		} else {
+			c.MLTD = a.MLTDAt(f, c.IX, c.IY)
+		}
 		if c.MLTD > a.def.MLTDThreshold {
 			out = append(out, c)
 		}

@@ -30,44 +30,36 @@ func (a *Analyzer) MLTDAt(f *geometry.Field, ix, iy int) float64 {
 	return t - minN
 }
 
-// MLTDField computes the MLTD at every cell.
+// MLTDField computes the MLTD at every cell via the sliding-window scan
+// (mltd_fast.go); the result is bit-equal to evaluating MLTDAt per cell.
 func (a *Analyzer) MLTDField(f *geometry.Field) *geometry.Field {
-	a.checkShape(f)
+	m := a.mltdScan(f)
 	out := geometry.NewField(f.NX, f.NY, f.Dx)
-	for iy := 0; iy < a.ny; iy++ {
-		for ix := 0; ix < a.nx; ix++ {
-			out.Set(ix, iy, a.MLTDAt(f, ix, iy))
-		}
-	}
+	copy(out.Data, m)
 	return out
 }
 
 // MaxMLTD returns the maximum MLTD over the whole die — the Fig. 9
-// time-series quantity.
+// time-series quantity. Allocation-free after the analyzer's first scan.
 func (a *Analyzer) MaxMLTD(f *geometry.Field) float64 {
-	a.checkShape(f)
 	best := 0.0
-	for iy := 0; iy < a.ny; iy++ {
-		for ix := 0; ix < a.nx; ix++ {
-			if v := a.MLTDAt(f, ix, iy); v > best {
-				best = v
-			}
+	for _, v := range a.mltdScan(f) {
+		if v > best {
+			best = v
 		}
 	}
 	return best
 }
 
 // MaxSeverity returns the peak hotspot severity over the die: the sev(t)
-// series of §V. It shares the MLTD scan, evaluating Severity at every
-// cell.
+// series of §V. It shares the sliding-window MLTD scan, evaluating
+// Severity at every cell. Allocation-free after the first scan.
 func (a *Analyzer) MaxSeverity(f *geometry.Field) float64 {
-	a.checkShape(f)
+	m := a.mltdScan(f)
 	best := 0.0
-	for iy := 0; iy < a.ny; iy++ {
-		for ix := 0; ix < a.nx; ix++ {
-			if s := Severity(f.At(ix, iy), a.MLTDAt(f, ix, iy)); s > best {
-				best = s
-			}
+	for i, t := range f.Data {
+		if s := Severity(t, m[i]); s > best {
+			best = s
 		}
 	}
 	return best

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+
+	"hotgauge/internal/geometry"
+)
+
+// Sliding-window MLTD scan. The per-cell reference (MLTDAt) visits every
+// cell of the disk stencil for every die cell: O(cells · R²) in the
+// radius measured in cells. This file decomposes the disk into
+// horizontal chords and computes, per distinct chord half-width w, the
+// windowed row minimum min f(x±w, y) for all cells with a monotone-deque
+// sliding minimum (van Herk/Gil–Werman style, O(1) amortized per cell).
+// The neighbourhood minimum of a cell is then the minimum of one
+// precomputed row value per chord — O(cells · R) overall. The dy = 0
+// chord excludes the cell itself, so it is covered by two one-sided
+// windows (strictly left, strictly right) instead of a centered one.
+// Both paths minimize over identical cell sets, so their results are
+// bit-equal; mltd_equiv_test.go enforces that.
+
+// mltdScratch holds the reusable buffers of the scan; all grow on first
+// use and make repeat scans allocation-free.
+type mltdScratch struct {
+	rowMin [][]float64 // per distinct width: cells-sized windowed row minima
+	left   []float64   // strictly-left window minima of the current row
+	right  []float64   // strictly-right window minima of the current row
+	mltd   []float64   // cells-sized MLTD output
+	deque  []int       // monotone deque of candidate indices
+}
+
+func (s *mltdScratch) grow(nWidths, cells, nx int) {
+	for len(s.rowMin) < nWidths {
+		s.rowMin = append(s.rowMin, nil)
+	}
+	for i := range s.rowMin {
+		if cap(s.rowMin[i]) < cells {
+			s.rowMin[i] = make([]float64, cells)
+		}
+		s.rowMin[i] = s.rowMin[i][:cells]
+	}
+	if cap(s.mltd) < cells {
+		s.mltd = make([]float64, cells)
+	}
+	s.mltd = s.mltd[:cells]
+	if cap(s.deque) < nx {
+		s.deque = make([]int, nx)
+	}
+	s.deque = s.deque[:nx]
+	if cap(s.left) < nx {
+		s.left = make([]float64, nx)
+		s.right = make([]float64, nx)
+	}
+	s.left, s.right = s.left[:nx], s.right[:nx]
+}
+
+// windowMinInto fills out[x] with min(row[max(0,x-w) .. min(nx-1,x+w)])
+// using a monotone deque: indices in deq hold strictly increasing values,
+// so the head is always the window minimum.
+func windowMinInto(row, out []float64, deq []int, w int) {
+	nx := len(row)
+	head, tail, cursor := 0, 0, 0
+	for x := 0; x < nx; x++ {
+		hi := x + w
+		if hi > nx-1 {
+			hi = nx - 1
+		}
+		for ; cursor <= hi; cursor++ {
+			v := row[cursor]
+			for tail > head && row[deq[tail-1]] >= v {
+				tail--
+			}
+			deq[tail] = cursor
+			tail++
+		}
+		for deq[head] < x-w {
+			head++
+		}
+		out[x] = row[deq[head]]
+	}
+}
+
+// sideMinsInto fills left[x] = min(row[x-w .. x-1]) and
+// right[x] = min(row[x+1 .. x+w]) (clamped to the row; +Inf when the
+// window is empty) — together they are the dy = 0 chord of the disk
+// with the center cell excluded.
+func sideMinsInto(row, left, right []float64, deq []int, w int) {
+	nx := len(row)
+	head, tail := 0, 0
+	for x := 0; x < nx; x++ {
+		if x > 0 {
+			v := row[x-1]
+			for tail > head && row[deq[tail-1]] >= v {
+				tail--
+			}
+			deq[tail] = x - 1
+			tail++
+		}
+		for tail > head && deq[head] < x-w {
+			head++
+		}
+		if tail > head {
+			left[x] = row[deq[head]]
+		} else {
+			left[x] = math.Inf(1)
+		}
+	}
+	head, tail = 0, 0
+	cursor := 1
+	for x := 0; x < nx; x++ {
+		hi := x + w
+		if hi > nx-1 {
+			hi = nx - 1
+		}
+		for ; cursor <= hi; cursor++ {
+			v := row[cursor]
+			for tail > head && row[deq[tail-1]] >= v {
+				tail--
+			}
+			deq[tail] = cursor
+			tail++
+		}
+		for tail > head && deq[head] <= x {
+			head++
+		}
+		if tail > head {
+			right[x] = row[deq[head]]
+		} else {
+			right[x] = math.Inf(1)
+		}
+	}
+}
+
+// mltdScan computes the MLTD of every cell into the analyzer's scratch
+// buffer and returns it (valid until the next scan on this analyzer).
+func (a *Analyzer) mltdScan(f *geometry.Field) []float64 {
+	a.checkShape(f)
+	nx, ny := a.nx, a.ny
+	s := &a.scratch
+	s.grow(len(a.widths), nx*ny, nx)
+
+	for wi, w := range a.widths {
+		out := s.rowMin[wi]
+		for y := 0; y < ny; y++ {
+			windowMinInto(f.Data[y*nx:(y+1)*nx], out[y*nx:(y+1)*nx], s.deque, w)
+		}
+	}
+	for y := 0; y < ny; y++ {
+		row := f.Data[y*nx : (y+1)*nx]
+		m := s.mltd[y*nx : (y+1)*nx]
+		sideMinsInto(row, s.left, s.right, s.deque, a.rad)
+		for x := 0; x < nx; x++ {
+			l, r := s.left[x], s.right[x]
+			if r < l {
+				l = r
+			}
+			m[x] = l
+		}
+		for _, ch := range a.chords {
+			yy := y + ch.dy
+			if yy < 0 || yy >= ny {
+				continue
+			}
+			rm := s.rowMin[ch.wIdx][yy*nx : (yy+1)*nx]
+			for x := 0; x < nx; x++ {
+				if rm[x] < m[x] {
+					m[x] = rm[x]
+				}
+			}
+		}
+		for x := 0; x < nx; x++ {
+			if math.IsInf(m[x], 1) {
+				m[x] = 0
+				continue
+			}
+			m[x] = row[x] - m[x]
+		}
+	}
+	return s.mltd
+}

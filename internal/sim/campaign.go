@@ -97,22 +97,30 @@ func CampaignOpts(cfgs []Config, opts CampaignOptions) ([]*Result, error) {
 		}
 	}
 
-	sem := make(chan struct{}, max(1, workers))
+	// Bounded worker pool: a fixed set of workers pulls run indices from
+	// a channel, so a 10k-run campaign creates `workers` goroutines, not
+	// one (mostly blocked) goroutine per run.
+	workers = min(max(1, workers), len(cfgs))
+	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for i := range cfgs {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg := cfgs[i]
-			if cfg.Obs == nil {
-				cfg.Obs = opts.Obs
+			for i := range jobs {
+				cfg := cfgs[i]
+				if cfg.Obs == nil {
+					cfg.Obs = opts.Obs
+				}
+				results[i], errs[i] = Run(cfg)
+				finish(errs[i])
 			}
-			results[i], errs[i] = Run(cfg)
-			finish(errs[i])
-		}(i)
+		}()
 	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
 	wg.Wait()
 
 	var joined []error

@@ -33,6 +33,10 @@ const (
 	MetricSteps = "sim/steps"
 	// MetricHotspots counts hotspots returned by the detector.
 	MetricHotspots = "sim/hotspots"
+	// MetricDetectSkipped counts steps whose detection pass was skipped
+	// because the frame's max temperature was provably below the
+	// definition's temperature threshold (no cell can be a hotspot).
+	MetricDetectSkipped = "sim/detect_skipped"
 	// MetricFrames counts junction frames sampled into Result.Fields.
 	MetricFrames = "sim/frames_sampled"
 
@@ -52,7 +56,7 @@ const (
 // are nil when the registry is nil, making every record site a cheap
 // nil-check no-op — the "no-op registry" baseline of bench_test.go.
 type runMetrics struct {
-	runs, steps, hotspots, frames *obs.Counter
+	runs, steps, hotspots, frames, detectSkips *obs.Counter
 
 	run, setup, perf, power, thermal, detect, record *obs.Timer
 }
@@ -61,16 +65,17 @@ type runMetrics struct {
 // touches the registry's mutex.
 func newRunMetrics(r *obs.Registry) runMetrics {
 	return runMetrics{
-		runs:     r.Counter(MetricRuns),
-		steps:    r.Counter(MetricSteps),
-		hotspots: r.Counter(MetricHotspots),
-		frames:   r.Counter(MetricFrames),
-		run:      r.Timer(MetricRunTime),
-		setup:    r.Timer(MetricStageSetup),
-		perf:     r.Timer(MetricStagePerf),
-		power:    r.Timer(MetricStagePower),
-		thermal:  r.Timer(MetricStageThermal),
-		detect:   r.Timer(MetricStageDetect),
-		record:   r.Timer(MetricStageRecord),
+		runs:        r.Counter(MetricRuns),
+		steps:       r.Counter(MetricSteps),
+		hotspots:    r.Counter(MetricHotspots),
+		frames:      r.Counter(MetricFrames),
+		detectSkips: r.Counter(MetricDetectSkipped),
+		run:         r.Timer(MetricRunTime),
+		setup:       r.Timer(MetricStageSetup),
+		perf:        r.Timer(MetricStagePerf),
+		power:       r.Timer(MetricStagePower),
+		thermal:     r.Timer(MetricStageThermal),
+		detect:      r.Timer(MetricStageDetect),
+		record:      r.Timer(MetricStageRecord),
 	}
 }

@@ -138,8 +138,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	idle := perf.IdleActivity(perf.DefaultConfig()).Unit
+	// Double-buffered junction frames: the step loop alternates between
+	// two fields instead of allocating one per step; frames that outlive
+	// a step (Result.Fields samples) are cloned on demand.
 	prevField := grid.ActiveField(state)
+	curField := geometry.NewField(grid.NX, grid.NY, cfg.Resolution)
 	powerField := geometry.NewField(grid.NX, grid.NY, cfg.Resolution)
+	tempTh := analyzer.Definition().TempThreshold
 
 	curCore := cfg.Core
 	throttle := 1.0
@@ -197,7 +202,10 @@ func Run(cfg Config) (*Result, error) {
 		if err := cfg.Solver.Step(grid, state, powerField, Timestep); err != nil {
 			return nil, err
 		}
-		field := grid.ActiveField(state)
+		field := curField
+		if err := grid.ActiveFieldInto(state, field); err != nil {
+			return nil, err
+		}
 		thermalSpan.End()
 
 		recordSpan := m.record.Start()
@@ -247,8 +255,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 		recordSpan.End()
 
-		// Hotspot detection.
+		// Hotspot detection. A frame whose hottest cell is at or below
+		// the temperature threshold provably contains no hotspot
+		// (Definition 1 requires T > T_th), so the whole pass is skipped.
 		needDetect := cfg.StopAtHotspot || cfg.Record.HotspotUnits || res.TUHStep < 0
+		if needDetect && maxT <= tempTh {
+			needDetect = false
+			m.detectSkips.Inc()
+		}
 		if needDetect {
 			detectSpan := m.detect.Start()
 			hs := analyzer.Detect(field)
@@ -277,7 +291,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			detectSpan.End()
 		}
-		prevField = field
+		prevField, curField = field, prevField
 		res.StepsRun = step + 1
 		m.steps.Inc()
 	}

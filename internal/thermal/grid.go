@@ -141,6 +141,17 @@ func (g *Grid) ActiveField(s *State) *geometry.Field {
 	return f
 }
 
+// ActiveFieldInto copies the active-layer temperatures into an existing
+// field, letting step loops reuse one buffer instead of allocating a
+// frame per timestep.
+func (g *Grid) ActiveFieldInto(s *State, f *geometry.Field) error {
+	if f.NX != g.NX || f.NY != g.NY {
+		return fmt.Errorf("thermal: field %dx%d does not match grid %dx%d", f.NX, f.NY, g.NX, g.NY)
+	}
+	copy(f.Data, s.T[:g.NX*g.NY])
+	return nil
+}
+
 // SetActiveField overwrites the active-layer temperatures from a field
 // (used to impose non-uniform initial conditions).
 func (g *Grid) SetActiveField(s *State, f *geometry.Field) error {

@@ -3,6 +3,7 @@ package thermal
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hotgauge/internal/geometry"
 	"hotgauge/internal/obs"
@@ -11,6 +12,9 @@ import (
 // Solver advances a thermal state by one simulation timestep under a
 // power map (W per active-layer cell). Implementations: Explicit (default)
 // and Implicit (backward Euler, for large steps).
+//
+// Solvers carry reusable scratch buffers, so a Solver value must not be
+// shared between concurrent Step calls; give each goroutine its own.
 type Solver interface {
 	// Step advances s by dt seconds with the given active-layer power.
 	Step(g *Grid, s *State, power *geometry.Field, dt float64) error
@@ -21,8 +25,17 @@ type Solver interface {
 // Explicit is the forward-Euler transient solver with automatic
 // stability-bounded substepping (≈10 µs substeps for the default stack at
 // 100 µm resolution, so a 200 µs simulation timestep runs ~20 substeps).
+// After the first Step on a grid it performs no per-Step allocations.
 type Explicit struct {
+	// Workers caps the row-band goroutines used per substep. 0 picks
+	// automatically (GOMAXPROCS for grids of at least parallelCells
+	// cells, serial below); 1 forces the serial kernel. Each explicit
+	// substep is embarrassingly parallel over cells, so the bands
+	// produce bit-identical results at any worker count.
+	Workers int
+
 	scratch []float64
+	zero    []float64
 
 	// Substeps, when set, counts the stability-bounded substeps executed
 	// (obs counters are nil-safe, so leaving these nil disables
@@ -53,9 +66,31 @@ func (e *Explicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) er
 	if cap(e.scratch) < len(s.T) {
 		e.scratch = make([]float64, len(s.T))
 	}
+	if cap(e.zero) < g.NX {
+		e.zero = make([]float64, g.NX)
+	}
+	zeros := e.zero[:g.NX]
 	cur, next := s.T, e.scratch[:len(s.T)]
+	rows := g.NL * g.NY
+	workers := e.workerCount(g)
 	for it := 0; it < n; it++ {
-		stepOnce(g, cur, next, power.Data, sub)
+		if workers <= 1 {
+			stepRows(g, cur, next, power.Data, zeros, sub, 0, rows)
+		} else {
+			var wg sync.WaitGroup
+			for k := 0; k < workers; k++ {
+				r0, r1 := k*rows/workers, (k+1)*rows/workers
+				if r0 == r1 {
+					continue
+				}
+				wg.Add(1)
+				go func(cur, next []float64, r0, r1 int) {
+					defer wg.Done()
+					stepRows(g, cur, next, power.Data, zeros, sub, r0, r1)
+				}(cur, next, r0, r1)
+			}
+			wg.Wait()
+		}
 		cur, next = next, cur
 	}
 	if &cur[0] != &s.T[0] {
@@ -64,67 +99,19 @@ func (e *Explicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) er
 	return nil
 }
 
-// stepOnce performs one explicit substep from cur into next.
-func stepOnce(g *Grid, cur, next, power []float64, dt float64) {
-	nx, ny, nl := g.NX, g.NY, g.NL
-	plane := nx * ny
-	for l := 0; l < nl; l++ {
-		gl := g.gLat[l]
-		invC := dt / g.capC[l]
-		base := l * plane
-		top := l == nl-1
-		var gUp, gDown float64
-		if l < nl-1 {
-			gUp = g.gUp[l]
-		}
-		if l > 0 {
-			gDown = g.gUp[l-1]
-		}
-		for iy := 0; iy < ny; iy++ {
-			row := base + iy*nx
-			for ix := 0; ix < nx; ix++ {
-				i := row + ix
-				t := cur[i]
-				flux := 0.0
-				if ix > 0 {
-					flux += gl * (cur[i-1] - t)
-				}
-				if ix < nx-1 {
-					flux += gl * (cur[i+1] - t)
-				}
-				if iy > 0 {
-					flux += gl * (cur[i-nx] - t)
-				}
-				if iy < ny-1 {
-					flux += gl * (cur[i+nx] - t)
-				}
-				if gDown != 0 {
-					flux += gDown * (cur[i-plane] - t)
-				}
-				if gUp != 0 {
-					flux += gUp * (cur[i+plane] - t)
-				}
-				if top {
-					flux += g.gConv * (g.Ambient - t)
-				}
-				if l == 0 {
-					flux += power[i]
-				}
-				next[i] = t + flux*invC
-			}
-		}
-	}
-}
-
 // Implicit is a backward-Euler transient solver using Gauss-Seidel inner
 // iterations. Unconditionally stable, so it takes the full timestep in one
 // solve; used for the solver ablation and for very large timesteps.
+// After the first Step on a grid it performs no per-Step allocations.
 type Implicit struct {
 	// MaxIters bounds the inner Gauss-Seidel sweeps (default 60).
 	MaxIters int
 	// Tol is the max per-sweep temperature change at which the inner
 	// solve stops [°C] (default 1e-5).
 	Tol float64
+
+	scratch []float64
+	zero    []float64
 
 	// Substeps, when set, counts the inner Gauss-Seidel sweeps executed
 	// (the implicit analogue of the explicit solver's substeps).
@@ -153,73 +140,19 @@ func (im *Implicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) e
 	if tol <= 0 {
 		tol = 1e-5
 	}
-	nx, ny, nl := g.NX, g.NY, g.NL
-	plane := nx * ny
 	old := s.T
-	t := make([]float64, len(old))
+	if cap(im.scratch) < len(old) {
+		im.scratch = make([]float64, len(old))
+	}
+	if cap(im.zero) < g.NX {
+		im.zero = make([]float64, g.NX)
+	}
+	t := im.scratch[:len(old)]
 	copy(t, old)
 	converged := false
 	for it := 0; it < maxIters; it++ {
 		im.Substeps.Inc()
-		maxDelta := 0.0
-		for l := 0; l < nl; l++ {
-			gl := g.gLat[l]
-			cOverDt := g.capC[l] / dt
-			base := l * plane
-			top := l == nl-1
-			var gUp, gDown float64
-			if l < nl-1 {
-				gUp = g.gUp[l]
-			}
-			if l > 0 {
-				gDown = g.gUp[l-1]
-			}
-			for iy := 0; iy < ny; iy++ {
-				row := base + iy*nx
-				for ix := 0; ix < nx; ix++ {
-					i := row + ix
-					num := cOverDt * old[i]
-					den := cOverDt
-					if ix > 0 {
-						num += gl * t[i-1]
-						den += gl
-					}
-					if ix < nx-1 {
-						num += gl * t[i+1]
-						den += gl
-					}
-					if iy > 0 {
-						num += gl * t[i-nx]
-						den += gl
-					}
-					if iy < ny-1 {
-						num += gl * t[i+nx]
-						den += gl
-					}
-					if gDown != 0 {
-						num += gDown * t[i-plane]
-						den += gDown
-					}
-					if gUp != 0 {
-						num += gUp * t[i+plane]
-						den += gUp
-					}
-					if top {
-						num += g.gConv * g.Ambient
-						den += g.gConv
-					}
-					if l == 0 {
-						num += power.Data[i]
-					}
-					nv := num / den
-					if d := math.Abs(nv - t[i]); d > maxDelta {
-						maxDelta = d
-					}
-					t[i] = nv
-				}
-			}
-		}
-		if maxDelta < tol {
+		if gsSweep(g, old, t, power.Data, im.zero[:g.NX], dt) < tol {
 			converged = true
 			break
 		}
@@ -259,6 +192,7 @@ func WarmStart(g *Grid, s *State, power *geometry.Field) error {
 // SolveSteady relaxes the state to the steady-state solution for the given
 // power map using SOR, and returns the iteration count. The state is used
 // as the starting guess; use WarmStart first when no better guess exists.
+// It works in place on the state and allocates nothing per call.
 func SolveSteady(g *Grid, s *State, power *geometry.Field, tol float64, maxIters int) (int, error) {
 	if err := g.checkPower(power); err != nil {
 		return 0, err

@@ -1,0 +1,268 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hotgauge/internal/geometry"
+)
+
+// Equivalence tests: the optimized kernels of solver_fast.go against the
+// branchy reference kernels of solver_ref.go, across uneven grid shapes
+// (1-wide rows and columns, single-layer stacks) and both solvers. The
+// explicit kernel reassociates the flux sum, so it is compared within
+// 1e-9 rather than bitwise; the parallel row-band path must match the
+// serial one exactly.
+
+// kernelShapes exercises every boundary-peeling special case: degenerate
+// single-cell, 1-wide columns (nx=1), 1-wide rows (ny=1), single-layer
+// stacks (nl=1), minimal 3-D interiors, and a full-size grid.
+var kernelShapes = []struct{ nx, ny, nl int }{
+	{1, 1, 1},
+	{1, 1, 4},
+	{1, 6, 3},
+	{7, 1, 3},
+	{4, 5, 1},
+	{3, 3, 3},
+	{9, 8, 5},
+	{46, 31, 9},
+}
+
+// syntheticGrid hand-builds a Grid with randomized positive coefficients.
+// NewGrid refuses nx or ny below 3, but the kernels themselves must
+// handle any shape ≥ 1 (the boundary peeling degenerates); building the
+// struct directly lets the tests reach those shapes.
+func syntheticGrid(nx, ny, nl int, rng *rand.Rand) *Grid {
+	g := &Grid{NX: nx, NY: ny, NL: nl, Dx: 1e-4, Ambient: 45}
+	g.gLat = make([]float64, nl)
+	g.gUp = make([]float64, nl)
+	g.capC = make([]float64, nl)
+	for l := 0; l < nl; l++ {
+		g.gLat[l] = 1e-3 * (0.5 + rng.Float64())
+		g.gUp[l] = 2e-3 * (0.5 + rng.Float64())
+		g.capC[l] = 1e-6 * (0.5 + rng.Float64())
+	}
+	g.gUp[nl-1] = 0
+	g.gConv = 1e-3 * (0.5 + rng.Float64())
+	// Stability bound, mirroring NewGrid.
+	g.dtStable = math.Inf(1)
+	for l := 0; l < nl; l++ {
+		sum := 4 * g.gLat[l]
+		if l > 0 {
+			sum += g.gUp[l-1]
+		}
+		if l < nl-1 {
+			sum += g.gUp[l]
+		} else {
+			sum += g.gConv
+		}
+		if dt := g.capC[l] / sum; dt < g.dtStable {
+			g.dtStable = dt
+		}
+	}
+	g.dtStable *= 0.5
+	return g
+}
+
+func randTemps(n int, rng *rand.Rand) []float64 {
+	t := make([]float64, n)
+	for i := range t {
+		t[i] = 40 + 60*rng.Float64()
+	}
+	return t
+}
+
+func randPower(nx, ny int, rng *rand.Rand) []float64 {
+	p := make([]float64, nx*ny)
+	for i := range p {
+		p[i] = 5e-3 * rng.Float64()
+	}
+	return p
+}
+
+// closeTo reports |a-b| within tol, scaled by magnitude.
+func closeTo(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestStepKernelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, sh := range kernelShapes {
+		g := syntheticGrid(sh.nx, sh.ny, sh.nl, rng)
+		cur := randTemps(g.Cells(), rng)
+		power := randPower(g.NX, g.NY, rng)
+		zeros := make([]float64, g.NX)
+		dt := g.dtStable
+
+		fast := make([]float64, g.Cells())
+		ref := make([]float64, g.Cells())
+		stepRows(g, cur, fast, power, zeros, dt, 0, g.NL*g.NY)
+		stepOnceRef(g, cur, ref, power, dt)
+
+		for i := range ref {
+			if !closeTo(fast[i], ref[i], 1e-9) {
+				t.Fatalf("%dx%dx%d: cell %d: fast %.17g vs ref %.17g",
+					sh.nx, sh.ny, sh.nl, i, fast[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestGsSweepMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for _, sh := range kernelShapes {
+		g := syntheticGrid(sh.nx, sh.ny, sh.nl, rng)
+		old := randTemps(g.Cells(), rng)
+		power := randPower(g.NX, g.NY, rng)
+		zeros := make([]float64, g.NX)
+		dt := 100 * g.dtStable
+
+		fast := append([]float64(nil), old...)
+		ref := append([]float64(nil), old...)
+		dFast := gsSweep(g, old, fast, power, zeros, dt)
+		dRef := gsSweepRef(g, old, ref, power, dt)
+
+		for i := range ref {
+			if !closeTo(fast[i], ref[i], 1e-9) {
+				t.Fatalf("%dx%dx%d: cell %d: fast %.17g vs ref %.17g",
+					sh.nx, sh.ny, sh.nl, i, fast[i], ref[i])
+			}
+		}
+		if !closeTo(dFast, dRef, 1e-9) {
+			t.Fatalf("%dx%dx%d: maxDelta fast %.17g vs ref %.17g", sh.nx, sh.ny, sh.nl, dFast, dRef)
+		}
+	}
+}
+
+// refExplicitStep replicates Explicit.Step's substepping with the
+// reference kernel.
+func refExplicitStep(g *Grid, s *State, power *geometry.Field, dt float64) {
+	n := int(math.Ceil(dt / g.dtStable))
+	sub := dt / float64(n)
+	cur := s.T
+	next := make([]float64, len(cur))
+	for it := 0; it < n; it++ {
+		stepOnceRef(g, cur, next, power.Data, sub)
+		cur, next = next, cur
+	}
+	if &cur[0] != &s.T[0] {
+		copy(s.T, cur)
+	}
+}
+
+func TestExplicitStepMatchesReferenceDriver(t *testing.T) {
+	g := newTestGrid(t)
+	power := uniformPower(g, 2.0)
+	power.Data[g.NY/2*g.NX+g.NX/2] += 0.5 // off-center point source
+	sFast := g.NewState(DefaultAmbient)
+	sRef := sFast.Clone()
+
+	var solver Explicit
+	dt := 7.3 * g.dtStable // forces multi-substep with a non-integer ratio
+	for step := 0; step < 5; step++ {
+		if err := solver.Step(g, sFast, power, dt); err != nil {
+			t.Fatal(err)
+		}
+		refExplicitStep(g, sRef, power, dt)
+	}
+	for i := range sRef.T {
+		if !closeTo(sFast.T[i], sRef.T[i], 1e-9) {
+			t.Fatalf("cell %d: fast %.17g vs ref %.17g", i, sFast.T[i], sRef.T[i])
+		}
+	}
+}
+
+// refImplicitStep replicates Implicit.Step's Gauss-Seidel loop with the
+// reference sweep and the solver's default tolerance and iteration cap.
+func refImplicitStep(g *Grid, s *State, power *geometry.Field, dt float64) {
+	old := append([]float64(nil), s.T...)
+	for it := 0; it < 60; it++ {
+		if gsSweepRef(g, old, s.T, power.Data, dt) < 1e-5 {
+			break
+		}
+	}
+}
+
+func TestImplicitStepMatchesReferenceDriver(t *testing.T) {
+	g := newTestGrid(t)
+	power := uniformPower(g, 2.0)
+	power.Data[2*g.NX+3] += 0.4
+	sFast := g.NewState(DefaultAmbient)
+	sRef := sFast.Clone()
+
+	var solver Implicit
+	dt := 200e-6
+	for step := 0; step < 3; step++ {
+		if err := solver.Step(g, sFast, power, dt); err != nil {
+			t.Fatal(err)
+		}
+		refImplicitStep(g, sRef, power, dt)
+	}
+	for i := range sRef.T {
+		if !closeTo(sFast.T[i], sRef.T[i], 1e-9) {
+			t.Fatalf("cell %d: fast %.17g vs ref %.17g", i, sFast.T[i], sRef.T[i])
+		}
+	}
+}
+
+func TestExplicitParallelMatchesSerial(t *testing.T) {
+	g := newTestGrid(t)
+	power := uniformPower(g, 2.0)
+	power.Data[5] += 0.3
+	serial := g.NewState(DefaultAmbient)
+	par := serial.Clone()
+
+	sSerial := Explicit{Workers: 1}
+	sPar := Explicit{Workers: 4}
+	dt := 5 * g.dtStable
+	for step := 0; step < 4; step++ {
+		if err := sSerial.Step(g, serial, power, dt); err != nil {
+			t.Fatal(err)
+		}
+		if err := sPar.Step(g, par, power, dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range serial.T {
+		if par.T[i] != serial.T[i] {
+			t.Fatalf("cell %d: parallel %.17g != serial %.17g", i, par.T[i], serial.T[i])
+		}
+	}
+}
+
+func TestExplicitStepNoAllocsAfterWarmup(t *testing.T) {
+	g := newTestGrid(t)
+	power := uniformPower(g, 2.0)
+	s := g.NewState(DefaultAmbient)
+	var solver Explicit
+	if err := solver.Step(g, s, power, 200e-6); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := solver.Step(g, s, power, 200e-6); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Explicit.Step allocates %v objects per call after warmup", allocs)
+	}
+}
+
+func TestImplicitStepNoAllocsAfterWarmup(t *testing.T) {
+	g := newTestGrid(t)
+	power := uniformPower(g, 2.0)
+	s := g.NewState(DefaultAmbient)
+	var solver Implicit
+	if err := solver.Step(g, s, power, 200e-6); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := solver.Step(g, s, power, 200e-6); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Implicit.Step allocates %v objects per call after warmup", allocs)
+	}
+}

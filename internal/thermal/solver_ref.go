@@ -1,0 +1,129 @@
+package thermal
+
+import "math"
+
+// Reference kernels. These are the original, branchy, textbook
+// formulations of the explicit substep and the implicit Gauss-Seidel
+// sweep. The optimized kernels in solver_fast.go are validated against
+// them cell-for-cell (see solver_equiv_test.go); keep these in sync with
+// the physics, never with the optimizations.
+
+// stepOnceRef performs one explicit substep from cur into next,
+// evaluating the boundary conditions with per-cell branches.
+func stepOnceRef(g *Grid, cur, next, power []float64, dt float64) {
+	nx, ny, nl := g.NX, g.NY, g.NL
+	plane := nx * ny
+	for l := 0; l < nl; l++ {
+		gl := g.gLat[l]
+		invC := dt / g.capC[l]
+		base := l * plane
+		top := l == nl-1
+		var gUp, gDown float64
+		if l < nl-1 {
+			gUp = g.gUp[l]
+		}
+		if l > 0 {
+			gDown = g.gUp[l-1]
+		}
+		for iy := 0; iy < ny; iy++ {
+			row := base + iy*nx
+			for ix := 0; ix < nx; ix++ {
+				i := row + ix
+				t := cur[i]
+				flux := 0.0
+				if ix > 0 {
+					flux += gl * (cur[i-1] - t)
+				}
+				if ix < nx-1 {
+					flux += gl * (cur[i+1] - t)
+				}
+				if iy > 0 {
+					flux += gl * (cur[i-nx] - t)
+				}
+				if iy < ny-1 {
+					flux += gl * (cur[i+nx] - t)
+				}
+				if gDown != 0 {
+					flux += gDown * (cur[i-plane] - t)
+				}
+				if gUp != 0 {
+					flux += gUp * (cur[i+plane] - t)
+				}
+				if top {
+					flux += g.gConv * (g.Ambient - t)
+				}
+				if l == 0 {
+					flux += power[i]
+				}
+				next[i] = t + flux*invC
+			}
+		}
+	}
+}
+
+// gsSweepRef performs one in-place Gauss-Seidel sweep of the backward-
+// Euler system and returns the largest per-cell update, evaluating the
+// boundary conditions with per-cell branches.
+func gsSweepRef(g *Grid, old, t, power []float64, dt float64) float64 {
+	nx, ny, nl := g.NX, g.NY, g.NL
+	plane := nx * ny
+	maxDelta := 0.0
+	for l := 0; l < nl; l++ {
+		gl := g.gLat[l]
+		cOverDt := g.capC[l] / dt
+		base := l * plane
+		top := l == nl-1
+		var gUp, gDown float64
+		if l < nl-1 {
+			gUp = g.gUp[l]
+		}
+		if l > 0 {
+			gDown = g.gUp[l-1]
+		}
+		for iy := 0; iy < ny; iy++ {
+			row := base + iy*nx
+			for ix := 0; ix < nx; ix++ {
+				i := row + ix
+				num := cOverDt * old[i]
+				den := cOverDt
+				if ix > 0 {
+					num += gl * t[i-1]
+					den += gl
+				}
+				if ix < nx-1 {
+					num += gl * t[i+1]
+					den += gl
+				}
+				if iy > 0 {
+					num += gl * t[i-nx]
+					den += gl
+				}
+				if iy < ny-1 {
+					num += gl * t[i+nx]
+					den += gl
+				}
+				if gDown != 0 {
+					num += gDown * t[i-plane]
+					den += gDown
+				}
+				if gUp != 0 {
+					num += gUp * t[i+plane]
+					den += gUp
+				}
+				if top {
+					num += g.gConv * g.Ambient
+					den += g.gConv
+				}
+				if l == 0 {
+					num += power[i]
+				}
+				nv := num / den
+				if d := math.Abs(nv - t[i]); d > maxDelta {
+					maxDelta = d
+				}
+				t[i] = nv
+			}
+		}
+	}
+	return maxDelta
+}
