@@ -5,7 +5,7 @@ GO ?= go
 BENCH_COUNT ?= 10
 BENCH_PATTERN ?= BenchmarkKernelThermalStep|BenchmarkKernelMLTDField|BenchmarkSec4ATempScaling
 
-.PHONY: all build test vet fmt-check check bench bench-all
+.PHONY: all build test vet fmt-check check bench bench-all serve-smoke
 
 all: check
 
@@ -38,3 +38,8 @@ bench:
 # Every benchmark in the repo, once (the paper-artifact sweep).
 bench-all:
 	$(GO) test -run=NONE -bench=. -benchmem .
+
+# End-to-end smoke test of the hotgauged campaign daemon: build, serve,
+# submit a tiny campaign twice, assert the repeat was a cache hit.
+serve-smoke:
+	bash scripts/serve_smoke.sh

@@ -1,0 +1,106 @@
+// Command hotgauged is the HotGauge campaign service daemon: a
+// JSON-over-HTTP front end to the co-simulation toolchain. Clients
+// submit campaigns (lists of run specs), poll job status, stream live
+// progress as SSE or NDJSON, and fetch per-run results and
+// Section-4-style reports; repeated configs are served from a
+// content-addressed result cache without re-simulation.
+//
+// Examples:
+//
+//	hotgauged -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/jobs -d '{"configs":[{"workload":"gcc","node":7,"steps":50}]}'
+//	curl -N localhost:8080/jobs/job-000001/events
+//	curl -s localhost:8080/jobs/job-000001/results/0
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM starts a graceful drain: the queue stops accepting
+// (429/503), queued jobs are cancelled, and in-flight jobs get -drain
+// to finish before being cancelled at the next step boundary.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hotgauge/internal/obs"
+	"hotgauge/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	queue := flag.Int("queue", 16, "job queue capacity (full queue returns 429)")
+	workers := flag.Int("workers", 1, "jobs executed concurrently")
+	runWorkers := flag.Int("run-workers", 0, "sim workers per job (0 = GOMAXPROCS)")
+	cacheMB := flag.Int("cache-mb", 64, "result cache budget in MiB")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for in-flight jobs")
+	verbose := flag.Bool("v", false, "log every request")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Options{
+		QueueSize:  *queue,
+		Workers:    *workers,
+		RunWorkers: *runWorkers,
+		CacheBytes: int64(*cacheMB) << 20,
+		Registry:   reg,
+	})
+
+	var handler http.Handler = srv
+	if *verbose {
+		handler = logRequests(srv)
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("hotgauged: listening on %s (queue=%d workers=%d cache=%dMiB)", *addr, *queue, *workers, *cacheMB)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("hotgauged: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("hotgauged: draining (deadline %s)", *drain)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("hotgauged: drain deadline hit, in-flight jobs cancelled: %v", err)
+	} else {
+		log.Printf("hotgauged: drained cleanly")
+	}
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	if err := hs.Shutdown(hctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("hotgauged: http shutdown: %v", err)
+	}
+}
+
+// logRequests is a minimal request logger for -v.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, fmtLatency(time.Since(start)))
+	})
+}
+
+func fmtLatency(d time.Duration) string {
+	if d >= time.Second {
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+	return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+}

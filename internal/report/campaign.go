@@ -1,0 +1,39 @@
+package report
+
+import "fmt"
+
+// RunSummary is one row of a campaign report: the per-run hotspot
+// characterization headline numbers the paper's Section 4 case study
+// tabulates (time-until-hotspot, peak temperature, MLTD, severity),
+// plus the run's serving state.
+type RunSummary struct {
+	Label        string  // run label, e.g. "0:gcc"
+	Node         string  // process node, e.g. "7nm"
+	Steps        int     // timesteps executed
+	TUHMs        float64 // time until hotspot [ms]; negative = none
+	PeakTemp     float64 // peak junction temperature [°C]
+	PeakMLTD     float64 // peak MLTD [°C]; 0 if not recorded
+	PeakSeverity float64 // peak severity; 0 if not recorded
+	Status       string  // done / cached / failed / skipped / pending
+}
+
+// CampaignReport renders the Section-4-style per-run summary table for
+// a campaign: one row per run with TUH and the peak thermal metrics.
+func CampaignReport(rows []RunSummary) string {
+	t := NewTable("run", "node", "steps", "TUH [ms]", "peak T [C]", "peak MLTD [C]", "peak sev", "status")
+	for _, r := range rows {
+		tuh := "-"
+		if r.TUHMs >= 0 {
+			tuh = fmt.Sprintf("%.2f", r.TUHMs)
+		}
+		metric := func(v float64) string {
+			if v == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f", v)
+		}
+		t.Row(r.Label, r.Node, fmt.Sprint(r.Steps), tuh,
+			metric(r.PeakTemp), metric(r.PeakMLTD), metric(r.PeakSeverity), r.Status)
+	}
+	return t.String()
+}

@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"hotgauge/internal/sim"
+)
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// Run states within a job.
+const (
+	RunPending = "pending"
+	RunCached  = "cached" // served from the result cache
+	RunDone    = "done"   // freshly simulated
+	RunFailed  = "failed"
+	RunSkipped = "skipped" // never ran: job cancelled first
+)
+
+// RunStatus is the wire form of one run's state within a job.
+type RunStatus struct {
+	State      string `json:"state"`
+	ConfigHash string `json:"config_hash"`
+	Error      string `json:"error,omitempty"`
+}
+
+// Event is one progress record on a job's stream. Events carry absolute
+// counters, so a consumer that misses intermediate events still observes
+// monotonic progress.
+type Event struct {
+	Type      string   `json:"type"` // "status" on state changes, "progress" per completed run
+	Job       string   `json:"job"`
+	State     JobState `json:"state"`
+	Completed int      `json:"completed"`
+	Cached    int      `json:"cached"`
+	Failed    int      `json:"failed"`
+	Total     int      `json:"total"`
+	ElapsedMS int64    `json:"elapsed_ms"`
+	ETAMS     int64    `json:"eta_ms,omitempty"`
+	Error     string   `json:"error,omitempty"`
+}
+
+// Job is one submitted campaign moving through the queue.
+type Job struct {
+	ID    string
+	Specs []ConfigSpec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     JobState
+	cfgs      []sim.Config
+	hashes    []string
+	runs      []RunStatus
+	results   [][]byte // marshaled RunView per run; nil until available
+	completed int
+	cached    int
+	failed    int
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	events    []Event
+	changed   chan struct{} // closed and replaced on every published event
+}
+
+func newJob(parent context.Context, id string, specs []ConfigSpec, cfgs []sim.Config, hashes []string) *Job {
+	ctx, cancel := context.WithCancel(parent)
+	j := &Job{
+		ID:        id,
+		Specs:     specs,
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     JobQueued,
+		cfgs:      cfgs,
+		hashes:    hashes,
+		runs:      make([]RunStatus, len(cfgs)),
+		results:   make([][]byte, len(cfgs)),
+		submitted: time.Now(),
+		changed:   make(chan struct{}),
+	}
+	for i := range j.runs {
+		j.runs[i] = RunStatus{State: RunPending, ConfigHash: hashes[i]}
+	}
+	return j
+}
+
+// Cancel requests cancellation: the job's context is cancelled, which
+// skips it if still queued and aborts its runs at the next step boundary
+// if running. The state transition is published by the worker (or
+// immediately, if the job never reached a worker and never will).
+func (j *Job) Cancel() { j.cancel() }
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// publishLocked appends an event and wakes every stream. Callers hold mu.
+func (j *Job) publishLocked(typ string) {
+	ev := Event{
+		Type:      typ,
+		Job:       j.ID,
+		State:     j.state,
+		Completed: j.completed,
+		Cached:    j.cached,
+		Failed:    j.failed,
+		Total:     len(j.runs),
+		Error:     j.errMsg,
+	}
+	if !j.started.IsZero() {
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		elapsed := end.Sub(j.started)
+		ev.ElapsedMS = elapsed.Milliseconds()
+		if fresh := j.completed - j.cached; fresh > 0 && j.completed < len(j.runs) {
+			perRun := elapsed / time.Duration(fresh)
+			ev.ETAMS = (perRun * time.Duration(len(j.runs)-j.completed)).Milliseconds()
+		}
+	}
+	j.events = append(j.events, ev)
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// start transitions queued → running.
+func (j *Job) start() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.publishLocked("status")
+}
+
+// finish transitions to a terminal state, marking still-pending runs as
+// skipped, and reports whether it performed the transition. Idempotent:
+// a second terminal transition is ignored (returning false), so a user
+// cancel racing the worker resolves cleanly and counts once.
+func (j *Job) finish(state JobState, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false
+	}
+	for i := range j.runs {
+		if j.runs[i].State == RunPending {
+			j.runs[i].State = RunSkipped
+			j.completed++
+			j.failed++
+		}
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.publishLocked("status")
+	return true
+}
+
+// setRunCached records a cache hit for run i.
+func (j *Job) setRunCached(i int, data []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.results[i] = data
+	j.runs[i].State = RunCached
+	j.completed++
+	j.cached++
+	j.publishLocked("progress")
+}
+
+// setRunDone records a freshly simulated result for run i.
+func (j *Job) setRunDone(i int, data []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.results[i] = data
+	j.runs[i].State = RunDone
+	j.completed++
+	j.publishLocked("progress")
+}
+
+// setRunFailed records a per-run error (or a context-cancelled skip).
+func (j *Job) setRunFailed(i int, err error, skipped bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.runs[i].State = RunFailed
+	if skipped {
+		j.runs[i].State = RunSkipped
+	}
+	j.runs[i].Error = err.Error()
+	j.completed++
+	j.failed++
+	j.publishLocked("progress")
+}
+
+// failedCount returns how many runs failed or were skipped.
+func (j *Job) failedCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failed
+}
+
+// eventsSince returns the events published at or after index i, the
+// channel that will be closed on the next publish, and whether the job
+// has reached a terminal state. A streaming handler loops: drain, flush,
+// and either exit (terminal with nothing pending) or wait on the
+// channel.
+func (j *Job) eventsSince(i int) (evs []Event, changed <-chan struct{}, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < len(j.events) {
+		evs = append(evs, j.events[i:]...)
+	}
+	return evs, j.changed, j.state.terminal()
+}
+
+// result returns run i's marshaled RunView, or nil if unavailable.
+func (j *Job) result(i int) []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < 0 || i >= len(j.results) {
+		return nil
+	}
+	return j.results[i]
+}
+
+// JobStatus is the wire form of a job's full state.
+type JobStatus struct {
+	ID          string      `json:"id"`
+	State       JobState    `json:"state"`
+	Total       int         `json:"total"`
+	Completed   int         `json:"completed"`
+	Cached      int         `json:"cached"`
+	Failed      int         `json:"failed"`
+	SubmittedAt time.Time   `json:"submitted_at"`
+	StartedAt   *time.Time  `json:"started_at,omitempty"`
+	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
+	Error       string      `json:"error,omitempty"`
+	Runs        []RunStatus `json:"runs"`
+}
+
+// Status snapshots the job for the status endpoint.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.ID,
+		State:       j.state,
+		Total:       len(j.runs),
+		Completed:   j.completed,
+		Cached:      j.cached,
+		Failed:      j.failed,
+		SubmittedAt: j.submitted,
+		Error:       j.errMsg,
+		Runs:        append([]RunStatus(nil), j.runs...),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}

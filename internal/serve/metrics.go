@@ -1,0 +1,37 @@
+package serve
+
+// Metric names the server records into its obs.Registry, alongside the
+// sim/* and thermal/* metrics the runs themselves record (the registry
+// is shared with every campaign the server executes).
+const (
+	// MetricCacheHits / MetricCacheMisses count result-cache lookups at
+	// job start; MetricCacheEvictions counts entries dropped to respect
+	// the byte budget.
+	MetricCacheHits      = "serve/cache_hits"
+	MetricCacheMisses    = "serve/cache_misses"
+	MetricCacheEvictions = "serve/cache_evictions"
+	// MetricCacheBytes / MetricCacheEntries gauge the cache's current
+	// footprint.
+	MetricCacheBytes   = "serve/cache_bytes"
+	MetricCacheEntries = "serve/cache_entries"
+
+	// MetricJobsSubmitted counts accepted submissions;
+	// MetricJobsRejected counts submissions bounced with 429 by a full
+	// queue.
+	MetricJobsSubmitted = "serve/jobs_submitted"
+	MetricJobsRejected  = "serve/jobs_rejected"
+	// Terminal job states.
+	MetricJobsCompleted = "serve/jobs_completed"
+	MetricJobsFailed    = "serve/jobs_failed"
+	MetricJobsCancelled = "serve/jobs_cancelled"
+
+	// MetricRunsExecuted counts runs actually simulated;
+	// MetricRunsCached counts runs served from the result cache.
+	MetricRunsExecuted = "serve/runs_executed"
+	MetricRunsCached   = "serve/runs_cached"
+
+	// MetricQueueDepth / MetricInflightJobs gauge the queue backlog and
+	// the jobs currently executing — the same numbers /healthz reports.
+	MetricQueueDepth   = "serve/queue_depth"
+	MetricInflightJobs = "serve/inflight_jobs"
+)

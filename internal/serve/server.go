@@ -1,0 +1,575 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"hotgauge/internal/obs"
+	"hotgauge/internal/report"
+	"hotgauge/internal/sim"
+)
+
+// Options tunes a Server. The zero value is a sensible single-node
+// deployment.
+type Options struct {
+	// QueueSize bounds how many submitted jobs may wait for a worker
+	// (default 16). A full queue rejects submissions with HTTP 429 and a
+	// Retry-After hint — backpressure is explicit, never an unbounded
+	// in-memory backlog.
+	QueueSize int
+	// Workers is the number of jobs executed concurrently (default 1:
+	// one campaign at a time, each spreading its runs across cores).
+	Workers int
+	// RunWorkers caps the per-job sim worker pool (0 = GOMAXPROCS).
+	RunWorkers int
+	// CacheBytes is the result cache's payload budget (default 64 MiB).
+	CacheBytes int64
+	// Registry receives every serve/* metric plus the sim/* metrics of
+	// the runs the server executes (nil = a fresh registry).
+	Registry *obs.Registry
+}
+
+// Server is the campaign service: an http.Handler exposing the job API
+// plus the queue, worker pool and result cache behind it. Create with
+// New, serve with net/http, stop with Shutdown.
+type Server struct {
+	opts  Options
+	reg   *obs.Registry
+	cache *resultCache
+	mux   *http.ServeMux
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	closed bool
+	seq    int
+
+	queueDepth, inflight                                *obs.Gauge
+	mSubmitted, mRejected                               *obs.Counter
+	mCompleted, mFailed, mCancelled, mExecuted, mCached *obs.Counter
+
+	// beforeRun, when non-nil, runs after a job transitions to running
+	// and before its campaign starts — a test seam for holding a worker
+	// in-flight deterministically. Returning an error cancels the job.
+	beforeRun func(ctx context.Context, j *Job) error
+}
+
+// New creates a Server and starts its worker pool.
+func New(opts Options) *Server {
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 16
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.CacheBytes <= 0 {
+		opts.CacheBytes = 64 << 20
+	}
+	if opts.Registry == nil {
+		opts.Registry = obs.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		reg:        opts.Registry,
+		cache:      newResultCache(opts.CacheBytes, opts.Registry),
+		mux:        http.NewServeMux(),
+		queue:      make(chan *Job, opts.QueueSize),
+		baseCtx:    ctx,
+		cancelAll:  cancel,
+		jobs:       map[string]*Job{},
+		queueDepth: opts.Registry.Gauge(MetricQueueDepth),
+		inflight:   opts.Registry.Gauge(MetricInflightJobs),
+		mSubmitted: opts.Registry.Counter(MetricJobsSubmitted),
+		mRejected:  opts.Registry.Counter(MetricJobsRejected),
+		mCompleted: opts.Registry.Counter(MetricJobsCompleted),
+		mFailed:    opts.Registry.Counter(MetricJobsFailed),
+		mCancelled: opts.Registry.Counter(MetricJobsCancelled),
+		mExecuted:  opts.Registry.Counter(MetricRunsExecuted),
+		mCached:    opts.Registry.Counter(MetricRunsCached),
+	}
+	s.routes()
+	for w := 0; w < opts.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /jobs/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /jobs/{id}/results/{run}", s.handleRunResult)
+	s.mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Registry exposes the server's metrics registry (tests and embedders).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Shutdown gracefully stops the server: new submissions are refused,
+// queued jobs are cancelled, and in-flight jobs drain until ctx's
+// deadline, after which they are cancelled too (a cancelled run aborts
+// at its next step boundary). Shutdown returns nil if everything
+// drained in time and ctx.Err() otherwise; either way, all workers have
+// exited when it returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, j := range s.jobs {
+			if j.State() == JobQueued {
+				j.Cancel()
+			}
+		}
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker drains the job queue until Shutdown closes it. Jobs whose
+// context was cancelled while queued fall through runJob's first check
+// and are marked cancelled without simulating anything.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.queueDepth.Set(float64(len(s.queue)))
+		s.inflight.Add(1)
+		s.runJob(job)
+		s.inflight.Add(-1)
+	}
+}
+
+// runJob executes one job: a cache pass first, then a CampaignCtx over
+// the misses with per-run results streamed into the job (and the cache)
+// as they complete.
+func (s *Server) runJob(j *Job) {
+	if j.ctx.Err() != nil || j.State().terminal() {
+		if j.finish(JobCancelled, "cancelled while queued") {
+			s.mCancelled.Inc()
+		}
+		return
+	}
+	j.start()
+	if s.beforeRun != nil {
+		if err := s.beforeRun(j.ctx, j); err != nil {
+			if j.finish(JobCancelled, err.Error()) {
+				s.mCancelled.Inc()
+			}
+			return
+		}
+	}
+
+	var missIdx []int
+	for i, h := range j.hashes {
+		if data, ok := s.cache.Get(h); ok {
+			s.mCached.Inc()
+			j.setRunCached(i, data)
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+
+	if len(missIdx) > 0 {
+		cfgs := make([]sim.Config, len(missIdx))
+		for k, i := range missIdx {
+			cfgs[k] = j.cfgs[i]
+		}
+		// Per-run errors and results are captured via OnResult, so the
+		// joined campaign error is redundant here.
+		_, _ = sim.CampaignCtx(j.ctx, cfgs, sim.CampaignOptions{
+			Workers: s.opts.RunWorkers,
+			Obs:     s.reg,
+			OnResult: func(k int, r *sim.Result, runErr error) {
+				i := missIdx[k]
+				switch {
+				case runErr != nil:
+					skipped := errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded)
+					j.setRunFailed(i, runErr, skipped)
+				default:
+					data, merr := json.Marshal(newRunView(j.Specs[i], j.hashes[i], r))
+					if merr != nil {
+						j.setRunFailed(i, merr, false)
+						return
+					}
+					s.cache.Put(j.hashes[i], data)
+					s.mExecuted.Inc()
+					j.setRunDone(i, data)
+				}
+			},
+		})
+	}
+
+	switch {
+	case j.ctx.Err() != nil:
+		if j.finish(JobCancelled, context.Cause(j.ctx).Error()) {
+			s.mCancelled.Inc()
+		}
+	case j.failedCount() > 0:
+		if j.finish(JobFailed, fmt.Sprintf("%d of %d runs failed", j.failedCount(), len(j.Specs))) {
+			s.mFailed.Inc()
+		}
+	default:
+		if j.finish(JobDone, "") {
+			s.mCompleted.Inc()
+		}
+	}
+}
+
+// ---- handlers ----
+
+type submitRequest struct {
+	Configs []ConfigSpec `json:"configs"`
+}
+
+type submitResponse struct {
+	ID     string   `json:"id"`
+	Total  int      `json:"total"`
+	Hashes []string `json:"config_hashes"`
+	Status string   `json:"status_url"`
+	Events string   `json:"events_url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Configs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty campaign: configs is required")
+		return
+	}
+	cfgs := make([]sim.Config, len(req.Configs))
+	hashes := make([]string, len(req.Configs))
+	for i, spec := range req.Configs {
+		cfg, err := spec.Config()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("config %d: %v", i, err))
+			return
+		}
+		h, err := cfg.Hash()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("config %d: %v", i, err))
+			return
+		}
+		cfgs[i], hashes[i] = cfg, h
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.seq++
+	id := fmt.Sprintf("job-%06d", s.seq)
+	job := newJob(s.baseCtx, id, req.Configs, cfgs, hashes)
+	select {
+	case s.queue <- job:
+		s.jobs[id] = job
+		s.order = append(s.order, id)
+		s.queueDepth.Set(float64(len(s.queue)))
+		s.mu.Unlock()
+	default:
+		s.seq-- // id not handed out
+		s.mu.Unlock()
+		job.cancel()
+		s.mRejected.Inc()
+		w.Header().Set("Retry-After", s.retryAfter())
+		httpError(w, http.StatusTooManyRequests, "job queue is full")
+		return
+	}
+	s.mSubmitted.Inc()
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID:     id,
+		Total:  len(cfgs),
+		Hashes: hashes,
+		Status: "/jobs/" + id,
+		Events: "/jobs/" + id + "/events",
+	})
+}
+
+// retryAfter estimates how long until a queue slot frees: the mean
+// campaign wall time observed so far, clamped to [1s, 60s].
+func (s *Server) retryAfter() string {
+	snap := s.reg.Snapshot()
+	t := snap.Timers[sim.MetricRunTime]
+	secs := 1.0
+	if t.Count > 0 {
+		secs = math.Ceil(t.MeanSeconds)
+	}
+	return strconv.Itoa(int(math.Min(math.Max(secs, 1), 60)))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// job resolves the {id} path value, writing a 404 on miss.
+func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job "+id)
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	j.Cancel()
+	if j.State() == JobQueued {
+		// The queue will eventually pop it, but reflect the decision
+		// immediately; runJob's finish is idempotent and counts once.
+		if j.finish(JobCancelled, "cancelled by client") {
+			s.mCancelled.Inc()
+		}
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ndjson := r.URL.Query().Get("format") == "ndjson" ||
+		r.Header.Get("Accept") == "application/x-ndjson"
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+	}
+	w.WriteHeader(http.StatusOK)
+
+	next := 0
+	for {
+		evs, changed, terminal := j.eventsSince(next)
+		next += len(evs)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if ndjson {
+				fmt.Fprintf(w, "%s\n", data)
+			} else {
+				fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			}
+		}
+		fl.Flush()
+		// eventsSince reads the history and the terminal flag under one
+		// lock, so a terminal report means evs already held the final
+		// event: nothing will ever be published again.
+		if terminal {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+type resultsResponse struct {
+	ID    string           `json:"id"`
+	State JobState         `json:"state"`
+	Runs  []resultEnvelope `json:"runs"`
+}
+
+type resultEnvelope struct {
+	RunStatus
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	st := j.Status()
+	out := resultsResponse{ID: j.ID, State: st.State, Runs: make([]resultEnvelope, len(st.Runs))}
+	for i, rs := range st.Runs {
+		out.Runs[i] = resultEnvelope{RunStatus: rs, Result: json.RawMessage(j.result(i))}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRunResult(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	i, err := strconv.Atoi(r.PathValue("run"))
+	if err != nil || i < 0 || i >= len(j.Specs) {
+		httpError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	data := j.result(i)
+	if data == nil {
+		httpError(w, http.StatusNotFound, "result not available (run pending, failed or skipped)")
+		return
+	}
+	// The cached bytes are served verbatim: a repeat submission's
+	// response is byte-identical to the original.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	st := j.Status()
+	rows := make([]report.RunSummary, len(st.Runs))
+	for i, rs := range st.Runs {
+		row := report.RunSummary{
+			Label:  fmt.Sprintf("%d:%s", i, j.Specs[i].Workload),
+			Node:   nodeName(j.Specs[i].Node),
+			Status: rs.State,
+			TUHMs:  -1,
+		}
+		if data := j.result(i); data != nil {
+			var v RunView
+			if err := json.Unmarshal(data, &v); err == nil {
+				row.Steps = v.StepsRun
+				row.PeakTemp = v.PeakTempC
+				row.PeakMLTD = v.PeakMLTDC
+				row.PeakSeverity = v.PeakSeverity
+				if v.TUHSeconds != nil {
+					row.TUHMs = *v.TUHSeconds * 1e3
+				}
+			}
+		}
+		rows[i] = row
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "job %s (%s): hotspot characterization, Section-4 style\n\n", j.ID, st.State)
+	fmt.Fprint(w, report.CampaignReport(rows))
+}
+
+func nodeName(n int) string {
+	if n == 0 {
+		n = 14
+	}
+	return fmt.Sprintf("%dnm", n)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	s.reg.WriteJSON(w)
+}
+
+type healthResponse struct {
+	Status       string `json:"status"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueCap     int    `json:"queue_capacity"`
+	InflightJobs int    `json:"inflight_jobs"`
+	Jobs         int    `json:"jobs"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheBytes   int64  `json:"cache_bytes"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	njobs := len(s.jobs)
+	s.mu.Unlock()
+	h := healthResponse{
+		Status:       "ok",
+		QueueDepth:   len(s.queue),
+		QueueCap:     cap(s.queue),
+		InflightJobs: int(s.inflight.Value()),
+		Jobs:         njobs,
+		CacheEntries: s.cache.Len(),
+		CacheBytes:   s.cache.Bytes(),
+	}
+	code := http.StatusOK
+	if closed {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// ---- helpers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

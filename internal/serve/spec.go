@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"hotgauge/internal/core"
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/sim"
+	"hotgauge/internal/tech"
+	"hotgauge/internal/workload"
+)
+
+// ConfigSpec is the JSON wire form of one run: the subset of sim.Config
+// a client can express, mirroring the hotgauge CLI flags. Zero values
+// defer to the simulator's defaults (14 nm node, 0.1 mm grid, 40 °C
+// ambient, the case-study hotspot definition). Opaque Go-level knobs —
+// custom sources, controllers, solvers — are deliberately not
+// expressible: every spec is canonically hashable, which is what lets
+// the result cache address it.
+type ConfigSpec struct {
+	// Workload is the profile name (see workload.Names), e.g. "gcc".
+	Workload string `json:"workload"`
+	// Node is the process node in nm: 7, 10 or 14 (0 = 14).
+	Node int `json:"node,omitempty"`
+	// Core pins the workload (0-6).
+	Core int `json:"core,omitempty"`
+	// Warmup is "idle" (default, the paper's warmup) or "cold".
+	Warmup string `json:"warmup,omitempty"`
+	// Steps is the number of 200 µs timesteps (required, > 0).
+	Steps int `json:"steps"`
+	// StopAtHotspot ends the run at the first detected hotspot.
+	StopAtHotspot bool `json:"stop_at_hotspot,omitempty"`
+	// Hotspot definition overrides (0 = the 80 °C / 25 °C / 1 mm
+	// case-study values).
+	TempThreshold float64 `json:"temp_threshold,omitempty"`
+	MLTDThreshold float64 `json:"mltd_threshold,omitempty"`
+	Radius        float64 `json:"radius,omitempty"`
+	// Resolution is the thermal grid pitch [mm] (0 = 0.1).
+	Resolution float64 `json:"resolution,omitempty"`
+	// Ambient temperature [°C] (0 = 40).
+	Ambient float64 `json:"ambient,omitempty"`
+	// UseCycleModel selects the cycle-level core model (slower).
+	UseCycleModel bool `json:"use_cycle_model,omitempty"`
+	// ScaleUnit scales the area of the named unit kinds (the §V-A
+	// mitigation study), e.g. {"fpIWin": 10}.
+	ScaleUnit map[string]float64 `json:"scale_unit,omitempty"`
+	// ICAreaFactor uniformly scales die area (§V-B).
+	ICAreaFactor float64 `json:"ic_area_factor,omitempty"`
+	// RecordMLTD / RecordSeverity / RecordHotspotUnits opt into the
+	// per-step MLTD and severity series and per-unit hotspot counts.
+	RecordMLTD         bool `json:"record_mltd,omitempty"`
+	RecordSeverity     bool `json:"record_severity,omitempty"`
+	RecordHotspotUnits bool `json:"record_hotspot_units,omitempty"`
+}
+
+// Config materializes the spec into a sim.Config.
+func (s ConfigSpec) Config() (sim.Config, error) {
+	prof, err := workload.Lookup(s.Workload)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	switch s.Node {
+	case 0, 7, 10, 14:
+	default:
+		return sim.Config{}, fmt.Errorf("serve: unknown node %d (want 7, 10 or 14)", s.Node)
+	}
+	cfg := sim.Config{
+		Floorplan: floorplan.Config{
+			Node:         tech.Node(s.Node),
+			ICAreaFactor: s.ICAreaFactor,
+		},
+		Workload:      prof,
+		Core:          s.Core,
+		Steps:         s.Steps,
+		StopAtHotspot: s.StopAtHotspot,
+		Definition: core.Definition{
+			TempThreshold: s.TempThreshold,
+			MLTDThreshold: s.MLTDThreshold,
+			Radius:        s.Radius,
+		},
+		Resolution:    s.Resolution,
+		Ambient:       s.Ambient,
+		UseCycleModel: s.UseCycleModel,
+		Record: sim.RecordOptions{
+			MLTD:         s.RecordMLTD,
+			Severity:     s.RecordSeverity,
+			HotspotUnits: s.RecordHotspotUnits,
+		},
+	}
+	// An all-zero definition defers to the simulator's default; a
+	// partial override fills its remaining zeros with the case-study
+	// values so e.g. temp_threshold alone doesn't zero the MLTD gate.
+	if cfg.Definition != (core.Definition{}) {
+		def := core.DefaultDefinition()
+		if cfg.Definition.TempThreshold == 0 {
+			cfg.Definition.TempThreshold = def.TempThreshold
+		}
+		if cfg.Definition.MLTDThreshold == 0 {
+			cfg.Definition.MLTDThreshold = def.MLTDThreshold
+		}
+		if cfg.Definition.Radius == 0 {
+			cfg.Definition.Radius = def.Radius
+		}
+	}
+	if len(s.ScaleUnit) > 0 {
+		cfg.Floorplan.KindScale = map[floorplan.Kind]float64{}
+		for k, v := range s.ScaleUnit {
+			cfg.Floorplan.KindScale[floorplan.Kind(k)] = v
+		}
+	}
+	switch s.Warmup {
+	case "", "idle":
+		cfg.Warmup = sim.WarmupIdle
+	case "cold":
+		cfg.Warmup = sim.WarmupCold
+	default:
+		return sim.Config{}, fmt.Errorf("serve: unknown warmup %q (cold or idle)", s.Warmup)
+	}
+	return cfg, nil
+}
+
+// HotspotView is the wire form of one detected hotspot.
+type HotspotView struct {
+	X    float64 `json:"x_mm"`
+	Y    float64 `json:"y_mm"`
+	Temp float64 `json:"temp_c"`
+	MLTD float64 `json:"mltd_c"`
+}
+
+// RunView is the wire form of one run's result. It is marshaled exactly
+// once per simulated run; the bytes are stored in the result cache and
+// served verbatim, so repeated submissions return byte-identical bodies.
+type RunView struct {
+	Spec       ConfigSpec `json:"spec"`
+	ConfigHash string     `json:"config_hash"`
+	StepsRun   int        `json:"steps_run"`
+
+	// TUHSeconds is nil when no hotspot occurred (TUHStep is then -1);
+	// JSON has no +Inf.
+	TUHSeconds *float64 `json:"tuh_seconds,omitempty"`
+	TUHStep    int      `json:"tuh_step"`
+
+	InitialTempC float64 `json:"initial_temp_c"`
+	PeakTempC    float64 `json:"peak_temp_c"`
+	FinalTempC   float64 `json:"final_temp_c"`
+	PeakPowerW   float64 `json:"peak_power_w"`
+	MeanIPC      float64 `json:"mean_ipc"`
+	PeakMLTDC    float64 `json:"peak_mltd_c,omitempty"`
+	PeakSeverity float64 `json:"peak_severity,omitempty"`
+
+	MaxTempC  []float64 `json:"max_temp_c"`
+	MeanTempC []float64 `json:"mean_temp_c"`
+	PowerW    []float64 `json:"power_w"`
+	IPC       []float64 `json:"ipc"`
+	MLTDC     []float64 `json:"mltd_c,omitempty"`
+	Severity  []float64 `json:"severity,omitempty"`
+
+	HotspotUnits  map[string]int `json:"hotspot_units,omitempty"`
+	FirstHotspots []HotspotView  `json:"first_hotspots,omitempty"`
+}
+
+// newRunView projects a sim.Result onto the wire form.
+func newRunView(spec ConfigSpec, hash string, res *sim.Result) RunView {
+	v := RunView{
+		Spec:         spec,
+		ConfigHash:   hash,
+		StepsRun:     res.StepsRun,
+		TUHStep:      res.TUHStep,
+		InitialTempC: res.InitialTemp,
+		PeakTempC:    seriesMax(res.MaxTemp),
+		PeakPowerW:   seriesMax(res.Power),
+		MeanIPC:      seriesMean(res.IPC),
+		PeakMLTDC:    seriesMax(res.MLTD),
+		PeakSeverity: seriesMax(res.Severity),
+		MaxTempC:     res.MaxTemp,
+		MeanTempC:    res.MeanTemp,
+		PowerW:       res.Power,
+		IPC:          res.IPC,
+		MLTDC:        res.MLTD,
+		Severity:     res.Severity,
+	}
+	if n := len(res.MaxTemp); n > 0 {
+		v.FinalTempC = res.MaxTemp[n-1]
+	}
+	if !math.IsInf(res.TUH, 1) {
+		tuh := res.TUH
+		v.TUHSeconds = &tuh
+	}
+	if len(res.HotspotUnit) > 0 {
+		v.HotspotUnits = map[string]int{}
+		for kind, n := range res.HotspotUnit {
+			v.HotspotUnits[string(kind)] = n
+		}
+	}
+	for _, h := range res.FirstHotspots {
+		v.FirstHotspots = append(v.FirstHotspots, HotspotView{X: h.X, Y: h.Y, Temp: h.Temp, MLTD: h.MLTD})
+	}
+	return v
+}
+
+func seriesMax(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		m = math.Max(m, x)
+	}
+	return m
+}
+
+func seriesMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

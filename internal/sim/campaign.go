@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -42,6 +43,11 @@ type CampaignOptions struct {
 	// Calls are serialized; keep it cheap (it runs on worker
 	// goroutines).
 	OnProgress func(Progress)
+	// OnResult, when non-nil, is invoked with each run's index, result
+	// and error as it completes (before the matching OnProgress call).
+	// Calls are serialized with OnProgress; keep it cheap. Runs skipped
+	// by a cancelled context report a nil result and the context error.
+	OnResult func(i int, r *Result, err error)
 }
 
 // Campaign runs a batch of configurations in parallel across CPUs,
@@ -55,6 +61,16 @@ func Campaign(cfgs []Config) ([]*Result, error) {
 // CampaignOpts is Campaign with worker, observability and progress
 // controls.
 func CampaignOpts(cfgs []Config, opts CampaignOptions) ([]*Result, error) {
+	return CampaignCtx(context.Background(), cfgs, opts)
+}
+
+// CampaignCtx is CampaignOpts with cooperative cancellation. Once ctx is
+// cancelled, in-flight runs abort at their next step boundary (see
+// RunCtx) and queued runs are skipped entirely; every aborted or skipped
+// run contributes ctx.Err() to the joined error and still counts toward
+// Progress.Completed/Failed, so progress consumers observe the campaign
+// reaching Total even when it is cut short.
+func CampaignCtx(ctx context.Context, cfgs []Config, opts CampaignOptions) ([]*Result, error) {
 	results := make([]*Result, len(cfgs))
 	errs := make([]error, len(cfgs))
 	workers := opts.Workers
@@ -72,7 +88,7 @@ func CampaignOpts(cfgs []Config, opts CampaignOptions) ([]*Result, error) {
 
 	var mu sync.Mutex
 	completed, failed := 0, 0
-	finish := func(runErr error) {
+	finish := func(i int, res *Result, runErr error) {
 		mu.Lock()
 		defer mu.Unlock()
 		completed++
@@ -80,6 +96,9 @@ func CampaignOpts(cfgs []Config, opts CampaignOptions) ([]*Result, error) {
 		if runErr != nil {
 			failed++
 			failedC.Inc()
+		}
+		if opts.OnResult != nil {
+			opts.OnResult(i, res, runErr)
 		}
 		p := Progress{
 			Completed: completed,
@@ -108,12 +127,17 @@ func CampaignOpts(cfgs []Config, opts CampaignOptions) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					finish(i, nil, err)
+					continue
+				}
 				cfg := cfgs[i]
 				if cfg.Obs == nil {
 					cfg.Obs = opts.Obs
 				}
-				results[i], errs[i] = Run(cfg)
-				finish(errs[i])
+				results[i], errs[i] = RunCtx(ctx, cfg)
+				finish(i, results[i], errs[i])
 			}
 		}()
 	}

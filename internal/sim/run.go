@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -59,6 +60,15 @@ func (r *Result) SevRMS() float64 { return stats.RMS(r.Severity) }
 
 // Run executes one co-simulation.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: ctx is polled between
+// thermal timesteps, so a cancelled context aborts the run at the next
+// step boundary and RunCtx returns ctx.Err() (partial results are
+// discarded). Cancellation never interrupts a solver mid-step, keeping
+// shared solver scratch state consistent for reuse.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	m := newRunMetrics(cfg.Obs)
 	runSpan := m.run.Start()
 	defer runSpan.End()
@@ -149,6 +159,9 @@ func Run(cfg Config) (*Result, error) {
 	curCore := cfg.Core
 	throttle := 1.0
 	for step := 0; step < cfg.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		perfSpan := m.perf.Start()
 		act := src.Step(step, cfg.CyclesPerStep)
 		if throttle < 1 {

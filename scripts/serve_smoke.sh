@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test for the hotgauged campaign daemon.
+#
+# Builds cmd/hotgauged, starts it on a scratch port, waits for /healthz,
+# submits a tiny two-run §IV-A-style campaign (gcc at 7 nm and 14 nm),
+# polls the job to completion, resubmits the identical campaign, and
+# asserts that the second pass was served entirely from the result cache
+# (serve/cache_hits > 0 at /metrics, state "done" with all runs cached).
+#
+# Requires: go, curl, jq. Exits nonzero on any failed assertion.
+set -euo pipefail
+
+PORT="${PORT:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+WORKDIR="$(mktemp -d)"
+BIN="${WORKDIR}/hotgauged"
+
+cleanup() {
+    [ -n "${DAEMON_PID:-}" ] && kill "${DAEMON_PID}" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "${WORKDIR}"
+}
+trap cleanup EXIT
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+echo "serve-smoke: building hotgauged"
+go build -o "${BIN}" ./cmd/hotgauged
+
+"${BIN}" -addr "127.0.0.1:${PORT}" -queue 4 >"${WORKDIR}/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+echo "serve-smoke: waiting for /healthz"
+for i in $(seq 1 50); do
+    if curl -fsS "${BASE}/healthz" >/dev/null 2>&1; then break; fi
+    kill -0 "${DAEMON_PID}" 2>/dev/null || { cat "${WORKDIR}/daemon.log" >&2; fail "daemon exited early"; }
+    sleep 0.2
+done
+curl -fsS "${BASE}/healthz" | jq -e '.status == "ok"' >/dev/null || fail "healthz not ok"
+
+CAMPAIGN='{"configs":[
+  {"workload":"gcc","node":7,"steps":3,"warmup":"cold","resolution":0.2},
+  {"workload":"gcc","node":14,"steps":3,"warmup":"cold","resolution":0.2}
+]}'
+
+submit_and_wait() {
+    local job_id state
+    job_id="$(curl -fsS -X POST "${BASE}/jobs" -d "${CAMPAIGN}" | jq -r .id)"
+    [ -n "${job_id}" ] && [ "${job_id}" != null ] || fail "submit returned no job id"
+    for i in $(seq 1 150); do
+        state="$(curl -fsS "${BASE}/jobs/${job_id}" | jq -r .state)"
+        case "${state}" in
+            done) echo "${job_id}"; return 0 ;;
+            failed|cancelled) curl -fsS "${BASE}/jobs/${job_id}" >&2; fail "job ${job_id} ended ${state}" ;;
+        esac
+        sleep 0.2
+    done
+    fail "job ${job_id} did not finish (last state: ${state})"
+}
+
+echo "serve-smoke: submitting campaign (cold)"
+JOB1="$(submit_and_wait)"
+echo "serve-smoke: job ${JOB1} done"
+
+echo "serve-smoke: resubmitting identical campaign (expect cache hits)"
+JOB2="$(submit_and_wait)"
+STATUS2="$(curl -fsS "${BASE}/jobs/${JOB2}")"
+echo "${STATUS2}" | jq -e '.cached == 2' >/dev/null \
+    || { echo "${STATUS2}" >&2; fail "second job not fully cached"; }
+
+METRICS="$(curl -fsS "${BASE}/metrics")"
+echo "${METRICS}" | jq -e '.counters["serve/cache_hits"] >= 2' >/dev/null \
+    || { echo "${METRICS}" | jq .counters >&2; fail "serve/cache_hits not >= 2"; }
+echo "${METRICS}" | jq -e '.counters["serve/runs_executed"] == 2' >/dev/null \
+    || { echo "${METRICS}" | jq .counters >&2; fail "cache hit re-ran the simulator"; }
+
+# Byte-identical result bodies across the two jobs.
+cmp <(curl -fsS "${BASE}/jobs/${JOB1}/results/0") <(curl -fsS "${BASE}/jobs/${JOB2}/results/0") \
+    || fail "cached result body differs from original"
+
+# The report endpoint renders a row per run.
+curl -fsS "${BASE}/jobs/${JOB1}/report" | grep -q "7nm" || fail "report missing 7nm row"
+
+echo "serve-smoke: OK (cache hits: $(echo "${METRICS}" | jq -r '.counters["serve/cache_hits"]'))"
