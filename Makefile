@@ -5,7 +5,7 @@ GO ?= go
 BENCH_COUNT ?= 10
 BENCH_PATTERN ?= BenchmarkKernelThermalStep|BenchmarkKernelMLTDField|BenchmarkSec4ATempScaling
 
-.PHONY: all build test vet fmt-check check bench bench-all serve-smoke
+.PHONY: all build test vet fmt-check check faultcheck bench bench-all serve-smoke
 
 all: check
 
@@ -27,6 +27,13 @@ fmt-check:
 # The full CI gate: build, tests (incl. the internal-package docs lint),
 # vet, and gofmt cleanliness.
 check: build test vet fmt-check
+
+# The fault-tolerance suite under the race detector, run twice: panic
+# isolation, per-run deadlines, retry/backoff and the end-to-end faulty
+# campaign all involve goroutine handoff, so -race -count=2 is the gate
+# that catches both data races and order-dependent flakiness.
+faultcheck:
+	$(GO) test -race -count=2 ./internal/fault/ ./internal/sim/ ./internal/serve/
 
 # Kernel + end-to-end benchmarks with benchstat-ready repetition; the raw
 # output lands in BENCH_thermal.txt and a machine-readable summary (name,

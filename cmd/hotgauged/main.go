@@ -42,23 +42,47 @@ func main() {
 	runWorkers := flag.Int("run-workers", 0, "sim workers per job (0 = GOMAXPROCS)")
 	cacheMB := flag.Int("cache-mb", 64, "result cache budget in MiB")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for in-flight jobs")
+	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-time limit; an exceeding run fails alone (0 = unlimited)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-time limit from execution start (0 = unlimited)")
+	retries := flag.Int("retries", 0, "retry attempts for runs failing with transient errors (exponential backoff + jitter)")
+	maxBodyMB := flag.Int("max-body-mb", 8, "maximum POST /jobs body size in MiB (larger requests get 413)")
+	faultRate := flag.Float64("fault-rate", 0, "dev-only: inject random per-step panics/errors/stalls at this rate to exercise the recovery paths")
+	faultSeed := flag.Int64("fault-seed", 1, "dev-only: deterministic seed for -fault-rate injection")
 	verbose := flag.Bool("v", false, "log every request")
 	flag.Parse()
 
+	if *faultRate > 0 {
+		log.Printf("hotgauged: FAULT INJECTION ENABLED (rate=%g seed=%d) — dev mode only", *faultRate, *faultSeed)
+	}
 	reg := obs.NewRegistry()
 	srv := serve.New(serve.Options{
-		QueueSize:  *queue,
-		Workers:    *workers,
-		RunWorkers: *runWorkers,
-		CacheBytes: int64(*cacheMB) << 20,
-		Registry:   reg,
+		QueueSize:    *queue,
+		Workers:      *workers,
+		RunWorkers:   *runWorkers,
+		CacheBytes:   int64(*cacheMB) << 20,
+		Registry:     reg,
+		RunTimeout:   *runTimeout,
+		JobTimeout:   *jobTimeout,
+		Retries:      *retries,
+		MaxBodyBytes: int64(*maxBodyMB) << 20,
+		FaultRate:    *faultRate,
+		FaultSeed:    *faultSeed,
 	})
 
 	var handler http.Handler = srv
 	if *verbose {
 		handler = logRequests(srv)
 	}
-	hs := &http.Server{Addr: *addr, Handler: handler}
+	// Slowloris hardening: bound how long a client may dribble headers
+	// and body, and reap idle keep-alive connections. WriteTimeout stays
+	// zero on purpose — /jobs/{id}/events streams for a job's lifetime.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,22 @@
+// Package fault is the fault-injection harness behind the toolchain's
+// fault-tolerance tests and hotgauged's dev-only -fault-rate flag: it
+// wraps the co-simulation's pluggable seams — the thermal solver
+// (FlakySolver) and the performance-model source (FlakySource) — with
+// deterministic, seedable injection of panics, transient errors, added
+// latency, and NaN field poisoning.
+//
+// Recovery paths that are never exercised rot silently; this package
+// makes every failure mode reproducible on demand so the sim layer's
+// panic isolation, per-run deadlines, retry/backoff, and solver
+// fallback are proven by -race tests (make faultcheck) and end-to-end
+// against a live daemon, not just claimed. Exact triggers (PanicAt,
+// FailFirst, StallAt, NaNAt; 1-based call counts) give tests precise
+// per-run attribution; rate-based triggers (PanicRate/ErrorRate with a
+// fixed Seed) give the daemon a reproducible background fault load.
+//
+// Injected errors implement Transient() bool, the marker contract
+// sim.Retryable classifies as retryable, so the retry layer treats them
+// exactly like real transient failures. The package is dev/test-only:
+// no production path constructs its wrappers unless explicitly asked
+// to.
+package fault

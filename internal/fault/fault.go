@@ -1,0 +1,162 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"hotgauge/internal/geometry"
+	"hotgauge/internal/perf"
+	"hotgauge/internal/thermal"
+)
+
+// Error is an injected transient failure. Its Transient method marks it
+// retryable for sim.Retryable, so the retry layer handles it exactly
+// like a real transient fault.
+type Error struct {
+	// Call is the 1-based wrapper call count at which it was injected.
+	Call int
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected transient error (call %d)", e.Call)
+}
+
+// Transient marks the error retryable.
+func (e *Error) Transient() bool { return true }
+
+// roller draws rate-based fault decisions from a deterministic seed.
+type roller struct {
+	seed int64
+	rng  *rand.Rand
+}
+
+// roll returns a uniform [0, 1) draw, lazily seeding the stream.
+func (r *roller) roll() float64 {
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(r.seed))
+	}
+	return r.rng.Float64()
+}
+
+// FlakySolver wraps a thermal.Solver with fault injection. Exact
+// triggers fire on the Nth Step call (1-based; zero disables) and
+// persist across retries of the same config because the call count is
+// never reset — FailFirst in particular models a transient failure that
+// clears after N attempts. Rate-based triggers draw one roll per call
+// from a deterministic Seed.
+//
+// Like every Solver, a FlakySolver must not be shared between
+// concurrent runs; give each config its own instance.
+type FlakySolver struct {
+	// Inner is the wrapped solver (required).
+	Inner thermal.Solver
+
+	// PanicAt panics on the Nth Step call (1-based; 0 disables).
+	PanicAt int
+	// FailFirst makes the first N Step calls return a transient *Error.
+	FailFirst int
+	// StallAt sleeps Stall before the Nth Step call (1-based; 0
+	// disables) — the wedged-run stimulus for deadline tests.
+	StallAt int
+	// Stall is the sleep StallAt (or StallRate) injects.
+	Stall time.Duration
+	// NaNAt poisons the whole thermal state with NaN after the Nth Step
+	// call (1-based; 0 disables), simulating a diverged integration.
+	NaNAt int
+
+	// Seed seeds the rate-based roll stream (deterministic for a fixed
+	// seed and call sequence).
+	Seed int64
+	// PanicRate / ErrorRate / StallRate are per-call probabilities of
+	// the corresponding random fault; at most one fires per call.
+	PanicRate float64
+	ErrorRate float64
+	StallRate float64
+
+	calls int
+	r     roller
+}
+
+// Name implements thermal.Solver.
+func (f *FlakySolver) Name() string { return "flaky+" + f.Inner.Name() }
+
+// Step implements thermal.Solver, injecting any due fault before (or,
+// for NaNAt, after) delegating to the wrapped solver.
+func (f *FlakySolver) Step(g *thermal.Grid, s *thermal.State, power *geometry.Field, dt float64) error {
+	f.calls++
+	n := f.calls
+	if f.PanicAt > 0 && n == f.PanicAt {
+		panic(fmt.Sprintf("fault: injected panic at solver call %d", n))
+	}
+	if n <= f.FailFirst {
+		return &Error{Call: n}
+	}
+	if f.StallAt > 0 && n == f.StallAt {
+		time.Sleep(f.Stall)
+	}
+	if f.PanicRate > 0 || f.ErrorRate > 0 || f.StallRate > 0 {
+		f.r.seed = f.Seed
+		switch roll := f.r.roll(); {
+		case roll < f.PanicRate:
+			panic(fmt.Sprintf("fault: injected random panic at solver call %d", n))
+		case roll < f.PanicRate+f.ErrorRate:
+			return &Error{Call: n}
+		case roll < f.PanicRate+f.ErrorRate+f.StallRate:
+			time.Sleep(f.Stall)
+		}
+	}
+	err := f.Inner.Step(g, s, power, dt)
+	if f.NaNAt > 0 && n == f.NaNAt {
+		for i := range s.T {
+			s.T[i] = math.NaN()
+		}
+	}
+	return err
+}
+
+// FlakySource wraps a perf.Source with fault injection. perf.Source has
+// no error return, so only panics and stalls are expressible — which is
+// exactly what makes it useful: it proves panic isolation covers the
+// performance-model stage too, not just the solver.
+type FlakySource struct {
+	// Inner is the wrapped source (required).
+	Inner perf.Source
+
+	// PanicAt panics on the Nth Step call (1-based; 0 disables).
+	PanicAt int
+	// StallAt sleeps Stall before the Nth Step call (1-based; 0
+	// disables).
+	StallAt int
+	// Stall is the sleep StallAt injects.
+	Stall time.Duration
+
+	// Seed seeds the rate-based roll stream; PanicRate is the per-call
+	// panic probability.
+	Seed      int64
+	PanicRate float64
+
+	calls int
+	r     roller
+}
+
+// Step implements perf.Source.
+func (f *FlakySource) Step(step int, cycles uint64) perf.Activity {
+	f.calls++
+	n := f.calls
+	if f.PanicAt > 0 && n == f.PanicAt {
+		panic(fmt.Sprintf("fault: injected panic at source call %d", n))
+	}
+	if f.StallAt > 0 && n == f.StallAt {
+		time.Sleep(f.Stall)
+	}
+	if f.PanicRate > 0 {
+		f.r.seed = f.Seed
+		if f.r.roll() < f.PanicRate {
+			panic(fmt.Sprintf("fault: injected random panic at source call %d", n))
+		}
+	}
+	return f.Inner.Step(step, cycles)
+}

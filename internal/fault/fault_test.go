@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hotgauge/internal/geometry"
+	"hotgauge/internal/thermal"
+)
+
+// stepOnce drives one solver step over a tiny grid and returns the state.
+func stepOnce(t *testing.T, s thermal.Solver, n int) *thermal.State {
+	t.Helper()
+	die := geometry.Rect{W: 2, H: 2}
+	grid, err := thermal.NewGrid(die, 0.25, thermal.DefaultStack(), thermal.SinkConductance, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := grid.NewState(40)
+	power := geometry.NewField(grid.NX, grid.NY, 0.25)
+	for i := 0; i < n; i++ {
+		if err := s.Step(grid, st, power, 200e-6); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	return st
+}
+
+func TestFlakySolverExactTriggers(t *testing.T) {
+	t.Run("panic at exact call", func(t *testing.T) {
+		s := &FlakySolver{Inner: &thermal.Explicit{}, PanicAt: 3}
+		stepOnce(t, s, 2) // calls 1-2 pass
+		defer func() {
+			if recover() == nil {
+				t.Fatal("call 3 did not panic")
+			}
+		}()
+		stepOnce(t, s, 1)
+	})
+
+	t.Run("fail first N then clear", func(t *testing.T) {
+		s := &FlakySolver{Inner: &thermal.Explicit{}, FailFirst: 2}
+		die := geometry.Rect{W: 2, H: 2}
+		grid, err := thermal.NewGrid(die, 0.25, thermal.DefaultStack(), thermal.SinkConductance, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := grid.NewState(40)
+		power := geometry.NewField(grid.NX, grid.NY, 0.25)
+		for call := 1; call <= 2; call++ {
+			err := s.Step(grid, st, power, 200e-6)
+			fe, ok := err.(*Error)
+			if !ok {
+				t.Fatalf("call %d: error %v (%T), want *Error", call, err, err)
+			}
+			if fe.Call != call {
+				t.Fatalf("call attribution %d, want %d", fe.Call, call)
+			}
+			if !fe.Transient() {
+				t.Fatal("injected error not marked transient")
+			}
+		}
+		if err := s.Step(grid, st, power, 200e-6); err != nil {
+			t.Fatalf("call 3 should succeed after transients clear: %v", err)
+		}
+	})
+
+	t.Run("NaN poison", func(t *testing.T) {
+		s := &FlakySolver{Inner: &thermal.Explicit{}, NaNAt: 1}
+		st := stepOnce(t, s, 1)
+		if !math.IsNaN(st.T[0]) {
+			t.Fatal("state not NaN-poisoned")
+		}
+	})
+
+	t.Run("stall", func(t *testing.T) {
+		s := &FlakySolver{Inner: &thermal.Explicit{}, StallAt: 1, Stall: 20 * time.Millisecond}
+		start := time.Now()
+		stepOnce(t, s, 1)
+		if d := time.Since(start); d < 20*time.Millisecond {
+			t.Fatalf("stall not injected: step took %v", d)
+		}
+	})
+
+	t.Run("name", func(t *testing.T) {
+		s := &FlakySolver{Inner: &thermal.Explicit{}}
+		if got := s.Name(); got != "flaky+explicit" {
+			t.Fatalf("Name() = %q", got)
+		}
+	})
+}
+
+func TestFlakySolverRateDeterminism(t *testing.T) {
+	fire := func(seed int64) []int {
+		s := &FlakySolver{Inner: &thermal.Explicit{}, ErrorRate: 0.3, Seed: seed}
+		die := geometry.Rect{W: 2, H: 2}
+		grid, err := thermal.NewGrid(die, 0.25, thermal.DefaultStack(), thermal.SinkConductance, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := grid.NewState(40)
+		power := geometry.NewField(grid.NX, grid.NY, 0.25)
+		var fired []int
+		for i := 0; i < 50; i++ {
+			if s.Step(grid, st, power, 200e-6) != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := fire(42), fire(42)
+	if len(a) == 0 {
+		t.Fatal("rate 0.3 over 50 calls fired no faults")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different fault counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different fault schedule: %v vs %v", a, b)
+		}
+	}
+}

@@ -15,4 +15,12 @@
 // drains in-flight jobs under a deadline while cancelling queued ones.
 // Every moving part reports into an obs.Registry exposed at /metrics,
 // with readiness (queue depth, in-flight jobs) at /healthz.
+//
+// The execution path is fault-tolerant: panicking, diverging or wedged
+// runs fail alone with per-run attribution (sim.RunCtx's panic
+// isolation plus Options.RunTimeout, counted in serve/timeouts), runs
+// failing transiently are retried with backoff (Options.Retries), jobs
+// are bounded by Options.JobTimeout, and submission bodies by
+// Options.MaxBodyBytes (413). Options.FaultRate wires internal/fault's
+// random injection into every run for dev-mode recovery drills.
 package serve

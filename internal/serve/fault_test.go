@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"hotgauge/internal/fault"
+	"hotgauge/internal/obs"
+	"hotgauge/internal/sim"
+	"hotgauge/internal/thermal"
+)
+
+// TestCampaignSurvivesFaultyRuns is the end-to-end fault-tolerance proof:
+// a 20-run campaign where one run panics, one fails transiently (and is
+// retried to success), and one exceeds its per-run deadline. The faulted
+// runs fail alone with correct attribution, every sibling completes, the
+// fault counters advance, and the daemon keeps serving afterwards.
+func TestCampaignSurvivesFaultyRuns(t *testing.T) {
+	const (
+		total      = 20
+		panicRun   = 3
+		flakyRun   = 7
+		timeoutRun = 11
+	)
+	reg := obs.NewRegistry()
+	s, ts := newTestServer(t, Options{Registry: reg, QueueSize: 4, Retries: 1})
+	s.wrapCfg = func(i int, cfg sim.Config) sim.Config {
+		switch i {
+		case panicRun:
+			cfg.Solver = &fault.FlakySolver{Inner: &thermal.Explicit{}, PanicAt: 1}
+		case flakyRun:
+			cfg.Solver = &fault.FlakySolver{Inner: &thermal.Explicit{}, FailFirst: 1}
+		case timeoutRun:
+			cfg.MaxWallTime = 20 * time.Millisecond
+			cfg.Solver = &fault.FlakySolver{Inner: &thermal.Explicit{}, StallAt: 1, Stall: 300 * time.Millisecond}
+		}
+		return cfg
+	}
+
+	specs := make([]ConfigSpec, total)
+	nodes := []int{7, 10, 14}
+	for i := range specs {
+		specs[i] = tinySpec(nodes[i%3], 2)
+		specs[i].Core = i % 7 // (core, node) pairs cycle with period 21: all 20 distinct
+	}
+	sub := submit(t, ts, specs...)
+
+	events := streamEvents(t, ts, sub.ID)
+	last := events[len(events)-1]
+	if last.State != JobFailed || last.Completed != total {
+		t.Fatalf("final event %+v, want failed with %d/%d completed", last, total, total)
+	}
+	if last.Failed != 2 {
+		t.Fatalf("failed count %d, want 2 (panic + timeout; transient retried)", last.Failed)
+	}
+
+	var st JobStatus
+	getJSON(t, ts, "/jobs/"+sub.ID, &st)
+	if !strings.Contains(st.Error, "2 of 20 runs failed") {
+		t.Fatalf("job error %q lacks failure summary", st.Error)
+	}
+	for i, r := range st.Runs {
+		switch i {
+		case panicRun:
+			if r.State != RunFailed || !strings.Contains(r.Error, "panicked") {
+				t.Errorf("run %d: state %s error %q, want failed with panic", i, r.State, r.Error)
+			}
+		case timeoutRun:
+			if r.State != RunFailed || !strings.Contains(r.Error, "wall-time") {
+				t.Errorf("run %d: state %s error %q, want failed with wall-time limit", i, r.State, r.Error)
+			}
+		default:
+			if r.State != RunDone {
+				t.Errorf("run %d: state %s (error %q), want done", i, r.State, r.Error)
+			}
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[sim.MetricPanics]; got != 1 {
+		t.Errorf("sim/panics = %d, want 1", got)
+	}
+	if got := snap.Counters[sim.MetricRetries]; got != 1 {
+		t.Errorf("sim/retries = %d, want 1", got)
+	}
+	if got := snap.Counters[sim.MetricTimeouts]; got != 1 {
+		t.Errorf("sim/timeouts = %d, want 1", got)
+	}
+	if got := snap.Counters[MetricTimeouts]; got != 1 {
+		t.Errorf("serve/timeouts = %d, want 1", got)
+	}
+
+	// Healthy results are served even though the job failed.
+	run0 := getBody(t, ts, "/jobs/"+sub.ID+"/results/0")
+	if len(run0) == 0 {
+		t.Fatal("healthy sibling's result unavailable")
+	}
+
+	// The daemon survived: a fresh clean job completes.
+	s.wrapCfg = nil
+	sub2 := submit(t, ts, tinySpec(7, 2))
+	events2 := streamEvents(t, ts, sub2.ID)
+	if last := events2[len(events2)-1]; last.State != JobDone {
+		t.Fatalf("post-fault job final state %s, want done", last.State)
+	}
+}
+
+// TestFaultCountersZeroWhenDisabled pins the "no injection, no cost"
+// contract: a clean campaign leaves every fault counter at zero.
+func TestFaultCountersZeroWhenDisabled(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Options{Registry: reg})
+	sub := submit(t, ts, tinySpec(7, 2), tinySpec(14, 2))
+	events := streamEvents(t, ts, sub.ID)
+	if last := events[len(events)-1]; last.State != JobDone {
+		t.Fatalf("clean job final state %s, want done", last.State)
+	}
+	snap := reg.Snapshot()
+	for _, m := range []string{
+		sim.MetricPanics, sim.MetricRetries, sim.MetricTimeouts,
+		MetricTimeouts, MetricBodyRejected,
+	} {
+		if got := snap.Counters[m]; got != 0 {
+			t.Errorf("%s = %d, want 0 with fault injection disabled", m, got)
+		}
+	}
+}
+
+func TestJobTimeoutFailsJob(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, ts := newTestServer(t, Options{Registry: reg, JobTimeout: 30 * time.Millisecond})
+	s.wrapCfg = func(i int, cfg sim.Config) sim.Config {
+		cfg.Solver = &fault.FlakySolver{Inner: &thermal.Explicit{}, StallAt: 1, Stall: 200 * time.Millisecond}
+		return cfg
+	}
+	sub := submit(t, ts, tinySpec(7, 5), tinySpec(14, 5))
+	events := streamEvents(t, ts, sub.ID)
+	last := events[len(events)-1]
+	if last.State != JobFailed {
+		t.Fatalf("final state %s, want failed on job deadline", last.State)
+	}
+	var st JobStatus
+	getJSON(t, ts, "/jobs/"+sub.ID, &st)
+	if !strings.Contains(st.Error, "deadline") {
+		t.Fatalf("job error %q lacks deadline attribution", st.Error)
+	}
+	// Runs cut by the job deadline said nothing about their configs.
+	for i, r := range st.Runs {
+		if r.State != RunSkipped {
+			t.Errorf("run %d: state %s, want skipped after job deadline", i, r.State)
+		}
+	}
+	if got := reg.Counter(MetricTimeouts).Value(); got == 0 {
+		t.Error("serve/timeouts did not advance on job deadline")
+	}
+}
+
+// TestFaultRateSmoke exercises the dev-mode random injection path: the
+// job reaches a terminal state and the daemon stays healthy regardless
+// of which faults fired.
+func TestFaultRateSmoke(t *testing.T) {
+	_, ts := newTestServer(t, Options{FaultRate: 0.5, FaultSeed: 3, Retries: 2})
+	sub := submit(t, ts, tinySpec(7, 3), tinySpec(10, 3), tinySpec(14, 3))
+	events := streamEvents(t, ts, sub.ID)
+	last := events[len(events)-1]
+	if last.State != JobDone && last.State != JobFailed {
+		t.Fatalf("final state %s, want a terminal state", last.State)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("daemon unhealthy after fault-rate campaign: %d", resp.StatusCode)
+	}
+}
+
+func TestOversizedSubmitRejected413(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Options{Registry: reg, MaxBodyBytes: 1 << 10})
+	body := append([]byte(`{"configs":[`), bytes.Repeat([]byte(" "), 2<<10)...)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit: status %d, want 413", resp.StatusCode)
+	}
+	if got := reg.Counter(MetricBodyRejected).Value(); got != 1 {
+		t.Fatalf("serve/body_rejected = %d, want 1", got)
+	}
+	// A normal-sized submission still works on the same server.
+	sub := submit(t, ts, tinySpec(7, 2))
+	if sub.Total != 1 {
+		t.Fatalf("follow-up submit %+v", sub)
+	}
+}

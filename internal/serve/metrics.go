@@ -34,4 +34,15 @@ const (
 	// the jobs currently executing — the same numbers /healthz reports.
 	MetricQueueDepth   = "serve/queue_depth"
 	MetricInflightJobs = "serve/inflight_jobs"
+
+	// MetricTimeouts counts deadline hits on the serving path: runs cut
+	// by the per-run Options.RunTimeout and jobs cut by the job-level
+	// Options.JobTimeout. Zero in a healthy deployment; the sim-layer
+	// fault counters (sim/panics, sim/retries, sim/timeouts) live in the
+	// same shared registry.
+	MetricTimeouts = "serve/timeouts"
+
+	// MetricBodyRejected counts submissions refused with 413 because the
+	// request body exceeded Options.MaxBodyBytes.
+	MetricBodyRejected = "serve/body_rejected"
 )

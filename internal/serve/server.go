@@ -9,10 +9,13 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
+	"hotgauge/internal/fault"
 	"hotgauge/internal/obs"
 	"hotgauge/internal/report"
 	"hotgauge/internal/sim"
+	"hotgauge/internal/thermal"
 )
 
 // Options tunes a Server. The zero value is a sensible single-node
@@ -33,6 +36,35 @@ type Options struct {
 	// Registry receives every serve/* metric plus the sim/* metrics of
 	// the runs the server executes (nil = a fresh registry).
 	Registry *obs.Registry
+
+	// RunTimeout bounds each run's wall time (0 = unlimited). A run
+	// exceeding it fails with a *sim.RunTimeoutError — counted in
+	// serve/timeouts and attributed to that run alone — while its
+	// siblings and the job continue.
+	RunTimeout time.Duration
+	// JobTimeout bounds a whole job's execution, measured from the
+	// moment a worker picks it up (0 = unlimited). A job exceeding it
+	// finishes failed with its remaining runs skipped, counted in
+	// serve/timeouts.
+	JobTimeout time.Duration
+	// Retries is how many times a run failing with a retryable error
+	// (sim.Retryable: injected transients, solver divergence) is
+	// re-attempted with exponential backoff, counted in sim/retries
+	// (0 = never). Solver divergence falls back to the implicit solver.
+	Retries int
+	// MaxBodyBytes caps a POST /jobs request body (default 8 MiB);
+	// larger submissions are refused with 413.
+	MaxBodyBytes int64
+
+	// FaultRate, when positive, wraps every executed run's thermal
+	// solver in a fault.FlakySolver injecting random panics, transient
+	// errors and stalls at this total per-step probability — the
+	// dev-only harness behind hotgauged -fault-rate that exercises the
+	// recovery paths end-to-end. Never enable in production.
+	FaultRate float64
+	// FaultSeed seeds the fault injection deterministically (per run:
+	// FaultSeed + run index).
+	FaultSeed int64
 }
 
 // Server is the campaign service: an http.Handler exposing the job API
@@ -59,11 +91,17 @@ type Server struct {
 	queueDepth, inflight                                *obs.Gauge
 	mSubmitted, mRejected                               *obs.Counter
 	mCompleted, mFailed, mCancelled, mExecuted, mCached *obs.Counter
+	mTimeouts, mBodyRejected                            *obs.Counter
 
 	// beforeRun, when non-nil, runs after a job transitions to running
 	// and before its campaign starts — a test seam for holding a worker
 	// in-flight deterministically. Returning an error cancels the job.
 	beforeRun func(ctx context.Context, j *Job) error
+	// wrapCfg, when non-nil, may rewrite a run's config just before
+	// execution — the test seam the fault-injection e2e uses to plant
+	// deterministic per-run faults (production injection goes through
+	// Options.FaultRate instead). i is the run's index within the job.
+	wrapCfg func(i int, cfg sim.Config) sim.Config
 }
 
 // New creates a Server and starts its worker pool.
@@ -77,28 +115,33 @@ func New(opts Options) *Server {
 	if opts.CacheBytes <= 0 {
 		opts.CacheBytes = 64 << 20
 	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 8 << 20
+	}
 	if opts.Registry == nil {
 		opts.Registry = obs.NewRegistry()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:       opts,
-		reg:        opts.Registry,
-		cache:      newResultCache(opts.CacheBytes, opts.Registry),
-		mux:        http.NewServeMux(),
-		queue:      make(chan *Job, opts.QueueSize),
-		baseCtx:    ctx,
-		cancelAll:  cancel,
-		jobs:       map[string]*Job{},
-		queueDepth: opts.Registry.Gauge(MetricQueueDepth),
-		inflight:   opts.Registry.Gauge(MetricInflightJobs),
-		mSubmitted: opts.Registry.Counter(MetricJobsSubmitted),
-		mRejected:  opts.Registry.Counter(MetricJobsRejected),
-		mCompleted: opts.Registry.Counter(MetricJobsCompleted),
-		mFailed:    opts.Registry.Counter(MetricJobsFailed),
-		mCancelled: opts.Registry.Counter(MetricJobsCancelled),
-		mExecuted:  opts.Registry.Counter(MetricRunsExecuted),
-		mCached:    opts.Registry.Counter(MetricRunsCached),
+		opts:          opts,
+		reg:           opts.Registry,
+		cache:         newResultCache(opts.CacheBytes, opts.Registry),
+		mux:           http.NewServeMux(),
+		queue:         make(chan *Job, opts.QueueSize),
+		baseCtx:       ctx,
+		cancelAll:     cancel,
+		jobs:          map[string]*Job{},
+		queueDepth:    opts.Registry.Gauge(MetricQueueDepth),
+		inflight:      opts.Registry.Gauge(MetricInflightJobs),
+		mSubmitted:    opts.Registry.Counter(MetricJobsSubmitted),
+		mRejected:     opts.Registry.Counter(MetricJobsRejected),
+		mCompleted:    opts.Registry.Counter(MetricJobsCompleted),
+		mFailed:       opts.Registry.Counter(MetricJobsFailed),
+		mCancelled:    opts.Registry.Counter(MetricJobsCancelled),
+		mExecuted:     opts.Registry.Counter(MetricRunsExecuted),
+		mCached:       opts.Registry.Counter(MetricRunsCached),
+		mTimeouts:     opts.Registry.Counter(MetricTimeouts),
+		mBodyRejected: opts.Registry.Counter(MetricBodyRejected),
 	}
 	s.routes()
 	for w := 0; w < opts.Workers; w++ {
@@ -174,9 +217,19 @@ func (s *Server) worker() {
 	}
 }
 
+// errJobTimeout is the cancellation cause of a job that exceeded
+// Options.JobTimeout: the deadline is a per-job failure, not a
+// client cancel, so runJob lands it in JobFailed rather than
+// JobCancelled.
+var errJobTimeout = errors.New("serve: job exceeded its deadline")
+
 // runJob executes one job: a cache pass first, then a CampaignCtx over
 // the misses with per-run results streamed into the job (and the cache)
-// as they complete.
+// as they complete. Faults stay contained: a run that panics, diverges,
+// retries out, or trips its per-run deadline fails alone (sim.RunCtx
+// converts panics into per-run *PanicErrors), and the job-level
+// deadline cuts the whole campaign at the next step boundary — the
+// worker, and the daemon behind it, keep serving either way.
 func (s *Server) runJob(j *Job) {
 	if j.ctx.Err() != nil || j.State().terminal() {
 		if j.finish(JobCancelled, "cancelled while queued") {
@@ -185,8 +238,18 @@ func (s *Server) runJob(j *Job) {
 		return
 	}
 	j.start()
+
+	// The job deadline starts when a worker picks the job up, not at
+	// submission: time spent queued is the server's backlog, not the
+	// client's campaign.
+	ctx := j.ctx
+	if s.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(j.ctx, s.opts.JobTimeout, errJobTimeout)
+		defer cancel()
+	}
 	if s.beforeRun != nil {
-		if err := s.beforeRun(j.ctx, j); err != nil {
+		if err := s.beforeRun(ctx, j); err != nil {
 			if j.finish(JobCancelled, err.Error()) {
 				s.mCancelled.Inc()
 			}
@@ -208,17 +271,40 @@ func (s *Server) runJob(j *Job) {
 		cfgs := make([]sim.Config, len(missIdx))
 		for k, i := range missIdx {
 			cfgs[k] = j.cfgs[i]
+			if s.opts.FaultRate > 0 {
+				cfgs[k].Solver = s.flakySolver(cfgs[k].Solver, int64(i))
+			}
+			if s.wrapCfg != nil {
+				cfgs[k] = s.wrapCfg(i, cfgs[k])
+			}
 		}
 		// Per-run errors and results are captured via OnResult, so the
 		// joined campaign error is redundant here.
-		_, _ = sim.CampaignCtx(j.ctx, cfgs, sim.CampaignOptions{
-			Workers: s.opts.RunWorkers,
-			Obs:     s.reg,
+		_, _ = sim.CampaignCtx(ctx, cfgs, sim.CampaignOptions{
+			Workers:    s.opts.RunWorkers,
+			Obs:        s.reg,
+			RunTimeout: s.opts.RunTimeout,
+			Retry: sim.RetryPolicy{
+				MaxAttempts:      s.opts.Retries + 1,
+				ExplicitFallback: true,
+			},
 			OnResult: func(k int, r *sim.Result, runErr error) {
 				i := missIdx[k]
 				switch {
 				case runErr != nil:
-					skipped := errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded)
+					// Runs cut by a campaign-wide cancellation (client
+					// cancel, drain, job deadline) are "skipped" — they
+					// said nothing about their config. A per-run
+					// deadline is that run's own failure and counts as
+					// a serving-layer timeout.
+					skipped := errors.Is(runErr, context.Canceled) ||
+						errors.Is(runErr, context.DeadlineExceeded) ||
+						errors.Is(runErr, errJobTimeout)
+					var rte *sim.RunTimeoutError
+					if errors.As(runErr, &rte) {
+						s.mTimeouts.Inc()
+						skipped = false
+					}
 					j.setRunFailed(i, runErr, skipped)
 				default:
 					data, merr := json.Marshal(newRunView(j.Specs[i], j.hashes[i], r))
@@ -235,6 +321,11 @@ func (s *Server) runJob(j *Job) {
 	}
 
 	switch {
+	case errors.Is(context.Cause(ctx), errJobTimeout):
+		s.mTimeouts.Inc()
+		if j.finish(JobFailed, fmt.Sprintf("job exceeded its %s deadline", s.opts.JobTimeout)) {
+			s.mFailed.Inc()
+		}
 	case j.ctx.Err() != nil:
 		if j.finish(JobCancelled, context.Cause(j.ctx).Error()) {
 			s.mCancelled.Inc()
@@ -247,6 +338,25 @@ func (s *Server) runJob(j *Job) {
 		if j.finish(JobDone, "") {
 			s.mCompleted.Inc()
 		}
+	}
+}
+
+// flakySolver wraps a run's solver for Options.FaultRate dev-mode
+// injection: the configured rate is split across random panics,
+// transient errors and short stalls, seeded per run so a given
+// (seed, run) pair always misbehaves the same way.
+func (s *Server) flakySolver(inner thermal.Solver, run int64) thermal.Solver {
+	if inner == nil {
+		inner = &thermal.Explicit{}
+	}
+	r := s.opts.FaultRate
+	return &fault.FlakySolver{
+		Inner:     inner,
+		Seed:      s.opts.FaultSeed + run,
+		PanicRate: r / 3,
+		ErrorRate: r / 3,
+		StallRate: r / 3,
+		Stall:     time.Millisecond,
 	}
 }
 
@@ -265,8 +375,19 @@ type submitResponse struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Bound the submission body: an unbounded decode would let one
+	// client exhaust memory with a single request. MaxBytesReader also
+	// closes the connection on overflow, so the write can't stall.
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	var req submitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.mBodyRejected.Inc()
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}

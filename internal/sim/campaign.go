@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -48,6 +49,13 @@ type CampaignOptions struct {
 	// Calls are serialized with OnProgress; keep it cheap. Runs skipped
 	// by a cancelled context report a nil result and the context error.
 	OnResult func(i int, r *Result, err error)
+	// RunTimeout, when positive, is the per-run wall-time budget applied
+	// to every config whose own MaxWallTime is zero. A run exceeding it
+	// fails with a *RunTimeoutError; its siblings are unaffected.
+	RunTimeout time.Duration
+	// Retry re-attempts runs that failed with a Retryable error (see
+	// RunWithRetry). The zero policy never retries.
+	Retry RetryPolicy
 }
 
 // Campaign runs a batch of configurations in parallel across CPUs,
@@ -116,6 +124,29 @@ func CampaignCtx(ctx context.Context, cfgs []Config, opts CampaignOptions) ([]*R
 		}
 	}
 
+	// runOne executes one run with the campaign's retry policy, behind a
+	// worker-level recover: RunCtx already isolates panics on the run
+	// path, so this backstop only catches panics in the thin retry or
+	// bookkeeping code around it — either way a panic costs one run, not
+	// the pool.
+	panicsC := opts.Obs.Counter(MetricPanics)
+	runOne := func(i int) (res *Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicsC.Inc()
+				res, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		cfg := cfgs[i]
+		if cfg.Obs == nil {
+			cfg.Obs = opts.Obs
+		}
+		if cfg.MaxWallTime <= 0 {
+			cfg.MaxWallTime = opts.RunTimeout
+		}
+		return RunWithRetry(ctx, cfg, opts.Retry)
+	}
+
 	// Bounded worker pool: a fixed set of workers pulls run indices from
 	// a channel, so a 10k-run campaign creates `workers` goroutines, not
 	// one (mostly blocked) goroutine per run.
@@ -127,16 +158,16 @@ func CampaignCtx(ctx context.Context, cfgs []Config, opts CampaignOptions) ([]*R
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if err := ctx.Err(); err != nil {
+				if ctx.Err() != nil {
+					err := context.Cause(ctx)
+					if err == nil {
+						err = ctx.Err()
+					}
 					errs[i] = err
 					finish(i, nil, err)
 					continue
 				}
-				cfg := cfgs[i]
-				if cfg.Obs == nil {
-					cfg.Obs = opts.Obs
-				}
-				results[i], errs[i] = RunCtx(ctx, cfg)
+				results[i], errs[i] = runOne(i)
 				finish(i, results[i], errs[i])
 			}
 		}()

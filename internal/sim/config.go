@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"hotgauge/internal/core"
 	"hotgauge/internal/floorplan"
@@ -119,6 +120,13 @@ type Config struct {
 	// thermal-management policies (the architecture-level mitigation the
 	// paper calls for). Secondary Assignments workloads are not steered.
 	Controller Controller
+
+	// MaxWallTime bounds the run's wall time (0 = unlimited). The
+	// deadline is enforced at step boundaries — a solver is never
+	// interrupted mid-step — so a run exceeding it fails with a
+	// *RunTimeoutError at the next timestep. Excluded from Config.Hash:
+	// it changes when a run gives up, never what it computes.
+	MaxWallTime time.Duration
 
 	// Obs, when non-nil, receives the run's metrics: per-stage wall time
 	// (sim/stage/*), per-run counters (sim/steps, sim/hotspots,

@@ -11,6 +11,15 @@
 // CampaignOpts adds worker caps, live Progress/ETA reporting, and
 // metrics aggregation.
 //
+// Runs are fault-isolated: RunCtx recovers panics into per-run
+// *PanicErrors (sim/panics), enforces the per-run wall-time budget of
+// Config.MaxWallTime / CampaignOptions.RunTimeout at step boundaries
+// (*RunTimeoutError, sim/timeouts), and fails non-finite solves with
+// *SolverDivergedError. RunWithRetry re-attempts Retryable failures with
+// exponential backoff + jitter (sim/retries), falling a diverging
+// explicit solve back to the unconditionally stable implicit solver; the
+// returned Result always carries the caller's pristine Config.
+//
 // When Config.Obs is set, Run records per-stage wall time (setup, perf,
 // power, thermal, detect, record — the Metric* names in metrics.go) and
 // per-run counters into the internal/obs registry; a nil registry

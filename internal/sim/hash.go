@@ -24,7 +24,8 @@ import (
 // other than Explicit/Implicit — are rejected with an error, as is any
 // config that fails validation. Config.Obs and solver tuning knobs that
 // are proven result-neutral (Explicit.Workers runs bit-identical at any
-// worker count) are excluded.
+// worker count) are excluded, as is the operational MaxWallTime budget
+// (it changes when a run gives up, never what it computes).
 func (c Config) Hash() (string, error) {
 	b, err := c.canonicalJSON()
 	if err != nil {

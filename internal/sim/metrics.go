@@ -40,6 +40,17 @@ const (
 	// MetricFrames counts junction frames sampled into Result.Fields.
 	MetricFrames = "sim/frames_sampled"
 
+	// MetricPanics counts panics recovered on run goroutines and
+	// converted into per-run PanicErrors (fault isolation); zero in a
+	// healthy deployment.
+	MetricPanics = "sim/panics"
+	// MetricRetries counts re-attempts made by RunWithRetry after a
+	// Retryable failure (the first attempt is not counted).
+	MetricRetries = "sim/retries"
+	// MetricTimeouts counts runs aborted because they exceeded their
+	// per-run wall-time budget (Config.MaxWallTime).
+	MetricTimeouts = "sim/timeouts"
+
 	// MetricThermalSubsteps counts solver substeps (explicit) or inner
 	// sweeps (implicit); MetricThermalStability counts steps that hit
 	// the stability bound (explicit) or the iteration cap (implicit).
@@ -57,6 +68,7 @@ const (
 // nil-check no-op — the "no-op registry" baseline of bench_test.go.
 type runMetrics struct {
 	runs, steps, hotspots, frames, detectSkips *obs.Counter
+	panics, timeouts                           *obs.Counter
 
 	run, setup, perf, power, thermal, detect, record *obs.Timer
 }
@@ -70,6 +82,8 @@ func newRunMetrics(r *obs.Registry) runMetrics {
 		hotspots:    r.Counter(MetricHotspots),
 		frames:      r.Counter(MetricFrames),
 		detectSkips: r.Counter(MetricDetectSkipped),
+		panics:      r.Counter(MetricPanics),
+		timeouts:    r.Counter(MetricTimeouts),
 		run:         r.Timer(MetricRunTime),
 		setup:       r.Timer(MetricStageSetup),
 		perf:        r.Timer(MetricStagePerf),

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hotgauge/internal/thermal"
+)
+
+// Retry policy defaults.
+const (
+	defaultRetryBaseDelay = 50 * time.Millisecond
+	defaultRetryMaxDelay  = 2 * time.Second
+	defaultRetrySeed      = 1
+)
+
+// RetryPolicy bounds how RunWithRetry re-attempts a run that failed with
+// a Retryable error. Backoff between attempts is exponential
+// (BaseDelay · 2^(attempt−1), capped at MaxDelay) with multiplicative
+// jitter in [0.5, 1.5) drawn from a deterministic Seed, so retry storms
+// decorrelate across a campaign's workers while tests stay reproducible.
+// The zero value never retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (≤ 1 means no retry).
+	MaxAttempts int
+	// BaseDelay is the pre-jitter backoff before the first retry
+	// (default 50 ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter backoff (default 2 s).
+	MaxDelay time.Duration
+	// Seed seeds the jitter stream (0 uses a fixed default, so equal
+	// policies back off identically).
+	Seed int64
+	// ExplicitFallback, when set, answers a SolverDivergedError by
+	// retrying on a fresh unconditionally stable thermal.Implicit solver
+	// — the stability fallback for explicit integrations that blow up.
+	ExplicitFallback bool
+	// Sleep overrides the context-aware backoff sleep (tests inject a
+	// fake clock here). Nil uses a timer honoring ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// backoff returns the jittered delay before retry number `retry`
+// (1-based).
+func (p RetryPolicy) backoff(retry int, rng *rand.Rand) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = defaultRetryBaseDelay
+	}
+	maxD := p.MaxDelay
+	if maxD <= 0 {
+		maxD = defaultRetryMaxDelay
+	}
+	d := base
+	for i := 1; i < retry && d < maxD; i++ {
+		d *= 2
+	}
+	if d > maxD {
+		d = maxD
+	}
+	return time.Duration(float64(d) * (0.5 + rng.Float64()))
+}
+
+// sleep waits for d or until ctx is cancelled, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+		return ctx.Err()
+	}
+}
+
+// RunWithRetry is RunCtx with bounded retry: failures classified
+// Retryable are re-attempted up to p.MaxAttempts total attempts with
+// exponential backoff and jitter, counting each retry in sim/retries.
+// Non-retryable failures (panics, deadlines, cancellations, validation
+// errors) return immediately. On success after a solver fallback the
+// returned Result still carries the caller's original Config.
+func RunWithRetry(ctx context.Context, cfg Config, p RetryPolicy) (*Result, error) {
+	attempts := p.MaxAttempts
+	if attempts <= 1 {
+		return RunCtx(ctx, cfg)
+	}
+	orig := cfg
+	retries := cfg.Obs.Counter(MetricRetries)
+	seed := p.Seed
+	if seed == 0 {
+		seed = defaultRetrySeed
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sleepFn := p.Sleep
+	if sleepFn == nil {
+		sleepFn = sleep
+	}
+
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		res, err := RunCtx(ctx, cfg)
+		if err == nil {
+			res.Config = orig
+			return res, nil
+		}
+		lastErr = err
+		if attempt == attempts || !Retryable(err) {
+			break
+		}
+		var div *SolverDivergedError
+		if p.ExplicitFallback && errors.As(err, &div) {
+			// A diverging integration is deterministic: retrying the same
+			// solver would fail identically, so fall back to the
+			// unconditionally stable implicit solver. Each retry gets a
+			// fresh instance — solver scratch must never be shared.
+			cfg.Solver = &thermal.Implicit{}
+		}
+		retries.Inc()
+		if serr := sleepFn(ctx, p.backoff(attempt, rng)); serr != nil {
+			return nil, fmt.Errorf("sim: cancelled during retry backoff: %w (last attempt: %v)", serr, lastErr)
+		}
+	}
+	if !Retryable(lastErr) {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("sim: run failed after %d attempts: %w", attempts, lastErr)
+}

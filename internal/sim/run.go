@@ -2,8 +2,10 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 
 	"hotgauge/internal/core"
 	"hotgauge/internal/floorplan"
@@ -65,11 +67,38 @@ func Run(cfg Config) (*Result, error) {
 
 // RunCtx is Run with cooperative cancellation: ctx is polled between
 // thermal timesteps, so a cancelled context aborts the run at the next
-// step boundary and RunCtx returns ctx.Err() (partial results are
-// discarded). Cancellation never interrupts a solver mid-step, keeping
-// shared solver scratch state consistent for reuse.
-func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+// step boundary and RunCtx returns the cancellation cause (partial
+// results are discarded). Cancellation never interrupts a solver
+// mid-step, keeping shared solver scratch state consistent for reuse.
+//
+// RunCtx is fault-isolated: a panic anywhere on the run's goroutine is
+// recovered, counted in sim/panics, and returned as a *PanicError
+// carrying the stack, so one degenerate configuration cannot take down
+// a campaign or the serving daemon. When Config.MaxWallTime is set the
+// run additionally races a per-run deadline, aborting at the next step
+// boundary with a *RunTimeoutError (counted in sim/timeouts). A solve
+// that produces a non-finite frame maximum fails with a
+// *SolverDivergedError instead of recording NaNs.
+//
+// The returned Result carries the caller's Config verbatim — defaults
+// are filled and instrumented solvers injected only into RunCtx's
+// private copy — so Result.Config always hashes identically to the
+// submitted config and can be resubmitted as-is.
+func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
+	pristine := cfg
 	m := newRunMetrics(cfg.Obs)
+	defer func() {
+		if r := recover(); r != nil {
+			m.panics.Inc()
+			res, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if cfg.MaxWallTime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, cfg.MaxWallTime,
+			&RunTimeoutError{Limit: cfg.MaxWallTime})
+		defer cancel()
+	}
 	runSpan := m.run.Start()
 	defer runSpan.End()
 	if cfg.Obs != nil && cfg.Solver == nil {
@@ -130,7 +159,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	setupSpan.End()
 
-	res := &Result{Config: cfg, TUH: math.Inf(1), TUHStep: -1, InitialTemp: grid.MeanTemp(state)}
+	res = &Result{Config: pristine, TUH: math.Inf(1), TUHStep: -1, InitialTemp: grid.MeanTemp(state)}
 	if cfg.Record.CellDeltas {
 		res.DeltaHist, _ = stats.NewHistogram(-5, 5, 200)
 	}
@@ -159,8 +188,8 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	curCore := cfg.Core
 	throttle := 1.0
 	for step := 0; step < cfg.Steps; step++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		if ctx.Err() != nil {
+			return nil, m.ctxCause(ctx)
 		}
 		perfSpan := m.perf.Start()
 		act := src.Step(step, cfg.CyclesPerStep)
@@ -238,6 +267,9 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 
 		// Per-step series.
 		maxT, _, _ := field.Max()
+		if math.IsNaN(maxT) || math.IsInf(maxT, 0) {
+			return nil, &SolverDivergedError{Step: step, Solver: cfg.Solver.Name(), MaxTemp: maxT}
+		}
 		res.MaxTemp = append(res.MaxTemp, maxT)
 		res.MeanTemp = append(res.MeanTemp, field.Mean())
 		res.Power = append(res.Power, pr.TotalPower())
@@ -311,6 +343,23 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	res.FinalField = prevField
 	m.runs.Inc()
 	return res, nil
+}
+
+// ctxCause resolves a cancelled context into the error a run should
+// report: the cancellation cause when one was set (a *RunTimeoutError
+// for the per-run deadline, a job-level cause from the serving layer),
+// ctx.Err() otherwise. Per-run deadline hits are counted in
+// sim/timeouts.
+func (m runMetrics) ctxCause(ctx context.Context) error {
+	err := context.Cause(ctx)
+	if err == nil {
+		err = ctx.Err()
+	}
+	var te *RunTimeoutError
+	if errors.As(err, &te) {
+		m.timeouts.Inc()
+	}
+	return err
 }
 
 // initialState prepares the thermal state for the configured warmup mode.

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"hotgauge/internal/core"
 	"hotgauge/internal/floorplan"
 	"hotgauge/internal/perf"
 	"hotgauge/internal/tech"
@@ -133,8 +134,12 @@ func TestStopAtHotspotTerminatesEarly(t *testing.T) {
 	if len(res.FirstHotspots) == 0 {
 		t.Fatal("no first hotspots recorded")
 	}
+	// Result.Config is the caller's pristine config, so its zero
+	// Definition would make this check vacuous — compare against the
+	// defaults the run actually used.
+	def := core.DefaultDefinition()
 	for _, h := range res.FirstHotspots {
-		if h.Temp <= res.Config.Definition.TempThreshold || h.MLTD <= res.Config.Definition.MLTDThreshold {
+		if h.Temp <= def.TempThreshold || h.MLTD <= def.MLTDThreshold {
 			t.Fatalf("recorded hotspot below thresholds: %+v", h)
 		}
 	}

@@ -8,13 +8,32 @@ import (
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
 // interpolation between order statistics. It copies and sorts internally.
+// Any NaN in xs makes the result NaN: sort.Float64s leaves NaNs wherever
+// comparisons abandoned them, so order statistics over a NaN-bearing
+// slice would otherwise depend on the input order. Propagating NaN keeps
+// the poison visible and deterministic.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	s := sortedOrNaN(xs)
+	if s == nil {
 		return math.NaN()
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
 	return percentileSorted(s, p)
+}
+
+// sortedOrNaN returns a sorted copy of xs, or nil when xs is empty or
+// contains a NaN (the caller then reports NaN deterministically).
+func sortedOrNaN(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	for _, v := range s {
+		if math.IsNaN(v) {
+			return nil
+		}
+	}
+	sort.Float64s(s)
+	return s
 }
 
 func percentileSorted(s []float64, p float64) float64 {
@@ -33,17 +52,17 @@ func percentileSorted(s []float64, p float64) float64 {
 	return s[lo]*(1-frac) + s[lo+1]*frac
 }
 
-// Percentiles evaluates several percentiles with a single sort.
+// Percentiles evaluates several percentiles with a single sort. Like
+// Percentile, a NaN anywhere in xs makes every output NaN.
 func Percentiles(xs []float64, ps ...float64) []float64 {
 	out := make([]float64, len(ps))
-	if len(xs) == 0 {
+	s := sortedOrNaN(xs)
+	if s == nil {
 		for i := range out {
 			out[i] = math.NaN()
 		}
 		return out
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
 	for i, p := range ps {
 		out[i] = percentileSorted(s, p)
 	}
@@ -57,14 +76,15 @@ type Box struct {
 	Min, Q1, Median, Q3, Max float64
 }
 
-// BoxOf summarizes xs.
+// BoxOf summarizes xs. A NaN anywhere in xs makes every summary value
+// NaN (N still reports the input length), matching Percentile's
+// deterministic propagation.
 func BoxOf(xs []float64) Box {
-	if len(xs) == 0 {
+	s := sortedOrNaN(xs)
+	if s == nil {
 		nan := math.NaN()
-		return Box{N: 0, Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan}
+		return Box{N: len(xs), Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan}
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
 	return Box{
 		N:      len(s),
 		Min:    s[0],

@@ -68,6 +68,56 @@ func TestPercentileBoundsProperty(t *testing.T) {
 	}
 }
 
+// TestPercentileNaNProperty pins the NaN determinism contract: a NaN
+// anywhere in the input makes every percentile NaN, regardless of where
+// the NaN sits (sort.Float64s strands NaNs at comparison-dependent
+// positions, so anything other than full propagation would depend on the
+// input order).
+func TestPercentileNaNProperty(t *testing.T) {
+	f := func(raw []float64, at uint, p float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := append([]float64(nil), raw...)
+		xs[int(at%uint(len(xs)))] = math.NaN()
+		pp := math.Mod(math.Abs(p), 100)
+		if !math.IsNaN(Percentile(xs, pp)) {
+			return false
+		}
+		for _, v := range Percentiles(xs, 5, 50, 95) {
+			if !math.IsNaN(v) {
+				return false
+			}
+		}
+		b := BoxOf(xs)
+		if b.N != len(xs) {
+			return false
+		}
+		return math.IsNaN(b.Min) && math.IsNaN(b.Q1) && math.IsNaN(b.Median) &&
+			math.IsNaN(b.Q3) && math.IsNaN(b.Max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPercentileNaNOrderIndependent spells out the determinism half of
+// the contract on a fixed slice: every rotation of a NaN-bearing input
+// yields the same (NaN) answer.
+func TestPercentileNaNOrderIndependent(t *testing.T) {
+	base := []float64{3, math.NaN(), 1, 4, 1, 5, 9, 2, 6}
+	for rot := range base {
+		xs := append(append([]float64(nil), base[rot:]...), base[:rot]...)
+		if !math.IsNaN(Percentile(xs, 50)) {
+			t.Fatalf("rotation %d: median %v, want NaN", rot, Percentile(xs, 50))
+		}
+	}
+	// And the no-NaN baseline still answers normally.
+	if v := Percentile([]float64{3, 1, 4, 1, 5}, 50); v != 3 {
+		t.Fatalf("clean median = %v, want 3", v)
+	}
+}
+
 func TestBoxOf(t *testing.T) {
 	b := BoxOf([]float64{4, 1, 3, 2, 5})
 	if b.N != 5 || b.Min != 1 || b.Median != 3 || b.Max != 5 {
