@@ -5,7 +5,7 @@ GO ?= go
 BENCH_COUNT ?= 10
 BENCH_PATTERN ?= BenchmarkKernelThermalStep|BenchmarkKernelMLTDField|BenchmarkSec4ATempScaling
 
-.PHONY: all build test vet fmt-check check faultcheck bench bench-all serve-smoke
+.PHONY: all build test vet fmt-check check faultcheck crashcheck bench bench-all serve-smoke
 
 all: check
 
@@ -33,7 +33,15 @@ check: build test vet fmt-check
 # campaign all involve goroutine handoff, so -race -count=2 is the gate
 # that catches both data races and order-dependent flakiness.
 faultcheck:
-	$(GO) test -race -count=2 ./internal/fault/ ./internal/sim/ ./internal/serve/
+	$(GO) test -race -count=2 ./internal/fault/ ./internal/sim/ ./internal/serve/ ./internal/store/
+
+# The SIGKILL crash e2e: a real daemon child process is killed -9
+# mid-campaign and restarted on the same data dir; the test asserts no
+# run result is lost or duplicated and that recovered results are
+# byte-identical to an uninterrupted control run. Env-gated because it
+# forks daemon processes.
+crashcheck:
+	HOTGAUGE_CRASH_E2E=1 $(GO) test -race -count=1 -run '^TestCrashRecovery$$' -v ./internal/serve/
 
 # Kernel + end-to-end benchmarks with benchstat-ready repetition; the raw
 # output lands in BENCH_thermal.txt and a machine-readable summary (name,

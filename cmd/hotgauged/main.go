@@ -48,26 +48,43 @@ func main() {
 	maxBodyMB := flag.Int("max-body-mb", 8, "maximum POST /jobs body size in MiB (larger requests get 413)")
 	faultRate := flag.Float64("fault-rate", 0, "dev-only: inject random per-step panics/errors/stalls at this rate to exercise the recovery paths")
 	faultSeed := flag.Int64("fault-seed", 1, "dev-only: deterministic seed for -fault-rate injection")
+	dataDir := flag.String("data-dir", "", "durable state directory: job journal, on-disk result store and run checkpoints; a restarted daemon replays it and resumes interrupted campaigns (empty = in-memory only)")
+	fsync := flag.String("fsync", "interval", "journal fsync policy: always | interval | never (requires -data-dir)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "snapshot each executed run every N steps so interrupted runs resume mid-flight (0 = off; requires -data-dir)")
 	verbose := flag.Bool("v", false, "log every request")
 	flag.Parse()
 
 	if *faultRate > 0 {
 		log.Printf("hotgauged: FAULT INJECTION ENABLED (rate=%g seed=%d) — dev mode only", *faultRate, *faultSeed)
 	}
+	if *checkpointEvery > 0 && *dataDir == "" {
+		log.Fatalf("hotgauged: -checkpoint-every requires -data-dir")
+	}
 	reg := obs.NewRegistry()
-	srv := serve.New(serve.Options{
-		QueueSize:    *queue,
-		Workers:      *workers,
-		RunWorkers:   *runWorkers,
-		CacheBytes:   int64(*cacheMB) << 20,
-		Registry:     reg,
-		RunTimeout:   *runTimeout,
-		JobTimeout:   *jobTimeout,
-		Retries:      *retries,
-		MaxBodyBytes: int64(*maxBodyMB) << 20,
-		FaultRate:    *faultRate,
-		FaultSeed:    *faultSeed,
+	srv, err := serve.New(serve.Options{
+		QueueSize:       *queue,
+		Workers:         *workers,
+		RunWorkers:      *runWorkers,
+		CacheBytes:      int64(*cacheMB) << 20,
+		Registry:        reg,
+		RunTimeout:      *runTimeout,
+		JobTimeout:      *jobTimeout,
+		Retries:         *retries,
+		MaxBodyBytes:    int64(*maxBodyMB) << 20,
+		FaultRate:       *faultRate,
+		FaultSeed:       *faultSeed,
+		DataDir:         *dataDir,
+		Fsync:           *fsync,
+		CheckpointEvery: *checkpointEvery,
 	})
+	if err != nil {
+		log.Fatalf("hotgauged: %v", err)
+	}
+	if *dataDir != "" {
+		snap := reg.Snapshot()
+		log.Printf("hotgauged: durable mode: data-dir=%s fsync=%s checkpoint-every=%d recovered_jobs=%d",
+			*dataDir, *fsync, *checkpointEvery, int(snap.Counters[serve.MetricRecoveredJobs]))
+	}
 
 	var handler http.Handler = srv
 	if *verbose {

@@ -58,6 +58,12 @@ type FlakySolver struct {
 	PanicAt int
 	// FailFirst makes the first N Step calls return a transient *Error.
 	FailFirst int
+	// ErrorAt returns one transient *Error on the Nth Step call
+	// (1-based; 0 disables). Unlike FailFirst it strikes mid-run —
+	// and, because the call count persists across retries, exactly
+	// once — the kill-at-a-random-step stimulus the checkpoint/resume
+	// equivalence tests use.
+	ErrorAt int
 	// StallAt sleeps Stall before the Nth Step call (1-based; 0
 	// disables) — the wedged-run stimulus for deadline tests.
 	StallAt int
@@ -92,6 +98,9 @@ func (f *FlakySolver) Step(g *thermal.Grid, s *thermal.State, power *geometry.Fi
 		panic(fmt.Sprintf("fault: injected panic at solver call %d", n))
 	}
 	if n <= f.FailFirst {
+		return &Error{Call: n}
+	}
+	if f.ErrorAt > 0 && n == f.ErrorAt {
 		return &Error{Call: n}
 	}
 	if f.StallAt > 0 && n == f.StallAt {

@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The crash e2e re-executes this test binary as a daemon child process
+// and SIGKILLs it mid-campaign — no graceful shutdown, no flushing.
+// It is the acceptance test for the durability tentpole: after a hard
+// kill, a restarted daemon on the same data dir finishes the campaign
+// with no lost and no duplicated run results, and the recovered results
+// are byte-identical to a run that was never interrupted.
+//
+// Gated behind HOTGAUGE_CRASH_E2E (see `make crashcheck`): it forks
+// processes and runs multi-second simulations, which is too heavy for
+// the default `go test` tier.
+
+// TestCrashDaemonChild is the helper process: a real durable daemon on
+// a loopback port. It runs until the parent kills it.
+func TestCrashDaemonChild(t *testing.T) {
+	if os.Getenv("HOTGAUGE_CRASH_CHILD") == "" {
+		t.Skip("crash e2e helper process; driven by TestCrashRecovery")
+	}
+	s, err := New(Options{
+		DataDir:         os.Getenv("HOTGAUGE_CRASH_DIR"),
+		Fsync:           "always",
+		CheckpointEvery: 4,
+		Workers:         1,
+	})
+	if err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	// Publish the address atomically so the parent never reads a
+	// half-written file.
+	addrFile := os.Getenv("HOTGAUGE_CRASH_ADDR")
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte("http://"+ln.Addr().String()), 0o666); err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	http.Serve(ln, s) // until SIGKILL
+}
+
+// crashDaemon spawns the helper-process daemon on dataDir and waits
+// until it answers /healthz.
+func crashDaemon(t *testing.T, dataDir, addrFile string) (*exec.Cmd, string) {
+	t.Helper()
+	os.Remove(addrFile) // never connect to a previous lifetime's address
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashDaemonChild$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"HOTGAUGE_CRASH_CHILD=1",
+		"HOTGAUGE_CRASH_DIR="+dataDir,
+		"HOTGAUGE_CRASH_ADDR="+addrFile,
+	)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			base := string(b)
+			if resp, err := http.Get(base + "/healthz"); err == nil {
+				resp.Body.Close()
+				return cmd, base
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon child did not come up")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func crashGetJSON(t *testing.T, base, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+}
+
+func crashGetBody(t *testing.T, base, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func crashSubmit(t *testing.T, base string, specs []ConfigSpec) submitResponse {
+	t.Helper()
+	body, _ := json.Marshal(submitRequest{Configs: specs})
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var sr submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+func crashWaitDone(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		var st JobStatus
+		crashGetJSON(t, base, "/jobs/"+id, &st)
+		switch st.State {
+		case JobDone:
+			return st
+		case JobFailed, JobCancelled:
+			t.Fatalf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish (state %s, %d/%d)", id, st.State, st.Completed, st.Total)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	if os.Getenv("HOTGAUGE_CRASH_E2E") == "" {
+		t.Skip("set HOTGAUGE_CRASH_E2E=1 (make crashcheck) to run the SIGKILL crash e2e")
+	}
+	dataDir := t.TempDir()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	// Long enough runs that the kill lands mid-campaign; each run still
+	// takes well under a second.
+	specs := []ConfigSpec{tinySpec(7, 150), tinySpec(10, 150), tinySpec(14, 150)}
+
+	// Lifetime 1: submit, let it get partway, then kill -9.
+	cmd1, base1 := crashDaemon(t, dataDir, addrFile)
+	job := crashSubmit(t, base1, specs)
+
+	var before JobStatus
+	partway := time.Now().Add(60 * time.Second)
+	for {
+		crashGetJSON(t, base1, "/jobs/"+job.ID, &before)
+		if before.Completed >= 1 || before.State == JobDone {
+			break
+		}
+		if time.Now().After(partway) {
+			t.Fatal("no run completed before the kill window")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// Give the in-flight run a beat to cross a checkpoint boundary, then
+	// kill without ceremony.
+	time.Sleep(150 * time.Millisecond)
+	cmd1.Process.Kill()
+	cmd1.Wait()
+
+	// Lifetime 2: same data dir. The journal replays, the campaign is
+	// requeued under its original id, and it finishes.
+	_, base2 := crashDaemon(t, dataDir, addrFile)
+	after := crashWaitDone(t, base2, job.ID)
+	if !after.Recovered {
+		t.Fatal("restarted job not marked recovered")
+	}
+	if after.Completed != len(specs) || after.Failed != 0 {
+		t.Fatalf("recovered campaign: completed %d failed %d, want %d/0 — lost results",
+			after.Completed, after.Failed, len(specs))
+	}
+
+	// No duplicated work: runs persisted before the kill are served from
+	// the disk store, so the second lifetime simulates at most the
+	// remainder.
+	var metrics struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	crashGetJSON(t, base2, "/metrics", &metrics)
+	executed := metrics.Counters[MetricRunsExecuted]
+	if executed > int64(len(specs)-before.Completed) {
+		t.Fatalf("second lifetime executed %d runs with %d already done before the kill — duplicated work",
+			executed, before.Completed)
+	}
+	t.Logf("kill at %d/%d complete; restart executed %d, resumed %d mid-run",
+		before.Completed, len(specs), executed, metrics.Counters["sim/resumes"])
+
+	recovered := make([][]byte, len(specs))
+	for i := range specs {
+		recovered[i] = crashGetBody(t, base2, fmt.Sprintf("/jobs/%s/results/%d", job.ID, i))
+	}
+
+	// Lifetime 3 on a fresh data dir is the never-crashed control: every
+	// recovered result must be byte-identical to it.
+	_, base3 := crashDaemon(t, t.TempDir(), addrFile)
+	control := crashSubmit(t, base3, specs)
+	crashWaitDone(t, base3, control.ID)
+	for i := range specs {
+		clean := crashGetBody(t, base3, fmt.Sprintf("/jobs/%s/results/%d", control.ID, i))
+		if !bytes.Equal(recovered[i], clean) {
+			t.Fatalf("run %d: recovered result differs from uninterrupted control", i)
+		}
+	}
+}

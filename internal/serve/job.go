@@ -79,6 +79,13 @@ type Job struct {
 	finished  time.Time
 	events    []Event
 	changed   chan struct{} // closed and replaced on every published event
+
+	// recovered marks a job reconstructed from the journal by startup
+	// replay rather than accepted over HTTP this process lifetime.
+	recovered bool
+	// dedupKey is the campaign content key registered in Server.dedup
+	// while the job is non-terminal (empty when durability is off).
+	dedupKey string
 }
 
 func newJob(parent context.Context, id string, specs []ConfigSpec, cfgs []sim.Config, hashes []string) *Job {
@@ -99,6 +106,52 @@ func newJob(parent context.Context, id string, specs []ConfigSpec, cfgs []sim.Co
 	for i := range j.runs {
 		j.runs[i] = RunStatus{State: RunPending, ConfigHash: hashes[i]}
 	}
+	return j
+}
+
+// restoreJob reconstructs a terminal job from its journal records. The
+// run table is taken as journaled (with any still-pending runs marked
+// skipped — a job can only be terminal-with-pending if its finished
+// record was written by a crash-interrupted compaction) and the
+// counters are recomputed from it. Result payloads are not restored
+// eagerly: they rehydrate lazily from the result store on first access.
+func restoreJob(parent context.Context, id string, specs []ConfigSpec, hashes []string, runs []RunStatus, state JobState, errMsg string) *Job {
+	ctx, cancel := context.WithCancel(parent)
+	j := &Job{
+		ID:        id,
+		Specs:     specs,
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     state,
+		hashes:    hashes,
+		runs:      append([]RunStatus(nil), runs...),
+		results:   make([][]byte, len(runs)),
+		errMsg:    errMsg,
+		submitted: time.Now(),
+		finished:  time.Now(),
+		changed:   make(chan struct{}),
+		recovered: true,
+	}
+	for i := range j.runs {
+		switch j.runs[i].State {
+		case RunPending:
+			j.runs[i].State = RunSkipped
+			j.completed++
+			j.failed++
+		case RunCached:
+			j.completed++
+			j.cached++
+		case RunDone:
+			j.completed++
+		case RunFailed, RunSkipped:
+			j.completed++
+			j.failed++
+		}
+	}
+	cancel() // already terminal: there is nothing left to cancel
+	j.mu.Lock()
+	j.publishLocked("status")
+	j.mu.Unlock()
 	return j
 }
 
@@ -243,6 +296,27 @@ func (j *Job) result(i int) []byte {
 	return j.results[i]
 }
 
+// run returns run i's status snapshot.
+func (j *Job) run(i int) (RunStatus, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < 0 || i >= len(j.runs) {
+		return RunStatus{}, false
+	}
+	return j.runs[i], true
+}
+
+// restoreResult rehydrates run i's payload from the result store
+// (restored jobs hold no bytes until first access). It never overwrites
+// a payload that is already in memory.
+func (j *Job) restoreResult(i int, data []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i >= 0 && i < len(j.results) && j.results[i] == nil {
+		j.results[i] = data
+	}
+}
+
 // JobStatus is the wire form of a job's full state.
 type JobStatus struct {
 	ID          string      `json:"id"`
@@ -255,6 +329,7 @@ type JobStatus struct {
 	StartedAt   *time.Time  `json:"started_at,omitempty"`
 	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
 	Error       string      `json:"error,omitempty"`
+	Recovered   bool        `json:"recovered,omitempty"`
 	Runs        []RunStatus `json:"runs"`
 }
 
@@ -271,6 +346,7 @@ func (j *Job) Status() JobStatus {
 		Failed:      j.failed,
 		SubmittedAt: j.submitted,
 		Error:       j.errMsg,
+		Recovered:   j.recovered,
 		Runs:        append([]RunStatus(nil), j.runs...),
 	}
 	if !j.started.IsZero() {

@@ -45,4 +45,19 @@ const (
 	// MetricBodyRejected counts submissions refused with 413 because the
 	// request body exceeded Options.MaxBodyBytes.
 	MetricBodyRejected = "serve/body_rejected"
+
+	// MetricStoreErrors counts durability I/O failures on the serving
+	// path: journal appends, result-store reads/writes, and compaction.
+	// Non-zero means the daemon is running degraded (jobs still execute,
+	// but a crash may lose their records) — /healthz reports
+	// "store": "degraded" while the journal's sticky error is set.
+	MetricStoreErrors = "serve/store_errors"
+	// MetricRecoveredJobs counts jobs restored by startup journal
+	// replay: terminal jobs come back read-only, jobs that were queued
+	// or in-flight at the crash are requeued and re-executed.
+	MetricRecoveredJobs = "serve/recovered_jobs"
+	// MetricJobsDeduped counts submissions answered with an existing
+	// non-terminal job's id because an identical campaign (same config
+	// hashes, same order) was already queued or running.
+	MetricJobsDeduped = "serve/jobs_deduped"
 )

@@ -15,6 +15,7 @@ import (
 	"hotgauge/internal/obs"
 	"hotgauge/internal/report"
 	"hotgauge/internal/sim"
+	"hotgauge/internal/store"
 	"hotgauge/internal/thermal"
 )
 
@@ -56,6 +57,26 @@ type Options struct {
 	// larger submissions are refused with 413.
 	MaxBodyBytes int64
 
+	// DataDir, when set, makes the server durable: job lifecycle is
+	// journaled to DataDir/journal, result payloads are persisted to the
+	// content-addressed store under DataDir/results, and a restarted
+	// daemon replays the journal — finished jobs come back read-only,
+	// jobs that were queued or in-flight are requeued and their
+	// already-persisted runs are served from disk instead of being
+	// re-simulated. Empty keeps the PR-3 in-memory behaviour.
+	DataDir string
+	// Fsync picks the journal durability/throughput trade-off: "always"
+	// fsyncs every append, "interval" (the default) batches syncs on a
+	// 100ms ticker, "never" leaves flushing to the OS. Ignored without
+	// DataDir.
+	Fsync string
+	// CheckpointEvery, when positive, snapshots every executed run's
+	// state each N steps into DataDir/checkpoints so an interrupted run
+	// (crash, retry) resumes from its last snapshot instead of t=0.
+	// Requires DataDir; runs whose config checkpointing cannot represent
+	// simply execute without one.
+	CheckpointEvery int
+
 	// FaultRate, when positive, wraps every executed run's thermal
 	// solver in a fault.FlakySolver injecting random panics, transient
 	// errors and stalls at this total per-step probability — the
@@ -82,9 +103,15 @@ type Server struct {
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 
+	// st is the durable backing store (nil without Options.DataDir);
+	// storeOnce guards its close against Shutdown being called twice.
+	st        *store.Store
+	storeOnce sync.Once
+
 	mu     sync.Mutex
 	jobs   map[string]*Job
-	order  []string // submission order, for listing
+	order  []string          // submission order, for listing
+	dedup  map[string]string // campaignKey → non-terminal job id
 	closed bool
 	seq    int
 
@@ -92,6 +119,7 @@ type Server struct {
 	mSubmitted, mRejected                               *obs.Counter
 	mCompleted, mFailed, mCancelled, mExecuted, mCached *obs.Counter
 	mTimeouts, mBodyRejected                            *obs.Counter
+	mStoreErrors, mRecovered, mDeduped                  *obs.Counter
 
 	// beforeRun, when non-nil, runs after a job transitions to running
 	// and before its campaign starts — a test seam for holding a worker
@@ -104,8 +132,14 @@ type Server struct {
 	wrapCfg func(i int, cfg sim.Config) sim.Config
 }
 
-// New creates a Server and starts its worker pool.
-func New(opts Options) *Server {
+// New creates a Server and starts its worker pool. With Options.DataDir
+// set it first opens the durable store and replays the journal: terminal
+// jobs are restored read-only, interrupted jobs are requeued ahead of
+// any new submission (the queue is widened to hold them all), and only
+// then do the workers start. New fails on an unusable data directory or
+// a bad fsync policy — a daemon that cannot persist should not pretend
+// to.
+func New(opts Options) (*Server, error) {
 	if opts.QueueSize <= 0 {
 		opts.QueueSize = 16
 	}
@@ -127,10 +161,10 @@ func New(opts Options) *Server {
 		reg:           opts.Registry,
 		cache:         newResultCache(opts.CacheBytes, opts.Registry),
 		mux:           http.NewServeMux(),
-		queue:         make(chan *Job, opts.QueueSize),
 		baseCtx:       ctx,
 		cancelAll:     cancel,
 		jobs:          map[string]*Job{},
+		dedup:         map[string]string{},
 		queueDepth:    opts.Registry.Gauge(MetricQueueDepth),
 		inflight:      opts.Registry.Gauge(MetricInflightJobs),
 		mSubmitted:    opts.Registry.Counter(MetricJobsSubmitted),
@@ -142,13 +176,46 @@ func New(opts Options) *Server {
 		mCached:       opts.Registry.Counter(MetricRunsCached),
 		mTimeouts:     opts.Registry.Counter(MetricTimeouts),
 		mBodyRejected: opts.Registry.Counter(MetricBodyRejected),
+		mStoreErrors:  opts.Registry.Counter(MetricStoreErrors),
+		mRecovered:    opts.Registry.Counter(MetricRecoveredJobs),
+		mDeduped:      opts.Registry.Counter(MetricJobsDeduped),
 	}
 	s.routes()
+
+	var requeue []*Job
+	if opts.DataDir != "" {
+		pol, err := store.ParseSyncPolicy(opts.Fsync)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		st, err := store.Open(store.Options{Dir: opts.DataDir, Sync: pol})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.st = st
+		if requeue, err = s.recoverJournal(); err != nil {
+			st.Close()
+			cancel()
+			return nil, fmt.Errorf("serve: journal replay: %w", err)
+		}
+	}
+	qcap := opts.QueueSize
+	if len(requeue) > qcap {
+		qcap = len(requeue)
+	}
+	s.queue = make(chan *Job, qcap)
+	for _, j := range requeue {
+		s.queue <- j
+	}
+	s.queueDepth.Set(float64(len(s.queue)))
+
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 func (s *Server) routes() {
@@ -194,13 +261,47 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.cancelAll()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
+	}
+	// The store closes after the last worker exits so every final
+	// journal record lands before the journal's closing sync.
+	s.closeStore()
+	return err
+}
+
+// closeStore flushes and closes the durable store exactly once.
+func (s *Server) closeStore() {
+	if s.st == nil {
+		return
+	}
+	s.storeOnce.Do(func() {
+		if err := s.st.Close(); err != nil {
+			s.mStoreErrors.Inc()
+		}
+	})
+}
+
+// finishJob performs a job's terminal transition: the in-memory state
+// machine first (idempotent — only the transition that wins counts and
+// journals), then the journal record, then the dedup table entry is
+// released so the next identical submission gets a fresh job.
+func (s *Server) finishJob(j *Job, state JobState, errMsg string, counter *obs.Counter) {
+	if j.finish(state, errMsg) {
+		counter.Inc()
+		s.journalRec(journalRecord{Type: recFinished, Job: j.ID, State: string(state), Error: errMsg})
+	}
+	if j.dedupKey != "" {
+		s.mu.Lock()
+		if s.dedup[j.dedupKey] == j.ID {
+			delete(s.dedup, j.dedupKey)
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -232,12 +333,11 @@ var errJobTimeout = errors.New("serve: job exceeded its deadline")
 // worker, and the daemon behind it, keep serving either way.
 func (s *Server) runJob(j *Job) {
 	if j.ctx.Err() != nil || j.State().terminal() {
-		if j.finish(JobCancelled, "cancelled while queued") {
-			s.mCancelled.Inc()
-		}
+		s.finishJob(j, JobCancelled, "cancelled while queued", s.mCancelled)
 		return
 	}
 	j.start()
+	s.journalRec(journalRecord{Type: recStarted, Job: j.ID})
 
 	// The job deadline starts when a worker picks the job up, not at
 	// submission: time spent queued is the server's backlog, not the
@@ -250,18 +350,20 @@ func (s *Server) runJob(j *Job) {
 	}
 	if s.beforeRun != nil {
 		if err := s.beforeRun(ctx, j); err != nil {
-			if j.finish(JobCancelled, err.Error()) {
-				s.mCancelled.Inc()
-			}
+			s.finishJob(j, JobCancelled, err.Error(), s.mCancelled)
 			return
 		}
 	}
 
+	// The cache pass consults the in-memory LRU and, behind it, the
+	// on-disk result store — which is how a requeued recovered job skips
+	// every run that already completed before the crash.
 	var missIdx []int
 	for i, h := range j.hashes {
-		if data, ok := s.cache.Get(h); ok {
+		if data, ok := s.lookupResult(h); ok {
 			s.mCached.Inc()
 			j.setRunCached(i, data)
+			s.journalRec(journalRecord{Type: recRun, Job: j.ID, Run: i, State: RunCached})
 		} else {
 			missIdx = append(missIdx, i)
 		}
@@ -271,6 +373,7 @@ func (s *Server) runJob(j *Job) {
 		cfgs := make([]sim.Config, len(missIdx))
 		for k, i := range missIdx {
 			cfgs[k] = j.cfgs[i]
+			s.checkpointerFor(&cfgs[k], j.hashes[i])
 			if s.opts.FaultRate > 0 {
 				cfgs[k].Solver = s.flakySolver(cfgs[k].Solver, int64(i))
 			}
@@ -306,6 +409,13 @@ func (s *Server) runJob(j *Job) {
 						skipped = false
 					}
 					j.setRunFailed(i, runErr, skipped)
+					if !skipped {
+						// Skipped runs said nothing about their config
+						// and are journaled only via the job's finished
+						// record; genuine failures are worth a record.
+						s.journalRec(journalRecord{Type: recRun, Job: j.ID, Run: i,
+							State: RunFailed, Error: runErr.Error()})
+					}
 				default:
 					data, merr := json.Marshal(newRunView(j.Specs[i], j.hashes[i], r))
 					if merr != nil {
@@ -313,8 +423,13 @@ func (s *Server) runJob(j *Job) {
 						return
 					}
 					s.cache.Put(j.hashes[i], data)
+					// Write ordering matters: the payload is durably
+					// stored before the journal claims the run is done,
+					// so replay can never promise bytes it lost.
+					s.persistResult(j.hashes[i], data)
 					s.mExecuted.Inc()
 					j.setRunDone(i, data)
+					s.journalRec(journalRecord{Type: recRun, Job: j.ID, Run: i, State: RunDone})
 				}
 			},
 		})
@@ -323,21 +438,13 @@ func (s *Server) runJob(j *Job) {
 	switch {
 	case errors.Is(context.Cause(ctx), errJobTimeout):
 		s.mTimeouts.Inc()
-		if j.finish(JobFailed, fmt.Sprintf("job exceeded its %s deadline", s.opts.JobTimeout)) {
-			s.mFailed.Inc()
-		}
+		s.finishJob(j, JobFailed, fmt.Sprintf("job exceeded its %s deadline", s.opts.JobTimeout), s.mFailed)
 	case j.ctx.Err() != nil:
-		if j.finish(JobCancelled, context.Cause(j.ctx).Error()) {
-			s.mCancelled.Inc()
-		}
+		s.finishJob(j, JobCancelled, context.Cause(j.ctx).Error(), s.mCancelled)
 	case j.failedCount() > 0:
-		if j.finish(JobFailed, fmt.Sprintf("%d of %d runs failed", j.failedCount(), len(j.Specs))) {
-			s.mFailed.Inc()
-		}
+		s.finishJob(j, JobFailed, fmt.Sprintf("%d of %d runs failed", j.failedCount(), len(j.Specs)), s.mFailed)
 	default:
-		if j.finish(JobDone, "") {
-			s.mCompleted.Inc()
-		}
+		s.finishJob(j, JobDone, "", s.mCompleted)
 	}
 }
 
@@ -372,6 +479,9 @@ type submitResponse struct {
 	Hashes []string `json:"config_hashes"`
 	Status string   `json:"status_url"`
 	Events string   `json:"events_url"`
+	// Deduplicated marks a submission answered with an existing
+	// non-terminal job running the identical campaign.
+	Deduplicated bool `json:"deduplicated,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -411,19 +521,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		cfgs[i], hashes[i] = cfg, h
 	}
 
+	key := campaignKey(hashes)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
+	// An identical campaign already queued or in flight answers with the
+	// existing job id instead of doubling the work: every run would hash
+	// to the same results anyway.
+	if prev, ok := s.dedup[key]; ok {
+		if j := s.jobs[prev]; j != nil && !j.State().terminal() {
+			s.mu.Unlock()
+			s.mDeduped.Inc()
+			writeJSON(w, http.StatusOK, submitResponse{
+				ID:           prev,
+				Total:        len(cfgs),
+				Hashes:       hashes,
+				Status:       "/jobs/" + prev,
+				Events:       "/jobs/" + prev + "/events",
+				Deduplicated: true,
+			})
+			return
+		}
+		delete(s.dedup, key) // stale entry: job finished without cleanup
+	}
 	s.seq++
 	id := fmt.Sprintf("job-%06d", s.seq)
 	job := newJob(s.baseCtx, id, req.Configs, cfgs, hashes)
+	job.dedupKey = key
 	select {
 	case s.queue <- job:
 		s.jobs[id] = job
 		s.order = append(s.order, id)
+		s.dedup[key] = id
 		s.queueDepth.Set(float64(len(s.queue)))
 		s.mu.Unlock()
 	default:
@@ -436,6 +568,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mSubmitted.Inc()
+	s.journalRec(journalRecord{Type: recSubmitted, Job: id, Specs: req.Configs, Hashes: hashes})
 	writeJSON(w, http.StatusAccepted, submitResponse{
 		ID:     id,
 		Total:  len(cfgs),
@@ -498,9 +631,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if j.State() == JobQueued {
 		// The queue will eventually pop it, but reflect the decision
 		// immediately; runJob's finish is idempotent and counts once.
-		if j.finish(JobCancelled, "cancelled by client") {
-			s.mCancelled.Inc()
-		}
+		s.finishJob(j, JobCancelled, "cancelled by client", s.mCancelled)
 	}
 	writeJSON(w, http.StatusOK, j.Status())
 }
@@ -575,7 +706,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	st := j.Status()
 	out := resultsResponse{ID: j.ID, State: st.State, Runs: make([]resultEnvelope, len(st.Runs))}
 	for i, rs := range st.Runs {
-		out.Runs[i] = resultEnvelope{RunStatus: rs, Result: json.RawMessage(j.result(i))}
+		out.Runs[i] = resultEnvelope{RunStatus: rs, Result: json.RawMessage(s.resultFor(j, i))}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -590,7 +721,7 @@ func (s *Server) handleRunResult(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such run")
 		return
 	}
-	data := j.result(i)
+	data := s.resultFor(j, i)
 	if data == nil {
 		httpError(w, http.StatusNotFound, "result not available (run pending, failed or skipped)")
 		return
@@ -616,7 +747,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			Status: rs.State,
 			TUHMs:  -1,
 		}
-		if data := j.result(i); data != nil {
+		if data := s.resultFor(j, i); data != nil {
 			var v RunView
 			if err := json.Unmarshal(data, &v); err == nil {
 				row.Steps = v.StepsRun
@@ -657,6 +788,11 @@ type healthResponse struct {
 	Jobs         int    `json:"jobs"`
 	CacheEntries int    `json:"cache_entries"`
 	CacheBytes   int64  `json:"cache_bytes"`
+	// Store is "ok" or "degraded" when durability is enabled, empty
+	// otherwise. Degraded means the journal's last append failed: jobs
+	// still execute, but their records may not survive a crash until an
+	// append succeeds again.
+	Store string `json:"store,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -674,6 +810,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CacheBytes:   s.cache.Bytes(),
 	}
 	code := http.StatusOK
+	if s.st != nil {
+		h.Store = "ok"
+		if s.st.Journal.Err() != nil {
+			h.Store = "degraded"
+			h.Status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+	}
 	if closed {
 		h.Status = "draining"
 		code = http.StatusServiceUnavailable

@@ -128,6 +128,25 @@ type Config struct {
 	// it changes when a run gives up, never what it computes.
 	MaxWallTime time.Duration
 
+	// Checkpoint, when non-nil together with a positive CheckpointEvery,
+	// makes the run resumable: RunCtx snapshots the step index, the full
+	// thermal state and all recorded series every CheckpointEvery
+	// completed steps, resumes from the latest snapshot at start instead
+	// of t=0 (counted in sim/resumes), and clears it on success. An
+	// interrupted or retried run (RunWithRetry) therefore repeats only
+	// the tail since its last snapshot; for the explicit solver the
+	// resumed result is bit-identical to an uninterrupted run.
+	// Incompatible with Controller, Record.CellDeltas and
+	// Record.FieldEvery (their state is not snapshotted). Excluded from
+	// Config.Hash: checkpointing changes how a run survives, never what
+	// it computes.
+	Checkpoint Checkpointer
+	// CheckpointEvery is the snapshot period in completed steps
+	// (0 disables snapshotting even when Checkpoint is set; loading and
+	// clearing still happen, so a retry can finish a run without taking
+	// further snapshots).
+	CheckpointEvery int
+
 	// Obs, when non-nil, receives the run's metrics: per-stage wall time
 	// (sim/stage/*), per-run counters (sim/steps, sim/hotspots,
 	// sim/frames_sampled, thermal/substeps, ...) and performance-model
@@ -216,6 +235,14 @@ func (c *Config) normalize() error {
 	}
 	if c.SinkConductance == 0 {
 		c.SinkConductance = thermal.SinkConductance
+	}
+	if c.Checkpoint != nil {
+		if c.Controller != nil {
+			return fmt.Errorf("sim: a run with a Controller is not checkpointable (controller state is not snapshotted)")
+		}
+		if c.Record.CellDeltas || c.Record.FieldEvery > 0 {
+			return fmt.Errorf("sim: Record.CellDeltas and Record.FieldEvery are not checkpointable (frame history is not snapshotted)")
+		}
 	}
 	for core, prof := range c.Assignments {
 		if core < 0 || core >= floorplan.NumCores {

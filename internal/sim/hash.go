@@ -98,6 +98,12 @@ func (c Config) canonicalJSON() ([]byte, error) {
 	}
 	cc := c // shallow copy: normalize fills defaults without touching c
 	cc.Obs = nil
+	// The checkpoint seam is operational, like MaxWallTime: it changes
+	// how a run survives interruption, never what it computes (resumed
+	// explicit-solver runs are pinned bit-identical), so it must not
+	// perturb the content address.
+	cc.Checkpoint = nil
+	cc.CheckpointEvery = 0
 	if err := cc.normalize(); err != nil {
 		return nil, err
 	}

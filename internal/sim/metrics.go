@@ -51,6 +51,15 @@ const (
 	// per-run wall-time budget (Config.MaxWallTime).
 	MetricTimeouts = "sim/timeouts"
 
+	// MetricCheckpoints counts snapshots written via Config.Checkpoint;
+	// MetricCheckpointErrors counts snapshot saves/loads/clears that
+	// failed (the run continues either way — a broken checkpoint sink
+	// degrades durability, not correctness); MetricResumes counts runs
+	// that restored a snapshot and continued mid-run instead of from t=0.
+	MetricCheckpoints      = "sim/checkpoints"
+	MetricCheckpointErrors = "sim/checkpoint_errors"
+	MetricResumes          = "sim/resumes"
+
 	// MetricThermalSubsteps counts solver substeps (explicit) or inner
 	// sweeps (implicit); MetricThermalStability counts steps that hit
 	// the stability bound (explicit) or the iteration cap (implicit).
@@ -69,6 +78,7 @@ const (
 type runMetrics struct {
 	runs, steps, hotspots, frames, detectSkips *obs.Counter
 	panics, timeouts                           *obs.Counter
+	checkpoints, ckptErrors, resumes           *obs.Counter
 
 	run, setup, perf, power, thermal, detect, record *obs.Timer
 }
@@ -84,6 +94,9 @@ func newRunMetrics(r *obs.Registry) runMetrics {
 		detectSkips: r.Counter(MetricDetectSkipped),
 		panics:      r.Counter(MetricPanics),
 		timeouts:    r.Counter(MetricTimeouts),
+		checkpoints: r.Counter(MetricCheckpoints),
+		ckptErrors:  r.Counter(MetricCheckpointErrors),
+		resumes:     r.Counter(MetricResumes),
 		run:         r.Timer(MetricRunTime),
 		setup:       r.Timer(MetricStageSetup),
 		perf:        r.Timer(MetricStagePerf),

@@ -80,6 +80,11 @@ func Run(cfg Config) (*Result, error) {
 // that produces a non-finite frame maximum fails with a
 // *SolverDivergedError instead of recording NaNs.
 //
+// When Config.Checkpoint is set the run is resumable: it restores the
+// latest matching snapshot at start (continuing mid-run instead of from
+// t=0), snapshots every Config.CheckpointEvery completed steps, and
+// clears the snapshot on success — see Checkpointer.
+//
 // The returned Result carries the caller's Config verbatim — defaults
 // are filled and instrumented solvers injected only into RunCtx's
 // private copy — so Result.Config always hashes identically to the
@@ -176,6 +181,15 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 		}
 	}
 
+	// Resume from the latest checkpoint, if one exists and matches: the
+	// thermal state and recorded series are restored and the sources
+	// fast-forwarded, so the loop below continues at startStep instead
+	// of t=0.
+	startStep := 0
+	if cfg.Checkpoint != nil {
+		startStep = m.resume(cfg, state, res, src, secondary)
+	}
+
 	idle := perf.IdleActivity(perf.DefaultConfig()).Unit
 	// Double-buffered junction frames: the step loop alternates between
 	// two fields instead of allocating one per step; frames that outlive
@@ -187,7 +201,7 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 
 	curCore := cfg.Core
 	throttle := 1.0
-	for step := 0; step < cfg.Steps; step++ {
+	for step := startStep; step < cfg.Steps; step++ {
 		if ctx.Err() != nil {
 			return nil, m.ctxCause(ctx)
 		}
@@ -331,6 +345,7 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 					m.runs.Inc()
 					res.StepsRun = step + 1
 					res.FinalField = field
+					m.clearCheckpoint(cfg)
 					return res, nil
 				}
 			}
@@ -339,10 +354,37 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 		prevField, curField = field, prevField
 		res.StepsRun = step + 1
 		m.steps.Inc()
+
+		// Snapshot at the checkpoint period. The final step never
+		// snapshots — the run is about to finish and clear the
+		// checkpoint anyway. A failed save degrades durability, not the
+		// run: it is counted and the simulation continues.
+		if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 &&
+			(step+1)%cfg.CheckpointEvery == 0 && step+1 < cfg.Steps {
+			if err := cfg.Checkpoint.Save(snapshot(state, res, step+1, cfg.Steps)); err != nil {
+				m.ckptErrors.Inc()
+			} else {
+				m.checkpoints.Inc()
+			}
+		}
 	}
 	res.FinalField = prevField
 	m.runs.Inc()
+	m.clearCheckpoint(cfg)
 	return res, nil
+}
+
+// clearCheckpoint discards a finished run's snapshot so a repeat
+// submission of the same config starts from t=0 (and stays
+// byte-identical to the original). Failures only cost durability and
+// are counted, never surfaced.
+func (m runMetrics) clearCheckpoint(cfg Config) {
+	if cfg.Checkpoint == nil {
+		return
+	}
+	if err := cfg.Checkpoint.Clear(); err != nil {
+		m.ckptErrors.Inc()
+	}
 }
 
 // ctxCause resolves a cancelled context into the error a run should

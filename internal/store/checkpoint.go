@@ -1,0 +1,57 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+
+	"hotgauge/internal/sim"
+)
+
+// FileCheckpointer is the file-backed sim.Checkpointer: one gob-encoded
+// snapshot per run, written atomically (temp-and-rename), keyed by the
+// run's canonical config hash. gob round-trips ±Inf and NaN, which JSON
+// cannot, so a snapshot taken before the first hotspot (TUH = +Inf)
+// restores exactly.
+type FileCheckpointer struct {
+	path string
+}
+
+// NewFileCheckpointer creates a checkpointer persisting to path.
+func NewFileCheckpointer(path string) *FileCheckpointer {
+	return &FileCheckpointer{path: path}
+}
+
+// Load implements sim.Checkpointer: (nil, nil) when no snapshot exists.
+func (c *FileCheckpointer) Load() (*sim.Checkpoint, error) {
+	data, err := os.ReadFile(c.path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ck sim.Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
+		return nil, err
+	}
+	return &ck, nil
+}
+
+// Save implements sim.Checkpointer.
+func (c *FileCheckpointer) Save(ck *sim.Checkpoint) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return err
+	}
+	return writeFileAtomic(c.path, buf.Bytes())
+}
+
+// Clear implements sim.Checkpointer.
+func (c *FileCheckpointer) Clear() error {
+	err := os.Remove(c.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,17 @@
+// Package store is the durability layer behind the campaign service: an
+// append-only job journal, an on-disk content-addressed result store,
+// and file-backed run checkpoints, rooted together under one data
+// directory.
+//
+// The journal records length-prefixed, CRC32C-protected payloads across
+// rotated segment files with a configurable fsync policy; startup replay
+// truncates torn tails so a crash mid-append never corrupts the intact
+// prefix. Compaction rewrites the live state into a fresh segment and
+// drops the history. The result store keys immutable result payloads by
+// their canonical config hash and backs (and repopulates) the serving
+// layer's in-memory LRU cache, making repeat submissions byte-identical
+// across process restarts. Every multi-byte on-disk write goes through
+// write-to-temp-then-rename, so a crash mid-write leaves either the old
+// contents or the new — never a partial blob that replay would treat as
+// valid.
+package store

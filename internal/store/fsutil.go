@@ -1,0 +1,68 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory, fsync, and rename — the O_TMPFILE-style discipline that
+// guarantees readers only ever observe the old contents or the complete
+// new ones, never a partial write. Leftover temp files from a crash are
+// never read (lookups use exact paths) and are swept by cleanTemps.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Best effort on filesystems that refuse directory fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
+}
+
+// cleanTemps removes temp files a crash mid-write may have stranded in
+// dir (non-recursive). Only files matching the writeFileAtomic naming
+// pattern are touched.
+func cleanTemps(dir string) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		os.Remove(m)
+	}
+}

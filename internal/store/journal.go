@@ -1,0 +1,424 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects how aggressively the journal fsyncs appends.
+type SyncPolicy string
+
+const (
+	// SyncAlways fsyncs after every append: no acknowledged record is
+	// ever lost, at the cost of one fsync per record.
+	SyncAlways SyncPolicy = "always"
+	// SyncInterval marks appends dirty and fsyncs on a background timer
+	// (JournalOptions.SyncEvery, default 100 ms): a crash loses at most
+	// one interval of acknowledged records. The default.
+	SyncInterval SyncPolicy = "interval"
+	// SyncNever leaves flushing to the OS page cache: fastest, and a
+	// machine crash may lose everything since the last natural flush.
+	SyncNever SyncPolicy = "never"
+)
+
+// ParseSyncPolicy validates a policy string (e.g. a -fsync flag value).
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case SyncAlways, SyncInterval, SyncNever:
+		return SyncPolicy(s), nil
+	case "":
+		return SyncInterval, nil
+	}
+	return "", fmt.Errorf("store: unknown fsync policy %q (always, interval or never)", s)
+}
+
+const (
+	// recordHeader is the per-record framing: a 4-byte little-endian
+	// payload length followed by a 4-byte CRC32C of the payload.
+	recordHeader = 8
+	// maxRecord bounds a single payload; a length above it is treated as
+	// corruption, not an allocation request.
+	maxRecord = 64 << 20
+
+	defaultSegmentBytes = 8 << 20
+	defaultSyncEvery    = 100 * time.Millisecond
+
+	segmentPrefix = "seg-"
+	segmentSuffix = ".wal"
+)
+
+// castagnoli is the CRC32C table (the polynomial with hardware support
+// on both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed journal.
+var ErrClosed = errors.New("store: journal is closed")
+
+// JournalOptions tunes a Journal; zero values take the documented
+// defaults.
+type JournalOptions struct {
+	// Dir is the segment directory (required; created if missing).
+	Dir string
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 8 MiB).
+	SegmentBytes int64
+	// Sync is the fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval flush period (default 100 ms).
+	SyncEvery time.Duration
+}
+
+// Journal is an append-only record log: length-prefixed CRC32C-framed
+// payloads across numbered segment files. Appends are serialized and
+// safe for concurrent use; Replay must run before the first Append.
+type Journal struct {
+	opts JournalOptions
+
+	mu      sync.Mutex
+	f       *os.File // active segment (lazily opened)
+	seq     int      // active segment number
+	size    int64    // active segment size
+	dirty   bool     // unsynced appends outstanding (SyncInterval)
+	lastErr error    // sticky append/sync failure, cleared on success
+	closed  bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// OpenJournal opens (or creates) the journal in opts.Dir.
+func OpenJournal(opts JournalOptions) (*Journal, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: journal dir is required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.Sync == "" {
+		opts.Sync = SyncInterval
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = defaultSyncEvery
+	}
+	if err := os.MkdirAll(opts.Dir, 0o777); err != nil {
+		return nil, err
+	}
+	j := &Journal{opts: opts}
+	segs, err := j.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 {
+		j.seq = segs[len(segs)-1]
+	} else {
+		j.seq = 1
+	}
+	if opts.Sync == SyncInterval {
+		j.stop = make(chan struct{})
+		j.done = make(chan struct{})
+		go j.syncLoop()
+	}
+	return j, nil
+}
+
+// segments lists the existing segment numbers in ascending order.
+func (j *Journal) segments() ([]int, error) {
+	ents, err := os.ReadDir(j.opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []int
+	for _, e := range ents {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), segmentPrefix+"%08d"+segmentSuffix, &n); err == nil {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+func (j *Journal) segPath(n int) string {
+	return filepath.Join(j.opts.Dir, fmt.Sprintf("%s%08d%s", segmentPrefix, n, segmentSuffix))
+}
+
+// Replay invokes fn for every intact record, oldest first. A record that
+// fails its length or CRC check — a torn tail from a crash mid-append,
+// or bit rot — ends that segment's replay: the segment is truncated to
+// its last intact record so subsequent appends extend a clean prefix,
+// and replay continues with the next segment. fn returning an error
+// aborts the replay with that error. Call before the first Append.
+func (j *Journal) Replay(fn func(payload []byte) error) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	segs, err := j.segments()
+	if err != nil {
+		return err
+	}
+	for _, n := range segs {
+		if err := j.replaySegment(n, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment replays one segment, truncating it at the first
+// corrupt or torn record.
+func (j *Journal) replaySegment(n int, fn func([]byte) error) error {
+	path := j.segPath(n)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var (
+		good   int64 // offset after the last intact record
+		hdr    [recordHeader]byte
+		reason string
+	)
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err != io.EOF {
+				reason = "torn header"
+			}
+			break
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxRecord {
+			reason = "bad length"
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			reason = "torn payload"
+			break
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			reason = "crc mismatch"
+			break
+		}
+		good += recordHeader + int64(length)
+		if err := fn(payload); err != nil {
+			return err
+		}
+	}
+	if reason != "" {
+		// A torn or corrupt tail: drop it so the journal ends on an
+		// intact record. The lost suffix was never durably acknowledged
+		// (or was damaged at rest); everything before it survives.
+		if err := os.Truncate(path, good); err != nil {
+			return fmt.Errorf("store: truncating %s after %s: %w", path, reason, err)
+		}
+	}
+	return nil
+}
+
+// ensureActive opens the active segment for appending. Caller holds mu.
+func (j *Journal) ensureActive() error {
+	if j.f != nil {
+		return nil
+	}
+	f, err := os.OpenFile(j.segPath(j.seq), os.O_CREATE|os.O_WRONLY, 0o666)
+	if err != nil {
+		return err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	j.f, j.size = f, size
+	return nil
+}
+
+// rotateLocked closes the active segment and starts the next one.
+func (j *Journal) rotateLocked() error {
+	if j.f != nil {
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+		if err := j.f.Close(); err != nil {
+			return err
+		}
+		j.f = nil
+	}
+	j.seq++
+	if err := j.ensureActive(); err != nil {
+		return err
+	}
+	return syncDir(j.opts.Dir)
+}
+
+// Append writes one record, rotating the segment first when it is full.
+// The payload is framed with its length and CRC32C and flushed per the
+// sync policy. Errors are sticky in Err until a later append succeeds —
+// the health signal a server uses to degrade itself when the disk goes
+// bad.
+func (j *Journal) Append(payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		j.lastErr = ErrClosed
+		return ErrClosed
+	}
+	err := j.appendLocked(payload)
+	j.lastErr = err
+	return err
+}
+
+func (j *Journal) appendLocked(payload []byte) error {
+	if len(payload) == 0 || len(payload) > maxRecord {
+		return fmt.Errorf("store: record payload of %d bytes out of range", len(payload))
+	}
+	if err := j.ensureActive(); err != nil {
+		return err
+	}
+	if j.size > 0 && j.size+recordHeader+int64(len(payload)) > j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	rec := make([]byte, recordHeader+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
+	copy(rec[recordHeader:], payload)
+	if _, err := j.f.Write(rec); err != nil {
+		return err
+	}
+	j.size += int64(len(rec))
+	if j.opts.Sync == SyncAlways {
+		return j.f.Sync()
+	}
+	j.dirty = true
+	return nil
+}
+
+// Compact atomically replaces the journal's whole history with the
+// given records: they are written to a fresh segment via temp-and-rename
+// and every older segment is deleted. Callers pass the minimal record
+// set that reconstructs the live state (e.g. one summary per job),
+// bounding replay time and disk use regardless of journal age.
+func (j *Journal) Compact(records [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	old, err := j.segments()
+	if err != nil {
+		return err
+	}
+	next := j.seq + 1
+	var buf []byte
+	for _, payload := range records {
+		if len(payload) == 0 || len(payload) > maxRecord {
+			return fmt.Errorf("store: compaction record of %d bytes out of range", len(payload))
+		}
+		var hdr [recordHeader]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, payload...)
+	}
+	if err := writeFileAtomic(j.segPath(next), buf); err != nil {
+		return err
+	}
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+	j.seq = next
+	j.size = int64(len(buf))
+	for _, n := range old {
+		if n < next {
+			if err := os.Remove(j.segPath(n)); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(j.opts.Dir)
+}
+
+// Err returns the most recent append or sync failure, or nil after the
+// last append succeeded. A non-nil value means acknowledged records may
+// not be durable: the serving layer reports itself degraded.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastErr
+}
+
+// SegmentCount reports how many segment files exist (tests, ops).
+func (j *Journal) SegmentCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	segs, err := j.segments()
+	if err != nil {
+		return 0
+	}
+	return len(segs)
+}
+
+// syncLoop is the SyncInterval background flusher.
+func (j *Journal) syncLoop() {
+	defer close(j.done)
+	t := time.NewTicker(j.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stop:
+			return
+		case <-t.C:
+			j.mu.Lock()
+			if j.dirty && j.f != nil {
+				if err := j.f.Sync(); err != nil {
+					j.lastErr = err
+				} else {
+					j.dirty = false
+				}
+			}
+			j.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes and closes the journal. Further operations fail with
+// ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	var err error
+	if j.f != nil {
+		if j.dirty {
+			err = j.f.Sync()
+		}
+		if cerr := j.f.Close(); err == nil {
+			err = cerr
+		}
+		j.f = nil
+	}
+	j.mu.Unlock()
+	if j.stop != nil {
+		close(j.stop)
+		<-j.done
+	}
+	return err
+}

@@ -1,0 +1,380 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// replayAll opens the journal and collects every intact record.
+func replayAll(t *testing.T, dir string) [][]byte {
+	t.Helper()
+	j, err := OpenJournal(JournalOptions{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var got [][]byte
+	if err := j.Replay(func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalOptions{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		p := []byte(fmt.Sprintf("record-%03d", i))
+		want = append(want, p)
+		if err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := replayAll(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJournalReplayBeforeAppendExtendsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalOptions{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// A second process: replay, then keep appending to the same journal.
+	j2, err := OpenJournal(JournalOptions{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := j2.Replay(func([]byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records, want 1", n)
+	}
+	if err := j2.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	got := replayAll(t, dir)
+	if len(got) != 2 || string(got[0]) != "one" || string(got[1]) != "two" {
+		t.Fatalf("replay after reopen = %q", got)
+	}
+}
+
+func TestJournalSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalOptions{Dir: dir, Sync: SyncNever, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 24) // 32 bytes framed: 2 per segment
+	const total = 9
+	for i := 0; i < total; i++ {
+		if err := j.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sc := j.SegmentCount(); sc < 3 {
+		t.Fatalf("SegmentCount = %d after %d oversized appends, want >= 3", sc, total)
+	}
+	j.Close()
+	if got := replayAll(t, dir); len(got) != total {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), total)
+	}
+}
+
+func TestJournalCompact(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalOptions{Dir: dir, Sync: SyncNever, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("old-%02d-padding-padding", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := [][]byte{[]byte("live-1"), []byte("live-2")}
+	if err := j.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	if sc := j.SegmentCount(); sc != 1 {
+		t.Fatalf("SegmentCount after compaction = %d, want 1", sc)
+	}
+	// Post-compaction appends extend the compacted segment.
+	if err := j.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	got := replayAll(t, dir)
+	want := []string{"live-1", "live-2", "after"}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records after compaction, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if string(got[i]) != w {
+			t.Fatalf("record %d = %q, want %q", i, got[i], w)
+		}
+	}
+}
+
+// frame builds the on-disk bytes of a segment holding the payloads.
+func frame(payloads ...[]byte) []byte {
+	var buf []byte
+	for _, p := range payloads {
+		var hdr [recordHeader]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(p, castagnoli))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// writeTestSegment writes a fully intact segment by hand (no Journal),
+// returning the path and the framed bytes.
+func writeTestSegment(t *testing.T, dir string, payloads ...[]byte) (string, []byte) {
+	t.Helper()
+	buf := frame(payloads...)
+	path := filepath.Join(dir, segmentPrefix+"00000001"+segmentSuffix)
+	if err := os.WriteFile(path, buf, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path, buf
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	for cut := 1; cut < recordHeader+len("gamma"); cut++ {
+		dir := t.TempDir()
+		path, buf := writeTestSegment(t, dir, recs...)
+		// Tear the tail mid-record: a crash between write and flush.
+		if err := os.Truncate(path, int64(len(buf)-cut)); err != nil {
+			t.Fatal(err)
+		}
+		got := replayAll(t, dir)
+		if len(got) != 2 || string(got[0]) != "alpha" || string(got[1]) != "beta" {
+			t.Fatalf("cut=%d: replay = %q, want the intact [alpha beta] prefix", cut, got)
+		}
+		// The truncation repaired the file: a second replay sees the same
+		// prefix and the segment ends exactly on a record boundary.
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSize := int64(2*recordHeader + len("alpha") + len("beta"))
+		if fi.Size() != wantSize {
+			t.Fatalf("cut=%d: repaired size = %d, want %d", cut, fi.Size(), wantSize)
+		}
+	}
+}
+
+// TestJournalBitFlips flips every byte of a framed segment in turn and
+// asserts replay never panics, never invents records, and always
+// recovers the intact prefix before the damaged record.
+func TestJournalBitFlips(t *testing.T) {
+	recs := [][]byte{[]byte("rec-one"), []byte("rec-two"), []byte("rec-three")}
+	lens := []int{len("rec-one"), len("rec-two"), len("rec-three")}
+	clean := frame(recs...)
+
+	for pos := 0; pos < len(clean); pos++ {
+		for _, flip := range []byte{0x01, 0x80, 0xFF} {
+			dir := t.TempDir()
+			path, _ := writeTestSegment(t, dir, recs...)
+			data := append([]byte(nil), clean...)
+			data[pos] ^= flip
+			if err := os.WriteFile(path, data, 0o666); err != nil {
+				t.Fatal(err)
+			}
+
+			// Which record does the damaged byte land in?
+			rec, off := 0, 0
+			for rec < len(lens) && pos >= off+recordHeader+lens[rec] {
+				off += recordHeader + lens[rec]
+				rec++
+			}
+
+			got := replayAll(t, dir)
+			if len(got) < rec {
+				t.Fatalf("pos=%d flip=%#x: replay lost intact prefix: got %d records, want >= %d",
+					pos, flip, len(got), rec)
+			}
+			for i := 0; i < rec; i++ {
+				if !bytes.Equal(got[i], recs[i]) {
+					t.Fatalf("pos=%d flip=%#x: prefix record %d = %q, want %q",
+						pos, flip, i, got[i], recs[i])
+				}
+			}
+			for i := rec; i < len(got); i++ {
+				// Anything replayed at or past the damaged record must
+				// still be a genuine record (CRC cannot be fooled by our
+				// single-byte flip on its own payload; a flipped length
+				// may terminate earlier, which is fine).
+				if i >= len(recs) || !bytes.Equal(got[i], recs[i]) {
+					t.Fatalf("pos=%d flip=%#x: replay invented record %d = %q", pos, flip, i, got[i])
+				}
+			}
+		}
+	}
+}
+
+func TestJournalSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		t.Run(string(pol), func(t *testing.T) {
+			dir := t.TempDir()
+			j, err := OpenJournal(JournalOptions{Dir: dir, Sync: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				if err := j.Append([]byte(fmt.Sprintf("p-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := j.Err(); err != nil {
+				t.Fatalf("Err after successful appends = %v", err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := replayAll(t, dir); len(got) != 10 {
+				t.Fatalf("replayed %d records, want 10", len(got))
+			}
+		})
+	}
+}
+
+func TestJournalStickyErrorAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalOptions{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(nil); err == nil {
+		t.Fatal("Append(nil) succeeded, want error")
+	}
+	if j.Err() == nil {
+		t.Fatal("Err not sticky after failed append")
+	}
+	if err := j.Append([]byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatalf("Err not cleared by successful append: %v", err)
+	}
+}
+
+func TestJournalClosedOperations(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	if err := j.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := j.Compact(nil); err != ErrClosed {
+		t.Fatalf("Compact after Close = %v, want ErrClosed", err)
+	}
+	if err := j.Replay(func([]byte) error { return nil }); err != ErrClosed {
+		t.Fatalf("Replay after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"": SyncInterval, "always": SyncAlways, "interval": SyncInterval, "never": SyncNever,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted an unknown policy")
+	}
+}
+
+// FuzzJournalReplay feeds arbitrary bytes as a segment file: replay must
+// never panic, and a second replay after the repair truncation must see
+// exactly the records the first one saw (replay is idempotent on any
+// input).
+func FuzzJournalReplay(f *testing.F) {
+	clean := frame([]byte("seed-a"), []byte("seed-b"))
+	f.Add(clean)
+	f.Add(clean[:len(clean)-3])
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, segmentPrefix+"00000001"+segmentSuffix)
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Skip()
+		}
+		first := replayAllF(t, dir)
+		second := replayAllF(t, dir)
+		if len(first) != len(second) {
+			t.Fatalf("replay not stable after repair: %d then %d records", len(first), len(second))
+		}
+		for i := range first {
+			if !bytes.Equal(first[i], second[i]) {
+				t.Fatalf("record %d changed across replays", i)
+			}
+		}
+	})
+}
+
+// replayAllF is replayAll for fuzz targets (testing.F lacks TempDir on
+// the inner *testing.T helper chain otherwise used).
+func replayAllF(t *testing.T, dir string) [][]byte {
+	j, err := OpenJournal(JournalOptions{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var got [][]byte
+	if err := j.Replay(func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}

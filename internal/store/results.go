@@ -1,0 +1,105 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ResultStore is the on-disk content-addressed result store: immutable
+// payloads keyed by the canonical config hash (sim.Config.Hash). It
+// backs the serving layer's in-memory LRU cache — an LRU miss falls
+// through to disk and repopulates the cache — so repeat submissions stay
+// byte-identical across process restarts. Writes are atomic
+// (temp-and-rename) and a key is sharded by its first two characters to
+// keep directories small.
+type ResultStore struct {
+	dir string
+}
+
+// OpenResults opens (or creates) a result store rooted at dir.
+func OpenResults(dir string) (*ResultStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: result dir is required")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	cleanTemps(dir)
+	return &ResultStore{dir: dir}, nil
+}
+
+// path maps a key to its blob path. Keys are hex hashes in practice;
+// anything that could escape the store directory is rejected by
+// checkKey before this is called.
+func (r *ResultStore) path(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(r.dir, shard, key+".json")
+}
+
+func checkKey(key string) error {
+	if key == "" || strings.ContainsAny(key, "/\\.") {
+		return fmt.Errorf("store: invalid result key %q", key)
+	}
+	return nil
+}
+
+// Get returns the payload stored under key, or ok=false if absent.
+func (r *ResultStore) Get(key string) (data []byte, ok bool, err error) {
+	if err := checkKey(key); err != nil {
+		return nil, false, err
+	}
+	data, err = os.ReadFile(r.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// Put durably stores data under key. Re-putting a key atomically
+// replaces its payload (results are deterministic, so replacement is
+// idempotent in practice).
+func (r *ResultStore) Put(key string, data []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	path := r.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		return err
+	}
+	return writeFileAtomic(path, data)
+}
+
+// Delete removes a key (absent keys are not an error).
+func (r *ResultStore) Delete(key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	err := os.Remove(r.path(key))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Len counts the stored payloads (a directory walk; ops and tests).
+func (r *ResultStore) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(r.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

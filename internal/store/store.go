@@ -1,0 +1,83 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Options tunes a Store; only Dir is required.
+type Options struct {
+	// Dir is the durability root (created if missing). Layout:
+	// Dir/journal/seg-*.wal, Dir/results/<aa>/<hash>.json,
+	// Dir/checkpoints/<hash>.ckpt.
+	Dir string
+	// Sync is the journal fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval flush period (default 100 ms).
+	SyncEvery time.Duration
+	// SegmentBytes is the journal segment rotation threshold
+	// (default 8 MiB).
+	SegmentBytes int64
+}
+
+// Store roots the durability layer under one data directory: the job
+// journal, the content-addressed result store, and per-run checkpoint
+// files.
+type Store struct {
+	// Journal is the append-only job journal.
+	Journal *Journal
+	// Results is the on-disk result store.
+	Results *ResultStore
+
+	ckptDir string
+}
+
+// Open opens (or creates) the store rooted at opts.Dir.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: data dir is required")
+	}
+	ckptDir := filepath.Join(opts.Dir, "checkpoints")
+	if err := os.MkdirAll(ckptDir, 0o777); err != nil {
+		return nil, err
+	}
+	cleanTemps(ckptDir)
+	j, err := OpenJournal(JournalOptions{
+		Dir:          filepath.Join(opts.Dir, "journal"),
+		Sync:         opts.Sync,
+		SyncEvery:    opts.SyncEvery,
+		SegmentBytes: opts.SegmentBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r, err := OpenResults(filepath.Join(opts.Dir, "results"))
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	return &Store{Journal: j, Results: r, ckptDir: ckptDir}, nil
+}
+
+// Checkpointer returns the file checkpointer for a run keyed by its
+// canonical config hash. Keys with path metacharacters are flattened so
+// they cannot escape the checkpoint directory.
+func (s *Store) Checkpointer(key string) *FileCheckpointer {
+	safe := strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', '.', ':':
+			return '_'
+		}
+		return r
+	}, key)
+	return NewFileCheckpointer(filepath.Join(s.ckptDir, safe+".ckpt"))
+}
+
+// Close closes the journal (the result store and checkpoints hold no
+// open handles).
+func (s *Store) Close() error {
+	return s.Journal.Close()
+}

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hotgauge/internal/sim"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob.json")
+	if err := writeFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("ReadFile = %q, %v; want v2", got, err)
+	}
+	// No temp droppings survive a successful write.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "blob.json" {
+		t.Fatalf("directory holds %d entries after atomic writes", len(ents))
+	}
+}
+
+func TestCleanTempsSweepsCrashLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	stranded := filepath.Join(dir, "blob.json.tmp-123456")
+	keep := filepath.Join(dir, "blob.json")
+	os.WriteFile(stranded, []byte("partial"), 0o666)
+	os.WriteFile(keep, []byte("whole"), 0o666)
+	cleanTemps(dir)
+	if _, err := os.Stat(stranded); !os.IsNotExist(err) {
+		t.Fatal("stranded temp file survived cleanTemps")
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatal("cleanTemps removed a real file")
+	}
+}
+
+func TestResultStoreRoundTrip(t *testing.T) {
+	rs, err := OpenResults(filepath.Join(t.TempDir(), "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 32)
+	if _, ok, err := rs.Get(key); err != nil || ok {
+		t.Fatalf("Get on empty store = ok=%v err=%v", ok, err)
+	}
+	want := []byte(`{"peak": 391.5}`)
+	if err := rs.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := rs.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %v, %v; want stored payload", got, ok, err)
+	}
+	if n, err := rs.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+	if err := rs.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := rs.Get(key); ok {
+		t.Fatal("Get found a deleted key")
+	}
+	if err := rs.Delete(key); err != nil {
+		t.Fatalf("Delete of absent key = %v, want nil", err)
+	}
+}
+
+func TestResultStoreRejectsPathKeys(t *testing.T) {
+	rs, err := OpenResults(filepath.Join(t.TempDir(), "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../escape", "a/b", `a\b`, "dotted.name"} {
+		if err := rs.Put(key, []byte("x")); err == nil {
+			t.Fatalf("Put(%q) accepted a path-escaping key", key)
+		}
+		if _, _, err := rs.Get(key); err == nil {
+			t.Fatalf("Get(%q) accepted a path-escaping key", key)
+		}
+	}
+}
+
+func TestFileCheckpointerRoundTrip(t *testing.T) {
+	st, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ck := st.Checkpointer("deadbeef")
+
+	if got, err := ck.Load(); err != nil || got != nil {
+		t.Fatalf("Load before Save = %v, %v; want nil, nil", got, err)
+	}
+	// +Inf is the live value of TUH before the first hotspot; the
+	// checkpoint codec must round-trip it (JSON cannot).
+	want := &sim.Checkpoint{
+		StepsDone:  7,
+		TotalSteps: 20,
+		Cells:      4,
+		Temps:      []float64{300, 301.5, math.Inf(1), 299.25},
+		TUHStep:    -1,
+		MaxTemp:    []float64{1, 2, 3, 4, 5, 6, 7},
+	}
+	if err := ck.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ck.Load()
+	if err != nil || got == nil {
+		t.Fatalf("Load = %v, %v", got, err)
+	}
+	if got.StepsDone != want.StepsDone || got.Cells != want.Cells ||
+		!math.IsInf(got.Temps[2], 1) || len(got.MaxTemp) != 7 {
+		t.Fatalf("Load round-trip mismatch: %+v", got)
+	}
+	if err := ck.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ck.Load(); err != nil || got != nil {
+		t.Fatalf("Load after Clear = %v, %v; want nil, nil", got, err)
+	}
+	if err := ck.Clear(); err != nil {
+		t.Fatalf("Clear of absent checkpoint = %v, want nil", err)
+	}
+}
+
+func TestStoreCheckpointerFlattensKeys(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ck := st.Checkpointer("../../etc/passwd")
+	if err := ck.Save(&sim.Checkpoint{StepsDone: 1, TotalSteps: 2, Cells: 1, Temps: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, "checkpoints"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || strings.ContainsAny(ents[0].Name(), "/\\") {
+		t.Fatalf("checkpoint landed outside the checkpoint dir: %v", ents)
+	}
+}
+
+func TestOpenSweepsAllTempDirs(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate a crash mid-write in both temp-using subdirectories.
+	os.MkdirAll(filepath.Join(dir, "checkpoints"), 0o777)
+	os.MkdirAll(filepath.Join(dir, "results"), 0o777)
+	ckTmp := filepath.Join(dir, "checkpoints", "x.ckpt.tmp-1")
+	resTmp := filepath.Join(dir, "results", "y.json.tmp-2")
+	os.WriteFile(ckTmp, []byte("p"), 0o666)
+	os.WriteFile(resTmp, []byte("p"), 0o666)
+
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, p := range []string{ckTmp, resTmp} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("temp leftover %s survived Open", p)
+		}
+	}
+}

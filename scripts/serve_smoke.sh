@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — end-to-end smoke test for the hotgauged campaign daemon.
 #
-# Builds cmd/hotgauged, starts it on a scratch port, waits for /healthz,
-# submits a tiny two-run §IV-A-style campaign (gcc at 7 nm and 14 nm),
-# polls the job to completion, resubmits the identical campaign, and
-# asserts that the second pass was served entirely from the result cache
-# (serve/cache_hits > 0 at /metrics, state "done" with all runs cached).
+# Builds cmd/hotgauged, starts it in durable mode (-data-dir) on a
+# scratch port, waits for /healthz, submits a tiny two-run §IV-A-style
+# campaign (gcc at 7 nm and 14 nm), polls the job to completion,
+# resubmits the identical campaign, and asserts that the second pass was
+# served entirely from the result cache (serve/cache_hits > 0 at
+# /metrics, state "done" with all runs cached).
+#
+# Then the restart-and-resume leg: the daemon is stopped and restarted
+# on the same data dir, and the script asserts the finished job is still
+# visible (marked recovered) with byte-identical result bodies, and that
+# a third submission of the same campaign completes without executing a
+# single simulation in the new process (served from the on-disk store).
 #
 # Requires: go, curl, jq. Exits nonzero on any failed assertion.
 set -euo pipefail
@@ -27,16 +34,24 @@ fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
 echo "serve-smoke: building hotgauged"
 go build -o "${BIN}" ./cmd/hotgauged
 
-"${BIN}" -addr "127.0.0.1:${PORT}" -queue 4 >"${WORKDIR}/daemon.log" 2>&1 &
-DAEMON_PID=$!
+DATA_DIR="${WORKDIR}/data"
 
-echo "serve-smoke: waiting for /healthz"
-for i in $(seq 1 50); do
-    if curl -fsS "${BASE}/healthz" >/dev/null 2>&1; then break; fi
-    kill -0 "${DAEMON_PID}" 2>/dev/null || { cat "${WORKDIR}/daemon.log" >&2; fail "daemon exited early"; }
-    sleep 0.2
-done
-curl -fsS "${BASE}/healthz" | jq -e '.status == "ok"' >/dev/null || fail "healthz not ok"
+start_daemon() {
+    "${BIN}" -addr "127.0.0.1:${PORT}" -queue 4 \
+        -data-dir "${DATA_DIR}" -fsync always -checkpoint-every 2 \
+        >>"${WORKDIR}/daemon.log" 2>&1 &
+    DAEMON_PID=$!
+    for i in $(seq 1 50); do
+        if curl -fsS "${BASE}/healthz" >/dev/null 2>&1; then break; fi
+        kill -0 "${DAEMON_PID}" 2>/dev/null || { cat "${WORKDIR}/daemon.log" >&2; fail "daemon exited early"; }
+        sleep 0.2
+    done
+    curl -fsS "${BASE}/healthz" | jq -e '.status == "ok" and .store == "ok"' >/dev/null \
+        || fail "healthz not ok/store not ok"
+}
+
+echo "serve-smoke: starting durable daemon (data dir ${DATA_DIR})"
+start_daemon
 
 CAMPAIGN='{"configs":[
   {"workload":"gcc","node":7,"steps":3,"warmup":"cold","resolution":0.2},
@@ -81,4 +96,35 @@ cmp <(curl -fsS "${BASE}/jobs/${JOB1}/results/0") <(curl -fsS "${BASE}/jobs/${JO
 # The report endpoint renders a row per run.
 curl -fsS "${BASE}/jobs/${JOB1}/report" | grep -q "7nm" || fail "report missing 7nm row"
 
-echo "serve-smoke: OK (cache hits: $(echo "${METRICS}" | jq -r '.counters["serve/cache_hits"]'))"
+RESULT_BEFORE="${WORKDIR}/result0.before.json"
+curl -fsS "${BASE}/jobs/${JOB1}/results/0" >"${RESULT_BEFORE}"
+
+# --- Restart-and-resume leg -------------------------------------------
+echo "serve-smoke: restarting daemon on the same data dir"
+kill "${DAEMON_PID}"
+wait "${DAEMON_PID}" 2>/dev/null || true
+start_daemon
+
+STATUS_AFTER="$(curl -fsS "${BASE}/jobs/${JOB1}")"
+echo "${STATUS_AFTER}" | jq -e '.state == "done" and .recovered == true' >/dev/null \
+    || { echo "${STATUS_AFTER}" >&2; fail "job ${JOB1} not restored as done/recovered after restart"; }
+
+cmp "${RESULT_BEFORE}" <(curl -fsS "${BASE}/jobs/${JOB1}/results/0") \
+    || fail "restored result body differs across restart"
+
+echo "serve-smoke: resubmitting campaign after restart (expect disk-store hits)"
+JOB3="$(submit_and_wait)"
+STATUS3="$(curl -fsS "${BASE}/jobs/${JOB3}")"
+echo "${STATUS3}" | jq -e '.cached == 2' >/dev/null \
+    || { echo "${STATUS3}" >&2; fail "post-restart job not fully cached"; }
+
+METRICS2="$(curl -fsS "${BASE}/metrics")"
+echo "${METRICS2}" | jq -e '(.counters["serve/runs_executed"] // 0) == 0' >/dev/null \
+    || { echo "${METRICS2}" | jq .counters >&2; fail "restarted daemon re-ran persisted simulations"; }
+echo "${METRICS2}" | jq -e '.counters["serve/recovered_jobs"] == 2' >/dev/null \
+    || { echo "${METRICS2}" | jq .counters >&2; fail "serve/recovered_jobs != 2"; }
+
+cmp "${RESULT_BEFORE}" <(curl -fsS "${BASE}/jobs/${JOB3}/results/0") \
+    || fail "disk-store result body differs from original"
+
+echo "serve-smoke: OK (cache hits: $(echo "${METRICS}" | jq -r '.counters["serve/cache_hits"]'), restart served from disk)"
