@@ -5,7 +5,7 @@ GO ?= go
 BENCH_COUNT ?= 10
 BENCH_PATTERN ?= BenchmarkKernelThermalStep|BenchmarkKernelMLTDField|BenchmarkSec4ATempScaling
 
-.PHONY: all build test vet fmt-check check faultcheck crashcheck bench bench-all serve-smoke
+.PHONY: all build test vet fmt-check check faultcheck crashcheck clustercheck bench bench-all serve-smoke
 
 all: check
 
@@ -42,6 +42,14 @@ faultcheck:
 # forks daemon processes.
 crashcheck:
 	HOTGAUGE_CRASH_E2E=1 $(GO) test -race -count=1 -run '^TestCrashRecovery$$' -v ./internal/serve/
+
+# The multi-node cluster e2e: a coordinator with three in-process
+# workers loses one to a hard kill mid-campaign; the test asserts the
+# campaign still completes with every run resolved exactly once and
+# byte-identical to a single-node control. Env-gated because the
+# lease-expiry wait makes it seconds-slow.
+clustercheck:
+	HOTGAUGE_CLUSTER_E2E=1 $(GO) test -race -count=1 -run '^TestClusterKillWorker$$' -v ./internal/serve/
 
 # Kernel + end-to-end benchmarks with benchstat-ready repetition; the raw
 # output lands in BENCH_thermal.txt and a machine-readable summary (name,

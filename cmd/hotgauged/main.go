@@ -17,6 +17,16 @@
 // SIGINT/SIGTERM starts a graceful drain: the queue stops accepting
 // (429/503), queued jobs are cancelled, and in-flight jobs get -drain
 // to finish before being cancelled at the next step boundary.
+//
+// Every daemon is also a cluster coordinator: point more daemons at it
+// with -join and campaigns shard across them by config hash, with
+// heartbeat leases, work stealing and exactly-once result gathering:
+//
+//	hotgauged -addr :8080 -data-dir /var/lib/hotgauge        # coordinator
+//	hotgauged -addr :8081 -join http://coord:8080            # worker
+//
+// See docs/OPERATIONS.md for topologies and docs/HTTP_API.md for the
+// wire protocol.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -51,6 +62,11 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable state directory: job journal, on-disk result store and run checkpoints; a restarted daemon replays it and resumes interrupted campaigns (empty = in-memory only)")
 	fsync := flag.String("fsync", "interval", "journal fsync policy: always | interval | never (requires -data-dir)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "snapshot each executed run every N steps so interrupted runs resume mid-flight (0 = off; requires -data-dir)")
+	join := flag.String("join", "", "coordinator base URL to join as a cluster worker (e.g. http://coord:8080); empty runs standalone/coordinator")
+	workerName := flag.String("worker", "", "stable worker name on the coordinator (default: host-port of -addr; requires -join)")
+	advertise := flag.String("advertise", "", "base URL the coordinator dials this worker back on (default derived from -addr; requires -join)")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "coordinator lease window: a worker silent this long is declared dead and its runs reassigned")
+	batch := flag.Int("batch", 4, "runs pushed to a worker per dispatch batch (also bounds what a dying worker can strand)")
 	verbose := flag.Bool("v", false, "log every request")
 	flag.Parse()
 
@@ -76,6 +92,8 @@ func main() {
 		DataDir:         *dataDir,
 		Fsync:           *fsync,
 		CheckpointEvery: *checkpointEvery,
+		ClusterLeaseTTL: *leaseTTL,
+		ClusterBatch:    *batch,
 	})
 	if err != nil {
 		log.Fatalf("hotgauged: %v", err)
@@ -108,6 +126,19 @@ func main() {
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("hotgauged: listening on %s (queue=%d workers=%d cache=%dMiB)", *addr, *queue, *workers, *cacheMB)
 
+	// Joining happens after the listener is up: the coordinator may dial
+	// back with a batch the moment registration lands. JoinCluster keeps
+	// retrying for a while, so worker/coordinator boot order is free.
+	if *join != "" {
+		name, self := workerIdentity(*workerName, *advertise, *addr)
+		if err := srv.JoinCluster(*join, name, self); err != nil {
+			log.Fatalf("hotgauged: %v", err)
+		}
+		log.Printf("hotgauged: joined %s as worker %q (advertising %s)", *join, name, self)
+	} else {
+		log.Printf("hotgauged: coordinating (lease-ttl=%s batch=%d); workers join with -join", *leaseTTL, *batch)
+	}
+
 	select {
 	case err := <-errc:
 		log.Fatalf("hotgauged: %v", err)
@@ -128,6 +159,34 @@ func main() {
 	if err := hs.Shutdown(hctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("hotgauged: http shutdown: %v", err)
 	}
+}
+
+// workerIdentity resolves the worker's cluster name and advertised URL
+// from the -worker/-advertise/-addr flags: explicit values win, and the
+// defaults derive from the listen address (hostname-port as the name,
+// http://127.0.0.1:port as the dial-back URL when -addr has no host).
+// Multi-host deployments must set -advertise — loopback is only right
+// when coordinator and worker share a machine.
+func workerIdentity(name, adv, addr string) (string, string) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		host, port = "", addr
+	}
+	if adv == "" {
+		dial := host
+		if dial == "" || dial == "0.0.0.0" || dial == "::" {
+			dial = "127.0.0.1"
+		}
+		adv = "http://" + net.JoinHostPort(dial, port)
+	}
+	if name == "" {
+		hn, err := os.Hostname()
+		if err != nil || hn == "" {
+			hn = "worker"
+		}
+		name = hn + "-" + port
+	}
+	return name, adv
 }
 
 // logRequests is a minimal request logger for -v.

@@ -1,10 +1,12 @@
 package hotgauge
 
 import (
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -63,6 +65,137 @@ func TestInternalPackageDocs(t *testing.T) {
 			t.Errorf("%s: package comment is too thin (%d chars) to document what the package models", docPath, len(text))
 		}
 	}
+}
+
+// TestOperationsDocCoversAllFlags keeps docs/OPERATIONS.md honest: every
+// flag cmd/hotgauged defines must be documented there as `-name`, so a
+// new daemon flag cannot ship without its operator documentation.
+func TestOperationsDocCoversAllFlags(t *testing.T) {
+	flags := hotgaugedFlags(t)
+	if len(flags) < 15 {
+		t.Fatalf("found only %d hotgauged flags; the flag scan is broken: %v", len(flags), flags)
+	}
+	doc, err := os.ReadFile(filepath.Join("docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatalf("docs/OPERATIONS.md must exist and document every hotgauged flag: %v", err)
+	}
+	text := string(doc)
+	for _, name := range flags {
+		if !strings.Contains(text, "`-"+name+"`") && !strings.Contains(text, "`-"+name+" ") {
+			t.Errorf("docs/OPERATIONS.md does not document the hotgauged flag -%s", name)
+		}
+	}
+}
+
+// hotgaugedFlags parses cmd/hotgauged/main.go and returns the name of
+// every flag.String/Int/Bool/Duration/... definition.
+func hotgaugedFlags(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("cmd", "hotgauged", "main.go"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flags []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "flag" {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		name := strings.Trim(lit.Value, `"`)
+		if name != "" {
+			flags = append(flags, name)
+		}
+		return true
+	})
+	return flags
+}
+
+// TestDocLinksResolve walks every Markdown doc and checks each relative
+// link: the target file must exist, and a #fragment must match a
+// heading in the target (GitHub anchor style). External links and bare
+// code spans are ignored.
+func TestDocLinksResolve(t *testing.T) {
+	docs := []string{"README.md", "ARCHITECTURE.md"}
+	entries, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs = append(docs, entries...)
+	if len(entries) < 2 {
+		t.Fatalf("expected docs/OPERATIONS.md and docs/HTTP_API.md under docs/, found %v", entries)
+	}
+
+	linkRe := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := doc // same-file fragment
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(doc), path)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: link %q points at a missing file", doc, target)
+					continue
+				}
+			}
+			if frag != "" && !hasAnchor(t, resolved, frag) {
+				t.Errorf("%s: link %q points at a missing anchor #%s in %s", doc, target, frag, resolved)
+			}
+		}
+	}
+}
+
+// hasAnchor reports whether a Markdown file contains a heading whose
+// GitHub-style slug equals frag.
+func hasAnchor(t *testing.T, path, frag string) bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false // non-Markdown target; only files with headings can anchor
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		if anchorSlug(strings.TrimLeft(line, "# ")) == frag {
+			return true
+		}
+	}
+	return false
+}
+
+// anchorSlug approximates GitHub's heading-to-anchor rule: lowercase,
+// drop everything but letters/digits/spaces/hyphens, spaces to hyphens.
+func anchorSlug(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
 }
 
 // TestNoStrayPackageComments keeps each package's documentation in its

@@ -1,0 +1,16 @@
+// Package cluster shards hotgauged campaigns across a fleet of worker
+// daemons. A Coordinator owns the scheduling state: a consistent-hash
+// Ring maps each run's canonical config hash to an owning worker (so
+// the content-addressed result store and campaign dedup keep working
+// cluster-wide), a membership table tracks workers registered over
+// HTTP with heartbeat-renewed liveness, and a LeaseTable bounds how
+// long a dispatched batch may stay outstanding before its runs are
+// reassigned. Runs are pushed to workers in bounded batches, idle
+// workers steal queued runs from backlogged ones, and a worker whose
+// heartbeats stop has its leases expired and its runs re-dispatched to
+// the survivors — results are resolved exactly once per run no matter
+// how many assignments raced. The Worker half registers with a
+// coordinator, executes pushed batches through a caller-provided
+// Executor (the serving layer's cache-then-simulate path, including
+// its retry machinery), and posts results back as they complete.
+package cluster

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"hotgauge/internal/sim"
+)
+
+// Wire types of the cluster control plane. All endpoints speak JSON;
+// the serving layer mounts the coordinator handlers on the daemon mux
+// next to the campaign API, so one hotgauged port carries both planes.
+
+// joinRequest registers a worker (POST /cluster/join).
+type joinRequest struct {
+	// Name is the worker's stable identity; rejoining under the same
+	// name revives the registration instead of adding a second worker.
+	Name string `json:"name"`
+	// Addr is the worker's base URL, dialable from the coordinator.
+	Addr string `json:"addr"`
+}
+
+// joinResponse acknowledges a join.
+type joinResponse struct {
+	OK bool `json:"ok"`
+	// LeaseTTLMS tells the worker the lease window; workers heartbeat
+	// at a third of it.
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	// Batch is the coordinator's batch bound, advisory for workers
+	// sizing their local run concurrency.
+	Batch int `json:"batch"`
+}
+
+// heartbeatRequest renews a worker's liveness (POST /cluster/heartbeat).
+type heartbeatRequest struct {
+	Name string `json:"name"`
+}
+
+// batchRequest pushes runs to a worker (POST {worker}/cluster/batch).
+type batchRequest struct {
+	Runs []sim.RemoteRun `json:"runs"`
+}
+
+// resultsRequest posts finished runs back (POST /cluster/results).
+type resultsRequest struct {
+	Worker  string             `json:"worker"`
+	Results []sim.RemoteResult `json:"results"`
+}
+
+// resultsResponse acknowledges how many results were accepted; the
+// remainder were duplicates of already-resolved runs.
+type resultsResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// httpError writes a JSON error body mirroring the serve layer's shape.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeInto decodes a bounded JSON body, rejecting trailing garbage.
+func decodeInto(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// HandleJoin is POST /cluster/join: register (or revive) a worker.
+func (c *Coordinator) HandleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := decodeInto(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad join request: %v", err)
+		return
+	}
+	if err := c.join(req.Name, req.Addr); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, joinResponse{
+		OK:         true,
+		LeaseTTLMS: c.opts.LeaseTTL.Milliseconds(),
+		Batch:      c.opts.Batch,
+	})
+}
+
+// HandleHeartbeat is POST /cluster/heartbeat: renew liveness and every
+// lease the worker holds. Unknown workers get 404 — the cue to rejoin
+// (the coordinator restarted, or declared them dead).
+func (c *Coordinator) HandleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if err := decodeInto(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad heartbeat: %v", err)
+		return
+	}
+	if !c.heartbeat(req.Name) {
+		httpError(w, http.StatusNotFound, "cluster: unknown worker %q, rejoin", req.Name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// HandleResults is POST /cluster/results: accept finished runs. Always
+// 200 — duplicates are acknowledged so the worker stops retrying them,
+// and the accepted count tells it (and tests) how many were first.
+func (c *Coordinator) HandleResults(w http.ResponseWriter, r *http.Request) {
+	var req resultsRequest
+	if err := decodeInto(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad results post: %v", err)
+		return
+	}
+	accepted := 0
+	for _, rr := range req.Results {
+		if c.result(req.Worker, rr) {
+			accepted++
+		}
+	}
+	writeJSON(w, http.StatusOK, resultsResponse{Accepted: accepted})
+}
+
+// HandleStatus is GET /cluster/status: the scheduler snapshot.
+func (c *Coordinator) HandleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Lease records one dispatched run's custody: which worker holds it and
+// until when. A lease is granted when the run is pushed in a batch,
+// renewed to a fresh TTL by every heartbeat from its worker (liveness,
+// not speed, is what a lease certifies — slow workers are handled by
+// work stealing, dead ones by expiry), released when the run's result
+// arrives, and expired by the coordinator's sweep once the worker's
+// heartbeats stop.
+type Lease struct {
+	// Key is the run's cluster-wide identity (RemoteRun.Key()).
+	Key string
+	// Hash is the run's canonical config hash.
+	Hash string
+	// Worker is the holder's name.
+	Worker string
+	// Expires is the instant the lease lapses unless renewed.
+	Expires time.Time
+}
+
+// LeaseTable tracks the outstanding leases of a coordinator. All
+// methods take explicit instants, so expiry is exact under a fake
+// clock in tests and under the real clock in production. Safe for
+// concurrent use.
+type LeaseTable struct {
+	ttl time.Duration
+
+	mu     sync.Mutex
+	leases map[string]Lease // by Key
+}
+
+// NewLeaseTable creates an empty table with the given TTL.
+func NewLeaseTable(ttl time.Duration) *LeaseTable {
+	return &LeaseTable{ttl: ttl, leases: map[string]Lease{}}
+}
+
+// TTL returns the table's lease duration.
+func (t *LeaseTable) TTL() time.Duration { return t.ttl }
+
+// Grant creates (or reassigns) the lease for key, expiring one TTL
+// after now, and returns it.
+func (t *LeaseTable) Grant(key, hash, worker string, now time.Time) Lease {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l := Lease{Key: key, Hash: hash, Worker: worker, Expires: now.Add(t.ttl)}
+	t.leases[key] = l
+	return l
+}
+
+// Renew extends every lease held by worker to one TTL after now and
+// reports how many it touched. Heartbeats call it: a worker that still
+// beats keeps custody of everything dispatched to it.
+func (t *LeaseTable) Renew(worker string, now time.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for k, l := range t.leases {
+		if l.Worker == worker {
+			l.Expires = now.Add(t.ttl)
+			t.leases[k] = l
+			n++
+		}
+	}
+	return n
+}
+
+// Release removes the lease for key (the run's result arrived) and
+// returns it, ok=false if no lease was outstanding.
+func (t *LeaseTable) Release(key string) (Lease, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.leases[key]
+	if ok {
+		delete(t.leases, key)
+	}
+	return l, ok
+}
+
+// ReleaseWorker removes and returns every lease held by worker — the
+// bulk path when a worker is declared dead and its runs requeue.
+func (t *LeaseTable) ReleaseWorker(worker string) []Lease {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Lease
+	for k, l := range t.leases {
+		if l.Worker == worker {
+			out = append(out, l)
+			delete(t.leases, k)
+		}
+	}
+	return out
+}
+
+// Expire removes and returns every lease whose expiry is at or before
+// now. The coordinator's sweep reassigns the returned runs.
+func (t *LeaseTable) Expire(now time.Time) []Lease {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Lease
+	for k, l := range t.leases {
+		if !l.Expires.After(now) {
+			out = append(out, l)
+			delete(t.leases, k)
+		}
+	}
+	return out
+}
+
+// Held reports how many leases worker currently holds.
+func (t *LeaseTable) Held(worker string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, l := range t.leases {
+		if l.Worker == worker {
+			n++
+		}
+	}
+	return n
+}
+
+// Len reports the number of outstanding leases.
+func (t *LeaseTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.leases)
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// The lease table takes explicit instants everywhere, so these tests
+// drive a fake clock by hand — no sleeping, exact expiry boundaries.
+
+func TestLeaseGrantRenewExpire(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	lt := NewLeaseTable(10 * time.Second)
+
+	lt.Grant("job-1/0", "h0", "alpha", t0)
+	lt.Grant("job-1/1", "h1", "alpha", t0)
+	lt.Grant("job-1/2", "h2", "beta", t0)
+	if lt.Len() != 3 || lt.Held("alpha") != 2 || lt.Held("beta") != 1 {
+		t.Fatalf("after grants: len=%d alpha=%d beta=%d", lt.Len(), lt.Held("alpha"), lt.Held("beta"))
+	}
+
+	// Nothing expires inside the TTL, boundary inclusive at expiry.
+	if got := lt.Expire(t0.Add(9 * time.Second)); len(got) != 0 {
+		t.Fatalf("expired %d leases before the TTL", len(got))
+	}
+
+	// alpha heartbeats at t0+8s: its leases now run to t0+18s.
+	if n := lt.Renew("alpha", t0.Add(8*time.Second)); n != 2 {
+		t.Fatalf("renewed %d leases, want 2", n)
+	}
+
+	// At t0+10s beta's lease (never renewed) lapses; alpha's survive.
+	expired := lt.Expire(t0.Add(10 * time.Second))
+	if len(expired) != 1 || expired[0].Worker != "beta" || expired[0].Key != "job-1/2" {
+		t.Fatalf("expired %+v, want beta's job-1/2", expired)
+	}
+	if lt.Len() != 2 {
+		t.Fatalf("table holds %d leases after beta's expiry, want 2", lt.Len())
+	}
+
+	// At t0+18s alpha's renewed leases lapse too.
+	if got := lt.Expire(t0.Add(18 * time.Second)); len(got) != 2 {
+		t.Fatalf("expired %d of alpha's leases, want 2", len(got))
+	}
+	if lt.Len() != 0 {
+		t.Fatalf("table not empty at the end: %d", lt.Len())
+	}
+}
+
+func TestLeaseReleaseAndReleaseWorker(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0)
+	lt := NewLeaseTable(time.Minute)
+	lt.Grant("a/0", "h", "w1", t0)
+	lt.Grant("a/1", "h", "w1", t0)
+	lt.Grant("a/2", "h", "w2", t0)
+
+	if l, ok := lt.Release("a/0"); !ok || l.Worker != "w1" {
+		t.Fatalf("Release(a/0) = %+v, %v", l, ok)
+	}
+	if _, ok := lt.Release("a/0"); ok {
+		t.Fatal("double release reported a lease")
+	}
+	released := lt.ReleaseWorker("w1")
+	if len(released) != 1 || released[0].Key != "a/1" {
+		t.Fatalf("ReleaseWorker(w1) = %+v, want just a/1", released)
+	}
+	if lt.Len() != 1 || lt.Held("w2") != 1 {
+		t.Fatalf("after releases: len=%d w2=%d", lt.Len(), lt.Held("w2"))
+	}
+}
+
+// TestLeaseRegrantMovesCustody covers reassignment: granting an
+// existing key to a new worker replaces the old custody, so an expiry
+// sweep after the move never touches the new holder's lease.
+func TestLeaseRegrantMovesCustody(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0)
+	lt := NewLeaseTable(5 * time.Second)
+	lt.Grant("j/0", "h", "old", t0)
+	lt.Grant("j/0", "h", "new", t0.Add(4*time.Second))
+	if lt.Held("old") != 0 || lt.Held("new") != 1 {
+		t.Fatalf("custody old=%d new=%d after regrant", lt.Held("old"), lt.Held("new"))
+	}
+	// The regrant reset the deadline: nothing lapses at the old expiry.
+	if got := lt.Expire(t0.Add(5 * time.Second)); len(got) != 0 {
+		t.Fatalf("regranted lease expired on the old deadline: %+v", got)
+	}
+	if got := lt.Expire(t0.Add(9 * time.Second)); len(got) != 1 || got[0].Worker != "new" {
+		t.Fatalf("expiry after regrant = %+v", got)
+	}
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"time"
+)
+
+// remoteWorker is the coordinator's view of one registered worker: its
+// dial address, its liveness (last heartbeat), its queue of runs owned
+// but not yet dispatched, and the runs currently out on its open batch.
+// All fields are guarded by the coordinator's mutex.
+type remoteWorker struct {
+	name     string
+	addr     string // base URL, e.g. http://10.0.0.7:8081
+	lastBeat time.Time
+	dead     bool
+
+	// queue holds runs assigned to this worker awaiting dispatch;
+	// resolved or reassigned tasks are skipped lazily at pop time.
+	queue []*task
+	// inflight holds the runs of the open batch, keyed by task key. A
+	// worker gets at most one open batch: the next is pushed only once
+	// every run of the previous one resolved — bounded outstanding
+	// work is both the flow control and the blast radius of a death.
+	inflight map[string]*task
+	// sending marks a batch POST in flight to this worker.
+	sending bool
+}
+
+// busy reports whether the worker has an open batch (results pending or
+// a push on the wire).
+func (w *remoteWorker) busy() bool { return w.sending || len(w.inflight) > 0 }
+
+// queuedLen counts the unresolved tasks in the worker's queue.
+func (w *remoteWorker) queuedLen() int {
+	n := 0
+	for _, t := range w.queue {
+		if !t.resolved && t.worker == w.name {
+			n++
+		}
+	}
+	return n
+}
+
+// join registers (or revives) a worker. Rejoining with the same name —
+// a restarted worker, or one the coordinator had declared dead — resets
+// its state; any runs it held were already reassigned when it was
+// declared dead, and a result it still posts for an old assignment is
+// deduplicated by the resolver.
+func (c *Coordinator) join(name, addr string) error {
+	if name == "" {
+		return fmt.Errorf("cluster: join without a worker name")
+	}
+	u, err := url.Parse(addr)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return fmt.Errorf("cluster: join %q with unusable address %q", name, addr)
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: coordinator is shut down")
+	}
+	w := c.workers[name]
+	if w == nil {
+		w = &remoteWorker{name: name, inflight: map[string]*task{}}
+		c.workers[name] = w
+	}
+	if w.dead || w.addr != addr {
+		// A revived or re-addressed worker starts clean: whatever it
+		// held was reassigned at death, and stale inflight bookkeeping
+		// must not block its first batch.
+		w.inflight = map[string]*task{}
+		w.queue = nil
+		w.sending = false
+	}
+	w.addr = addr
+	w.dead = false
+	w.lastBeat = c.clock()
+	c.ring.Add(name)
+	c.mJoins.Inc()
+	// Runs parked while no worker was alive get an owner now.
+	c.placeUnassignedLocked()
+	c.mu.Unlock()
+	c.kickDispatch()
+	return nil
+}
+
+// heartbeat refreshes a worker's liveness and renews its leases,
+// reporting false for unknown (or dead-and-forgotten) workers so the
+// HTTP layer can tell them to re-register.
+func (c *Coordinator) heartbeat(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[name]
+	if w == nil || w.dead {
+		return false
+	}
+	now := c.clock()
+	w.lastBeat = now
+	c.leases.Renew(name, now)
+	return true
+}
+
+// markDeadLocked declares a worker dead: it leaves the ring, its leases
+// are released, and every run it held (queued or in flight) is
+// reassigned to the survivors. Idempotent. Caller holds c.mu and must
+// kick the dispatcher afterwards.
+func (c *Coordinator) markDeadLocked(w *remoteWorker, reason string) {
+	if w.dead {
+		return
+	}
+	w.dead = true
+	w.sending = false
+	c.ring.Remove(w.name)
+	c.mWorkersLost.Inc()
+	c.leases.ReleaseWorker(w.name)
+
+	moved := 0
+	for _, t := range w.inflight {
+		if !t.resolved {
+			c.reassignLocked(t, reason)
+			moved++
+		}
+	}
+	w.inflight = map[string]*task{}
+	for _, t := range w.queue {
+		if !t.resolved && t.worker == w.name {
+			c.reassignLocked(t, reason)
+			moved++
+		}
+	}
+	w.queue = nil
+	if moved > 0 {
+		c.mReassigned.Add(int64(moved))
+	}
+}
+
+// aliveLocked counts live workers. Caller holds c.mu.
+func (c *Coordinator) aliveLocked() int {
+	n := 0
+	for _, w := range c.workers {
+		if !w.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// AliveWorkers reports how many registered workers are currently live.
+// The serving layer consults it to decide whether a job fans out to the
+// cluster or runs on the local campaign path.
+func (c *Coordinator) AliveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aliveLocked()
+}

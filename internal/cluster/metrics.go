@@ -1,0 +1,73 @@
+package cluster
+
+// Metric names the cluster layer records into its obs.Registry. The
+// coordinator's counters share the registry with the serve/* and sim/*
+// metrics of the daemon hosting it, so /metrics shows the whole
+// scheduling story in one snapshot; the cluster/worker_* names are
+// recorded on the worker daemon's side.
+const (
+	// MetricWorkers gauges the workers currently registered and alive;
+	// MetricPendingRuns / MetricLeasedRuns gauge the scheduler backlog
+	// (queued, not yet dispatched) and the runs out on lease.
+	MetricWorkers     = "cluster/workers"
+	MetricPendingRuns = "cluster/pending_runs"
+	MetricLeasedRuns  = "cluster/leased_runs"
+
+	// MetricJoins counts worker registrations (including rejoins after
+	// a coordinator restart); MetricWorkersLost counts workers declared
+	// dead — heartbeats stopped past the lease TTL, or a batch push
+	// failed outright.
+	MetricJoins       = "cluster/joins"
+	MetricWorkersLost = "cluster/workers_lost"
+
+	// MetricBatchesDispatched / MetricRunsDispatched count pushed
+	// batches and the runs inside them; MetricDispatchErrors counts
+	// batch pushes that failed (the target is then declared dead and
+	// its runs reassigned).
+	MetricBatchesDispatched = "cluster/batches_dispatched"
+	MetricRunsDispatched    = "cluster/runs_dispatched"
+	MetricDispatchErrors    = "cluster/dispatch_errors"
+
+	// MetricResultsReceived counts run results accepted by the gather
+	// endpoint; MetricDuplicateResults counts late or double results
+	// for runs already resolved (a reassigned run's original worker
+	// finishing anyway) — they are acknowledged and dropped, which is
+	// how exactly-once resolution survives reassignment races.
+	MetricResultsReceived  = "cluster/results_received"
+	MetricDuplicateResults = "cluster/duplicate_results"
+
+	// MetricLeasesGranted / MetricLeasesExpired count lease lifecycle
+	// events; MetricRunsReassigned counts runs moved to a new worker
+	// after their lease expired or their worker died;
+	// MetricRunsStolen counts queued runs migrated from a backlogged
+	// worker to an idle one by the steal loop.
+	MetricLeasesGranted  = "cluster/leases_granted"
+	MetricLeasesExpired  = "cluster/leases_expired"
+	MetricRunsReassigned = "cluster/runs_reassigned"
+	MetricRunsStolen     = "cluster/runs_stolen"
+
+	// MetricLocalRuns counts runs the coordinator executed itself
+	// because no worker was alive to take them (the single-node
+	// fallback inside a cluster-mode job).
+	MetricLocalRuns = "cluster/local_runs"
+
+	// MetricRunsAbandoned counts runs resolved with an error after
+	// exhausting their assignment budget — the backstop against a run
+	// that kills every worker it lands on.
+	MetricRunsAbandoned = "cluster/runs_abandoned"
+
+	// MetricOrphanLeases counts lease-granted journal records replayed
+	// at startup whose runs never reached a terminal state: the runs a
+	// crashed coordinator had in flight on workers. The jobs owning
+	// them are requeued by the normal journal recovery, so an orphan
+	// lease costs a re-dispatch, never a lost result.
+	MetricOrphanLeases = "cluster/orphan_leases"
+
+	// Worker-side counters: batches accepted, runs executed for the
+	// coordinator, result posts that exhausted their retries, and
+	// re-registrations after the coordinator forgot us (restart).
+	MetricWorkerBatches    = "cluster/worker_batches"
+	MetricWorkerRuns       = "cluster/worker_runs"
+	MetricWorkerPostErrors = "cluster/worker_post_errors"
+	MetricWorkerRejoins    = "cluster/worker_rejoins"
+)

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// hashKeys fabricates n content-hash-like keys.
+func hashKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%064x", i*2654435761)
+	}
+	return keys
+}
+
+// owners maps every key to its current ring owner.
+func owners(r *Ring, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		n, ok := r.Owner(k)
+		if !ok {
+			continue
+		}
+		out[k] = n
+	}
+	return out
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner("anything"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("empty ring Len = %d", r.Len())
+	}
+	r.Remove("ghost") // must not panic
+}
+
+// TestRingBalance checks load spread: across 1k hashes, every node's
+// share stays within ±20% of the fair share for realistic fleet sizes.
+func TestRingBalance(t *testing.T) {
+	keys := hashKeys(1000)
+	for _, nodes := range []int{2, 3, 5, 8} {
+		t.Run(fmt.Sprintf("%dnodes", nodes), func(t *testing.T) {
+			r := NewRing(0)
+			for i := 0; i < nodes; i++ {
+				r.Add(fmt.Sprintf("worker-%d", i))
+			}
+			counts := map[string]int{}
+			for _, k := range keys {
+				n, ok := r.Owner(k)
+				if !ok {
+					t.Fatal("no owner on a populated ring")
+				}
+				counts[n]++
+			}
+			if len(counts) != nodes {
+				t.Fatalf("only %d of %d nodes own keys", len(counts), nodes)
+			}
+			fair := float64(len(keys)) / float64(nodes)
+			for n, c := range counts {
+				if dev := float64(c)/fair - 1; dev > 0.20 || dev < -0.20 {
+					t.Errorf("node %s owns %d keys, %.0f%% off the fair share %.0f",
+						n, c, dev*100, fair)
+				}
+			}
+		})
+	}
+}
+
+// TestRingMinimalRemap checks the consistent-hashing contract on
+// membership changes: only the affected node's keys move.
+func TestRingMinimalRemap(t *testing.T) {
+	keys := hashKeys(1000)
+	cases := []struct {
+		name   string
+		mutate func(r *Ring)
+		// maxMovedFrac bounds the fraction of keys allowed to change
+		// owner; joins and leaves of one node out of five should move
+		// about 1/5 (joins) or exactly the leaver's share (leaves).
+		maxMovedFrac float64
+	}{
+		{name: "join", mutate: func(r *Ring) { r.Add("worker-new") }, maxMovedFrac: 0.30},
+		{name: "leave", mutate: func(r *Ring) { r.Remove("worker-2") }, maxMovedFrac: 0.30},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRing(0)
+			for i := 0; i < 5; i++ {
+				r.Add(fmt.Sprintf("worker-%d", i))
+			}
+			before := owners(r, keys)
+			tc.mutate(r)
+			after := owners(r, keys)
+			moved := 0
+			for _, k := range keys {
+				if before[k] != after[k] {
+					moved++
+					// A moved key must involve the mutated node on one
+					// side: either it moved TO the joiner or FROM the
+					// leaver. Anything else is gratuitous churn.
+					switch tc.name {
+					case "join":
+						if after[k] != "worker-new" {
+							t.Fatalf("key %s moved %s→%s on an unrelated join",
+								k, before[k], after[k])
+						}
+					case "leave":
+						if before[k] != "worker-2" {
+							t.Fatalf("key %s moved %s→%s on an unrelated leave",
+								k, before[k], after[k])
+						}
+					}
+				}
+			}
+			if frac := float64(moved) / float64(len(keys)); frac > tc.maxMovedFrac {
+				t.Fatalf("%s moved %.0f%% of keys, want <= %.0f%%",
+					tc.name, frac*100, tc.maxMovedFrac*100)
+			}
+			if moved == 0 {
+				t.Fatalf("%s moved no keys at all", tc.name)
+			}
+		})
+	}
+}
+
+// TestRingRemoveRestoresPriorOwners checks that a join followed by the
+// symmetric leave restores the original mapping exactly.
+func TestRingRemoveRestoresPriorOwners(t *testing.T) {
+	keys := hashKeys(300)
+	r := NewRing(0)
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("worker-%d", i))
+	}
+	before := owners(r, keys)
+	r.Add("worker-temp")
+	r.Remove("worker-temp")
+	after := owners(r, keys)
+	for _, k := range keys {
+		if before[k] != after[k] {
+			t.Fatalf("key %s ended on %s, was on %s before the join/leave cycle",
+				k, after[k], before[k])
+		}
+	}
+}
+
+func TestRingAddIdempotent(t *testing.T) {
+	r := NewRing(8)
+	r.Add("w")
+	r.Add("w")
+	if got := len(r.keys); got != 8 {
+		t.Fatalf("double Add left %d points, want 8", got)
+	}
+}

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"hotgauge/internal/cluster"
+	"hotgauge/internal/sim"
+	"hotgauge/internal/store"
+)
+
+// newCoordinator builds the server's cluster coordinator. Every daemon
+// gets one — a daemon with no registered workers is simply a cluster of
+// zero, its jobs running on the ordinary local campaign path — so
+// turning a single node into a coordinator is nothing more than
+// pointing workers at it.
+func (s *Server) newCoordinator() *cluster.Coordinator {
+	return cluster.NewCoordinator(cluster.CoordinatorOptions{
+		LeaseTTL:     s.opts.ClusterLeaseTTL,
+		Batch:        s.opts.ClusterBatch,
+		Registry:     s.reg,
+		OnLease:      s.journalLease,
+		LocalExec:    s.executeRemoteRun,
+		LocalWorkers: s.opts.RunWorkers,
+	})
+}
+
+// journalLease appends a lease transition to the journal (when
+// durability is on) so a restarted coordinator can count the runs that
+// were out on workers at the crash. Lease records ride the same WAL as
+// job records; compaction drops them because recovery requeues every
+// non-terminal run anyway.
+func (s *Server) journalLease(ev cluster.LeaseEvent) {
+	if s.st == nil {
+		return
+	}
+	typ := store.RecLeaseGranted
+	if ev.Kind == cluster.LeaseExpired {
+		typ = store.RecLeaseExpired
+	}
+	b, err := store.LeaseRecord{
+		Type:          typ,
+		Job:           ev.Job,
+		Run:           ev.Run,
+		Hash:          ev.Hash,
+		Worker:        ev.Worker,
+		ExpiresUnixMS: ev.Expires.UnixMilli(),
+	}.Marshal()
+	if err == nil {
+		err = s.st.Journal.Append(b)
+	}
+	if err != nil {
+		s.mStoreErrors.Inc()
+	}
+}
+
+// JoinCluster turns this daemon into a worker of the given coordinator:
+// it registers under name (advertising selfURL as its dialable base
+// URL), starts heartbeating, and begins accepting pushed batches on
+// POST /cluster/batch. Call it after the daemon's listener is up —
+// the coordinator may dial back immediately. The daemon keeps serving
+// its own job API; cluster work shares its executor, cache and store.
+func (s *Server) JoinCluster(coordinatorURL, name, selfURL string) error {
+	w, err := cluster.NewWorker(cluster.WorkerOptions{
+		Name:        name,
+		Coordinator: coordinatorURL,
+		SelfURL:     selfURL,
+		Exec:        s.executeRemoteRun,
+		Registry:    s.reg,
+		Concurrency: s.opts.RunWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.Start(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.cworker = w
+	s.mu.Unlock()
+	return nil
+}
+
+// ClusterWorker returns the daemon's worker half, nil unless JoinCluster
+// succeeded. Tests use it to kill a worker mid-campaign.
+func (s *Server) ClusterWorker() *cluster.Worker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cworker
+}
+
+// Coordinator returns the daemon's coordinator (never nil after New).
+func (s *Server) Coordinator() *cluster.Coordinator { return s.coord }
+
+// clusterHealth is the /healthz cluster block: the worker view when
+// this daemon joined a coordinator, its own coordinator view otherwise.
+func (s *Server) clusterHealth() cluster.Health {
+	if w := s.ClusterWorker(); w != nil {
+		return w.Health()
+	}
+	return s.coord.Health()
+}
+
+// handleBatch is POST /cluster/batch: the worker half's run intake. A
+// daemon that never joined a cluster refuses batches — only a worker
+// executes on a coordinator's behalf.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	cw := s.ClusterWorker()
+	if cw == nil {
+		httpError(w, http.StatusServiceUnavailable, "this daemon is not a cluster worker (start it with -join)")
+		return
+	}
+	cw.HandleBatch(w, r)
+}
+
+// executeRemoteRun is the daemon's single-run executor, shared by its
+// worker half (runs pushed by a coordinator) and its coordinator half
+// (the no-workers-alive local fallback). It is the campaign path in
+// miniature: content-addressed cache lookup first, then a fully wrapped
+// simulation — checkpointer, fault injection, per-run timeout, retry
+// with explicit fallback — and the payload is cached and persisted
+// before it is returned, so the run's bytes are durable before the
+// coordinator resolves it.
+func (s *Server) executeRemoteRun(ctx context.Context, run sim.RemoteRun) ([]byte, error) {
+	var spec ConfigSpec
+	if err := json.Unmarshal(run.Spec, &spec); err != nil {
+		return nil, fmt.Errorf("serve: undecodable run spec: %w", err)
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, fmt.Errorf("serve: run spec does not materialize here: %w", err)
+	}
+	h, err := cfg.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if h != run.Hash {
+		return nil, fmt.Errorf("serve: config hash mismatch: coordinator sent %s, this daemon computes %s (version skew?)", run.Hash, h)
+	}
+	if data, ok := s.lookupResult(h); ok {
+		s.mCached.Inc()
+		return data, nil
+	}
+
+	s.checkpointerFor(&cfg, h)
+	if s.opts.FaultRate > 0 {
+		cfg.Solver = s.flakySolver(cfg.Solver, int64(run.Index))
+	}
+	if s.wrapCfg != nil {
+		cfg = s.wrapCfg(run.Index, cfg)
+	}
+
+	var payload []byte
+	var runErr error
+	_, _ = sim.CampaignCtx(ctx, []sim.Config{cfg}, sim.CampaignOptions{
+		Workers:    1,
+		Obs:        s.reg,
+		RunTimeout: s.opts.RunTimeout,
+		Retry: sim.RetryPolicy{
+			MaxAttempts:      s.opts.Retries + 1,
+			ExplicitFallback: true,
+		},
+		OnResult: func(_ int, r *sim.Result, err error) {
+			if err != nil {
+				runErr = err
+				return
+			}
+			payload, runErr = json.Marshal(newRunView(spec, h, r))
+		},
+	})
+	if runErr != nil {
+		var rte *sim.RunTimeoutError
+		if errors.As(runErr, &rte) {
+			s.mTimeouts.Inc()
+		}
+		return nil, runErr
+	}
+	s.cache.Put(h, payload)
+	s.persistResult(h, payload)
+	s.mExecuted.Inc()
+	return payload, nil
+}
+
+// runJobRemote fans a job's cache-missing runs out across the cluster
+// and gathers their results into the job exactly as the local campaign
+// path would: payloads persist to the content-addressed store, run
+// records journal after their bytes are durable, and per-run failures
+// land on their run alone. Runs cut short by cancellation or the job
+// deadline are "skipped" (they said nothing about their config), and a
+// worker-side per-run timeout counts in serve/timeouts here too.
+func (s *Server) runJobRemote(ctx context.Context, j *Job, missIdx []int) {
+	runs := make([]sim.RemoteRun, len(missIdx))
+	for k, i := range missIdx {
+		specBytes, _ := json.Marshal(j.Specs[i])
+		runs[k] = sim.RemoteRun{Job: j.ID, Index: i, Hash: j.hashes[i], Spec: specBytes}
+		// A spec that fails to marshal leaves Spec empty; Execute rejects
+		// that run through its validator and the failure lands below.
+	}
+	_ = s.coord.Execute(ctx, runs, func(k int, payload []byte, err error) {
+		i := missIdx[k]
+		if err != nil {
+			skipped := errors.Is(err, context.Canceled) ||
+				errors.Is(err, context.DeadlineExceeded) ||
+				errors.Is(err, errJobTimeout)
+			var rre *sim.RemoteRunError
+			if errors.As(err, &rre) && rre.TimedOut {
+				s.mTimeouts.Inc()
+			}
+			var rte *sim.RunTimeoutError
+			if errors.As(err, &rte) {
+				s.mTimeouts.Inc()
+				skipped = false
+			}
+			j.setRunFailed(i, err, skipped)
+			if !skipped {
+				s.journalRec(journalRecord{Type: recRun, Job: j.ID, Run: i,
+					State: RunFailed, Error: err.Error()})
+			}
+			return
+		}
+		// The worker (or fallback executor) already persisted the payload
+		// under its own store; persist under ours too — the coordinator's
+		// store is the one result queries hit.
+		s.cache.Put(j.hashes[i], payload)
+		s.persistResult(j.hashes[i], payload)
+		j.setRunDone(i, payload)
+		s.journalRec(journalRecord{Type: recRun, Job: j.ID, Run: i, State: RunDone})
+	})
+}

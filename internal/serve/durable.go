@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"hotgauge/internal/sim"
+	"hotgauge/internal/store"
 )
 
 // Journal record types. The journal is the crash-safe job ledger: every
@@ -99,9 +100,24 @@ type replayJob struct {
 func (s *Server) recoverJournal() (requeue []*Job, err error) {
 	jobs := map[string]*replayJob{}
 	var order []string
+	// leases tracks lease-granted records not yet cleared by a terminal
+	// run record or an expiry: after replay, the survivors belonging to
+	// requeued jobs are the runs a crashed coordinator had out on
+	// workers. They cost a re-dispatch, never a lost result, and are
+	// counted in cluster/orphan_leases for the operator.
+	leases := map[string]string{} // "job/run" → job id
 	err = s.st.Journal.Replay(func(payload []byte) error {
 		var rec journalRecord
 		if json.Unmarshal(payload, &rec) != nil || rec.Job == "" {
+			return nil
+		}
+		leaseKey := fmt.Sprintf("%s/%d", rec.Job, rec.Run)
+		switch rec.Type {
+		case store.RecLeaseGranted:
+			leases[leaseKey] = rec.Job
+			return nil
+		case store.RecLeaseExpired:
+			delete(leases, leaseKey)
 			return nil
 		}
 		switch rec.Type {
@@ -122,6 +138,7 @@ func (s *Server) recoverJournal() (requeue []*Job, err error) {
 			}
 			rj.runs[rec.Run].State = rec.State
 			rj.runs[rec.Run].Error = rec.Error
+			delete(leases, leaseKey) // the run reached a terminal state
 		case recFinished:
 			if rj := jobs[rec.Job]; rj != nil {
 				rj.final = JobState(rec.State)
@@ -192,6 +209,19 @@ func (s *Server) recoverJournal() (requeue []*Job, err error) {
 		s.order = append(s.order, id)
 		s.dedup[j.dedupKey] = id
 		requeue = append(requeue, j)
+	}
+	if len(leases) > 0 {
+		requeued := map[string]bool{}
+		for _, j := range requeue {
+			requeued[j.ID] = true
+		}
+		orphans := 0
+		for _, jobID := range leases {
+			if requeued[jobID] {
+				orphans++
+			}
+		}
+		s.mOrphanLeases.Add(int64(orphans))
 	}
 	if s.seq < maxSeq {
 		s.seq = maxSeq

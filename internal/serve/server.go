@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"hotgauge/internal/cluster"
 	"hotgauge/internal/fault"
 	"hotgauge/internal/obs"
 	"hotgauge/internal/report"
@@ -86,6 +87,15 @@ type Options struct {
 	// FaultSeed seeds the fault injection deterministically (per run:
 	// FaultSeed + run index).
 	FaultSeed int64
+
+	// ClusterLeaseTTL is the coordinator's lease window: how long a
+	// worker may go silent before it is declared dead and its runs are
+	// reassigned (default 10s). Workers heartbeat at a third of it.
+	ClusterLeaseTTL time.Duration
+	// ClusterBatch caps the runs pushed to a worker per dispatch
+	// (default 4). A worker holds at most one open batch, so this also
+	// bounds how many runs a dying worker can strand for one lease TTL.
+	ClusterBatch int
 }
 
 // Server is the campaign service: an http.Handler exposing the job API
@@ -108,6 +118,13 @@ type Server struct {
 	st        *store.Store
 	storeOnce sync.Once
 
+	// coord is this daemon's cluster coordinator — always present; with
+	// no registered workers it is a cluster of zero and jobs run on the
+	// local campaign path. cworker is the worker half, set by
+	// JoinCluster (guarded by mu).
+	coord   *cluster.Coordinator
+	cworker *cluster.Worker
+
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	order  []string          // submission order, for listing
@@ -120,6 +137,7 @@ type Server struct {
 	mCompleted, mFailed, mCancelled, mExecuted, mCached *obs.Counter
 	mTimeouts, mBodyRejected                            *obs.Counter
 	mStoreErrors, mRecovered, mDeduped                  *obs.Counter
+	mOrphanLeases                                       *obs.Counter
 
 	// beforeRun, when non-nil, runs after a job transitions to running
 	// and before its campaign starts — a test seam for holding a worker
@@ -179,7 +197,9 @@ func New(opts Options) (*Server, error) {
 		mStoreErrors:  opts.Registry.Counter(MetricStoreErrors),
 		mRecovered:    opts.Registry.Counter(MetricRecoveredJobs),
 		mDeduped:      opts.Registry.Counter(MetricJobsDeduped),
+		mOrphanLeases: opts.Registry.Counter(cluster.MetricOrphanLeases),
 	}
+	s.coord = s.newCoordinator()
 	s.routes()
 
 	var requeue []*Job
@@ -229,6 +249,15 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+
+	// Cluster control plane: the coordinator half answers join,
+	// heartbeat, result and status calls; the worker half (active only
+	// after JoinCluster) accepts pushed batches.
+	s.mux.HandleFunc("POST /cluster/join", s.coord.HandleJoin)
+	s.mux.HandleFunc("POST /cluster/heartbeat", s.coord.HandleHeartbeat)
+	s.mux.HandleFunc("POST /cluster/results", s.coord.HandleResults)
+	s.mux.HandleFunc("GET /cluster/status", s.coord.HandleStatus)
+	s.mux.HandleFunc("POST /cluster/batch", s.handleBatch)
 }
 
 // ServeHTTP implements http.Handler.
@@ -269,8 +298,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 		err = ctx.Err()
 	}
-	// The store closes after the last worker exits so every final
-	// journal record lands before the journal's closing sync.
+	// Cluster halves stop after the job workers drain (a draining job's
+	// remote runs need the coordinator alive to gather), and the store
+	// closes last so every final journal record — job and lease alike —
+	// lands before the journal's closing sync.
+	if w := s.ClusterWorker(); w != nil {
+		w.Stop()
+	}
+	s.coord.Close()
 	s.closeStore()
 	return err
 }
@@ -369,7 +404,14 @@ func (s *Server) runJob(j *Job) {
 		}
 	}
 
-	if len(missIdx) > 0 {
+	// With live cluster workers the misses fan out across the cluster;
+	// otherwise (single node, or every worker died before pickup) they
+	// run on the local campaign path. A worker dying mid-fan-out does
+	// not fall back here — the coordinator reassigns its runs, and runs
+	// stranded with no survivors execute through its local executor.
+	if len(missIdx) > 0 && s.coord.AliveWorkers() > 0 {
+		s.runJobRemote(ctx, j, missIdx)
+	} else if len(missIdx) > 0 {
 		cfgs := make([]sim.Config, len(missIdx))
 		for k, i := range missIdx {
 			cfgs[k] = j.cfgs[i]
@@ -793,6 +835,10 @@ type healthResponse struct {
 	// still execute, but their records may not survive a crash until an
 	// append succeeds again.
 	Store string `json:"store,omitempty"`
+	// Cluster reports this daemon's cluster role and scheduling load:
+	// the worker view when it joined a coordinator, its own coordinator
+	// view otherwise (a single node is a coordinator with zero workers).
+	Cluster cluster.Health `json:"cluster"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -808,6 +854,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Jobs:         njobs,
 		CacheEntries: s.cache.Len(),
 		CacheBytes:   s.cache.Bytes(),
+		Cluster:      s.clusterHealth(),
 	}
 	code := http.StatusOK
 	if s.st != nil {

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// RemoteRun is the wire envelope of one run dispatched across the
+// campaign cluster: the coordinator ships it to a worker inside a batch,
+// and both sides address the run by the same canonical content hash the
+// result store uses. Spec is the serving layer's JSON config spec,
+// carried opaquely — the sim layer defines the envelope so the cluster
+// transport does not depend on any particular spec schema, and the
+// worker re-derives Config.Hash() from the materialized spec to detect
+// version skew before executing.
+type RemoteRun struct {
+	// Job is the coordinator-side job id the run belongs to.
+	Job string `json:"job"`
+	// Index is the run's position within the job (0-based).
+	Index int `json:"run"`
+	// Hash is the canonical Config.Hash() of the run's config — the
+	// content address of its result.
+	Hash string `json:"hash"`
+	// Spec is the JSON config spec, opaque to the envelope.
+	Spec json.RawMessage `json:"spec"`
+}
+
+// Key is the run's cluster-wide identity: job id and run index. The
+// coordinator's lease table and exactly-once result resolution key on
+// it.
+func (r RemoteRun) Key() string { return r.Job + "/" + strconv.Itoa(r.Index) }
+
+// Validate rejects an envelope a worker could not execute or a
+// coordinator could not account for.
+func (r RemoteRun) Validate() error {
+	switch {
+	case r.Job == "":
+		return fmt.Errorf("sim: remote run without a job id")
+	case r.Index < 0:
+		return fmt.Errorf("sim: remote run with negative index %d", r.Index)
+	case r.Hash == "":
+		return fmt.Errorf("sim: remote run %s without a config hash", r.Key())
+	case len(r.Spec) == 0:
+		return fmt.Errorf("sim: remote run %s without a spec", r.Key())
+	}
+	return nil
+}
+
+// RemoteResult is the wire envelope of one run's outcome posted back to
+// the coordinator. Exactly one of Payload and Error is meaningful: a
+// successful run carries its marshaled result bytes (stored verbatim in
+// the content-addressed result store, so cluster results stay
+// byte-identical to single-node ones) and a failed run carries the
+// error text plus the TimedOut classification bit the serving layer
+// needs for its timeout accounting.
+type RemoteResult struct {
+	Job   string `json:"job"`
+	Index int    `json:"run"`
+	// Hash echoes the dispatched config hash.
+	Hash    string          `json:"hash"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	// TimedOut marks a failure caused by the worker-side per-run
+	// wall-time budget (*RunTimeoutError), so the coordinator can count
+	// it as a serving-layer timeout without parsing the error text.
+	TimedOut bool `json:"timed_out,omitempty"`
+}
+
+// Key matches RemoteRun.Key for the dispatched run this result answers.
+func (r RemoteResult) Key() string { return r.Job + "/" + strconv.Itoa(r.Index) }
+
+// RemoteRunError is how a worker-reported failure surfaces from the
+// coordinator's result gather: the remote error text plus the worker
+// that produced it. It deliberately does not implement the retry
+// marker interfaces — the worker already ran the full retry policy
+// before reporting, so the coordinator treats the failure as final.
+type RemoteRunError struct {
+	// Worker names the worker that executed (or abandoned) the run.
+	Worker string
+	// Msg is the remote error text.
+	Msg string
+	// TimedOut mirrors RemoteResult.TimedOut.
+	TimedOut bool
+}
+
+// Error implements error.
+func (e *RemoteRunError) Error() string {
+	return fmt.Sprintf("sim: remote run failed on worker %s: %s", e.Worker, e.Msg)
+}

@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# cluster_demo.sh — the docs/OPERATIONS.md three-worker walkthrough,
+# non-interactive.
+#
+# Builds cmd/hotgauged, starts a durable coordinator plus three workers
+# joined to it on scratch ports, waits for all three to register,
+# submits a campaign to the coordinator, kills one worker -9
+# mid-campaign, and asserts that:
+#   * the campaign still completes with every run done,
+#   * the coordinator declared the killed worker dead
+#     (cluster/workers_lost at /metrics),
+#   * the runs were actually dispatched to the cluster, and
+#   * resubmitting the identical campaign is served entirely from the
+#     coordinator's content-addressed store (cluster-wide dedup).
+#
+# Requires: go, curl, jq. Exits nonzero on any failed assertion.
+set -euo pipefail
+
+BASE_PORT="${BASE_PORT:-18090}"
+COORD="http://127.0.0.1:${BASE_PORT}"
+WORKDIR="$(mktemp -d)"
+BIN="${WORKDIR}/hotgauged"
+PIDS=()
+
+# The trap always reaps every daemon — even when an assertion fails
+# mid-script — escalating to SIGKILL so a failed run never leaves stray
+# processes holding the ports.
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        [ -n "${pid}" ] || continue
+        kill "${pid}" 2>/dev/null || true
+    done
+    sleep 0.5
+    for pid in "${PIDS[@]:-}"; do
+        [ -n "${pid}" ] || continue
+        kill -9 "${pid}" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "${WORKDIR}"
+}
+trap cleanup EXIT
+
+fail() { echo "cluster-demo: FAIL: $*" >&2; exit 1; }
+
+# Fail fast if any of the four ports is already taken.
+for off in 0 1 2 3; do
+    port=$((BASE_PORT + off))
+    if (exec 3<>"/dev/tcp/127.0.0.1/${port}") 2>/dev/null; then
+        fail "port ${port} is already in use; stop it or set BASE_PORT=<free base>"
+    fi
+done
+
+echo "cluster-demo: building hotgauged"
+go build -o "${BIN}" ./cmd/hotgauged
+
+wait_healthy() {
+    local base=$1 pid=$2 log=$3
+    for i in $(seq 1 50); do
+        if curl -fsS "${base}/healthz" >/dev/null 2>&1; then return 0; fi
+        kill -0 "${pid}" 2>/dev/null || { cat "${log}" >&2; fail "daemon on ${base} exited early"; }
+        sleep 0.2
+    done
+    fail "daemon on ${base} never became healthy"
+}
+
+echo "cluster-demo: starting coordinator on :${BASE_PORT}"
+"${BIN}" -addr "127.0.0.1:${BASE_PORT}" -data-dir "${WORKDIR}/data" \
+    -lease-ttl 1s -batch 2 >"${WORKDIR}/coord.log" 2>&1 &
+PIDS+=($!)
+wait_healthy "${COORD}" "${PIDS[0]}" "${WORKDIR}/coord.log"
+
+for i in 1 2 3; do
+    port=$((BASE_PORT + i))
+    echo "cluster-demo: starting worker w${i} on :${port}"
+    "${BIN}" -addr "127.0.0.1:${port}" -join "${COORD}" -worker "w${i}" \
+        >"${WORKDIR}/w${i}.log" 2>&1 &
+    PIDS+=($!)
+done
+for i in 1 2 3; do
+    wait_healthy "http://127.0.0.1:$((BASE_PORT + i))" "${PIDS[$i]}" "${WORKDIR}/w${i}.log"
+done
+
+echo "cluster-demo: waiting for all three workers to register"
+for i in $(seq 1 50); do
+    alive="$(curl -fsS "${COORD}/cluster/status" | jq '[.workers[] | select(.alive)] | length')"
+    [ "${alive}" = 3 ] && break
+    sleep 0.2
+done
+[ "${alive}" = 3 ] || fail "only ${alive}/3 workers registered"
+
+CAMPAIGN='{"configs":[
+  {"workload":"gcc","node":7,"steps":40,"warmup":"cold","resolution":0.2},
+  {"workload":"gcc","node":10,"steps":40,"warmup":"cold","resolution":0.2},
+  {"workload":"gcc","node":14,"steps":40,"warmup":"cold","resolution":0.2},
+  {"workload":"gcc","node":7,"steps":80,"warmup":"cold","resolution":0.2},
+  {"workload":"gcc","node":10,"steps":80,"warmup":"cold","resolution":0.2},
+  {"workload":"gcc","node":14,"steps":80,"warmup":"cold","resolution":0.2}
+]}'
+TOTAL=6
+
+submit_and_wait() {
+    local job_id state
+    job_id="$(curl -fsS -X POST "${COORD}/jobs" -d "${CAMPAIGN}" | jq -r .id)"
+    [ -n "${job_id}" ] && [ "${job_id}" != null ] || fail "submit returned no job id"
+    for i in $(seq 1 300); do
+        state="$(curl -fsS "${COORD}/jobs/${job_id}" | jq -r .state)"
+        case "${state}" in
+            done) echo "${job_id}"; return 0 ;;
+            failed|cancelled) curl -fsS "${COORD}/jobs/${job_id}" >&2; fail "job ${job_id} ended ${state}" ;;
+        esac
+        sleep 0.2
+    done
+    fail "job ${job_id} did not finish (last state: ${state})"
+}
+
+echo "cluster-demo: submitting a ${TOTAL}-run campaign, then killing worker w2"
+JOB_ID="$(curl -fsS -X POST "${COORD}/jobs" -d "${CAMPAIGN}" | jq -r .id)"
+[ -n "${JOB_ID}" ] && [ "${JOB_ID}" != null ] || fail "submit returned no job id"
+sleep 0.3
+kill -9 "${PIDS[2]}" 2>/dev/null || true
+echo "cluster-demo: worker w2 killed -9"
+
+for i in $(seq 1 300); do
+    state="$(curl -fsS "${COORD}/jobs/${JOB_ID}" | jq -r .state)"
+    case "${state}" in
+        done) break ;;
+        failed|cancelled) curl -fsS "${COORD}/jobs/${JOB_ID}" >&2; fail "job ${JOB_ID} ended ${state}" ;;
+    esac
+    sleep 0.2
+done
+[ "${state}" = done ] || fail "job ${JOB_ID} did not finish after the kill (last state: ${state})"
+echo "cluster-demo: job ${JOB_ID} done despite the kill"
+
+STATUS="$(curl -fsS "${COORD}/jobs/${JOB_ID}")"
+echo "${STATUS}" | jq -e ".completed + .cached == ${TOTAL} and .failed == 0" >/dev/null \
+    || { echo "${STATUS}" >&2; fail "not every run completed"; }
+for run in $(seq 0 $((TOTAL - 1))); do
+    curl -fsS "${COORD}/jobs/${JOB_ID}/results/${run}" >/dev/null \
+        || fail "run ${run} has no result body"
+done
+
+# The coordinator must notice the death within the 1s lease TTL.
+echo "cluster-demo: waiting for the coordinator to declare w2 dead"
+for i in $(seq 1 50); do
+    lost="$(curl -fsS "${COORD}/metrics" | jq '.counters["cluster/workers_lost"] // 0')"
+    [ "${lost}" -ge 1 ] && break
+    sleep 0.2
+done
+[ "${lost}" -ge 1 ] || fail "cluster/workers_lost never rose after the kill"
+
+METRICS="$(curl -fsS "${COORD}/metrics")"
+echo "${METRICS}" | jq -e ".counters[\"cluster/runs_dispatched\"] >= ${TOTAL}" >/dev/null \
+    || { echo "${METRICS}" | jq .counters >&2; fail "runs were not dispatched to the cluster"; }
+DISPATCHED_BEFORE="$(echo "${METRICS}" | jq '.counters["cluster/runs_dispatched"]')"
+
+echo "cluster-demo: resubmitting the identical campaign (expect cluster-wide dedup)"
+JOB2="$(submit_and_wait)"
+STATUS2="$(curl -fsS "${COORD}/jobs/${JOB2}")"
+echo "${STATUS2}" | jq -e ".cached == ${TOTAL}" >/dev/null \
+    || { echo "${STATUS2}" >&2; fail "resubmission was not fully served from the store"; }
+DISPATCHED_AFTER="$(curl -fsS "${COORD}/metrics" | jq '.counters["cluster/runs_dispatched"]')"
+[ "${DISPATCHED_AFTER}" = "${DISPATCHED_BEFORE}" ] \
+    || fail "resubmission re-dispatched runs (${DISPATCHED_BEFORE} -> ${DISPATCHED_AFTER})"
+
+echo "cluster-demo: OK (workers lost: ${lost}, dispatched: ${DISPATCHED_BEFORE}, dedup resubmission cached ${TOTAL}/${TOTAL})"

@@ -22,14 +22,31 @@ BASE="http://127.0.0.1:${PORT}"
 WORKDIR="$(mktemp -d)"
 BIN="${WORKDIR}/hotgauged"
 
+# The trap always reaps the daemon — even when an assertion fails
+# mid-script — escalating to SIGKILL if it ignores SIGTERM, so a failed
+# run never leaves a stray hotgauged holding the port for the next one.
 cleanup() {
-    [ -n "${DAEMON_PID:-}" ] && kill "${DAEMON_PID}" 2>/dev/null || true
+    if [ -n "${DAEMON_PID:-}" ] && kill -0 "${DAEMON_PID}" 2>/dev/null; then
+        kill "${DAEMON_PID}" 2>/dev/null || true
+        for i in $(seq 1 20); do
+            kill -0 "${DAEMON_PID}" 2>/dev/null || break
+            sleep 0.1
+        done
+        kill -9 "${DAEMON_PID}" 2>/dev/null || true
+    fi
     wait 2>/dev/null || true
     rm -rf "${WORKDIR}"
 }
 trap cleanup EXIT
 
 fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+# Fail fast, with a message that names the culprit, if the port is
+# already taken — otherwise the daemon exits on bind and the failure
+# surfaces as a confusing "daemon exited early" several steps later.
+if (exec 3<>"/dev/tcp/127.0.0.1/${PORT}") 2>/dev/null; then
+    fail "port ${PORT} is already in use (another hotgauged?); stop it or set PORT=<free port>"
+fi
 
 echo "serve-smoke: building hotgauged"
 go build -o "${BIN}" ./cmd/hotgauged
