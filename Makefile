@@ -3,9 +3,9 @@ GO ?= go
 # Benchmark settings: BENCH_COUNT feeds -count (benchstat wants >= 10
 # samples); BENCH_PATTERN selects the hot kernels plus one end-to-end run.
 BENCH_COUNT ?= 10
-BENCH_PATTERN ?= BenchmarkKernelThermalStep|BenchmarkKernelMLTDField|BenchmarkSec4ATempScaling
+BENCH_PATTERN ?= BenchmarkKernelThermalStep|BenchmarkKernelADIStep|BenchmarkKernelMLTDField|BenchmarkSec4ATempScaling
 
-.PHONY: all build test vet fmt-check check faultcheck crashcheck clustercheck bench bench-all serve-smoke
+.PHONY: all build test vet fmt-check check faultcheck crashcheck clustercheck bench bench-check bench-all serve-smoke
 
 all: check
 
@@ -33,7 +33,7 @@ check: build test vet fmt-check
 # campaign all involve goroutine handoff, so -race -count=2 is the gate
 # that catches both data races and order-dependent flakiness.
 faultcheck:
-	$(GO) test -race -count=2 ./internal/fault/ ./internal/sim/ ./internal/serve/ ./internal/store/
+	$(GO) test -race -count=2 ./internal/fault/ ./internal/sim/ ./internal/serve/ ./internal/store/ ./internal/thermal/
 
 # The SIGKILL crash e2e: a real daemon child process is killed -9
 # mid-campaign and restarted on the same data dir; the test asserts no
@@ -57,6 +57,12 @@ clustercheck:
 bench:
 	$(GO) test -run=NONE -bench='$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . | tee BENCH_thermal.txt
 	$(GO) run ./cmd/benchjson -out BENCH_thermal.json BENCH_thermal.txt
+
+# Benchmark regression guard: re-run the benchmark set briefly and
+# compare best samples against the committed BENCH_thermal.json with
+# benchjson -compare (threshold/pattern/count via BENCH_* env vars).
+bench-check:
+	bash scripts/bench_compare.sh
 
 # Every benchmark in the repo, once (the paper-artifact sweep).
 bench-all:

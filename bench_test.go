@@ -222,11 +222,21 @@ func BenchmarkSec2APowerDensity(b *testing.B) {
 	}
 }
 
+// BenchmarkSec4ATempScaling is the Section-4A end-to-end number the
+// ROADMAP speedup targets quote: the same 15-step gcc co-simulation on
+// the explicit stability-bounded solver and on the ADI fast solver
+// (matched accuracy pinned by TestSolverAccuracyTable in
+// internal/thermal).
 func BenchmarkSec4ATempScaling(b *testing.B) {
-	cfg := benchConfig(tech.Node7, "gcc", 15)
-	for i := 0; i < b.N; i++ {
-		benchRun(b, cfg)
+	run := func(b *testing.B, solver thermal.Solver) {
+		cfg := benchConfig(tech.Node7, "gcc", 15)
+		cfg.Solver = solver
+		for i := 0; i < b.N; i++ {
+			benchRun(b, cfg)
+		}
 	}
+	b.Run("explicit", func(b *testing.B) { run(b, nil) }) // default solver
+	b.Run("adi", func(b *testing.B) { run(b, &thermal.ADI{}) })
 }
 
 // ---- Ablations (DESIGN.md §4) ----
@@ -241,6 +251,7 @@ func BenchmarkAblationSolvers(b *testing.B) {
 	}
 	b.Run("explicit", func(b *testing.B) { run(b, &thermal.Explicit{}) })
 	b.Run("implicit", func(b *testing.B) { run(b, &thermal.Implicit{}) })
+	b.Run("adi", func(b *testing.B) { run(b, &thermal.ADI{}) })
 }
 
 func BenchmarkAblationPerfModels(b *testing.B) {
@@ -335,6 +346,28 @@ func BenchmarkKernelThermalStep(b *testing.B) {
 	pf := geometry.NewField(grid.NX, grid.NY, 0.1)
 	pf.Rasterize(fp.CoreRects[0], 12)
 	var solver thermal.Explicit
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := solver.Step(grid, state, pf, sim.Timestep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelADIStep times one full ADI timestep (adaptive
+// substepping at default ErrTol) on the same grid and power map as
+// BenchmarkKernelThermalStep, so the two names compare directly.
+func BenchmarkKernelADIStep(b *testing.B) {
+	fp := floorplan.MustNew(floorplan.Config{Node: tech.Node7})
+	grid, err := thermal.NewGrid(fp.Die, 0.1, thermal.DefaultStack(), thermal.SinkConductance, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := grid.NewState(40)
+	pf := geometry.NewField(grid.NX, grid.NY, 0.1)
+	pf.Rasterize(fp.CoreRects[0], 12)
+	var solver thermal.ADI
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -28,6 +28,7 @@ import (
 	"hotgauge/internal/report"
 	"hotgauge/internal/sim"
 	"hotgauge/internal/tech"
+	"hotgauge/internal/thermal"
 	"hotgauge/internal/trace"
 	"hotgauge/internal/workload"
 )
@@ -46,6 +47,10 @@ type options struct {
 	tempTh      float64
 	mltdTh      float64
 	radius      float64
+	solver      string
+	solverTol   float64
+	fastSteady  bool
+	steadyTol   float64
 	outDir      string
 	heatmap     bool
 	saveTrace   string
@@ -71,6 +76,10 @@ func main() {
 	flag.Float64Var(&o.tempTh, "temp-threshold", 80, "hotspot temperature threshold [C]")
 	flag.Float64Var(&o.mltdTh, "mltd-threshold", 25, "hotspot MLTD threshold [C]")
 	flag.Float64Var(&o.radius, "radius", 1.0, "MLTD radius [mm]")
+	flag.StringVar(&o.solver, "solver", "", "thermal solver: explicit (default), implicit or adi (adaptive ADI, the campaign fast solver)")
+	flag.Float64Var(&o.solverTol, "solver-tol", 0, "solver accuracy knob: implicit inner-sweep tolerance or ADI per-step error budget [C] (0 = solver default)")
+	flag.BoolVar(&o.fastSteady, "fast-steady", false, "jump constant-power stretches straight to the steady-state solution instead of integrating the settling tail")
+	flag.Float64Var(&o.steadyTol, "fast-steady-tol", 0, "relative per-step power delta below which frames count as steady for -fast-steady (0 = 1e-3)")
 	flag.StringVar(&o.outDir, "out", "", "directory for CSV artifacts (series + frames)")
 	flag.BoolVar(&o.heatmap, "heatmap", true, "print the final junction heatmap")
 	showPlan := flag.Bool("floorplan", false, "print the floorplan map and exit")
@@ -118,7 +127,14 @@ func run(o options) error {
 		},
 		StopAtHotspot: o.stop,
 		UseCycleModel: o.cycleModel,
+		FastSteady:    o.fastSteady,
+		FastSteadyTol: o.steadyTol,
 	}
+	solver, err := thermal.NewSolver(o.solver, o.solverTol)
+	if err != nil {
+		return err
+	}
+	cfg.Solver = solver
 	cfg.Definition.TempThreshold = o.tempTh
 	cfg.Definition.MLTDThreshold = o.mltdTh
 	cfg.Definition.Radius = o.radius

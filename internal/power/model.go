@@ -26,6 +26,10 @@ type Model struct {
 
 	// leakRef is the per-unit leakage power at LeakRefTemp [W].
 	leakRef map[string]float64
+
+	// sorted is the unit-name summation order shared with every Result
+	// this model computes, so per-step totals need not re-sort it.
+	sorted []string
 }
 
 // NewModel builds a power model for the floorplan at the given operating
@@ -43,9 +47,17 @@ func NewModel(fp *floorplan.Floorplan, op tech.OperatingPoint) (*Model, error) {
 	node := fp.Node
 	// Baseline (unscaled) plan at the same node provides the areas that
 	// set C_dyn, so that mitigation floorplans keep unit work constant.
-	base, err := floorplan.New(floorplan.Config{Node: node, CoreArea14: fp.Config.CoreArea14})
-	if err != nil {
-		return nil, err
+	// When fp itself is that baseline — no kind scaling, no die scaling,
+	// default placement — its own unit areas are bit-identical to what a
+	// rebuild would produce, so skip the second construction.
+	base := fp
+	if c := fp.Config; c.KindScale != nil || (c.ICAreaFactor > 0 && c.ICAreaFactor != 1) ||
+		c.MirrorRight || c.RowShuffleSeed != 0 {
+		var err error
+		base, err = floorplan.New(floorplan.Config{Node: node, CoreArea14: fp.Config.CoreArea14})
+		if err != nil {
+			return nil, err
+		}
 	}
 	vf := tech.TurboPoint.Voltage * tech.TurboPoint.Voltage * tech.TurboPoint.Frequency
 	for _, u := range fp.Units {
@@ -63,6 +75,11 @@ func NewModel(fp *floorplan.Floorplan, op tech.OperatingPoint) (*Model, error) {
 		// the fill-cell rate, approximated here by full density.
 		m.leakRef[u.Name] = LeakDensity14 * node.LeakageDensityScale() * u.Rect.Area()
 	}
+	m.sorted = make([]string, 0, len(fp.Units))
+	for _, u := range fp.Units {
+		m.sorted = append(m.sorted, u.Name)
+	}
+	sort.Strings(m.sorted)
 	return m, nil
 }
 
@@ -94,6 +111,12 @@ type Input struct {
 type Result struct {
 	Dynamic map[string]float64 // [W]
 	Leakage map[string]float64 // [W]
+
+	// sorted is the summation order TotalPower uses, filled by Compute
+	// from the model's cached unit list. Hand-built Results leave it nil
+	// and TotalPower sorts on demand; either way the order — and thus
+	// the floating-point sum — is identical.
+	sorted []string
 }
 
 // Total returns dynamic+leakage for a unit.
@@ -103,11 +126,14 @@ func (r Result) Total(unit string) float64 { return r.Dynamic[unit] + r.Leakage[
 // order so the result is bit-for-bit reproducible (map iteration order
 // would otherwise perturb the last ulp from run to run).
 func (r Result) TotalPower() float64 {
-	names := make([]string, 0, len(r.Dynamic))
-	for n := range r.Dynamic {
-		names = append(names, n)
+	names := r.sorted
+	if names == nil {
+		names = make([]string, 0, len(r.Dynamic))
+		for n := range r.Dynamic {
+			names = append(names, n)
+		}
+		sort.Strings(names)
 	}
-	sort.Strings(names)
 	t := 0.0
 	for _, n := range names {
 		t += r.Dynamic[n] + r.Leakage[n]
@@ -122,6 +148,7 @@ func (m *Model) Compute(in Input) Result {
 	res := Result{
 		Dynamic: make(map[string]float64, len(m.fp.Units)),
 		Leakage: make(map[string]float64, len(m.fp.Units)),
+		sorted:  m.sorted,
 	}
 	tempDefault := in.TempDefault
 	if tempDefault == 0 {

@@ -96,6 +96,14 @@ type Options struct {
 	// (default 4). A worker holds at most one open batch, so this also
 	// bounds how many runs a dying worker can strand for one lease TTL.
 	ClusterBatch int
+
+	// DefaultSolver, when set, is folded into submitted specs that leave
+	// solver unset — before hashing, deduplication and journaling, so the
+	// result cache, the journal and cluster workers all see the resolved
+	// spec rather than an ambient daemon setting. Must be a
+	// thermal.NewSolver name ("explicit", "implicit" or "adi"); empty
+	// keeps the simulator's explicit default.
+	DefaultSolver string
 }
 
 // Server is the campaign service: an http.Handler exposing the job API
@@ -169,6 +177,11 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 8 << 20
+	}
+	if opts.DefaultSolver != "" {
+		if _, err := thermal.NewSolver(opts.DefaultSolver, 0); err != nil {
+			return nil, err
+		}
 	}
 	if opts.Registry == nil {
 		opts.Registry = obs.NewRegistry()
@@ -546,6 +559,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if len(req.Configs) == 0 {
 		httpError(w, http.StatusBadRequest, "empty campaign: configs is required")
 		return
+	}
+	// Resolve the daemon's default solver into each spec before hashing:
+	// the stored spec, the content address and whatever a cluster worker
+	// re-materializes must all agree on which solver ran.
+	if s.opts.DefaultSolver != "" {
+		for i := range req.Configs {
+			if req.Configs[i].Solver == "" {
+				req.Configs[i].Solver = s.opts.DefaultSolver
+			}
+		}
 	}
 	cfgs := make([]sim.Config, len(req.Configs))
 	hashes := make([]string, len(req.Configs))

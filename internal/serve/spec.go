@@ -8,14 +8,16 @@ import (
 	"hotgauge/internal/floorplan"
 	"hotgauge/internal/sim"
 	"hotgauge/internal/tech"
+	"hotgauge/internal/thermal"
 	"hotgauge/internal/workload"
 )
 
 // ConfigSpec is the JSON wire form of one run: the subset of sim.Config
 // a client can express, mirroring the hotgauge CLI flags. Zero values
 // defer to the simulator's defaults (14 nm node, 0.1 mm grid, 40 °C
-// ambient, the case-study hotspot definition). Opaque Go-level knobs —
-// custom sources, controllers, solvers — are deliberately not
+// ambient, the case-study hotspot definition). Stock solvers are
+// selectable by name; opaque Go-level knobs — custom sources,
+// controllers, hand-built Solver values — are deliberately not
 // expressible: every spec is canonically hashable, which is what lets
 // the result cache address it.
 type ConfigSpec struct {
@@ -52,6 +54,25 @@ type ConfigSpec struct {
 	RecordMLTD         bool `json:"record_mltd,omitempty"`
 	RecordSeverity     bool `json:"record_severity,omitempty"`
 	RecordHotspotUnits bool `json:"record_hotspot_units,omitempty"`
+	// Solver selects the thermal solver: "" or "explicit" (forward
+	// Euler, the reference), "implicit" (backward Euler) or "adi" (the
+	// adaptive alternating-direction-implicit fast solver). "" and
+	// "explicit" hash identically. An unset solver inherits the daemon's
+	// -solver default at submission.
+	Solver string `json:"solver,omitempty"`
+	// SolverTol tunes the selected solver's accuracy knob — the implicit
+	// solver's inner-sweep tolerance or the ADI solver's per-step error
+	// budget [°C] (0 = the solver's documented default; ignored for
+	// explicit).
+	SolverTol float64 `json:"solver_tol,omitempty"`
+	// FastSteady opts into the steady-state fast path: constant-power
+	// stretches jump straight to the steady-state solution instead of
+	// integrating the settling tail (see sim.Config.FastSteady).
+	// FastSteadyAfter is the arming frame count (0 = 5) and
+	// FastSteadyTol the relative power-delta threshold (0 = 1e-3).
+	FastSteady      bool    `json:"fast_steady,omitempty"`
+	FastSteadyAfter int     `json:"fast_steady_after,omitempty"`
+	FastSteadyTol   float64 `json:"fast_steady_tol,omitempty"`
 }
 
 // Config materializes the spec into a sim.Config.
@@ -87,7 +108,15 @@ func (s ConfigSpec) Config() (sim.Config, error) {
 			Severity:     s.RecordSeverity,
 			HotspotUnits: s.RecordHotspotUnits,
 		},
+		FastSteady:      s.FastSteady,
+		FastSteadyAfter: s.FastSteadyAfter,
+		FastSteadyTol:   s.FastSteadyTol,
 	}
+	solver, err := thermal.NewSolver(s.Solver, s.SolverTol)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg.Solver = solver
 	// An all-zero definition defers to the simulator's default; a
 	// partial override fills its remaining zeros with the case-study
 	// values so e.g. temp_threshold alone doesn't zero the MLTD gate.

@@ -14,8 +14,9 @@ import (
 // deterministic functions of the step sequence, so a resuming run
 // fast-forwards them by replaying their Step calls for the skipped
 // steps (free for the stateless interval model, perf-stage-only cost
-// for the cycle model). For the explicit solver a resumed run is
-// bit-identical to an uninterrupted one.
+// for the cycle model). For the explicit and ADI solvers a resumed run
+// is bit-identical to an uninterrupted one (both adapt statelessly
+// within each Step).
 //
 // All slices and maps are deep copies owned by the checkpoint; a
 // Checkpointer may retain them across the run.
@@ -46,6 +47,15 @@ type Checkpoint struct {
 	TempPcts                      [][5]float64
 	UnitSeverity                  map[string][]float64
 	HotspotUnit                   map[floorplan.Kind]int
+
+	// Steady-state fast-path detector state (Config.FastSteady): the
+	// previous frame's power map plus the consecutive-steady-frame count
+	// and converged flag. All zero when the fast path is off; restoring
+	// them makes a resumed fast-path run arm and jump on the same steps
+	// as an uninterrupted one.
+	PrevPower       []float64
+	SteadyFrames    int
+	SteadyConverged bool
 }
 
 // Checkpointer is the checkpoint seam on a run: RunCtx loads at start
@@ -64,8 +74,9 @@ type Checkpointer interface {
 }
 
 // snapshot builds a deep-copied checkpoint of the run after `done`
-// completed steps.
-func snapshot(state *thermal.State, res *Result, done, total int) *Checkpoint {
+// completed steps. sd is the steady-state fast-path detector (nil when
+// Config.FastSteady is off).
+func snapshot(state *thermal.State, res *Result, done, total int, sd *steadyDetector) *Checkpoint {
 	ck := &Checkpoint{
 		StepsDone:   done,
 		TotalSteps:  total,
@@ -96,6 +107,11 @@ func snapshot(state *thermal.State, res *Result, done, total int) *Checkpoint {
 			ck.HotspotUnit[k] = n
 		}
 	}
+	if sd != nil {
+		ck.PrevPower = append([]float64(nil), sd.prev...)
+		ck.SteadyFrames = sd.frames
+		ck.SteadyConverged = sd.converged
+	}
 	return ck
 }
 
@@ -121,7 +137,7 @@ func (ck *Checkpoint) valid(totalSteps, cells int) bool {
 // index to continue from is returned. A missing, unreadable or
 // mismatched checkpoint restarts from step 0 (unreadable ones count in
 // sim/checkpoint_errors).
-func (m runMetrics) resume(cfg Config, state *thermal.State, res *Result, src perf.Source, secondary map[int]perf.Source) int {
+func (m runMetrics) resume(cfg Config, state *thermal.State, res *Result, src perf.Source, secondary map[int]perf.Source, sd *steadyDetector) int {
 	ck, err := cfg.Checkpoint.Load()
 	if err != nil {
 		m.ckptErrors.Inc()
@@ -154,6 +170,11 @@ func (m runMetrics) resume(cfg Config, state *thermal.State, res *Result, src pe
 		for k, n := range ck.HotspotUnit {
 			res.HotspotUnit[k] = n
 		}
+	}
+	if sd != nil && len(ck.PrevPower) > 0 {
+		sd.prev = append([]float64(nil), ck.PrevPower...)
+		sd.frames = ck.SteadyFrames
+		sd.converged = ck.SteadyConverged
 	}
 	// Fast-forward the performance models over the completed steps by
 	// replaying their exact Step sequence: sources are deterministic, so

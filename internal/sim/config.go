@@ -105,6 +105,30 @@ type Config struct {
 	// (the leakage ablation).
 	DisableLeakageFeedback bool
 
+	// FastSteady opts the run into the steady-state campaign fast path:
+	// when the rasterized power map stays relatively unchanged (within
+	// FastSteadyTol of its peak cell) for FastSteadyAfter consecutive
+	// frames, the run jumps the thermal state straight to the SOR
+	// steady-state solution for the current map and then skips the
+	// solver on subsequent constant frames, resuming normal transient
+	// integration the moment the power moves again. This collapses the
+	// exponential settling tail of long constant-power phases — the
+	// dominant cost of steady-state sweep campaigns — at the price of
+	// compressing that tail in time, so it changes what the run computes
+	// and is part of Config.Hash. Leakage feedback keeps working: a jump
+	// raises temperatures, the next frame's leakage rises, and the
+	// detector re-arms until power and temperature are self-consistent.
+	// Jumps are counted in sim/steady_jumps and skipped solver steps in
+	// sim/steady_steps_skipped.
+	FastSteady bool
+	// FastSteadyAfter is how many consecutive steady frames arm the jump
+	// (0 = 5).
+	FastSteadyAfter int
+	// FastSteadyTol is the relative power-delta threshold below which a
+	// frame counts as steady: max-cell |ΔP| ≤ FastSteadyTol · max-cell
+	// |P| (0 = 1e-3).
+	FastSteadyTol float64
+
 	// Record selects optional per-step series.
 	Record RecordOptions
 
@@ -134,8 +158,8 @@ type Config struct {
 	// completed steps, resumes from the latest snapshot at start instead
 	// of t=0 (counted in sim/resumes), and clears it on success. An
 	// interrupted or retried run (RunWithRetry) therefore repeats only
-	// the tail since its last snapshot; for the explicit solver the
-	// resumed result is bit-identical to an uninterrupted run.
+	// the tail since its last snapshot; for the explicit and ADI solvers
+	// the resumed result is bit-identical to an uninterrupted run.
 	// Incompatible with Controller, Record.CellDeltas and
 	// Record.FieldEvery (their state is not snapshotted). Excluded from
 	// Config.Hash: checkpointing changes how a run survives, never what
@@ -235,6 +259,14 @@ func (c *Config) normalize() error {
 	}
 	if c.SinkConductance == 0 {
 		c.SinkConductance = thermal.SinkConductance
+	}
+	if c.FastSteady {
+		if c.FastSteadyAfter <= 0 {
+			c.FastSteadyAfter = 5
+		}
+		if c.FastSteadyTol <= 0 {
+			c.FastSteadyTol = 1e-3
+		}
 	}
 	if c.Checkpoint != nil {
 		if c.Controller != nil {

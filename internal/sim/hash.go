@@ -21,7 +21,7 @@ import (
 //
 // Configs carrying opaque behaviour the hash cannot canonically
 // represent — a custom perf.Source, a Controller, or a thermal.Solver
-// other than Explicit/Implicit — are rejected with an error, as is any
+// other than Explicit/Implicit/ADI — are rejected with an error, as is any
 // config that fails validation. Config.Obs and solver tuning knobs that
 // are proven result-neutral (Explicit.Workers runs bit-identical at any
 // worker count) are excluded, as is the operational MaxWallTime budget
@@ -61,8 +61,13 @@ type canonicalConfig struct {
 	Stack          []thermal.Layer   `json:"stack"`
 	SinkConduct    float64           `json:"sink_conductance"`
 	DisableLeakage bool              `json:"disable_leakage_feedback"`
-	Record         canonicalRecord   `json:"record"`
-	Assignments    []assignmentEntry `json:"assignments,omitempty"`
+	// The steady-state fast-path fields are omitted when off, so every
+	// pre-existing config keeps its content address.
+	FastSteady      bool              `json:"fast_steady,omitempty"`
+	FastSteadyAfter int               `json:"fast_steady_after,omitempty"`
+	FastSteadyTol   float64           `json:"fast_steady_tol,omitempty"`
+	Record          canonicalRecord   `json:"record"`
+	Assignments     []assignmentEntry `json:"assignments,omitempty"`
 }
 
 type kindScaleEntry struct {
@@ -113,26 +118,29 @@ func (c Config) canonicalJSON() ([]byte, error) {
 	}
 
 	can := canonicalConfig{
-		Node:           int(cc.Floorplan.Node),
-		ICAreaFactor:   cc.Floorplan.ICAreaFactor,
-		CoreArea14:     cc.Floorplan.CoreArea14,
-		MirrorRight:    cc.Floorplan.MirrorRight,
-		RowShuffleSeed: cc.Floorplan.RowShuffleSeed,
-		Workload:       cc.Workload,
-		SMTWorkload:    cc.SMTWorkload,
-		Core:           cc.Core,
-		Warmup:         cc.Warmup.String(),
-		Steps:          cc.Steps,
-		StopAtHotspot:  cc.StopAtHotspot,
-		Definition:     cc.Definition,
-		Resolution:     cc.Resolution,
-		Ambient:        cc.Ambient,
-		UseCycleModel:  cc.UseCycleModel,
-		CyclesPerStep:  cc.CyclesPerStep,
-		Solver:         solver,
-		Stack:          cc.Stack,
-		SinkConduct:    cc.SinkConductance,
-		DisableLeakage: cc.DisableLeakageFeedback,
+		Node:            int(cc.Floorplan.Node),
+		ICAreaFactor:    cc.Floorplan.ICAreaFactor,
+		CoreArea14:      cc.Floorplan.CoreArea14,
+		MirrorRight:     cc.Floorplan.MirrorRight,
+		RowShuffleSeed:  cc.Floorplan.RowShuffleSeed,
+		Workload:        cc.Workload,
+		SMTWorkload:     cc.SMTWorkload,
+		Core:            cc.Core,
+		Warmup:          cc.Warmup.String(),
+		Steps:           cc.Steps,
+		StopAtHotspot:   cc.StopAtHotspot,
+		Definition:      cc.Definition,
+		Resolution:      cc.Resolution,
+		Ambient:         cc.Ambient,
+		UseCycleModel:   cc.UseCycleModel,
+		CyclesPerStep:   cc.CyclesPerStep,
+		Solver:          solver,
+		Stack:           cc.Stack,
+		SinkConduct:     cc.SinkConductance,
+		DisableLeakage:  cc.DisableLeakageFeedback,
+		FastSteady:      cc.FastSteady,
+		FastSteadyAfter: cc.FastSteadyAfter,
+		FastSteadyTol:   cc.FastSteadyTol,
 		Record: canonicalRecord{
 			MLTD:            cc.Record.MLTD,
 			Severity:        cc.Record.Severity,
@@ -163,8 +171,8 @@ func (c Config) canonicalJSON() ([]byte, error) {
 // canonicalSolver maps a solver to its hash token. Only the stock
 // solvers are representable: Explicit hashes by name alone (its Workers
 // knob is bit-identical at any value, and its counters are
-// instrumentation), Implicit includes the two knobs that change its
-// numerics, with the documented defaults filled in.
+// instrumentation), while Implicit and ADI include the knobs that
+// change their numerics, with the documented defaults filled in.
 func canonicalSolver(s thermal.Solver) (string, error) {
 	switch sv := s.(type) {
 	case *thermal.Explicit:
@@ -178,7 +186,16 @@ func canonicalSolver(s thermal.Solver) (string, error) {
 			tol = 1e-5
 		}
 		return fmt.Sprintf("implicit/maxiters=%d,tol=%g", iters, tol), nil
+	case *thermal.ADI:
+		tol, maxSub := sv.ErrTol, sv.MaxSubsteps
+		if tol <= 0 {
+			tol = 0.1
+		}
+		if maxSub <= 0 {
+			maxSub = 64
+		}
+		return fmt.Sprintf("adi/tol=%g,maxsub=%d", tol, maxSub), nil
 	default:
-		return "", fmt.Errorf("sim: solver %T is not hashable (only thermal.Explicit/Implicit are)", s)
+		return "", fmt.Errorf("sim: solver %T is not hashable (only thermal.Explicit/Implicit/ADI are)", s)
 	}
 }

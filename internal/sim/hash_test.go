@@ -115,6 +115,12 @@ func TestHashSensitivity(t *testing.T) {
 		"cycles-step":    func(c *Config) { c.CyclesPerStep = 1000 },
 		"solver":         func(c *Config) { c.Solver = &thermal.Implicit{} },
 		"solver-tol":     func(c *Config) { c.Solver = &thermal.Implicit{Tol: 1e-6} },
+		"solver-adi":     func(c *Config) { c.Solver = &thermal.ADI{} },
+		"adi-errtol":     func(c *Config) { c.Solver = &thermal.ADI{ErrTol: 0.02} },
+		"adi-maxsub":     func(c *Config) { c.Solver = &thermal.ADI{MaxSubsteps: 128} },
+		"fast-steady":    func(c *Config) { c.FastSteady = true },
+		"steady-after":   func(c *Config) { c.FastSteady = true; c.FastSteadyAfter = 10 },
+		"steady-tol":     func(c *Config) { c.FastSteady = true; c.FastSteadyTol = 0.05 },
 		"stack":          func(c *Config) { c.Stack = thermal.LiquidCooledStack() },
 		"sink":           func(c *Config) { c.SinkConductance = 2 * thermal.SinkConductance },
 		"leakage":        func(c *Config) { c.DisableLeakageFeedback = true },
@@ -140,6 +146,24 @@ func TestHashSensitivity(t *testing.T) {
 	d2.Solver = &thermal.Implicit{MaxIters: 60, Tol: 1e-5}
 	if mustHash(t, d1) != mustHash(t, d2) {
 		t.Error("Implicit zero-value and explicit defaults hash differently")
+	}
+	// ADI likewise: counters are instrumentation, the numeric knobs hash
+	// with their documented defaults filled in.
+	a1, a2 := base, base
+	a1.Solver = &thermal.ADI{}
+	a2.Solver = &thermal.ADI{ErrTol: 0.1, MaxSubsteps: 64}
+	if mustHash(t, a1) != mustHash(t, a2) {
+		t.Error("ADI zero-value and explicit defaults hash differently")
+	}
+	// Steady fast-path defaults: enabling with zero knobs and with the
+	// documented defaults are the same run.
+	f1, f2 := base, base
+	f1.FastSteady = true
+	f2.FastSteady = true
+	f2.FastSteadyAfter = 5
+	f2.FastSteadyTol = 1e-3
+	if mustHash(t, f1) != mustHash(t, f2) {
+		t.Error("FastSteady zero-value and explicit defaults hash differently")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"hotgauge/internal/core"
 	"hotgauge/internal/floorplan"
 	"hotgauge/internal/geometry"
+	"hotgauge/internal/obs"
 	"hotgauge/internal/perf"
 	"hotgauge/internal/power"
 	"hotgauge/internal/stats"
@@ -86,9 +87,10 @@ func Run(cfg Config) (*Result, error) {
 // clears the snapshot on success — see Checkpointer.
 //
 // The returned Result carries the caller's Config verbatim — defaults
-// are filled and instrumented solvers injected only into RunCtx's
-// private copy — so Result.Config always hashes identically to the
-// submitted config and can be resubmitted as-is.
+// are filled only in RunCtx's private copy, and solver instrumentation
+// touches only observability fields the hash ignores — so Result.Config
+// always hashes identically to the submitted config and can be
+// resubmitted as-is.
 func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 	pristine := cfg
 	m := newRunMetrics(cfg.Obs)
@@ -106,17 +108,11 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 	}
 	runSpan := m.run.Start()
 	defer runSpan.End()
-	if cfg.Obs != nil && cfg.Solver == nil {
-		// Default solver with substep accounting. A caller-supplied
-		// solver is left untouched (it may be shared across runs); wire
-		// its counters at construction to instrument it.
-		cfg.Solver = &thermal.Explicit{
-			Substeps:      cfg.Obs.Counter(MetricThermalSubsteps),
-			StabilityHits: cfg.Obs.Counter(MetricThermalStability),
-		}
-	}
 	if err := cfg.normalize(); err != nil {
 		return nil, err
+	}
+	if cfg.Obs != nil {
+		instrumentSolver(cfg.Solver, cfg.Obs)
 	}
 	setupSpan := m.setup.Start()
 	fp, err := floorplan.New(cfg.Floorplan)
@@ -181,13 +177,22 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 		}
 	}
 
+	// Steady-state fast path: the detector watches the rasterized power
+	// map for quiescence (see Config.FastSteady). Its state rides
+	// checkpoints so a resumed run arms and jumps on the same steps as
+	// an uninterrupted one.
+	var steady *steadyDetector
+	if cfg.FastSteady {
+		steady = &steadyDetector{after: cfg.FastSteadyAfter, tol: cfg.FastSteadyTol}
+	}
+
 	// Resume from the latest checkpoint, if one exists and matches: the
 	// thermal state and recorded series are restored and the sources
 	// fast-forwarded, so the loop below continues at startStep instead
 	// of t=0.
 	startStep := 0
 	if cfg.Checkpoint != nil {
-		startStep = m.resume(cfg, state, res, src, secondary)
+		startStep = m.resume(cfg, state, res, src, secondary, steady)
 	}
 
 	idle := perf.IdleActivity(perf.DefaultConfig()).Unit
@@ -255,8 +260,24 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 		powerSpan.End()
 
 		thermalSpan := m.thermal.Start()
-		if err := cfg.Solver.Step(grid, state, powerField, Timestep); err != nil {
-			return nil, err
+		armed := steady != nil && steady.observe(powerField.Data)
+		switch {
+		case armed && !steady.converged:
+			// The power map has been steady long enough: jump to the SOR
+			// steady state instead of integrating the settling tail.
+			if _, err := thermal.SolveSteady(grid, state, powerField, 0, 0); err != nil {
+				return nil, err
+			}
+			steady.converged = true
+			m.steadyJumps.Inc()
+		case armed:
+			// Already at the steady state for this (constant) power map:
+			// the solver step is a no-op, skip it.
+			m.steadySkips.Inc()
+		default:
+			if err := cfg.Solver.Step(grid, state, powerField, Timestep); err != nil {
+				return nil, err
+			}
 		}
 		field := curField
 		if err := grid.ActiveFieldInto(state, field); err != nil {
@@ -361,7 +382,7 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 		// run: it is counted and the simulation continues.
 		if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 &&
 			(step+1)%cfg.CheckpointEvery == 0 && step+1 < cfg.Steps {
-			if err := cfg.Checkpoint.Save(snapshot(state, res, step+1, cfg.Steps)); err != nil {
+			if err := cfg.Checkpoint.Save(snapshot(state, res, step+1, cfg.Steps, steady)); err != nil {
 				m.ckptErrors.Inc()
 			} else {
 				m.checkpoints.Inc()
@@ -372,6 +393,84 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 	m.runs.Inc()
 	m.clearCheckpoint(cfg)
 	return res, nil
+}
+
+// instrumentSolver fills the nil observability fields of a stock solver
+// with handles from the registry, so campaign and daemon runs get
+// substep accounting without constructing solvers themselves. Fields a
+// caller already wired are left alone, and custom Solver
+// implementations are untouched. Mutating the caller's solver is safe
+// under the Solver contract (no concurrent sharing); a solver reused
+// across sequential runs keeps the first run's handles.
+func instrumentSolver(s thermal.Solver, r *obs.Registry) {
+	switch sv := s.(type) {
+	case *thermal.Explicit:
+		if sv.Substeps == nil {
+			sv.Substeps = r.Counter(MetricThermalSubsteps)
+		}
+		if sv.StabilityHits == nil {
+			sv.StabilityHits = r.Counter(MetricThermalStability)
+		}
+	case *thermal.Implicit:
+		if sv.Substeps == nil {
+			sv.Substeps = r.Counter(MetricThermalGSIters)
+		}
+		if sv.StabilityHits == nil {
+			sv.StabilityHits = r.Counter(MetricThermalStability)
+		}
+		if sv.Residual == nil {
+			sv.Residual = r.Gauge(MetricThermalGSResidual)
+		}
+	case *thermal.ADI:
+		if sv.Substeps == nil {
+			sv.Substeps = r.Counter(MetricThermalSubsteps)
+		}
+		if sv.Saved == nil {
+			sv.Saved = r.Counter(MetricThermalADISaved)
+		}
+		if sv.StabilityHits == nil {
+			sv.StabilityHits = r.Counter(MetricThermalStability)
+		}
+	}
+}
+
+// steadyDetector watches the per-frame power map for quiescence: after
+// `after` consecutive frames whose peak-relative change stays within
+// `tol`, the run is in the steady regime and may jump/skip (see
+// Config.FastSteady). Any larger move disarms it and clears converged,
+// returning the run to normal transient integration.
+type steadyDetector struct {
+	after     int
+	tol       float64
+	prev      []float64 // previous frame's power map (nil until frame 1)
+	frames    int       // consecutive steady frames observed
+	converged bool      // state currently holds the steady solution
+}
+
+// observe records this frame's power map and reports whether the run is
+// armed (power steady for at least `after` frames).
+func (sd *steadyDetector) observe(p []float64) bool {
+	if sd.prev == nil {
+		sd.prev = append([]float64(nil), p...)
+		return false
+	}
+	maxDelta, maxP := 0.0, 0.0
+	for i, v := range p {
+		if d := math.Abs(v - sd.prev[i]); d > maxDelta {
+			maxDelta = d
+		}
+		if a := math.Abs(v); a > maxP {
+			maxP = a
+		}
+	}
+	copy(sd.prev, p)
+	if maxDelta <= sd.tol*maxP {
+		sd.frames++
+	} else {
+		sd.frames = 0
+		sd.converged = false
+	}
+	return sd.frames >= sd.after
 }
 
 // clearCheckpoint discards a finished run's snapshot so a repeat

@@ -10,8 +10,10 @@ import (
 )
 
 // Solver advances a thermal state by one simulation timestep under a
-// power map (W per active-layer cell). Implementations: Explicit (default)
-// and Implicit (backward Euler, for large steps).
+// power map (W per active-layer cell). Implementations: Explicit
+// (default), Implicit (backward Euler, for large steps) and ADI
+// (alternating-direction-implicit with adaptive substepping, the
+// campaign fast solver).
 //
 // Solvers carry reusable scratch buffers, so a Solver value must not be
 // shared between concurrent Step calls; give each goroutine its own.
@@ -20,6 +22,25 @@ type Solver interface {
 	Step(g *Grid, s *State, power *geometry.Field, dt float64) error
 	// Name identifies the solver in reports and benchmarks.
 	Name() string
+}
+
+// NewSolver constructs a stock solver by name: "" or "explicit" (the
+// forward-Euler reference), "implicit" (backward Euler; tol sets
+// Implicit.Tol) or "adi" (the adaptive ADI fast solver; tol sets
+// ADI.ErrTol). A zero tol keeps the solver's documented default. This
+// is the seam CLI flags and wire specs use, so the names double as the
+// stable external vocabulary for solver selection.
+func NewSolver(name string, tol float64) (Solver, error) {
+	switch name {
+	case "", "explicit":
+		return &Explicit{}, nil
+	case "implicit":
+		return &Implicit{Tol: tol}, nil
+	case "adi":
+		return &ADI{ErrTol: tol}, nil
+	default:
+		return nil, fmt.Errorf("thermal: unknown solver %q (want explicit, implicit or adi)", name)
+	}
 }
 
 // Explicit is the forward-Euler transient solver with automatic
@@ -36,6 +57,12 @@ type Explicit struct {
 
 	scratch []float64
 	zero    []float64
+	// Per-grid decisions (scratch sizing, worker count) are hoisted out
+	// of the substep loop: they are recomputed only when Step sees a
+	// different *Grid than the previous call. Changing Workers between
+	// Steps on the same grid therefore requires a fresh Explicit value.
+	grid    *Grid
+	workers int
 
 	// Substeps, when set, counts the stability-bounded substeps executed
 	// (obs counters are nil-safe, so leaving these nil disables
@@ -63,16 +90,20 @@ func (e *Explicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) er
 	if n > 1 {
 		e.StabilityHits.Inc()
 	}
-	if cap(e.scratch) < len(s.T) {
-		e.scratch = make([]float64, len(s.T))
-	}
-	if cap(e.zero) < g.NX {
-		e.zero = make([]float64, g.NX)
+	if e.grid != g {
+		if cap(e.scratch) < len(s.T) {
+			e.scratch = make([]float64, len(s.T))
+		}
+		if cap(e.zero) < g.NX {
+			e.zero = make([]float64, g.NX)
+		}
+		e.workers = e.workerCount(g)
+		e.grid = g
 	}
 	zeros := e.zero[:g.NX]
 	cur, next := s.T, e.scratch[:len(s.T)]
 	rows := g.NL * g.NY
-	workers := e.workerCount(g)
+	workers := e.workers
 	for it := 0; it < n; it++ {
 		if workers <= 1 {
 			stepRows(g, cur, next, power.Data, zeros, sub, 0, rows)
@@ -114,11 +145,16 @@ type Implicit struct {
 	zero    []float64
 
 	// Substeps, when set, counts the inner Gauss-Seidel sweeps executed
-	// (the implicit analogue of the explicit solver's substeps).
+	// (the implicit analogue of the explicit solver's substeps; sim
+	// surfaces it as thermal/gs_iters).
 	Substeps *obs.Counter
 	// StabilityHits counts Step calls whose inner solve hit MaxIters
 	// without reaching Tol.
 	StabilityHits *obs.Counter
+	// Residual, when set, records the last Step's final sweep residual —
+	// the max per-cell temperature change of the sweep that ended the
+	// inner solve (sim surfaces it as thermal/gs_residual).
+	Residual *obs.Gauge
 }
 
 // Name implements Solver.
@@ -150,13 +186,16 @@ func (im *Implicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) e
 	t := im.scratch[:len(old)]
 	copy(t, old)
 	converged := false
+	residual := math.Inf(1)
 	for it := 0; it < maxIters; it++ {
 		im.Substeps.Inc()
-		if gsSweep(g, old, t, power.Data, im.zero[:g.NX], dt) < tol {
+		residual = gsSweep(g, old, t, power.Data, im.zero[:g.NX], dt)
+		if residual < tol {
 			converged = true
 			break
 		}
 	}
+	im.Residual.Set(residual)
 	if !converged {
 		im.StabilityHits.Inc()
 	}

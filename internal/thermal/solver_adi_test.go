@@ -1,0 +1,246 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hotgauge/internal/obs"
+)
+
+// adiShapes is kernelShapes plus extreme aspect ratios: long thin dies
+// stress the per-direction Thomas systems (one direction nearly
+// degenerate, the other very deep).
+var adiShapes = func() []struct{ nx, ny, nl int } {
+	return append(append([]struct{ nx, ny, nl int }{}, kernelShapes...),
+		struct{ nx, ny, nl int }{61, 3, 4},
+		struct{ nx, ny, nl int }{3, 59, 4},
+		struct{ nx, ny, nl int }{2, 2, 11},
+	)
+}()
+
+// TestADISweepsMatchReference validates the optimized Douglas–Gunn
+// substep (precomputed Thomas coefficients, plane-vectorized sweeps)
+// against the naive assemble-and-solve oracle, across uneven grids,
+// extreme aspect ratios and randomized power fields.
+func TestADISweepsMatchReference(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(303 + seed))
+		for _, sh := range adiShapes {
+			g := syntheticGrid(sh.nx, sh.ny, sh.nl, rng)
+			u := randTemps(g.Cells(), rng)
+			power := randPower(g.NX, g.NY, rng)
+			dt := 20 * g.dtStable
+
+			fast := append([]float64(nil), u...)
+			ref := append([]float64(nil), u...)
+			var a ADI
+			a.advanceOnce(g, fast, power, dt)
+			adiStepRef(g, ref, power, dt)
+
+			for i := range ref {
+				if !closeTo(fast[i], ref[i], 1e-9) {
+					t.Fatalf("seed %d %dx%dx%d: cell %d: fast %.17g vs ref %.17g",
+						seed, sh.nx, sh.ny, sh.nl, i, fast[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestADICoefficientReuse pins the coefficient cache: a second substep at
+// the same dt must reuse the prepared Thomas coefficients and still match
+// the oracle (a stale-cache bug would show up as a mismatch after the
+// grid or dt changes).
+func TestADICoefficientReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	var a ADI
+	for _, dtF := range []float64{5, 50, 5} { // revisit the first dt
+		for _, sh := range []struct{ nx, ny, nl int }{{9, 8, 5}, {7, 1, 3}} {
+			g := syntheticGrid(sh.nx, sh.ny, sh.nl, rng)
+			u := randTemps(g.Cells(), rng)
+			power := randPower(g.NX, g.NY, rng)
+			dt := dtF * g.dtStable
+			fast := append([]float64(nil), u...)
+			ref := append([]float64(nil), u...)
+			a.advanceOnce(g, fast, power, dt)
+			adiStepRef(g, ref, power, dt)
+			for i := range ref {
+				if !closeTo(fast[i], ref[i], 1e-9) {
+					t.Fatalf("dt=%v·stable %dx%dx%d: cell %d: fast %.17g vs ref %.17g",
+						dtF, sh.nx, sh.ny, sh.nl, i, fast[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSolverAccuracyTable is the documented accuracy contract per
+// (solver, dt): each solver integrates a power transient for 1 ms from a
+// cold start and must land within tol [°C] (max over cells) of the
+// fine-substep reference integration at dt ≤ dtStable. These bounds are
+// what "matched accuracy" means in BENCH_thermal comparisons; tighten
+// them only with bench evidence.
+func TestSolverAccuracyTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		solver func() Solver
+		dtF    float64 // simulation timestep in units of dtStable
+		tol    float64 // max abs error vs fine reference [°C]
+	}{
+		{"explicit/dt=1", func() Solver { return &Explicit{} }, 1, 1e-9},
+		{"explicit/dt=20", func() Solver { return &Explicit{} }, 20, 1e-9},
+		{"adi/dt=1", func() Solver { return &ADI{} }, 1, 5e-3},
+		{"adi/dt=5", func() Solver { return &ADI{} }, 5, 1e-2},
+		{"adi/dt=20", func() Solver { return &ADI{} }, 20, 0.05},
+		{"adi/dt=75", func() Solver { return &ADI{} }, 75, 0.1},
+		{"implicit/dt=20", func() Solver { return &Implicit{} }, 20, 0.15},
+		{"implicit/dt=75", func() Solver { return &Implicit{} }, 75, 0.3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := newTestGrid(t)
+			power := uniformPower(g, 3.0)
+			power.Data[g.NY/2*g.NX+g.NX/2] += 1.0 // hotspot source
+
+			dt := tc.dtF * g.dtStable
+			steps := int(math.Ceil(1e-3 / dt))
+			s := g.NewState(DefaultAmbient)
+			ref := s.Clone()
+			solver := tc.solver()
+			for k := 0; k < steps; k++ {
+				if err := solver.Step(g, s, power, dt); err != nil {
+					t.Fatal(err)
+				}
+				refExplicitStep(g, ref, power, dt)
+			}
+			worst := 0.0
+			for i := range ref.T {
+				if d := math.Abs(s.T[i] - ref.T[i]); d > worst {
+					worst = d
+				}
+			}
+			if worst > tc.tol {
+				t.Fatalf("max error %.3g °C after %d steps of %.3g·dtStable exceeds documented tolerance %.3g",
+					worst, steps, tc.dtF, tc.tol)
+			}
+			// The peak cell drives severity; it must be at least as good
+			// as the field-wide bound.
+			if d := math.Abs(g.MaxTemp(s) - g.MaxTemp(ref)); d > tc.tol {
+				t.Fatalf("peak-temperature error %.3g °C exceeds tolerance %.3g", d, tc.tol)
+			}
+		})
+	}
+}
+
+// TestADIUnconditionallyStable drives single ADI substeps at 2000× the
+// explicit stability bound (subdivision disabled): every field must stay
+// finite and bounded, and the distance to the SOR steady state must
+// contract substantially instead of oscillating or diverging. (Full
+// convergence is not expected: Douglas–Gunn under-relaxes the slowest
+// modes at giant dt — that is precisely why the sim-level steady-state
+// fast path jumps via SolveSteady rather than giant ADI steps.)
+func TestADIUnconditionallyStable(t *testing.T) {
+	g := newTestGrid(t)
+	power := uniformPower(g, 4.0)
+	steady := g.NewState(DefaultAmbient)
+	if err := WarmStart(g, steady, power); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveSteady(g, steady, power, 1e-7, 0); err != nil {
+		t.Fatal(err)
+	}
+	distTo := func(s *State) float64 {
+		worst := 0.0
+		for i := range s.T {
+			if math.IsNaN(s.T[i]) || math.IsInf(s.T[i], 0) {
+				t.Fatalf("cell %d is not finite: %v", i, s.T[i])
+			}
+			if d := math.Abs(s.T[i] - steady.T[i]); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+
+	s := g.NewState(DefaultAmbient)
+	solver := &ADI{ErrTol: math.Inf(1), MaxSubsteps: 1}
+	dt := 2000 * g.dtStable
+	dist0 := distTo(s)
+	for k := 0; k < 200; k++ {
+		if err := solver.Step(g, s, power, dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := distTo(s); d > dist0/4 {
+		t.Fatalf("after 200 giant steps still %.3g °C from steady (started %.3g): not contracting", d, dist0)
+	}
+	maxSteady := g.MaxTemp(steady)
+	if maxT := g.MaxTemp(s); maxT > maxSteady+1 {
+		t.Fatalf("field overshot steady state: max %.3f vs steady max %.3f", maxT, maxSteady)
+	}
+}
+
+// TestADIAdaptiveSubstepping pins the adaptive policy at both ends: a
+// quiescent frame (field already in equilibrium with the power map)
+// takes exactly one substep and banks the explicit-equivalent savings,
+// while a cold-start transient subdivides and still meets ErrTol
+// against the fine reference.
+func TestADIAdaptiveSubstepping(t *testing.T) {
+	g := newTestGrid(t)
+	power := uniformPower(g, 4.0)
+	dt := 200e-6
+
+	// Quiescent: start at steady state.
+	s := g.NewState(DefaultAmbient)
+	if err := WarmStart(g, s, power); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveSteady(g, s, power, 1e-7, 0); err != nil {
+		t.Fatal(err)
+	}
+	solver := &ADI{Substeps: &obs.Counter{}, Saved: &obs.Counter{}, StabilityHits: &obs.Counter{}}
+	if err := solver.Step(g, s, power, dt); err != nil {
+		t.Fatal(err)
+	}
+	if n := solver.Substeps.Value(); n != 1 {
+		t.Fatalf("quiescent frame took %d substeps, want 1", n)
+	}
+	if saved := solver.Saved.Value(); saved <= 0 {
+		t.Fatalf("quiescent frame saved %d explicit-equivalent substeps, want > 0", saved)
+	}
+
+	// Transient: cold start under the same power, one full timestep.
+	cold := g.NewState(DefaultAmbient)
+	ref := cold.Clone()
+	transient := &ADI{Substeps: &obs.Counter{}}
+	if err := transient.Step(g, cold, power, dt); err != nil {
+		t.Fatal(err)
+	}
+	refExplicitStep(g, ref, power, dt)
+	tol := 0.1 // the solver's default ErrTol
+	for i := range ref.T {
+		if d := math.Abs(cold.T[i] - ref.T[i]); d > tol {
+			t.Fatalf("cell %d: transient error %.3g exceeds ErrTol %.3g (substeps=%d)",
+				i, d, tol, transient.Substeps.Value())
+		}
+	}
+}
+
+func TestADIStepNoAllocsAfterWarmup(t *testing.T) {
+	g := newTestGrid(t)
+	power := uniformPower(g, 2.0)
+	s := g.NewState(DefaultAmbient)
+	var solver ADI
+	if err := solver.Step(g, s, power, 200e-6); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := solver.Step(g, s, power, 200e-6); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ADI.Step allocates %v objects per call after warmup", allocs)
+	}
+}

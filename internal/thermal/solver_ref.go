@@ -61,6 +61,125 @@ func stepOnceRef(g *Grid, cur, next, power []float64, dt float64) {
 	}
 }
 
+// adiStepRef performs one Douglas–Gunn ADI substep on u in the naive
+// textbook way: the explicit RHS is taken as the forward-Euler update of
+// stepOnceRef, and each directional system is assembled into freshly
+// allocated tridiagonal bands and solved with a generic Thomas solver.
+// The optimized sweeps in solver_adi.go are validated against this
+// cell-for-cell (see solver_equiv_test.go).
+func adiStepRef(g *Grid, u, power []float64, dt float64) {
+	nx, ny, nl := g.NX, g.NY, g.NL
+	plane := nx * ny
+	cells := nl * plane
+
+	// r = dt·F(u) = (explicit substep of size dt) − u.
+	r := make([]float64, cells)
+	stepOnceRef(g, u, r, power, dt)
+	for i := range r {
+		r[i] -= u[i]
+	}
+
+	// x sweep: (I − dt/2·A₁) w = r, one system per (layer, iy) line.
+	for l := 0; l < nl; l++ {
+		alpha := dt * g.gLat[l] / (2 * g.capC[l])
+		for iy := 0; iy < ny; iy++ {
+			a, b, c, d := make([]float64, nx), make([]float64, nx), make([]float64, nx), make([]float64, nx)
+			for ix := 0; ix < nx; ix++ {
+				b[ix] = 1
+				if ix > 0 {
+					a[ix] = -alpha
+					b[ix] += alpha
+				}
+				if ix < nx-1 {
+					c[ix] = -alpha
+					b[ix] += alpha
+				}
+				d[ix] = r[(l*ny+iy)*nx+ix]
+			}
+			x := thomasRef(a, b, c, d)
+			for ix := 0; ix < nx; ix++ {
+				r[(l*ny+iy)*nx+ix] = x[ix]
+			}
+		}
+	}
+
+	// y sweep: one system per (layer, ix) column of the plane.
+	for l := 0; l < nl; l++ {
+		alpha := dt * g.gLat[l] / (2 * g.capC[l])
+		for ix := 0; ix < nx; ix++ {
+			a, b, c, d := make([]float64, ny), make([]float64, ny), make([]float64, ny), make([]float64, ny)
+			for iy := 0; iy < ny; iy++ {
+				b[iy] = 1
+				if iy > 0 {
+					a[iy] = -alpha
+					b[iy] += alpha
+				}
+				if iy < ny-1 {
+					c[iy] = -alpha
+					b[iy] += alpha
+				}
+				d[iy] = r[(l*ny+iy)*nx+ix]
+			}
+			x := thomasRef(a, b, c, d)
+			for iy := 0; iy < ny; iy++ {
+				r[(l*ny+iy)*nx+ix] = x[iy]
+			}
+		}
+	}
+
+	// z sweep: one system per (ix, iy) column through the layers, with
+	// the convective conductance on the top layer's diagonal.
+	for j := 0; j < plane; j++ {
+		a, b, c, d := make([]float64, nl), make([]float64, nl), make([]float64, nl), make([]float64, nl)
+		for l := 0; l < nl; l++ {
+			b[l] = 1
+			if l > 0 {
+				bd := dt * g.gUp[l-1] / (2 * g.capC[l])
+				a[l] = -bd
+				b[l] += bd
+			}
+			if l < nl-1 {
+				bu := dt * g.gUp[l] / (2 * g.capC[l])
+				c[l] = -bu
+				b[l] += bu
+			} else {
+				b[l] += dt * g.gConv / (2 * g.capC[l])
+			}
+			d[l] = r[l*plane+j]
+		}
+		x := thomasRef(a, b, c, d)
+		for l := 0; l < nl; l++ {
+			r[l*plane+j] = x[l]
+		}
+	}
+
+	for i := range u {
+		u[i] += r[i]
+	}
+}
+
+// thomasRef solves the tridiagonal system (a, b, c)·x = d with the
+// textbook Thomas algorithm (a is the sub-diagonal, c the super-
+// diagonal; a[0] and c[n-1] are ignored).
+func thomasRef(a, b, c, d []float64) []float64 {
+	n := len(d)
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	cp[0] = c[0] / b[0]
+	dp[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		den := b[i] - a[i]*cp[i-1]
+		cp[i] = c[i] / den
+		dp[i] = (d[i] - a[i]*dp[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return x
+}
+
 // gsSweepRef performs one in-place Gauss-Seidel sweep of the backward-
 // Euler system and returns the largest per-cell update, evaluating the
 // boundary conditions with per-cell branches.
