@@ -5,7 +5,7 @@ GO ?= go
 BENCH_COUNT ?= 10
 BENCH_PATTERN ?= BenchmarkKernelThermalStep|BenchmarkKernelADIStep|BenchmarkKernelMLTDField|BenchmarkSec4ATempScaling
 
-.PHONY: all build test vet fmt-check check faultcheck crashcheck clustercheck bench bench-check bench-all serve-smoke
+.PHONY: all build test vet fmt-check check faultcheck crashcheck clustercheck triagecheck bench bench-check bench-all serve-smoke
 
 all: check
 
@@ -33,7 +33,7 @@ check: build test vet fmt-check
 # campaign all involve goroutine handoff, so -race -count=2 is the gate
 # that catches both data races and order-dependent flakiness.
 faultcheck:
-	$(GO) test -race -count=2 ./internal/fault/ ./internal/sim/ ./internal/serve/ ./internal/store/ ./internal/thermal/
+	$(GO) test -race -count=2 ./internal/fault/ ./internal/sim/ ./internal/serve/ ./internal/store/ ./internal/surrogate/ ./internal/thermal/
 
 # The SIGKILL crash e2e: a real daemon child process is killed -9
 # mid-campaign and restarted on the same data dir; the test asserts no
@@ -50,6 +50,16 @@ crashcheck:
 # lease-expiry wait makes it seconds-slow.
 clustercheck:
 	HOTGAUGE_CLUSTER_E2E=1 $(GO) test -race -count=1 -run '^TestClusterKillWorker$$' -v ./internal/serve/
+
+# The predict-first triage e2e: a ≥50-run campaign simulates exactly
+# (the control), a surrogate is fitted from the control's result store,
+# and the same campaign replays through a surrogate-holding daemon; the
+# test asserts at most half the runs execute exactly, every
+# control-frontier run (severity ≥ 0.5) is exact-verified with the
+# control's severity (zero false negatives), and the audit MAE is
+# exposed via metrics and /report. Env-gated: it runs the campaign twice.
+triagecheck:
+	HOTGAUGE_TRIAGE_E2E=1 $(GO) test -race -count=1 -run '^TestTriageE2E$$' -v ./internal/serve/
 
 # Kernel + end-to-end benchmarks with benchstat-ready repetition; the raw
 # output lands in BENCH_thermal.txt and a machine-readable summary (name,

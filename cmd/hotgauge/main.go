@@ -26,7 +26,10 @@ import (
 	"hotgauge/internal/obs"
 	"hotgauge/internal/perf"
 	"hotgauge/internal/report"
+	"hotgauge/internal/serve"
 	"hotgauge/internal/sim"
+	"hotgauge/internal/store"
+	"hotgauge/internal/surrogate"
 	"hotgauge/internal/tech"
 	"hotgauge/internal/thermal"
 	"hotgauge/internal/trace"
@@ -59,6 +62,13 @@ type options struct {
 	pprofCPU    string
 	pprofMem    string
 	verbose     bool
+
+	surrogatePath string
+	surrogateFit  string
+	surrogateSeed int64
+	dataDir       string
+	triageBand    float64
+	auditFrac     float64
 }
 
 func main() {
@@ -89,6 +99,12 @@ func main() {
 	flag.StringVar(&o.pprofCPU, "pprof-cpu", "", "write a CPU profile of the run to this file")
 	flag.StringVar(&o.pprofMem, "pprof-mem", "", "write a heap profile after the run to this file")
 	flag.BoolVar(&o.verbose, "v", false, "print the per-stage wall-time breakdown")
+	flag.StringVar(&o.surrogatePath, "surrogate", "", "fitted surrogate model file: triage the run predict-first — simulate exactly only if the predicted severity is near the hotspot threshold, confidence is low, or the audit draw selects it")
+	flag.StringVar(&o.surrogateFit, "surrogate-fit", "", "fit a surrogate model from the -data-dir result store, write it to this file and exit")
+	flag.Int64Var(&o.surrogateSeed, "surrogate-seed", 0, "bootstrap seed for -surrogate-fit (0 = 1; same seed + same stored results = bit-identical model)")
+	flag.StringVar(&o.dataDir, "data-dir", "", "hotgauged data directory holding the result store -surrogate-fit trains on")
+	flag.Float64Var(&o.triageBand, "triage-band", 0, "guard band below the 0.5 severity threshold within which predicted runs are exact-verified anyway (0 = 0.1; requires -surrogate)")
+	flag.Float64Var(&o.auditFrac, "audit-frac", 0, "fraction of confidently-skippable runs exact-verified regardless to measure prediction error (0 = 0.1; requires -surrogate)")
 	flag.Parse()
 
 	if *list {
@@ -102,10 +118,45 @@ func main() {
 		}
 		return
 	}
+	if o.surrogateFit != "" {
+		if err := fitSurrogate(o); err != nil {
+			fmt.Fprintln(os.Stderr, "hotgauge:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "hotgauge:", err)
 		os.Exit(1)
 	}
+}
+
+// fitSurrogate trains a surrogate model from a hotgauged result store
+// and writes it to -surrogate-fit.
+func fitSurrogate(o options) error {
+	if o.dataDir == "" {
+		return fmt.Errorf("-surrogate-fit requires -data-dir (a hotgauged data directory with stored results)")
+	}
+	rs, err := store.OpenResults(filepath.Join(o.dataDir, "results"))
+	if err != nil {
+		return err
+	}
+	model, n, err := serve.FitSurrogate(rs, surrogate.FitOptions{Seed: o.surrogateSeed})
+	if err != nil {
+		return err
+	}
+	if err := surrogate.Save(model, o.surrogateFit); err != nil {
+		return err
+	}
+	fp, err := surrogate.Fingerprint(model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("surrogate model fitted on %d exact results (seed %d), written to %s\n",
+		n, model.Seed, o.surrogateFit)
+	fmt.Printf("fingerprint %s; %d features, %d ridge bags, k=%d\n",
+		fp, len(model.Names), len(model.SevWeights), model.K)
+	return nil
 }
 
 func run(o options) error {
@@ -183,6 +234,10 @@ func run(o options) error {
 		fmt.Printf("activity trace recorded to %s\n", o.saveTrace)
 	}
 
+	if o.surrogatePath != "" {
+		return runTriaged(o, cfg)
+	}
+
 	res, err := sim.Run(cfg)
 	if err != nil {
 		return err
@@ -208,6 +263,74 @@ func run(o options) error {
 		fmt.Printf("\nartifacts written to %s\n", o.outDir)
 	}
 	return nil
+}
+
+// runTriaged routes the run through predict-first triage: the surrogate
+// scores it, and only frontier / low-confidence / audit-selected runs
+// simulate exactly. Predicted-only resolutions print the estimate (no
+// heatmap or artifacts — there are no series to write).
+func runTriaged(o options, cfg sim.Config) error {
+	model, err := surrogate.Load(o.surrogatePath)
+	if err != nil {
+		return err
+	}
+	cfg.Surrogate = true
+	cfg.TriageBand = o.triageBand
+	cfg.AuditFrac = o.auditFrac
+	results, err := sim.CampaignOpts([]sim.Config{cfg}, sim.CampaignOptions{
+		Workers: 1,
+		Obs:     cfg.Obs,
+		Triage:  &sim.TriageOptions{Predictor: model},
+	})
+	if err != nil {
+		return err
+	}
+	res := results[0]
+	if res.Predicted {
+		printPredictedSummary(cfg, res)
+	} else {
+		printSummary(cfg, res)
+		if res.Prediction != nil {
+			exact := maxOf(res.Severity)
+			fmt.Printf("surrogate: predicted severity %.3f vs exact %.3f (confidence %.2f)\n",
+				res.Prediction.Severity, exact, res.Prediction.Confidence)
+		}
+		if o.heatmap {
+			fmt.Println("\nfinal junction temperature map:")
+			fmt.Print(report.Heatmap(res.FinalField))
+		}
+		if o.verbose {
+			printStages(cfg.Obs)
+		}
+		if o.outDir != "" {
+			if err := writeArtifacts(o.outDir, res); err != nil {
+				return err
+			}
+			fmt.Printf("\nartifacts written to %s\n", o.outDir)
+		}
+	}
+	if o.metricsJSON != "" {
+		if err := obs.WriteMetricsJSON(o.metricsJSON, cfg.Obs); err != nil {
+			return err
+		}
+		fmt.Printf("\nmetrics written to %s\n", o.metricsJSON)
+	}
+	return nil
+}
+
+// printPredictedSummary reports a predicted-only resolution: the model's
+// estimate stands in for the exact series (which was never simulated).
+func printPredictedSummary(cfg sim.Config, res *sim.Result) {
+	p := res.Prediction
+	fmt.Printf("hotgauge: %s on core %d @ %v — resolved by surrogate prediction, no exact simulation\n",
+		cfg.Workload.Name, cfg.Core, cfg.Floorplan.Node)
+	fmt.Printf("predicted peak severity: %.3f (confidence %.2f)\n", p.Severity, p.Confidence)
+	if p.TUHSeconds >= 0 {
+		fmt.Printf("predicted time-until-hotspot: %.2f ms\n", p.TUHSeconds*1e3)
+	} else {
+		fmt.Println("predicted time-until-hotspot: none within the simulated window")
+	}
+	fmt.Println("(the prediction sits clearly below the hotspot threshold; rerun without -surrogate for the exact series)")
 }
 
 // printStages renders the -v per-stage wall-time breakdown.

@@ -44,6 +44,7 @@ import (
 
 	"hotgauge/internal/obs"
 	"hotgauge/internal/serve"
+	"hotgauge/internal/surrogate"
 )
 
 func main() {
@@ -63,6 +64,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable state directory: job journal, on-disk result store and run checkpoints; a restarted daemon replays it and resumes interrupted campaigns (empty = in-memory only)")
 	fsync := flag.String("fsync", "interval", "journal fsync policy: always | interval | never (requires -data-dir)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "snapshot each executed run every N steps so interrupted runs resume mid-flight (0 = off; requires -data-dir)")
+	surrogatePath := flag.String("surrogate", "", "fitted surrogate model file (see hotgauge -surrogate-fit): enables predict-first triage — specs that leave surrogate unset are opted in before hashing, and only frontier / low-confidence / audit-selected runs simulate exactly")
+	triageBand := flag.Float64("triage-band", 0, "guard band below the 0.5 hotspot-severity threshold within which predicted runs are exact-verified anyway; folded into specs that leave it unset (0 = 0.1; requires -surrogate)")
+	auditFrac := flag.Float64("audit-frac", 0, "fraction of confidently-skippable runs exact-verified regardless, to measure predicted-vs-exact error; folded into specs that leave it unset (0 = 0.1; requires -surrogate)")
 	join := flag.String("join", "", "coordinator base URL to join as a cluster worker (e.g. http://coord:8080); empty runs standalone/coordinator")
 	workerName := flag.String("worker", "", "stable worker name on the coordinator (default: host-port of -addr; requires -join)")
 	advertise := flag.String("advertise", "", "base URL the coordinator dials this worker back on (default derived from -addr; requires -join)")
@@ -77,8 +81,21 @@ func main() {
 	if *checkpointEvery > 0 && *dataDir == "" {
 		log.Fatalf("hotgauged: -checkpoint-every requires -data-dir")
 	}
+	if (*triageBand != 0 || *auditFrac != 0) && *surrogatePath == "" {
+		log.Fatalf("hotgauged: -triage-band and -audit-frac require -surrogate")
+	}
+	var model *surrogate.Model
+	if *surrogatePath != "" {
+		var err error
+		if model, err = surrogate.Load(*surrogatePath); err != nil {
+			log.Fatalf("hotgauged: %v", err)
+		}
+		fp, _ := surrogate.Fingerprint(model)
+		log.Printf("hotgauged: surrogate triage enabled: model %s (%d training runs, fingerprint %s)",
+			*surrogatePath, len(model.Keys), fp)
+	}
 	reg := obs.NewRegistry()
-	srv, err := serve.New(serve.Options{
+	opts := serve.Options{
 		QueueSize:       *queue,
 		Workers:         *workers,
 		RunWorkers:      *runWorkers,
@@ -96,7 +113,13 @@ func main() {
 		CheckpointEvery: *checkpointEvery,
 		ClusterLeaseTTL: *leaseTTL,
 		ClusterBatch:    *batch,
-	})
+		TriageBand:      *triageBand,
+		AuditFrac:       *auditFrac,
+	}
+	if model != nil {
+		opts.Surrogate = model
+	}
+	srv, err := serve.New(opts)
 	if err != nil {
 		log.Fatalf("hotgauged: %v", err)
 	}

@@ -14,7 +14,11 @@ type RunSummary struct {
 	PeakTemp     float64 // peak junction temperature [°C]
 	PeakMLTD     float64 // peak MLTD [°C]; 0 if not recorded
 	PeakSeverity float64 // peak severity; 0 if not recorded
-	Status       string  // done / cached / failed / skipped / pending
+	Status       string  // done / cached / predicted / failed / skipped / pending
+	// Predicted marks a surrogate-resolved row: its TUH and severity are
+	// model estimates, rendered with a "~" prefix to keep them visually
+	// distinct from exact simulation results.
+	Predicted bool
 }
 
 // CampaignReport renders the Section-4-style per-run summary table for
@@ -22,15 +26,19 @@ type RunSummary struct {
 func CampaignReport(rows []RunSummary) string {
 	t := NewTable("run", "node", "steps", "TUH [ms]", "peak T [C]", "peak MLTD [C]", "peak sev", "status")
 	for _, r := range rows {
+		prefix := ""
+		if r.Predicted {
+			prefix = "~"
+		}
 		tuh := "-"
 		if r.TUHMs >= 0 {
-			tuh = fmt.Sprintf("%.2f", r.TUHMs)
+			tuh = prefix + fmt.Sprintf("%.2f", r.TUHMs)
 		}
 		metric := func(v float64) string {
 			if v == 0 {
 				return "-"
 			}
-			return fmt.Sprintf("%.2f", v)
+			return prefix + fmt.Sprintf("%.2f", v)
 		}
 		t.Row(r.Label, r.Node, fmt.Sprint(r.Steps), tuh,
 			metric(r.PeakTemp), metric(r.PeakMLTD), metric(r.PeakSeverity), r.Status)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 
 	"hotgauge/internal/cluster"
@@ -191,7 +192,10 @@ func (s *Server) executeRemoteRun(ctx context.Context, run sim.RemoteRun) ([]byt
 // land on their run alone. Runs cut short by cancellation or the job
 // deadline are "skipped" (they said nothing about their config), and a
 // worker-side per-run timeout counts in serve/timeouts here too.
-func (s *Server) runJobRemote(ctx context.Context, j *Job, missIdx []int) {
+// decisions carries the triage decisions of the runs that reached exact
+// execution; audit-selected results are scored coordinator-side from
+// their gathered payloads (workers need not hold the model).
+func (s *Server) runJobRemote(ctx context.Context, j *Job, missIdx []int, decisions map[int]sim.TriageDecision) {
 	runs := make([]sim.RemoteRun, len(missIdx))
 	for k, i := range missIdx {
 		specBytes, _ := json.Marshal(j.Specs[i])
@@ -220,6 +224,14 @@ func (s *Server) runJobRemote(ctx context.Context, j *Job, missIdx []int) {
 					State: RunFailed, Error: err.Error()})
 			}
 			return
+		}
+		if d, ok := decisions[i]; ok && d.Audit && d.Prediction != nil && s.triager != nil {
+			var v RunView
+			if json.Unmarshal(payload, &v) == nil && len(v.Severity) > 0 {
+				absErr := math.Abs(d.Prediction.Severity - seriesMax(v.Severity))
+				s.triager.RecordAuditError(absErr)
+				j.addAudit(absErr)
+			}
 		}
 		// The worker (or fallback executor) already persisted the payload
 		// under its own store; persist under ours too — the coordinator's

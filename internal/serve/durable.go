@@ -273,7 +273,7 @@ func (s *Server) resultFor(j *Job, i int) []byte {
 		return data
 	}
 	rs, ok := j.run(i)
-	if !ok || (rs.State != RunDone && rs.State != RunCached) {
+	if !ok || (rs.State != RunDone && rs.State != RunCached && rs.State != RunPredicted) {
 		return nil
 	}
 	data, ok := s.lookupResult(rs.ConfigHash)

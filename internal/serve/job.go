@@ -26,11 +26,12 @@ func (s JobState) terminal() bool {
 
 // Run states within a job.
 const (
-	RunPending = "pending"
-	RunCached  = "cached" // served from the result cache
-	RunDone    = "done"   // freshly simulated
-	RunFailed  = "failed"
-	RunSkipped = "skipped" // never ran: job cancelled first
+	RunPending   = "pending"
+	RunCached    = "cached" // served from the result cache
+	RunDone      = "done"   // freshly simulated
+	RunFailed    = "failed"
+	RunSkipped   = "skipped"   // never ran: job cancelled first
+	RunPredicted = "predicted" // resolved by surrogate triage, no exact sim
 )
 
 // RunStatus is the wire form of one run's state within a job.
@@ -50,6 +51,7 @@ type Event struct {
 	Completed int      `json:"completed"`
 	Cached    int      `json:"cached"`
 	Failed    int      `json:"failed"`
+	Predicted int      `json:"predicted,omitempty"`
 	Total     int      `json:"total"`
 	ElapsedMS int64    `json:"elapsed_ms"`
 	ETAMS     int64    `json:"eta_ms,omitempty"`
@@ -73,6 +75,9 @@ type Job struct {
 	completed int
 	cached    int
 	failed    int
+	predicted int
+	auditN    int
+	auditSum  float64
 	errMsg    string
 	submitted time.Time
 	started   time.Time
@@ -143,6 +148,9 @@ func restoreJob(parent context.Context, id string, specs []ConfigSpec, hashes []
 			j.cached++
 		case RunDone:
 			j.completed++
+		case RunPredicted:
+			j.completed++
+			j.predicted++
 		case RunFailed, RunSkipped:
 			j.completed++
 			j.failed++
@@ -177,6 +185,7 @@ func (j *Job) publishLocked(typ string) {
 		Completed: j.completed,
 		Cached:    j.cached,
 		Failed:    j.failed,
+		Predicted: j.predicted,
 		Total:     len(j.runs),
 		Error:     j.errMsg,
 	}
@@ -187,7 +196,10 @@ func (j *Job) publishLocked(typ string) {
 		}
 		elapsed := end.Sub(j.started)
 		ev.ElapsedMS = elapsed.Milliseconds()
-		if fresh := j.completed - j.cached; fresh > 0 && j.completed < len(j.runs) {
+		// ETA extrapolates from freshly simulated runs only: cache hits and
+		// predicted-only resolutions complete in microseconds and would
+		// make the remaining exact work look nearly free.
+		if fresh := j.completed - j.cached - j.predicted; fresh > 0 && j.completed < len(j.runs) {
 			perRun := elapsed / time.Duration(fresh)
 			ev.ETAMS = (perRun * time.Duration(len(j.runs)-j.completed)).Milliseconds()
 		}
@@ -249,6 +261,36 @@ func (j *Job) setRunDone(i int, data []byte) {
 	j.runs[i].State = RunDone
 	j.completed++
 	j.publishLocked("progress")
+}
+
+// setRunPredicted records a run resolved predicted-only by triage.
+func (j *Job) setRunPredicted(i int, data []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.results[i] = data
+	j.runs[i].State = RunPredicted
+	j.completed++
+	j.predicted++
+	j.publishLocked("progress")
+}
+
+// addAudit folds one audited run's |predicted − exact| severity error
+// into the job's audit tally (reported by /report).
+func (j *Job) addAudit(absErr float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.auditN++
+	j.auditSum += absErr
+}
+
+// auditStats returns the job's audit MAE and sample count.
+func (j *Job) auditStats() (mae float64, n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.auditN == 0 {
+		return 0, 0
+	}
+	return j.auditSum / float64(j.auditN), j.auditN
 }
 
 // setRunFailed records a per-run error (or a context-cancelled skip).
@@ -325,6 +367,7 @@ type JobStatus struct {
 	Completed   int         `json:"completed"`
 	Cached      int         `json:"cached"`
 	Failed      int         `json:"failed"`
+	Predicted   int         `json:"predicted,omitempty"`
 	SubmittedAt time.Time   `json:"submitted_at"`
 	StartedAt   *time.Time  `json:"started_at,omitempty"`
 	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
@@ -344,6 +387,7 @@ func (j *Job) Status() JobStatus {
 		Completed:   j.completed,
 		Cached:      j.cached,
 		Failed:      j.failed,
+		Predicted:   j.predicted,
 		SubmittedAt: j.submitted,
 		Error:       j.errMsg,
 		Recovered:   j.recovered,

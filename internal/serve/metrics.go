@@ -26,9 +26,13 @@ const (
 	MetricJobsCancelled = "serve/jobs_cancelled"
 
 	// MetricRunsExecuted counts runs actually simulated;
-	// MetricRunsCached counts runs served from the result cache.
-	MetricRunsExecuted = "serve/runs_executed"
-	MetricRunsCached   = "serve/runs_cached"
+	// MetricRunsCached counts runs served from the result cache;
+	// MetricRunsPredicted counts runs resolved predicted-only by
+	// surrogate triage (the model-level surrogate/* counters live in the
+	// same registry).
+	MetricRunsExecuted  = "serve/runs_executed"
+	MetricRunsCached    = "serve/runs_cached"
+	MetricRunsPredicted = "serve/runs_predicted"
 
 	// MetricQueueDepth / MetricInflightJobs gauge the queue backlog and
 	// the jobs currently executing — the same numbers /healthz reports.

@@ -104,6 +104,21 @@ type Options struct {
 	// thermal.NewSolver name ("explicit", "implicit" or "adi"); empty
 	// keeps the simulator's explicit default.
 	DefaultSolver string
+
+	// Surrogate, when set, enables predict-first triage: submitted specs
+	// that leave surrogate unset are opted in (folded before hashing,
+	// like DefaultSolver; an explicit false pins exact execution), and
+	// each job's cache-missing surrogate runs are scored before
+	// execution — only the frontier, low-confidence and audit-selected
+	// runs simulate exactly, the rest resolve as predicted-only results.
+	// One Triager spans the daemon's lifetime, so the audit MAE
+	// accumulates across jobs. Typically a *surrogate.Model.
+	Surrogate sim.Predictor
+	// TriageBand / AuditFrac are the daemon defaults folded into specs
+	// that leave them zero when Surrogate is set (0 = the sim package
+	// defaults: a 0.1 guard band, a 0.1 audit fraction).
+	TriageBand float64
+	AuditFrac  float64
 }
 
 // Server is the campaign service: an http.Handler exposing the job API
@@ -133,6 +148,11 @@ type Server struct {
 	coord   *cluster.Coordinator
 	cworker *cluster.Worker
 
+	// triager applies Options.Surrogate's triage policy (nil when no
+	// surrogate is configured). Daemon-lifetime, so surrogate/* metrics
+	// and the audit MAE span every job this process serves.
+	triager *sim.Triager
+
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	order  []string          // submission order, for listing
@@ -143,6 +163,7 @@ type Server struct {
 	queueDepth, inflight                                *obs.Gauge
 	mSubmitted, mRejected                               *obs.Counter
 	mCompleted, mFailed, mCancelled, mExecuted, mCached *obs.Counter
+	mPredicted                                          *obs.Counter
 	mTimeouts, mBodyRejected                            *obs.Counter
 	mStoreErrors, mRecovered, mDeduped                  *obs.Counter
 	mOrphanLeases                                       *obs.Counter
@@ -205,12 +226,16 @@ func New(opts Options) (*Server, error) {
 		mCancelled:    opts.Registry.Counter(MetricJobsCancelled),
 		mExecuted:     opts.Registry.Counter(MetricRunsExecuted),
 		mCached:       opts.Registry.Counter(MetricRunsCached),
+		mPredicted:    opts.Registry.Counter(MetricRunsPredicted),
 		mTimeouts:     opts.Registry.Counter(MetricTimeouts),
 		mBodyRejected: opts.Registry.Counter(MetricBodyRejected),
 		mStoreErrors:  opts.Registry.Counter(MetricStoreErrors),
 		mRecovered:    opts.Registry.Counter(MetricRecoveredJobs),
 		mDeduped:      opts.Registry.Counter(MetricJobsDeduped),
 		mOrphanLeases: opts.Registry.Counter(cluster.MetricOrphanLeases),
+	}
+	if opts.Surrogate != nil {
+		s.triager = sim.NewTriager(sim.TriageOptions{Predictor: opts.Surrogate}, opts.Registry)
 	}
 	s.coord = s.newCoordinator()
 	s.routes()
@@ -417,13 +442,50 @@ func (s *Server) runJob(j *Job) {
 		}
 	}
 
+	// Predict-first triage: surrogate-flagged cache misses are scored
+	// before any execution. Runs the model confidently places clearly
+	// below the hotspot threshold resolve as predicted-only results —
+	// cached, persisted and journaled like any other payload (their
+	// content hash includes the triage knobs, so they can never shadow an
+	// exact result's address) — and only the rest execute. Decisions for
+	// the exact runs are kept so their results can be audited against the
+	// predictions.
+	decisions := map[int]sim.TriageDecision{}
+	if s.triager != nil && len(missIdx) > 0 {
+		kept := missIdx[:0]
+		for _, i := range missIdx {
+			if !j.cfgs[i].Surrogate {
+				kept = append(kept, i)
+				continue
+			}
+			d := s.triager.Score(j.cfgs[i])
+			decisions[i] = d
+			if d.ExactRun {
+				kept = append(kept, i)
+				continue
+			}
+			res := s.triager.PredictedResult(j.cfgs[i], d)
+			data, merr := json.Marshal(newRunView(j.Specs[i], j.hashes[i], res))
+			if merr != nil {
+				kept = append(kept, i) // unrepresentable prediction: run exactly
+				continue
+			}
+			s.cache.Put(j.hashes[i], data)
+			s.persistResult(j.hashes[i], data)
+			s.mPredicted.Inc()
+			j.setRunPredicted(i, data)
+			s.journalRec(journalRecord{Type: recRun, Job: j.ID, Run: i, State: RunPredicted})
+		}
+		missIdx = kept
+	}
+
 	// With live cluster workers the misses fan out across the cluster;
 	// otherwise (single node, or every worker died before pickup) they
 	// run on the local campaign path. A worker dying mid-fan-out does
 	// not fall back here — the coordinator reassigns its runs, and runs
 	// stranded with no survivors execute through its local executor.
 	if len(missIdx) > 0 && s.coord.AliveWorkers() > 0 {
-		s.runJobRemote(ctx, j, missIdx)
+		s.runJobRemote(ctx, j, missIdx, decisions)
 	} else if len(missIdx) > 0 {
 		cfgs := make([]sim.Config, len(missIdx))
 		for k, i := range missIdx {
@@ -472,6 +534,15 @@ func (s *Server) runJob(j *Job) {
 							State: RunFailed, Error: runErr.Error()})
 					}
 				default:
+					// Annotating the result with its prediction does not
+					// change the payload: newRunView emits predicted_*
+					// fields only for predicted-only results, so exact
+					// bytes stay identical with or without triage.
+					if d, ok := decisions[i]; ok {
+						if absErr, scored := s.triager.ObserveExact(d, r); scored {
+							j.addAudit(absErr)
+						}
+					}
 					data, merr := json.Marshal(newRunView(j.Specs[i], j.hashes[i], r))
 					if merr != nil {
 						j.setRunFailed(i, merr, false)
@@ -567,6 +638,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		for i := range req.Configs {
 			if req.Configs[i].Solver == "" {
 				req.Configs[i].Solver = s.opts.DefaultSolver
+			}
+		}
+	}
+	// Likewise the surrogate defaults: a daemon holding a model opts
+	// unset specs into triage (explicit surrogate:false still pins exact
+	// execution) and fills the zero-valued triage knobs, all before
+	// hashing so the content address records the policy that resolved
+	// the run.
+	if s.opts.Surrogate != nil {
+		for i := range req.Configs {
+			c := &req.Configs[i]
+			if c.Surrogate == nil {
+				on := true
+				c.Surrogate = &on
+			}
+			if *c.Surrogate {
+				if c.TriageBand == 0 {
+					c.TriageBand = s.opts.TriageBand
+				}
+				if c.AuditFrac == 0 {
+					c.AuditFrac = s.opts.AuditFrac
+				}
 			}
 		}
 	}
@@ -822,6 +915,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 				if v.TUHSeconds != nil {
 					row.TUHMs = *v.TUHSeconds * 1e3
 				}
+				if v.Predicted {
+					row.Predicted = true
+					row.PeakSeverity = v.PredictedSeverity
+					if v.PredictedTUHSeconds != nil {
+						row.TUHMs = *v.PredictedTUHSeconds * 1e3
+					}
+				}
 			}
 		}
 		rows[i] = row
@@ -830,6 +930,14 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintf(w, "job %s (%s): hotspot characterization, Section-4 style\n\n", j.ID, st.State)
 	fmt.Fprint(w, report.CampaignReport(rows))
+	if st.Predicted > 0 || s.triager != nil {
+		exact := st.Completed - st.Predicted - st.Failed
+		fmt.Fprintf(w, "\nsurrogate: %d predicted-only (~), %d exact", st.Predicted, exact)
+		if mae, n := j.auditStats(); n > 0 {
+			fmt.Fprintf(w, "; audit %d runs, predicted-vs-exact severity MAE %.4f", n, mae)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 func nodeName(n int) string {

@@ -73,6 +73,16 @@ type ConfigSpec struct {
 	FastSteady      bool    `json:"fast_steady,omitempty"`
 	FastSteadyAfter int     `json:"fast_steady_after,omitempty"`
 	FastSteadyTol   float64 `json:"fast_steady_tol,omitempty"`
+	// Surrogate opts the run into predict-first triage when the daemon
+	// holds a fitted surrogate model (see sim.Config.Surrogate). A nil
+	// pointer inherits the daemon's -surrogate default at submission —
+	// folded into the spec before hashing, like Solver — while an
+	// explicit false pins exact execution. TriageBand and AuditFrac tune
+	// the triage policy (0 = the daemon's defaults, then the package
+	// defaults; negative disables).
+	Surrogate  *bool   `json:"surrogate,omitempty"`
+	TriageBand float64 `json:"triage_band,omitempty"`
+	AuditFrac  float64 `json:"audit_frac,omitempty"`
 }
 
 // Config materializes the spec into a sim.Config.
@@ -111,6 +121,9 @@ func (s ConfigSpec) Config() (sim.Config, error) {
 		FastSteady:      s.FastSteady,
 		FastSteadyAfter: s.FastSteadyAfter,
 		FastSteadyTol:   s.FastSteadyTol,
+		Surrogate:       s.Surrogate != nil && *s.Surrogate,
+		TriageBand:      s.TriageBand,
+		AuditFrac:       s.AuditFrac,
 	}
 	solver, err := thermal.NewSolver(s.Solver, s.SolverTol)
 	if err != nil {
@@ -187,6 +200,15 @@ type RunView struct {
 
 	HotspotUnits  map[string]int `json:"hotspot_units,omitempty"`
 	FirstHotspots []HotspotView  `json:"first_hotspots,omitempty"`
+
+	// Predicted marks a run resolved by surrogate triage without exact
+	// execution: the series above are empty and the predicted_* fields
+	// carry the estimate. Exact results never emit these fields, so an
+	// exact payload's bytes are identical with or without triage.
+	Predicted           bool     `json:"predicted,omitempty"`
+	PredictedSeverity   float64  `json:"predicted_severity,omitempty"`
+	PredictedTUHSeconds *float64 `json:"predicted_tuh_seconds,omitempty"`
+	PredictedConfidence float64  `json:"predicted_confidence,omitempty"`
 }
 
 // newRunView projects a sim.Result onto the wire form.
@@ -224,6 +246,15 @@ func newRunView(spec ConfigSpec, hash string, res *sim.Result) RunView {
 	}
 	for _, h := range res.FirstHotspots {
 		v.FirstHotspots = append(v.FirstHotspots, HotspotView{X: h.X, Y: h.Y, Temp: h.Temp, MLTD: h.MLTD})
+	}
+	if res.Predicted && res.Prediction != nil {
+		v.Predicted = true
+		v.PredictedSeverity = res.Prediction.Severity
+		v.PredictedConfidence = res.Prediction.Confidence
+		if t := res.Prediction.TUHSeconds; t >= 0 {
+			tuh := t
+			v.PredictedTUHSeconds = &tuh
+		}
 	}
 	return v
 }

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hotgauge/internal/store"
+	"hotgauge/internal/surrogate"
+)
+
+// TrainingPoints walks a content-addressed result store and extracts
+// surrogate training points from its exact results. Predicted-only
+// payloads, results without a recorded severity series, and specs this
+// binary can no longer materialize are skipped (counted in skipped) —
+// corpus collection is best-effort over whatever the daemon accumulated.
+// Points come back in sorted key order, matching store.Keys.
+func TrainingPoints(rs *store.ResultStore) (points []surrogate.Point, skipped int, err error) {
+	keys, err := rs.Keys()
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, key := range keys {
+		data, ok, err := rs.Get(key)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			skipped++ // deleted between the walk and the read
+			continue
+		}
+		var v RunView
+		if json.Unmarshal(data, &v) != nil || v.Predicted || len(v.Severity) == 0 {
+			skipped++
+			continue
+		}
+		cfg, err := v.Spec.Config()
+		if err != nil {
+			skipped++
+			continue
+		}
+		x, err := surrogate.Features(cfg)
+		if err != nil {
+			skipped++
+			continue
+		}
+		peak := seriesMax(v.Severity)
+		tuh := -1.0
+		if v.TUHSeconds != nil && *v.TUHSeconds >= 0 {
+			tuh = *v.TUHSeconds
+		}
+		points = append(points, surrogate.Point{
+			Key: key,
+			X:   x,
+			Y:   surrogate.Targets{PeakSeverity: peak, TUHSeconds: tuh, Hotspot: tuh >= 0},
+		})
+	}
+	return points, skipped, nil
+}
+
+// FitSurrogate trains a surrogate model from a result store's exact
+// results (see TrainingPoints) and returns it with the usable corpus
+// size. Fitting fails when the store yields no trainable points — a
+// model must be grounded in at least one exact simulation.
+func FitSurrogate(rs *store.ResultStore, opts surrogate.FitOptions) (*surrogate.Model, int, error) {
+	points, skipped, err := TrainingPoints(rs)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(points) == 0 {
+		return nil, 0, fmt.Errorf("serve: no trainable results in the store (%d unusable payloads); run an exact campaign with record_severity first", skipped)
+	}
+	m, err := surrogate.Fit(points, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, len(points), nil
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hotgauge/internal/obs"
+	"hotgauge/internal/sim"
+	"hotgauge/internal/store"
+	"hotgauge/internal/surrogate"
+)
+
+// TestTriageE2E is the predict-first acceptance run, gated behind
+// HOTGAUGE_TRIAGE_E2E=1 because it simulates a full campaign twice.
+// It runs a ≥50-run campaign exactly (the control), fits a surrogate
+// from the control daemon's on-disk result store, then replays the same
+// campaign through a surrogate-holding daemon and checks the triage
+// contract: at most half the runs simulate exactly, every run the
+// control placed on the hotspot frontier (severity ≥ 0.5) is
+// exact-verified with the control's exact severity (zero false
+// negatives), and the predicted-vs-exact audit MAE is exposed through
+// both the metrics registry and /report.
+func TestTriageE2E(t *testing.T) {
+	if os.Getenv("HOTGAUGE_TRIAGE_E2E") == "" {
+		t.Skip("set HOTGAUGE_TRIAGE_E2E=1 to run the triage acceptance e2e")
+	}
+
+	// The campaign sweeps die area at two ambients: ICAreaFactor 1 keeps
+	// the paper's dense die (severity well above the frontier), 2 lands
+	// in the triage band, and the larger dies spread power until the
+	// severity frontier is far away — the confidently-cold majority a
+	// surrogate exists to skip.
+	workloads := []string{"bzip2", "gcc", "omnetpp", "povray", "hmmer"}
+	icAreas := []float64{1, 2, 4, 6, 8, 12}
+	ambients := []float64{25, 40}
+	var specs []ConfigSpec
+	for _, w := range workloads {
+		for _, ic := range icAreas {
+			for _, a := range ambients {
+				specs = append(specs, ConfigSpec{
+					Workload:       w,
+					Node:           7,
+					Steps:          8,
+					Warmup:         "cold",
+					Resolution:     0.25,
+					Ambient:        a,
+					ICAreaFactor:   ic,
+					RecordSeverity: true,
+				})
+			}
+		}
+	}
+	if len(specs) < 50 {
+		t.Fatalf("campaign too small for the acceptance bar: %d runs", len(specs))
+	}
+
+	// Control: every run simulated exactly, results persisted on disk.
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Options{DataDir: dir, RunWorkers: 0})
+	job1 := submit(t, ts1, specs...)
+	waitStateSlow(t, ts1, job1.ID, JobDone, 5*time.Minute)
+	controlSev := make([]float64, len(specs))
+	for i := range specs {
+		var v RunView
+		getJSON(t, ts1, fmt.Sprintf("/jobs/%s/results/%d", job1.ID, i), &v)
+		if v.Predicted || len(v.Severity) == 0 {
+			t.Fatalf("control run %d is not an exact severity-recorded result", i)
+		}
+		controlSev[i] = seriesMax(v.Severity)
+	}
+	ts1.Close()
+	shutdownNow(t, s1)
+
+	// Fit the surrogate from the control store.
+	rs, err := store.OpenResults(filepath.Join(dir, "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, corpus, err := FitSurrogate(rs, surrogate.FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus < len(specs) {
+		t.Fatalf("training corpus %d < campaign size %d", corpus, len(specs))
+	}
+
+	// Replay through a surrogate daemon: predict first, verify the rest.
+	reg := obs.NewRegistry()
+	_, ts2 := newTestServer(t, Options{Registry: reg, Surrogate: model, AuditFrac: 0.2})
+	job2 := submit(t, ts2, specs...)
+	waitStateSlow(t, ts2, job2.ID, JobDone, 5*time.Minute)
+
+	var st JobStatus
+	getJSON(t, ts2, "/jobs/"+job2.ID, &st)
+	if st.Failed != 0 || st.Completed != len(specs) {
+		t.Fatalf("triage campaign %+v, want %d/%d completed", st, len(specs), len(specs))
+	}
+	exact := st.Completed - st.Predicted
+	t.Logf("triage split: %d exact + %d predicted of %d (audit frac 0.2)",
+		exact, st.Predicted, len(specs))
+	if st.Predicted == 0 {
+		t.Fatal("triage predicted nothing: the surrogate added no value")
+	}
+	if exact*2 > len(specs) {
+		t.Fatalf("triage executed %d/%d runs exactly, want ≤ 50%%", exact, len(specs))
+	}
+
+	// Zero false negatives: every control-frontier run is exact-verified
+	// and reproduces the control severity bit for bit (same physics, same
+	// solver, deterministic sim).
+	for i, sev := range controlSev {
+		if sev < sim.DefaultSeverityThreshold {
+			continue
+		}
+		if st.Runs[i].State != RunDone {
+			t.Fatalf("frontier run %d (control severity %.3f) resolved %q, want exact verification",
+				i, sev, st.Runs[i].State)
+		}
+		var v RunView
+		getJSON(t, ts2, fmt.Sprintf("/jobs/%s/results/%d", job2.ID, i), &v)
+		if got := seriesMax(v.Severity); got != sev {
+			t.Fatalf("frontier run %d exact severity %.6f differs from control %.6f", i, got, sev)
+		}
+	}
+
+	// The audit loop measured predicted-vs-exact error and exposed it.
+	snap := reg.Snapshot()
+	if snap.Counters[sim.MetricSurrogateSkippedRuns] == 0 {
+		t.Fatal("surrogate/skipped_runs is zero")
+	}
+	if snap.Counters[sim.MetricSurrogateAuditRuns] == 0 {
+		t.Fatal("no audit runs at the configured audit fraction: MAE is unmeasured")
+	}
+	if _, ok := snap.Gauges[sim.MetricSurrogateAuditError]; !ok {
+		t.Fatalf("%s gauge not recorded", sim.MetricSurrogateAuditError)
+	}
+	rep := string(getBody(t, ts2, "/jobs/"+job2.ID+"/report"))
+	if !strings.Contains(rep, "predicted-vs-exact severity MAE") {
+		t.Fatalf("report does not expose the audit MAE:\n%s", rep)
+	}
+}
+
+// waitStateSlow is waitState with a caller-chosen deadline for the
+// e2e-sized campaigns.
+func waitStateSlow(t *testing.T, ts *httptest.Server, id string, want JobState, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		getJSON(t, ts, "/jobs/"+id, &st)
+		if st.State == want {
+			return
+		}
+		if st.State == JobFailed || st.State == JobCancelled {
+			t.Fatalf("job %s reached %s waiting for %s: %s", id, st.State, want, st.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for job %s to reach %s", id, want)
+}

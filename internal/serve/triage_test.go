@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"hotgauge/internal/obs"
+	"hotgauge/internal/sim"
+)
+
+// ambientPredictor is a deterministic fake surrogate keyed off the
+// config's ambient temperature: cool ambients predict confidently cold
+// (triage skips them), hot ambients predict on the severity frontier
+// (triage verifies them exactly).
+type ambientPredictor struct{}
+
+func (ambientPredictor) Predict(cfg sim.Config) (sim.Prediction, error) {
+	if cfg.Ambient > 45 {
+		return sim.Prediction{Severity: 0.9, TUHSeconds: 0.5, Confidence: 0.95}, nil
+	}
+	return sim.Prediction{Severity: 0.1, TUHSeconds: -1, Confidence: 0.95}, nil
+}
+
+// triageSpec is tinySpec plus an explicit ambient (the predictor's key)
+// and a recorded severity series so predicted and exact payloads are
+// distinguishable.
+func triageSpec(ambient float64) ConfigSpec {
+	s := tinySpec(7, 2)
+	s.Ambient = ambient
+	s.RecordSeverity = true
+	return s
+}
+
+// TestSubmitFoldsSurrogateIntoSpecs checks the hashing contract of a
+// surrogate-holding daemon: specs that leave surrogate unset are opted
+// into triage (with the daemon's knobs) before hashing, while an
+// explicit surrogate:false spec keeps the exact content address a plain
+// daemon would compute.
+func TestSubmitFoldsSurrogateIntoSpecs(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Options{
+		Registry:   reg,
+		Surrogate:  ambientPredictor{},
+		TriageBand: 0.2,
+		AuditFrac:  1e-9, // effectively never audit: decisions stay deterministic
+	})
+	off := false
+	pinned := triageSpec(41)
+	pinned.Surrogate = &off
+	job := submit(t, ts, triageSpec(41), pinned)
+	waitState(t, ts, job.ID, JobDone)
+
+	var folded, exact RunView
+	getJSON(t, ts, "/jobs/"+job.ID+"/results/0", &folded)
+	getJSON(t, ts, "/jobs/"+job.ID+"/results/1", &exact)
+	if folded.Spec.Surrogate == nil || !*folded.Spec.Surrogate {
+		t.Fatalf("unset spec not folded into triage: %+v", folded.Spec)
+	}
+	if folded.Spec.TriageBand != 0.2 {
+		t.Fatalf("daemon triage band not folded: got %g", folded.Spec.TriageBand)
+	}
+	// The triage knobs are part of the content address: a predicted-only
+	// payload can never shadow an exact result's cache entry.
+	plainCfg, err := triageSpec(41).Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainHash, err := plainCfg.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.ConfigHash == plainHash {
+		t.Fatal("surrogate-folded config hashed to the plain exact address")
+	}
+	// surrogate:false pins exact execution at the plain address.
+	if exact.ConfigHash != plainHash {
+		t.Fatalf("surrogate:false hash = %s, want plain %s", exact.ConfigHash, plainHash)
+	}
+	if exact.Predicted || len(exact.Severity) == 0 {
+		t.Fatalf("surrogate:false run was not simulated exactly: %+v", exact)
+	}
+}
+
+// TestTriagePredictedAndExactRuns is the predict-first campaign round
+// trip through the daemon: a confidently-cold run resolves predicted-only
+// (no severity series, predicted_* fields, "predicted" run state) while a
+// frontier run simulates exactly, and status, events, metrics and
+// /report all tell the two apart.
+func TestTriagePredictedAndExactRuns(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Options{
+		Registry:  reg,
+		Surrogate: ambientPredictor{},
+		AuditFrac: 1e-9,
+	})
+	job := submit(t, ts, triageSpec(41), triageSpec(60))
+	events := streamEvents(t, ts, job.ID)
+
+	var st JobStatus
+	getJSON(t, ts, "/jobs/"+job.ID, &st)
+	if st.State != JobDone || st.Completed != 2 || st.Failed != 0 {
+		t.Fatalf("status %+v, want done 2/2", st)
+	}
+	if st.Predicted != 1 {
+		t.Fatalf("status.Predicted = %d, want 1", st.Predicted)
+	}
+	if st.Runs[0].State != RunPredicted {
+		t.Fatalf("run 0 state %q, want %q", st.Runs[0].State, RunPredicted)
+	}
+	if st.Runs[1].State != RunDone {
+		t.Fatalf("run 1 state %q, want %q", st.Runs[1].State, RunDone)
+	}
+
+	var cold, hot RunView
+	getJSON(t, ts, "/jobs/"+job.ID+"/results/0", &cold)
+	getJSON(t, ts, "/jobs/"+job.ID+"/results/1", &hot)
+	if !cold.Predicted || cold.PredictedSeverity != 0.1 || cold.PredictedConfidence != 0.95 {
+		t.Fatalf("predicted payload %+v, want predicted sev=0.1 conf=0.95", cold)
+	}
+	if len(cold.Severity) != 0 || cold.TUHSeconds != nil {
+		t.Fatal("predicted-only payload carries exact-sim series")
+	}
+	if hot.Predicted || hot.PredictedSeverity != 0 || len(hot.Severity) == 0 {
+		t.Fatalf("exact payload %+v, want simulated series and no predicted fields", hot)
+	}
+
+	final := events[len(events)-1]
+	if final.Predicted != 1 {
+		t.Fatalf("final event predicted = %d, want 1", final.Predicted)
+	}
+
+	snap := reg.Snapshot()
+	for metric, want := range map[string]int64{
+		MetricRunsPredicted:            1,
+		sim.MetricSurrogateSkippedRuns: 1,
+		sim.MetricSurrogateExactRuns:   1,
+		sim.MetricSurrogatePredictions: 2,
+	} {
+		if got := snap.Counters[metric]; got != want {
+			t.Errorf("%s = %d, want %d", metric, got, want)
+		}
+	}
+
+	rep := string(getBody(t, ts, "/jobs/"+job.ID+"/report"))
+	if !strings.Contains(rep, "~") {
+		t.Fatalf("report does not mark predicted rows with ~:\n%s", rep)
+	}
+	if !strings.Contains(rep, "surrogate: 1 predicted-only (~), 1 exact") {
+		t.Fatalf("report missing surrogate footer:\n%s", rep)
+	}
+}
+
+// TestTriageAuditMeasuresPredictionError forces every skippable run
+// through the audit path (audit fraction 1) and checks the daemon scores
+// predicted-vs-exact severity error: the run simulates exactly, the
+// audit counters move, and /report exposes the MAE.
+func TestTriageAuditMeasuresPredictionError(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Options{
+		Registry:  reg,
+		Surrogate: ambientPredictor{},
+		AuditFrac: 1, // audit draw u ∈ [0,1) < 1 always: every skippable run verifies
+	})
+	job := submit(t, ts, triageSpec(41))
+	waitState(t, ts, job.ID, JobDone)
+
+	var st JobStatus
+	getJSON(t, ts, "/jobs/"+job.ID, &st)
+	if st.Predicted != 0 || st.Completed != 1 || st.Failed != 0 {
+		t.Fatalf("status %+v, want one exact (audited) run", st)
+	}
+	var v RunView
+	getJSON(t, ts, "/jobs/"+job.ID+"/results/0", &v)
+	if v.Predicted || len(v.Severity) == 0 {
+		t.Fatalf("audited run payload %+v, want exact series", v)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[sim.MetricSurrogateAuditRuns]; got != 1 {
+		t.Fatalf("%s = %d, want 1", sim.MetricSurrogateAuditRuns, got)
+	}
+	if _, ok := snap.Gauges[sim.MetricSurrogateAuditError]; !ok {
+		t.Fatalf("%s gauge not recorded", sim.MetricSurrogateAuditError)
+	}
+	rep := string(getBody(t, ts, "/jobs/"+job.ID+"/report"))
+	if !strings.Contains(rep, "audit 1 runs, predicted-vs-exact severity MAE") {
+		t.Fatalf("report missing audit MAE line:\n%s", rep)
+	}
+}
+
+// TestTriageDurableRestartRestoresPredictedRuns checks the journal round
+// trip for the predicted run state: a predicted-only run journaled by one
+// process is restored — still marked predicted, payload intact — by a
+// fresh process on the same data dir, even one holding no model.
+func TestTriageDurableRestartRestoresPredictedRuns(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Options{
+		DataDir:   dir,
+		Fsync:     "always",
+		Surrogate: ambientPredictor{},
+		AuditFrac: 1e-9,
+	})
+	job := submit(t, ts1, triageSpec(41))
+	waitState(t, ts1, job.ID, JobDone)
+	var want RunView
+	getJSON(t, ts1, "/jobs/"+job.ID+"/results/0", &want)
+	if !want.Predicted {
+		t.Fatalf("run not predicted-only before restart: %+v", want)
+	}
+	ts1.Close()
+	shutdownNow(t, s1)
+
+	_, ts2 := newTestServer(t, Options{DataDir: dir})
+	var st JobStatus
+	getJSON(t, ts2, "/jobs/"+job.ID, &st)
+	if st.State != JobDone || st.Predicted != 1 || !st.Recovered {
+		t.Fatalf("restored status %+v, want recovered done with 1 predicted", st)
+	}
+	if st.Runs[0].State != RunPredicted {
+		t.Fatalf("restored run state %q, want %q", st.Runs[0].State, RunPredicted)
+	}
+	var got RunView
+	getJSON(t, ts2, "/jobs/"+job.ID+"/results/0", &got)
+	if !got.Predicted || got.PredictedSeverity != want.PredictedSeverity {
+		t.Fatalf("restored predicted payload %+v, want %+v", got, want)
+	}
+}

@@ -63,11 +63,18 @@ type canonicalConfig struct {
 	DisableLeakage bool              `json:"disable_leakage_feedback"`
 	// The steady-state fast-path fields are omitted when off, so every
 	// pre-existing config keeps its content address.
-	FastSteady      bool              `json:"fast_steady,omitempty"`
-	FastSteadyAfter int               `json:"fast_steady_after,omitempty"`
-	FastSteadyTol   float64           `json:"fast_steady_tol,omitempty"`
-	Record          canonicalRecord   `json:"record"`
-	Assignments     []assignmentEntry `json:"assignments,omitempty"`
+	FastSteady      bool    `json:"fast_steady,omitempty"`
+	FastSteadyAfter int     `json:"fast_steady_after,omitempty"`
+	FastSteadyTol   float64 `json:"fast_steady_tol,omitempty"`
+	// Surrogate triage fields are likewise omitted when off: a triaged
+	// campaign's predicted-only payloads live at distinct content
+	// addresses from exact results, while untriaged configs keep their
+	// pre-existing hashes.
+	Surrogate   bool              `json:"surrogate,omitempty"`
+	TriageBand  float64           `json:"triage_band,omitempty"`
+	AuditFrac   float64           `json:"audit_frac,omitempty"`
+	Record      canonicalRecord   `json:"record"`
+	Assignments []assignmentEntry `json:"assignments,omitempty"`
 }
 
 type kindScaleEntry struct {
@@ -141,6 +148,9 @@ func (c Config) canonicalJSON() ([]byte, error) {
 		FastSteady:      cc.FastSteady,
 		FastSteadyAfter: cc.FastSteadyAfter,
 		FastSteadyTol:   cc.FastSteadyTol,
+		Surrogate:       cc.Surrogate,
+		TriageBand:      cc.TriageBand,
+		AuditFrac:       cc.AuditFrac,
 		Record: canonicalRecord{
 			MLTD:            cc.Record.MLTD,
 			Severity:        cc.Record.Severity,

@@ -85,6 +85,22 @@ const (
 	MetricSteadyJumps = "sim/steady_jumps"
 	MetricSteadySkips = "sim/steady_steps_skipped"
 
+	// Surrogate triage counters, recorded by Triager (predict-first
+	// campaigns): MetricSurrogatePredictions counts configs scored,
+	// MetricSurrogatePredictErrors predictions that failed (the run falls
+	// back to exact execution), MetricSurrogateExactRuns runs triage sent
+	// to the full pipeline (frontier, low confidence, audit or predictor
+	// failure), MetricSurrogateSkippedRuns runs resolved predicted-only,
+	// and MetricSurrogateAuditRuns the audit-selected exact runs.
+	// MetricSurrogateAuditError gauges the running mean absolute
+	// |predicted − exact| peak-severity error over the audited runs.
+	MetricSurrogatePredictions   = "surrogate/predictions"
+	MetricSurrogatePredictErrors = "surrogate/predict_errors"
+	MetricSurrogateExactRuns     = "surrogate/exact_runs"
+	MetricSurrogateSkippedRuns   = "surrogate/skipped_runs"
+	MetricSurrogateAuditRuns     = "surrogate/audit_runs"
+	MetricSurrogateAuditError    = "surrogate/audit_error"
+
 	// Perf-model throughput counters, recorded via perf.CountingSource.
 	MetricPerfSteps        = "perf/steps"
 	MetricPerfInstructions = "perf/instructions"

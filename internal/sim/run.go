@@ -56,6 +56,19 @@ type Result struct {
 	// Controller traces (recorded only when a Controller is set).
 	ThrottleTrace []float64 // applied throttle per step
 	CoreTrace     []int     // core running the primary workload per step
+
+	// Predicted marks a predicted-only result: surrogate triage decided
+	// the run's outcome without executing the pipeline, so StepsRun is 0,
+	// every series is empty, and Prediction carries the estimate. Exact
+	// results of triaged campaigns also carry Prediction (for
+	// comparison) but leave Predicted false.
+	Predicted bool
+	// Prediction is the surrogate's estimate, present whenever the run
+	// was scored by triage (predicted-only or exact-verified).
+	Prediction *Prediction
+	// Audited marks an exact run selected by the audit fraction; its
+	// |predicted − exact| severity error feeds surrogate/audit_error.
+	Audited bool
 }
 
 // SevRMS returns the RMS of the recorded severity series (§V-B).

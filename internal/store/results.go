@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -87,6 +88,35 @@ func (r *ResultStore) Delete(key string) error {
 		return nil
 	}
 	return err
+}
+
+// Keys enumerates every stored key in sorted order — the training-corpus
+// walk the surrogate fitter iterates. Only committed payloads are
+// listed: temp files left by a crashed atomic write (".tmp-" suffixed,
+// swept at the next OpenResults) and any foreign files are skipped, so a
+// crash mid-Put can never surface a phantom key.
+func (r *ResultStore) Keys() ([]string, error) {
+	var keys []string
+	err := filepath.WalkDir(r.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() || !strings.HasSuffix(name, ".json") || strings.Contains(name, ".tmp-") {
+			return nil
+		}
+		key := strings.TrimSuffix(name, ".json")
+		if checkKey(key) != nil {
+			return nil
+		}
+		keys = append(keys, key)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
 }
 
 // Len counts the stored payloads (a directory walk; ops and tests).

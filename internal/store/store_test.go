@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -176,6 +177,56 @@ func TestOpenSweepsAllTempDirs(t *testing.T) {
 	for _, p := range []string{ckTmp, resTmp} {
 		if _, err := os.Stat(p); !os.IsNotExist(err) {
 			t.Fatalf("temp leftover %s survived Open", p)
+		}
+	}
+}
+
+func TestResultStoreKeys(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	rs, err := OpenResults(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys, err := rs.Keys(); err != nil || len(keys) != 0 {
+		t.Fatalf("Keys on empty store = %v, %v; want none", keys, err)
+	}
+	// Deliberately unsorted insertion order.
+	want := []string{
+		strings.Repeat("cd", 32),
+		strings.Repeat("ab", 32),
+		strings.Repeat("ef", 32),
+	}
+	for _, k := range want {
+		if err := rs.Put(k, []byte(`{"ok":true}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash leftovers and foreign files must never surface as keys: a
+	// stranded atomic-write temp inside a shard, a non-.json stray, and a
+	// .json whose basename is not a valid key.
+	shard := filepath.Join(dir, "ab")
+	os.WriteFile(filepath.Join(shard, strings.Repeat("ab", 32)+".json.tmp-42"), []byte("partial"), 0o666)
+	os.WriteFile(filepath.Join(shard, "README"), []byte("not a result"), 0o666)
+	os.WriteFile(filepath.Join(dir, "in.valid.json"), []byte("{}"), 0o666)
+
+	got, err := rs.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]string(nil), want...)
+	sort.Strings(sorted)
+	if len(got) != len(sorted) {
+		t.Fatalf("Keys = %v; want exactly the %d committed keys", got, len(sorted))
+	}
+	for i := range got {
+		if got[i] != sorted[i] {
+			t.Fatalf("Keys[%d] = %q; want %q (sorted order)", i, got[i], sorted[i])
+		}
+	}
+	// Every listed key must round-trip through Get.
+	for _, k := range got {
+		if _, ok, err := rs.Get(k); err != nil || !ok {
+			t.Fatalf("Get(%q) = ok=%v err=%v for a listed key", k, ok, err)
 		}
 	}
 }

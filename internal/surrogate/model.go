@@ -1,0 +1,284 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+
+	"hotgauge/internal/sim"
+)
+
+// Defaults for FitOptions' zero values.
+const (
+	defaultLambda = 1.0
+	defaultK      = 5
+	defaultBags   = 8
+	modelVersion  = 1
+)
+
+// FitOptions tunes Fit. The zero value is the documented default model.
+type FitOptions struct {
+	// Seed drives the bootstrap sampling (0 = 1). Same seed + same
+	// training keys ⇒ bit-identical model.
+	Seed int64
+	// Lambda is the ridge regularization strength in standardized
+	// feature space (0 = 1.0). The bias term is never regularized.
+	Lambda float64
+	// K is the neighbor count of the k-NN component (0 = 5).
+	K int
+	// Bags is the bootstrap-ensemble size; the spread across bags feeds
+	// the confidence estimate (0 = 8).
+	Bags int
+}
+
+func (o *FitOptions) fill() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Lambda <= 0 {
+		o.Lambda = defaultLambda
+	}
+	if o.K <= 0 {
+		o.K = defaultK
+	}
+	if o.Bags <= 0 {
+		o.Bags = defaultBags
+	}
+}
+
+// Model is a fitted surrogate: a bootstrap-ridge ensemble blended with
+// an inverse-distance k-NN over standardized features. All fields are
+// exported for the versioned JSON serialization (see Encode/Decode);
+// treat them as read-only. Predict is safe for concurrent use.
+type Model struct {
+	Version int      `json:"version"`
+	Seed    int64    `json:"seed"`
+	Lambda  float64  `json:"lambda"`
+	K       int      `json:"k"`
+	Bags    int      `json:"bags"`
+	Names   []string `json:"feature_names"`
+
+	// Mean/Std standardize raw feature vectors (Std entries are never 0).
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+
+	// SevWeights holds one ridge weight vector per bootstrap bag
+	// (bias-first, in standardized space), predicting peak severity.
+	SevWeights [][]float64 `json:"sev_weights"`
+
+	// The k-NN corpus: standardized training vectors with their targets.
+	// YTUH is seconds, negative when the run saw no hotspot. Keys are
+	// the sorted training result keys (provenance; what makes refitting
+	// reproducible).
+	X    [][]float64 `json:"x"`
+	YSev []float64   `json:"y_sev"`
+	YTUH []float64   `json:"y_tuh"`
+	Keys []string    `json:"keys"`
+
+	// DistScale is the mean nearest-neighbor distance of the training
+	// set — the unit in which query distances are judged "near" or "far".
+	DistScale float64 `json:"dist_scale"`
+}
+
+// Predict implements sim.Predictor: features are extracted from the
+// config and scored by the fitted ensemble. An error (unextractable
+// features, schema mismatch) makes triage fall back to exact execution.
+func (m *Model) Predict(cfg sim.Config) (sim.Prediction, error) {
+	x, err := Features(cfg)
+	if err != nil {
+		return sim.Prediction{}, err
+	}
+	if len(x) != len(m.Names) {
+		return sim.Prediction{}, fmt.Errorf("surrogate: model expects %d features, extractor produced %d (schema skew)", len(m.Names), len(x))
+	}
+	sev, tuh, conf := m.predictVec(x)
+	return sim.Prediction{Severity: sev, TUHSeconds: tuh, Confidence: conf}, nil
+}
+
+// predictVec scores one raw feature vector.
+func (m *Model) predictVec(x []float64) (sev, tuh, conf float64) {
+	z := make([]float64, len(x))
+	for i, v := range x {
+		z[i] = (v - m.Mean[i]) / m.Std[i]
+	}
+
+	// Ridge ensemble: mean prediction and bag spread.
+	rm, rVar := 0.0, 0.0
+	for _, w := range m.SevWeights {
+		p := w[0]
+		for i, zi := range z {
+			p += w[i+1] * zi
+		}
+		rm += p
+	}
+	rm /= float64(len(m.SevWeights))
+	for _, w := range m.SevWeights {
+		p := w[0]
+		for i, zi := range z {
+			p += w[i+1] * zi
+		}
+		rVar += (p - rm) * (p - rm)
+	}
+	rStd := math.Sqrt(rVar / float64(len(m.SevWeights)))
+
+	// k nearest neighbors by Euclidean distance, ties broken by index so
+	// the selection is deterministic.
+	k := m.K
+	if k > len(m.X) {
+		k = len(m.X)
+	}
+	best := make([]nb, 0, k)
+	for i, xi := range m.X {
+		d := 0.0
+		for j, zj := range z {
+			diff := zj - xi[j]
+			d += diff * diff
+		}
+		d = math.Sqrt(d)
+		if len(best) < k {
+			best = append(best, nb{d, i})
+		} else if worst := worstIdx(best); d < best[worst].d || (d == best[worst].d && i < best[worst].i) {
+			best[worst] = nb{d, i}
+		}
+	}
+	// Inverse-distance weights: an exact hit dominates completely, so an
+	// in-sample query returns its own recorded result.
+	const eps = 1e-9
+	knn, wSum, d1 := 0.0, 0.0, math.Inf(1)
+	for _, b := range best {
+		w := 1 / (b.d + eps)
+		knn += w * m.YSev[b.i]
+		wSum += w
+		if b.d < d1 {
+			d1 = b.d
+		}
+	}
+	knn /= wSum
+	knnVar := 0.0
+	for _, b := range best {
+		w := 1 / (b.d + eps)
+		knnVar += w * (m.YSev[b.i] - knn) * (m.YSev[b.i] - knn)
+	}
+	knnStd := math.Sqrt(knnVar / wSum)
+
+	// Blend: trust the k-NN near the data, the ridge far from it.
+	rel := d1 / m.DistScale
+	blend := 1 / (1 + rel)
+	sev = clamp01(blend*knn + (1-blend)*rm)
+
+	// TUH: an inverse-distance-weighted vote among the neighbors. When
+	// the hotspot neighbors hold the majority weight, their weighted
+	// mean TUH is the estimate; otherwise no hotspot is predicted.
+	hotW, hotTUH := 0.0, 0.0
+	for _, b := range best {
+		if m.YTUH[b.i] >= 0 {
+			w := 1 / (b.d + eps)
+			hotW += w
+			hotTUH += w * m.YTUH[b.i]
+		}
+	}
+	tuh = -1
+	if hotW*2 > wSum {
+		tuh = hotTUH / hotW
+	}
+
+	// Confidence decays with ensemble spread, neighbor disagreement,
+	// ridge-vs-kNN disagreement, and distance from the training data.
+	spread := rStd + knnStd + math.Abs(rm-knn)
+	conf = clamp01(1 / (1 + 3*spread + 2*rel))
+	return sev, tuh, conf
+}
+
+// nb is a neighbor candidate during the k-NN scan.
+type nb struct {
+	d float64
+	i int
+}
+
+func worstIdx(nbs []nb) int {
+	w := 0
+	for i := 1; i < len(nbs); i++ {
+		if nbs[i].d > nbs[w].d || (nbs[i].d == nbs[w].d && nbs[i].i > nbs[w].i) {
+			w = i
+		}
+	}
+	return w
+}
+
+func clamp01(v float64) float64 {
+	return math.Max(0, math.Min(1, v))
+}
+
+// splitmix64 is the bootstrap PRNG: tiny, seedable and stable across Go
+// releases (math/rand's stream is not part of the compatibility
+// promise, and a model must refit bit-identically years later).
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// ridgeFit solves (Zᵀ Z + λI) w = Zᵀ y on the selected sample rows in
+// standardized space with an unregularized bias column, via Gaussian
+// elimination with partial pivoting. Dimensions are tiny (≈50 features),
+// so the dense solve is microseconds.
+func ridgeFit(z [][]float64, y []float64, rows []int, lambda float64) []float64 {
+	p := len(z[0]) + 1 // bias first
+	a := make([][]float64, p)
+	for i := range a {
+		a[i] = make([]float64, p+1)
+	}
+	for _, r := range rows {
+		xr := z[r]
+		for i := 0; i < p; i++ {
+			vi := 1.0
+			if i > 0 {
+				vi = xr[i-1]
+			}
+			for j := 0; j < p; j++ {
+				vj := 1.0
+				if j > 0 {
+					vj = xr[j-1]
+				}
+				a[i][j] += vi * vj
+			}
+			a[i][p] += vi * y[r]
+		}
+	}
+	for i := 1; i < p; i++ {
+		a[i][i] += lambda
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < p; col++ {
+		piv := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		d := a[col][col]
+		if math.Abs(d) < 1e-12 {
+			continue // λI keeps real columns regular; a dead column stays 0
+		}
+		for r := 0; r < p; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / d
+			for cc := col; cc <= p; cc++ {
+				a[r][cc] -= f * a[col][cc]
+			}
+		}
+	}
+	w := make([]float64, p)
+	for i := 0; i < p; i++ {
+		if math.Abs(a[i][i]) >= 1e-12 {
+			w[i] = a[i][p] / a[i][i]
+		}
+	}
+	return w
+}

@@ -1,0 +1,124 @@
+package surrogate
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Encode serializes the model to JSON. Go's json.Marshal emits struct
+// fields in declaration order, so for a given model the bytes are
+// deterministic — Fingerprint and the determinism tests rely on that.
+func Encode(m *Model) ([]byte, error) {
+	if m == nil {
+		return nil, fmt.Errorf("surrogate: nil model")
+	}
+	return json.Marshal(m)
+}
+
+// Decode parses and validates a serialized model. A model fitted
+// against a different feature schema (older binary, renamed feature) is
+// refused outright: silently scoring mispositioned features would
+// produce confidently wrong predictions, which triage cannot detect.
+func Decode(data []byte) (*Model, error) {
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("surrogate: decode model: %w", err)
+	}
+	if m.Version != modelVersion {
+		return nil, fmt.Errorf("surrogate: model version %d, this binary supports %d", m.Version, modelVersion)
+	}
+	names := FeatureNames()
+	if len(m.Names) != len(names) {
+		return nil, fmt.Errorf("surrogate: model has %d features, this binary extracts %d; refit the model", len(m.Names), len(names))
+	}
+	for i, n := range names {
+		if m.Names[i] != n {
+			return nil, fmt.Errorf("surrogate: feature %d is %q in the model but %q in this binary; refit the model", i, m.Names[i], n)
+		}
+	}
+	d := len(names)
+	if len(m.Mean) != d || len(m.Std) != d {
+		return nil, fmt.Errorf("surrogate: standardization vectors do not match the feature count")
+	}
+	for i, s := range m.Std {
+		if s == 0 {
+			return nil, fmt.Errorf("surrogate: zero std for feature %q", names[i])
+		}
+	}
+	if len(m.SevWeights) == 0 {
+		return nil, fmt.Errorf("surrogate: model has no ridge bags")
+	}
+	for b, w := range m.SevWeights {
+		if len(w) != d+1 {
+			return nil, fmt.Errorf("surrogate: bag %d has %d weights, want %d", b, len(w), d+1)
+		}
+	}
+	n := len(m.X)
+	if n == 0 {
+		return nil, fmt.Errorf("surrogate: model has no training corpus")
+	}
+	if len(m.YSev) != n || len(m.YTUH) != n || len(m.Keys) != n {
+		return nil, fmt.Errorf("surrogate: corpus targets/keys do not match %d training rows", n)
+	}
+	for i, row := range m.X {
+		if len(row) != d {
+			return nil, fmt.Errorf("surrogate: training row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	if m.K <= 0 || m.DistScale <= 0 {
+		return nil, fmt.Errorf("surrogate: invalid k (%d) or distance scale (%g)", m.K, m.DistScale)
+	}
+	return &m, nil
+}
+
+// Save atomically writes the model to path (temp-and-rename, like the
+// result store), creating parent directories as needed.
+func Save(m *Model, path string) error {
+	data, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load reads and validates a model from disk.
+func Load(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// Fingerprint is a short stable identifier for a fitted model (the
+// first 12 hex characters of the SHA-256 of its serialization), used in
+// logs and reports to tell which model produced a prediction.
+func Fingerprint(m *Model) (string, error) {
+	data, err := Encode(m)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])[:12], nil
+}

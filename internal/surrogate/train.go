@@ -1,0 +1,179 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hotgauge/internal/sim"
+)
+
+// Targets are the exact-sim quantities a training point teaches the
+// model: the campaign-relevant summary of one completed run.
+type Targets struct {
+	// PeakSeverity is the maximum of the run's per-step severity series.
+	PeakSeverity float64
+	// TUHSeconds is the time-until-hotspot; negative when the run never
+	// crossed the severity threshold.
+	TUHSeconds float64
+	// Hotspot records whether the run saw a hotspot (TUHSeconds >= 0).
+	Hotspot bool
+}
+
+// Point is one training example: a stable key (the result-store config
+// hash), the raw feature vector and the exact targets.
+type Point struct {
+	Key string
+	X   []float64
+	Y   Targets
+}
+
+// PointFromResult builds a training point from an exact simulation
+// result. Predicted-only results and runs without a recorded severity
+// series are rejected — a surrogate must never train on its own output.
+func PointFromResult(key string, cfg sim.Config, res *sim.Result) (Point, error) {
+	if res == nil {
+		return Point{}, fmt.Errorf("surrogate: nil result for %s", key)
+	}
+	if res.Predicted {
+		return Point{}, fmt.Errorf("surrogate: result %s is predicted-only; refusing to train on surrogate output", key)
+	}
+	if len(res.Severity) == 0 {
+		return Point{}, fmt.Errorf("surrogate: result %s has no severity series (set Record.Severity)", key)
+	}
+	x, err := Features(cfg)
+	if err != nil {
+		return Point{}, fmt.Errorf("surrogate: result %s: %w", key, err)
+	}
+	peak := 0.0
+	for _, s := range res.Severity {
+		if s > peak {
+			peak = s
+		}
+	}
+	tuh := -1.0
+	if !math.IsInf(res.TUH, 1) && res.TUH >= 0 {
+		tuh = res.TUH
+	}
+	return Point{
+		Key: key,
+		X:   x,
+		Y:   Targets{PeakSeverity: peak, TUHSeconds: tuh, Hotspot: tuh >= 0},
+	}, nil
+}
+
+// Fit trains a model on the given points. Training is deterministic:
+// points are ordered by key before anything else, so the same key set
+// and seed produce a bit-identical model regardless of input order.
+func Fit(points []Point, opts FitOptions) (*Model, error) {
+	opts.fill()
+	if len(points) == 0 {
+		return nil, fmt.Errorf("surrogate: no training points")
+	}
+	pts := make([]Point, len(points))
+	copy(pts, points)
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].Key < pts[j].Key })
+
+	names := FeatureNames()
+	for _, p := range pts {
+		if len(p.X) != len(names) {
+			return nil, fmt.Errorf("surrogate: point %s has %d features, schema has %d", p.Key, len(p.X), len(names))
+		}
+	}
+
+	n, d := len(pts), len(names)
+	mean := make([]float64, d)
+	std := make([]float64, d)
+	for j := 0; j < d; j++ {
+		for _, p := range pts {
+			mean[j] += p.X[j]
+		}
+		mean[j] /= float64(n)
+		for _, p := range pts {
+			diff := p.X[j] - mean[j]
+			std[j] += diff * diff
+		}
+		std[j] = math.Sqrt(std[j] / float64(n))
+		if std[j] == 0 {
+			std[j] = 1 // constant feature: standardizes to 0, carries no signal
+		}
+	}
+
+	z := make([][]float64, n)
+	ySev := make([]float64, n)
+	yTUH := make([]float64, n)
+	keys := make([]string, n)
+	for i, p := range pts {
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			row[j] = (p.X[j] - mean[j]) / std[j]
+		}
+		z[i] = row
+		ySev[i] = p.Y.PeakSeverity
+		yTUH[i] = p.Y.TUHSeconds
+		keys[i] = p.Key
+	}
+
+	// Bootstrap-bagged ridge: each bag resamples n rows with replacement
+	// from a seeded splitmix64 stream, so the ensemble (and its spread,
+	// which feeds confidence) is reproducible.
+	weights := make([][]float64, opts.Bags)
+	for b := 0; b < opts.Bags; b++ {
+		rng := splitmix64{s: uint64(opts.Seed) + uint64(b)*0x9E3779B97F4A7C15}
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = int(rng.next() % uint64(n))
+		}
+		weights[b] = ridgeFit(z, ySev, rows, opts.Lambda)
+	}
+
+	// DistScale: the mean nearest-neighbor distance (self excluded) sets
+	// the length scale for "near the training data". Capped sampling
+	// keeps fitting O(min(n,256)·n) on large corpora.
+	sample := n
+	if sample > 256 {
+		sample = 256
+	}
+	distSum, distN := 0.0, 0
+	for i := 0; i < sample; i++ {
+		nearest := math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			dist := 0.0
+			for c := 0; c < d; c++ {
+				diff := z[i][c] - z[j][c]
+				dist += diff * diff
+			}
+			if dist < nearest {
+				nearest = dist
+			}
+		}
+		if !math.IsInf(nearest, 1) {
+			distSum += math.Sqrt(nearest)
+			distN++
+		}
+	}
+	distScale := 1.0
+	if distN > 0 && distSum > 0 {
+		distScale = distSum / float64(distN)
+	}
+
+	return &Model{
+		Version:    modelVersion,
+		Seed:       opts.Seed,
+		Lambda:     opts.Lambda,
+		K:          opts.K,
+		Bags:       opts.Bags,
+		Names:      names,
+		Mean:       mean,
+		Std:        std,
+		SevWeights: weights,
+		X:          z,
+		YSev:       ySev,
+		YTUH:       yTUH,
+		Keys:       keys,
+		DistScale:  distScale,
+	}, nil
+}
