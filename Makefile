@@ -3,9 +3,9 @@ GO ?= go
 # Benchmark settings: BENCH_COUNT feeds -count (benchstat wants >= 10
 # samples); BENCH_PATTERN selects the hot kernels plus one end-to-end run.
 BENCH_COUNT ?= 10
-BENCH_PATTERN ?= BenchmarkKernelThermalStep|BenchmarkKernelADIStep|BenchmarkKernelMLTDField|BenchmarkSec4ATempScaling
+BENCH_PATTERN ?= BenchmarkKernelThermalStep|BenchmarkKernelADIStep|BenchmarkKernelMLTDField|BenchmarkSec4ATempScaling|BenchmarkStackedRun
 
-.PHONY: all build test vet fmt-check check faultcheck crashcheck clustercheck triagecheck bench bench-check bench-all serve-smoke
+.PHONY: all build test vet fmt-check check faultcheck stackcheck crashcheck clustercheck triagecheck bench bench-check bench-all serve-smoke
 
 all: check
 
@@ -33,7 +33,14 @@ check: build test vet fmt-check
 # campaign all involve goroutine handoff, so -race -count=2 is the gate
 # that catches both data races and order-dependent flakiness.
 faultcheck:
-	$(GO) test -race -count=2 ./internal/fault/ ./internal/sim/ ./internal/serve/ ./internal/store/ ./internal/surrogate/ ./internal/thermal/
+	$(GO) test -race -count=2 ./internal/fault/ ./internal/sim/ ./internal/serve/ ./internal/store/ ./internal/surrogate/ ./internal/thermal/ ./internal/power/ ./internal/floorplan/
+
+# The stacked-scenario smoke under the race detector: every multi-die
+# preset end-to-end (per-die series, DRAM power feedback, hash
+# coherence) plus the daemon's stacked wire form — the paths where the
+# per-plane power frames and scratch buffers could race.
+stackcheck:
+	$(GO) test -race -count=1 -run 'TestStackPreset|TestSingleDieRunUnchanged|TestBuriedCoreRunsHotter|TestSpecStackMaterialization|TestDefaultStackFolding|TestStackedRunView' ./internal/sim/ ./internal/serve/
 
 # The SIGKILL crash e2e: a real daemon child process is killed -9
 # mid-campaign and restarted on the same data dir; the test asserts no

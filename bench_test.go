@@ -239,6 +239,22 @@ func BenchmarkSec4ATempScaling(b *testing.B) {
 	b.Run("adi", func(b *testing.B) { run(b, &thermal.ADI{}) })
 }
 
+// BenchmarkStackedRun measures the multi-die co-simulation end-to-end:
+// two active planes, the DRAM power model driven by the core's memory
+// traffic, and per-die series extraction — the stacked-scenario cost on
+// top of the single-die baseline above.
+func BenchmarkStackedRun(b *testing.B) {
+	for _, preset := range sim.StackPresets() {
+		b.Run(preset, func(b *testing.B) {
+			cfg := benchConfig(tech.Node7, "gcc", 15)
+			cfg.StackPreset = preset
+			for i := 0; i < b.N; i++ {
+				benchRun(b, cfg)
+			}
+		})
+	}
+}
+
 // ---- Ablations (DESIGN.md §4) ----
 
 func BenchmarkAblationSolvers(b *testing.B) {
@@ -345,11 +361,12 @@ func BenchmarkKernelThermalStep(b *testing.B) {
 	state := grid.NewState(40)
 	pf := geometry.NewField(grid.NX, grid.NY, 0.1)
 	pf.Rasterize(fp.CoreRects[0], 12)
+	pw := thermal.NewPower(pf)
 	var solver thermal.Explicit
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := solver.Step(grid, state, pf, sim.Timestep); err != nil {
+		if err := solver.Step(grid, state, pw, sim.Timestep); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -367,11 +384,12 @@ func BenchmarkKernelADIStep(b *testing.B) {
 	state := grid.NewState(40)
 	pf := geometry.NewField(grid.NX, grid.NY, 0.1)
 	pf.Rasterize(fp.CoreRects[0], 12)
+	pw := thermal.NewPower(pf)
 	var solver thermal.ADI
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := solver.Step(grid, state, pf, sim.Timestep); err != nil {
+		if err := solver.Step(grid, state, pw, sim.Timestep); err != nil {
 			b.Fatal(err)
 		}
 	}

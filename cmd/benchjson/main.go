@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"hotgauge/internal/floorplan"
+	"hotgauge/internal/sim"
 	"hotgauge/internal/tech"
 	"hotgauge/internal/thermal"
 )
@@ -71,6 +72,9 @@ type Meta struct {
 	GridCells int `json:"grid_cells"`
 	// Solvers is the stock solver vocabulary the suite covers.
 	Solvers []string `json:"solvers"`
+	// Stacks is the stacked-scenario preset vocabulary the stacked
+	// benchmarks cover (empty in pre-stacking baselines).
+	Stacks []string `json:"stacks,omitempty"`
 }
 
 // Summary is the JSON artifact: provenance plus per-benchmark numbers.
@@ -150,7 +154,7 @@ func meta() Meta {
 			cells = g.NX * g.NY * g.NL
 		}
 	}
-	return Meta{GitSHA: sha, GridCells: cells, Solvers: []string{"explicit", "implicit", "adi"}}
+	return Meta{GitSHA: sha, GridCells: cells, Solvers: []string{"explicit", "implicit", "adi"}, Stacks: sim.StackPresets()}
 }
 
 // loadSummary reads either the current object form or the legacy bare

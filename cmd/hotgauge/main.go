@@ -52,6 +52,7 @@ type options struct {
 	radius      float64
 	solver      string
 	solverTol   float64
+	stack       string
 	fastSteady  bool
 	steadyTol   float64
 	outDir      string
@@ -88,6 +89,7 @@ func main() {
 	flag.Float64Var(&o.radius, "radius", 1.0, "MLTD radius [mm]")
 	flag.StringVar(&o.solver, "solver", "", "thermal solver: explicit (default), implicit or adi (adaptive ADI, the campaign fast solver)")
 	flag.Float64Var(&o.solverTol, "solver-tol", 0, "solver accuracy knob: implicit inner-sweep tolerance or ADI per-step error budget [C] (0 = solver default)")
+	flag.StringVar(&o.stack, "stack", "", "stacked-scenario preset: core-on-memory, memory-on-core or gpu-sm (empty = single die)")
 	flag.BoolVar(&o.fastSteady, "fast-steady", false, "jump constant-power stretches straight to the steady-state solution instead of integrating the settling tail")
 	flag.Float64Var(&o.steadyTol, "fast-steady-tol", 0, "relative per-step power delta below which frames count as steady for -fast-steady (0 = 1e-3)")
 	flag.StringVar(&o.outDir, "out", "", "directory for CSV artifacts (series + frames)")
@@ -180,6 +182,7 @@ func run(o options) error {
 		UseCycleModel: o.cycleModel,
 		FastSteady:    o.fastSteady,
 		FastSteadyTol: o.steadyTol,
+		StackPreset:   o.stack,
 	}
 	solver, err := thermal.NewSolver(o.solver, o.solverTol)
 	if err != nil {
@@ -390,6 +393,25 @@ func printSummary(cfg sim.Config, res *sim.Result) {
 	t.Row("die power [W]", fmt.Sprintf("%.1f", res.Power[last]), fmt.Sprintf("%.1f", maxOf(res.Power)))
 	t.Row("workload IPC", fmt.Sprintf("%.2f", res.IPC[last]), fmt.Sprintf("%.2f", maxOf(res.IPC)))
 	fmt.Print(t.String())
+
+	if len(res.DieLabels) > 0 {
+		fmt.Println("per-die breakdown (bottom-up):")
+		dt := report.NewTable("die", "final T [C]", "peak T [C]", "peak sev")
+		for i, label := range res.DieLabels {
+			sev := "-"
+			if i < len(res.DieSeverity) && len(res.DieSeverity[i]) > 0 {
+				sev = fmt.Sprintf("%.2f", maxOf(res.DieSeverity[i]))
+			}
+			dt.Row(label,
+				fmt.Sprintf("%.1f", res.DieMaxTemp[i][last]),
+				fmt.Sprintf("%.1f", maxOf(res.DieMaxTemp[i])), sev)
+		}
+		fmt.Print(dt.String())
+		if len(res.MemPower) > 0 {
+			fmt.Printf("memory-die power: %.2f W final, %.2f W peak\n",
+				res.MemPower[last], maxOf(res.MemPower))
+		}
+	}
 
 	if len(res.HotspotUnit) > 0 {
 		type kc struct {

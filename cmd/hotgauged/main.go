@@ -59,6 +59,7 @@ func main() {
 	retries := flag.Int("retries", 0, "retry attempts for runs failing with transient errors (exponential backoff + jitter)")
 	maxBodyMB := flag.Int("max-body-mb", 8, "maximum POST /jobs body size in MiB (larger requests get 413)")
 	solver := flag.String("solver", "", "default thermal solver for specs that leave it unset: explicit | implicit | adi; folded into specs before hashing, so cache keys and cluster shards stay coherent (empty = explicit)")
+	stack := flag.String("stack", "", "default stacked-scenario preset for specs that leave stack and layers unset: core-on-memory | memory-on-core | gpu-sm; folded into specs before hashing, like -solver (empty = single die)")
 	faultRate := flag.Float64("fault-rate", 0, "dev-only: inject random per-step panics/errors/stalls at this rate to exercise the recovery paths")
 	faultSeed := flag.Int64("fault-seed", 1, "dev-only: deterministic seed for -fault-rate injection")
 	dataDir := flag.String("data-dir", "", "durable state directory: job journal, on-disk result store and run checkpoints; a restarted daemon replays it and resumes interrupted campaigns (empty = in-memory only)")
@@ -106,6 +107,7 @@ func main() {
 		Retries:         *retries,
 		MaxBodyBytes:    int64(*maxBodyMB) << 20,
 		DefaultSolver:   *solver,
+		DefaultStack:    *stack,
 		FaultRate:       *faultRate,
 		FaultSeed:       *faultSeed,
 		DataDir:         *dataDir,

@@ -137,7 +137,7 @@ func Cooling(o Options) (*CoolingResult, error) {
 
 // steadyPsi computes Ψ for an arbitrary grid (uniform power).
 func steadyPsi(g *thermal.Grid) (float64, error) {
-	power := uniformField(g, 20)
+	power := thermal.NewPower(uniformField(g, 20))
 	s := g.NewState(thermal.DefaultAmbient)
 	if err := thermal.WarmStart(g, s, power); err != nil {
 		return 0, err

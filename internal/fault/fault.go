@@ -6,7 +6,6 @@ import (
 	"math/rand"
 	"time"
 
-	"hotgauge/internal/geometry"
 	"hotgauge/internal/perf"
 	"hotgauge/internal/thermal"
 )
@@ -91,7 +90,7 @@ func (f *FlakySolver) Name() string { return "flaky+" + f.Inner.Name() }
 
 // Step implements thermal.Solver, injecting any due fault before (or,
 // for NaNAt, after) delegating to the wrapped solver.
-func (f *FlakySolver) Step(g *thermal.Grid, s *thermal.State, power *geometry.Field, dt float64) error {
+func (f *FlakySolver) Step(g *thermal.Grid, s *thermal.State, power *thermal.Power, dt float64) error {
 	f.calls++
 	n := f.calls
 	if f.PanicAt > 0 && n == f.PanicAt {

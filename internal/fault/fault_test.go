@@ -18,7 +18,7 @@ func stepOnce(t *testing.T, s thermal.Solver, n int) *thermal.State {
 		t.Fatal(err)
 	}
 	st := grid.NewState(40)
-	power := geometry.NewField(grid.NX, grid.NY, 0.25)
+	power := thermal.NewPower(geometry.NewField(grid.NX, grid.NY, 0.25))
 	for i := 0; i < n; i++ {
 		if err := s.Step(grid, st, power, 200e-6); err != nil {
 			t.Fatalf("step %d: %v", i, err)
@@ -47,7 +47,7 @@ func TestFlakySolverExactTriggers(t *testing.T) {
 			t.Fatal(err)
 		}
 		st := grid.NewState(40)
-		power := geometry.NewField(grid.NX, grid.NY, 0.25)
+		power := thermal.NewPower(geometry.NewField(grid.NX, grid.NY, 0.25))
 		for call := 1; call <= 2; call++ {
 			err := s.Step(grid, st, power, 200e-6)
 			fe, ok := err.(*Error)
@@ -100,7 +100,7 @@ func TestFlakySolverRateDeterminism(t *testing.T) {
 			t.Fatal(err)
 		}
 		st := grid.NewState(40)
-		power := geometry.NewField(grid.NX, grid.NY, 0.25)
+		power := thermal.NewPower(geometry.NewField(grid.NX, grid.NY, 0.25))
 		var fired []int
 		for i := 0; i < 50; i++ {
 			if s.Step(grid, st, power, 200e-6) != nil {

@@ -43,6 +43,14 @@ const (
 	KindIO  Kind = "IO"  // I/O (PCIe, display, ...)
 )
 
+// Memory-die units (stacked-DRAM floorplans, see MemoryPlan): the bank
+// arrays, their row decoders and the shared IO/column-logic strip.
+const (
+	KindDRAMBank   Kind = "DRAM_bank"   // one bank's cell array
+	KindDRAMRowDec Kind = "DRAM_rowdec" // row-decoder strip of a bank column
+	KindDRAMIO     Kind = "DRAM_io"     // IO, column logic and periphery
+)
+
 // Category groups kinds for power budgeting and reporting.
 type Category int
 
@@ -69,6 +77,8 @@ func CategoryOf(k Kind) Category {
 	case KindIntRF, KindFpRF:
 		return CatRegfile
 	case KindLQ, KindSQ, KindL1D, KindDTLB, KindMOB, KindL2:
+		return CatMemory
+	case KindDRAMBank, KindDRAMRowDec, KindDRAMIO:
 		return CatMemory
 	case KindL3, KindSA, KindIMC, KindIO:
 		return CatUncore

@@ -1,0 +1,83 @@
+package floorplan
+
+import (
+	"reflect"
+	"testing"
+)
+
+// rowOrder must be a pure function: the same (n, row, opts) triple yields
+// the same permutation on every call, so floorplans are reproducible
+// across runs and machines.
+func TestRowOrderDeterministic(t *testing.T) {
+	for _, opts := range []layoutOpts{
+		{},
+		{mirror: true},
+		{shuffleSeed: 7},
+		{shuffleSeed: 7, mirror: true},
+		{shuffleSeed: -3},
+	} {
+		for n := 0; n <= 9; n++ {
+			for row := 0; row < 4; row++ {
+				a := rowOrder(n, row, opts)
+				b := rowOrder(n, row, opts)
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("rowOrder(%d, %d, %+v) unstable: %v vs %v", n, row, opts, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRowOrderIsPermutation(t *testing.T) {
+	for _, seed := range []int64{0, 1, 7, 42, -9} {
+		for n := 1; n <= 12; n++ {
+			for row := 0; row < 3; row++ {
+				order := rowOrder(n, row, layoutOpts{shuffleSeed: seed, mirror: row%2 == 1})
+				seen := make([]bool, n)
+				for _, i := range order {
+					if i < 0 || i >= n || seen[i] {
+						t.Fatalf("seed %d n %d row %d: not a permutation: %v", seed, n, row, order)
+					}
+					seen[i] = true
+				}
+			}
+		}
+	}
+}
+
+// Shuffle then mirror compose in that order: the mirrored order of a
+// shuffled row is exactly the shuffled order reversed.
+func TestRowOrderMirrorComposesWithShuffle(t *testing.T) {
+	for _, seed := range []int64{0, 7, 1234} {
+		for n := 1; n <= 8; n++ {
+			for row := 0; row < 3; row++ {
+				plain := rowOrder(n, row, layoutOpts{shuffleSeed: seed})
+				both := rowOrder(n, row, layoutOpts{shuffleSeed: seed, mirror: true})
+				for i := range plain {
+					if both[i] != plain[n-1-i] {
+						t.Fatalf("seed %d n %d row %d: mirror is not reverse of shuffle: %v vs %v",
+							seed, n, row, both, plain)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Different rows of the same plan draw independent permutations from the
+// same seed (the row index is folded into the hash), so a shuffled plan
+// is not just one permutation repeated per row.
+func TestRowOrderVariesAcrossRows(t *testing.T) {
+	const n, rows = 8, 6
+	distinct := false
+	first := rowOrder(n, 0, layoutOpts{shuffleSeed: 7})
+	for row := 1; row < rows; row++ {
+		if !reflect.DeepEqual(first, rowOrder(n, row, layoutOpts{shuffleSeed: 7})) {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Fatal("all rows shuffled identically; row index not folded into hash")
+	}
+}

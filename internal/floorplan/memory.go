@@ -1,0 +1,105 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+
+	"hotgauge/internal/geometry"
+)
+
+// Memory-die floorplan for stacked-processor scenarios (CoMeT-style
+// 3D memory dies): a grid of DRAM bank arrays, a row-decoder strip per
+// bank column and an IO/column-logic strip along the bottom edge. The
+// plan fills the same outline as the logic die it is bonded to, so both
+// dies raster onto the same thermal grid.
+
+const (
+	// memIOFrac is the die-height share of the IO/periphery strip.
+	memIOFrac = 0.10
+	// memRDFrac is the per-bank-column width share of its row decoder.
+	memRDFrac = 0.12
+	// DefaultDRAMBanks is the bank count used when a scenario does not
+	// specify one (a 4×4 grid, typical for one channel of stacked DRAM).
+	DefaultDRAMBanks = 16
+)
+
+// MemoryPlan is a fully placed memory die: bank arrays, row decoders and
+// the IO strip, with the die outline. It is deliberately lighter than
+// Floorplan — memory dies have no cores — but its Units slice has the
+// same shape so the power raster works on either.
+type MemoryPlan struct {
+	Die   geometry.Rect
+	Units []Unit
+	Banks int // bank count (cols × rows of the grid)
+}
+
+// NewMemoryPlan places a memory die filling the given outline with the
+// given bank count (0 means DefaultDRAMBanks). The bank count is
+// factored into the most square cols × rows grid that divides it.
+func NewMemoryPlan(die geometry.Rect, banks int) (*MemoryPlan, error) {
+	if die.Empty() {
+		return nil, fmt.Errorf("floorplan: empty memory die outline")
+	}
+	if banks == 0 {
+		banks = DefaultDRAMBanks
+	}
+	if banks < 1 {
+		return nil, fmt.Errorf("floorplan: invalid bank count %d", banks)
+	}
+	rows := int(math.Sqrt(float64(banks)))
+	for banks%rows != 0 {
+		rows--
+	}
+	cols := banks / rows
+
+	p := &MemoryPlan{Die: die, Banks: banks}
+
+	ioH := die.H * memIOFrac
+	p.Units = append(p.Units, Unit{
+		Name: "dram.io",
+		Kind: KindDRAMIO,
+		Core: -1,
+		Rect: geometry.Rect{X: die.X, Y: die.Y, W: die.W, H: ioH},
+	})
+
+	arrayY := die.Y + ioH
+	arrayH := die.H - ioH
+	colW := die.W / float64(cols)
+	rdW := colW * memRDFrac
+	bankW := colW - rdW
+	bankH := arrayH / float64(rows)
+	for c := 0; c < cols; c++ {
+		x := die.X + float64(c)*colW
+		p.Units = append(p.Units, Unit{
+			Name: fmt.Sprintf("dram.rd%d", c),
+			Kind: KindDRAMRowDec,
+			Core: -1,
+			Rect: geometry.Rect{X: x, Y: arrayY, W: rdW, H: arrayH},
+		})
+		for r := 0; r < rows; r++ {
+			p.Units = append(p.Units, Unit{
+				Name: fmt.Sprintf("dram.bank%d", c*rows+r),
+				Kind: KindDRAMBank,
+				Core: -1,
+				Rect: geometry.Rect{
+					X: x + rdW,
+					Y: arrayY + float64(r)*bankH,
+					W: bankW,
+					H: bankH,
+				},
+			})
+		}
+	}
+	return p, nil
+}
+
+// BankUnits returns just the bank-array units, in bank order.
+func (p *MemoryPlan) BankUnits() []Unit {
+	out := make([]Unit, 0, p.Banks)
+	for _, u := range p.Units {
+		if u.Kind == KindDRAMBank {
+			out = append(out, u)
+		}
+	}
+	return out
+}

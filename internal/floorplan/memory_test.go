@@ -1,0 +1,96 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"hotgauge/internal/geometry"
+	"hotgauge/internal/tech"
+)
+
+func TestMemoryPlanFillsDieWithoutOverlap(t *testing.T) {
+	die := geometry.NewRect(0, 0, 8.0, 6.0)
+	for _, banks := range []int{0, 1, 4, 8, 16, 18} {
+		p, err := NewMemoryPlan(die, banks)
+		if err != nil {
+			t.Fatalf("banks=%d: %v", banks, err)
+		}
+		want := banks
+		if want == 0 {
+			want = DefaultDRAMBanks
+		}
+		if p.Banks != want || len(p.BankUnits()) != want {
+			t.Fatalf("banks=%d: got %d banks, %d bank units", banks, p.Banks, len(p.BankUnits()))
+		}
+		// Units tile the die exactly: total area matches and no pair overlaps.
+		var area float64
+		for _, u := range p.Units {
+			area += u.Area()
+			if u.Rect.X < die.X-1e-9 || u.Rect.Y < die.Y-1e-9 ||
+				u.Rect.MaxX() > die.MaxX()+1e-9 || u.Rect.MaxY() > die.MaxY()+1e-9 {
+				t.Fatalf("banks=%d: unit %s leaves the die: %+v", banks, u.Name, u.Rect)
+			}
+		}
+		if math.Abs(area-die.Area())/die.Area() > 1e-9 {
+			t.Fatalf("banks=%d: units cover %.6f mm², die is %.6f mm²", banks, area, die.Area())
+		}
+		for i, a := range p.Units {
+			for _, b := range p.Units[i+1:] {
+				ox := math.Min(a.Rect.MaxX(), b.Rect.MaxX()) - math.Max(a.Rect.X, b.Rect.X)
+				oy := math.Min(a.Rect.MaxY(), b.Rect.MaxY()) - math.Max(a.Rect.Y, b.Rect.Y)
+				if ox > 1e-9 && oy > 1e-9 {
+					t.Fatalf("banks=%d: units %s and %s overlap", banks, a.Name, b.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestMemoryPlanBankOrderAndNames(t *testing.T) {
+	p, err := NewMemoryPlan(geometry.NewRect(0, 0, 10, 10), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := p.BankUnits()
+	for i, u := range units {
+		if want := fmt.Sprintf("dram.bank%d", i); u.Name != want {
+			t.Fatalf("bank %d named %s, want %s", i, u.Name, want)
+		}
+		if u.Core != -1 {
+			t.Fatalf("bank %d has core %d, want -1", i, u.Core)
+		}
+		if CategoryOf(u.Kind) != CatMemory {
+			t.Fatalf("bank kind %s not CatMemory", u.Kind)
+		}
+	}
+	// 16 banks factor into a 4×4 grid: all banks share the same area.
+	a0 := units[0].Area()
+	for _, u := range units {
+		if math.Abs(u.Area()-a0) > 1e-12 {
+			t.Fatalf("bank areas differ: %v vs %v", u.Area(), a0)
+		}
+	}
+}
+
+func TestMemoryPlanRejectsBadInput(t *testing.T) {
+	if _, err := NewMemoryPlan(geometry.Rect{}, 16); err == nil {
+		t.Fatal("empty die accepted")
+	}
+	if _, err := NewMemoryPlan(geometry.NewRect(0, 0, 5, 5), -2); err == nil {
+		t.Fatal("negative bank count accepted")
+	}
+}
+
+// A memory plan built on a logic die's outline shares its bounds, so both
+// dies raster onto one thermal grid.
+func TestMemoryPlanMatchesLogicDieOutline(t *testing.T) {
+	fp := MustNew(Config{Node: tech.Node7})
+	p, err := NewMemoryPlan(fp.Die, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Die != fp.Die {
+		t.Fatalf("memory die %+v != logic die %+v", p.Die, fp.Die)
+	}
+}

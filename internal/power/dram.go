@@ -1,0 +1,238 @@
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"hotgauge/internal/floorplan"
+)
+
+// DRAM power model for stacked memory dies. Unlike the logic-die Model,
+// which is driven by per-unit activity factors, DRAM power is driven by
+// command rates: row activates, read/write bursts and refresh. The model
+// maps those rates onto a MemoryPlan's units — bank arrays take the cell
+// energy, row decoders a share of the activate energy, the IO strip a
+// share of the burst energy — and returns the same Result shape the core
+// model produces, so the raster path is identical for either die.
+
+// DRAMParams are the per-command energies and background terms of one
+// memory die. The defaults are in the range published for stacked
+// (HBM-class) DRAM at 64-byte burst granularity.
+type DRAMParams struct {
+	EActivate float64 // J per row activate + precharge
+	ERead     float64 // J per 64-byte read burst
+	EWrite    float64 // J per 64-byte write burst
+
+	// RefreshPower is the whole-die refresh power at 100% refresh duty
+	// [W]; the actual contribution is RefreshPower × AccessRates.RefreshDuty.
+	RefreshPower float64
+
+	// StaticDensity is the always-on peripheral + leakage density [W/mm²].
+	StaticDensity float64
+
+	// DecodeShare is the fraction of activate energy dissipated in the
+	// row-decoder strips rather than the bank arrays, in [0, 1].
+	DecodeShare float64
+
+	// IOShare is the fraction of read/write burst energy dissipated in
+	// the IO/column-logic strip rather than the bank arrays, in [0, 1].
+	IOShare float64
+}
+
+// DefaultDRAMParams returns the baseline stacked-DRAM energy set.
+func DefaultDRAMParams() DRAMParams {
+	return DRAMParams{
+		EActivate:     2.0e-9,
+		ERead:         1.6e-9,
+		EWrite:        1.7e-9,
+		RefreshPower:  0.25,
+		StaticDensity: 0.015,
+		DecodeShare:   0.20,
+		IOShare:       0.35,
+	}
+}
+
+// AccessRates is the per-interval command traffic of one memory die.
+// Rates are whole-die commands per second; the sim derives them from the
+// core model's memory-access counters each interval, the same way core
+// activity factors feed the logic-die model.
+type AccessRates struct {
+	Activates float64 // row activates per second
+	Reads     float64 // read bursts per second
+	Writes    float64 // write bursts per second
+
+	// RefreshDuty is the fraction of time spent refreshing, in [0, 1].
+	// Use RefreshDutyForTemp to derive it from the die temperature.
+	RefreshDuty float64
+
+	// BankWeights optionally skews traffic across banks. A nil slice (or
+	// one whose length differs from the plan's bank count) means uniform;
+	// otherwise weights are normalized to sum to 1.
+	BankWeights []float64
+}
+
+// AccessRatesFor converts an aggregate access stream into command rates:
+// accessesPerSec 64-byte demand accesses split readFrac/1-readFrac, with
+// a row-buffer hit rate deciding how many need a fresh activate.
+func AccessRatesFor(accessesPerSec, readFrac, rowHitRate float64) AccessRates {
+	clamp01 := func(v float64) float64 { return math.Min(math.Max(v, 0), 1) }
+	readFrac = clamp01(readFrac)
+	rowHitRate = clamp01(rowHitRate)
+	if accessesPerSec < 0 {
+		accessesPerSec = 0
+	}
+	return AccessRates{
+		Activates:   accessesPerSec * (1 - rowHitRate),
+		Reads:       accessesPerSec * readFrac,
+		Writes:      accessesPerSec * (1 - readFrac),
+		RefreshDuty: BaseRefreshDuty,
+	}
+}
+
+// BaseRefreshDuty is the refresh time fraction at or below the standard
+// 85 °C retention corner (tRFC/tREFI for a dense stacked die).
+const BaseRefreshDuty = 0.05
+
+// RefreshDutyForTemp returns the refresh duty demanded at the given die
+// temperature [°C]: the base duty up to 85 °C, doubling every 10 °C above
+// it (the JEDEC derating ladder), capped at 1. This is the feedback loop
+// that makes hot stacked DRAM hotter still.
+func RefreshDutyForTemp(tempC float64) float64 {
+	d := BaseRefreshDuty
+	if tempC > 85 {
+		d *= math.Pow(2, (tempC-85)/10)
+	}
+	return math.Min(d, 1)
+}
+
+// HotBankWeights returns a deterministic skewed traffic split: bank 0
+// receives hotFrac of the traffic and the rest share the remainder
+// evenly. Use it to model a hot-row workload without a command trace.
+func HotBankWeights(banks int, hotFrac float64) []float64 {
+	if banks < 1 {
+		return nil
+	}
+	hotFrac = math.Min(math.Max(hotFrac, 0), 1)
+	w := make([]float64, banks)
+	w[0] = hotFrac
+	if banks > 1 {
+		rest := (1 - hotFrac) / float64(banks-1)
+		for i := 1; i < banks; i++ {
+			w[i] = rest
+		}
+	} else {
+		w[0] = 1
+	}
+	return w
+}
+
+// DRAMModel evaluates DRAM power over a memory-die floorplan. Like Model
+// it is built once and Compute is called per interval.
+type DRAMModel struct {
+	plan *floorplan.MemoryPlan
+	p    DRAMParams
+
+	banks   []floorplan.Unit // in bank order
+	bankCol []int            // bank index -> row-decoder column
+	rdNames []string         // column -> decoder unit name
+	ioName  string
+	sorted  []string
+}
+
+// NewDRAMModel builds a DRAM power model for the memory plan.
+func NewDRAMModel(plan *floorplan.MemoryPlan, p DRAMParams) (*DRAMModel, error) {
+	if plan == nil || len(plan.Units) == 0 {
+		return nil, fmt.Errorf("power: nil or empty memory plan")
+	}
+	if p.EActivate < 0 || p.ERead < 0 || p.EWrite < 0 || p.RefreshPower < 0 || p.StaticDensity < 0 {
+		return nil, fmt.Errorf("power: negative DRAM energy parameter: %+v", p)
+	}
+	if p.DecodeShare < 0 || p.DecodeShare > 1 || p.IOShare < 0 || p.IOShare > 1 {
+		return nil, fmt.Errorf("power: DRAM energy shares must be in [0,1]: decode=%v io=%v",
+			p.DecodeShare, p.IOShare)
+	}
+	m := &DRAMModel{plan: plan, p: p, banks: plan.BankUnits()}
+	for _, u := range plan.Units {
+		m.sorted = append(m.sorted, u.Name)
+		switch u.Kind {
+		case floorplan.KindDRAMRowDec:
+			m.rdNames = append(m.rdNames, u.Name)
+		case floorplan.KindDRAMIO:
+			m.ioName = u.Name
+		}
+	}
+	// Banks are laid out column-major (dram.bank{c*rows+r}), so with
+	// `cols` decoder strips each column owns banks/cols consecutive banks.
+	cols := len(m.rdNames)
+	if cols == 0 || m.ioName == "" || len(m.banks) == 0 || len(m.banks)%cols != 0 {
+		return nil, fmt.Errorf("power: malformed memory plan: %d banks, %d decoder columns",
+			len(m.banks), cols)
+	}
+	rows := len(m.banks) / cols
+	m.bankCol = make([]int, len(m.banks))
+	for i := range m.banks {
+		m.bankCol[i] = i / rows
+	}
+	return m, nil
+}
+
+// Plan returns the memory plan the model was built for.
+func (m *DRAMModel) Plan() *floorplan.MemoryPlan { return m.plan }
+
+// bankShares resolves the per-bank traffic split for one interval.
+func (m *DRAMModel) bankShares(weights []float64) []float64 {
+	n := len(m.banks)
+	w := make([]float64, n)
+	if len(weights) == n {
+		sum := 0.0
+		for _, v := range weights {
+			if v > 0 {
+				sum += v
+			}
+		}
+		if sum > 0 {
+			for i, v := range weights {
+				if v > 0 {
+					w[i] = v / sum
+				}
+			}
+			return w
+		}
+	}
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return w
+}
+
+// Compute evaluates the per-unit power of one interval. Energy accounting
+// is conservative: summed over all units, dynamic power equals exactly
+// the command energies times their rates plus the refresh contribution.
+func (m *DRAMModel) Compute(r AccessRates) Result {
+	res := Result{
+		Dynamic: make(map[string]float64, len(m.plan.Units)),
+		Leakage: make(map[string]float64, len(m.plan.Units)),
+		sorted:  m.sorted,
+	}
+	duty := math.Min(math.Max(r.RefreshDuty, 0), 1)
+	actP := m.p.EActivate * math.Max(r.Activates, 0)
+	rwP := m.p.ERead*math.Max(r.Reads, 0) + m.p.EWrite*math.Max(r.Writes, 0)
+	refP := m.p.RefreshPower * duty
+
+	w := m.bankShares(r.BankWeights)
+	bankP := actP*(1-m.p.DecodeShare) + rwP*(1-m.p.IOShare)
+	colAct := make([]float64, len(m.rdNames))
+	for i, u := range m.banks {
+		res.Dynamic[u.Name] = bankP*w[i] + refP/float64(len(m.banks))
+		colAct[m.bankCol[i]] += w[i]
+	}
+	for c, name := range m.rdNames {
+		res.Dynamic[name] = actP * m.p.DecodeShare * colAct[c]
+	}
+	res.Dynamic[m.ioName] += rwP * m.p.IOShare
+
+	for _, u := range m.plan.Units {
+		res.Leakage[u.Name] = m.p.StaticDensity * u.Rect.Area()
+	}
+	return res
+}

@@ -1,0 +1,156 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"hotgauge/internal/floorplan"
+	"hotgauge/internal/geometry"
+)
+
+func testDRAMModel(t *testing.T, banks int) *DRAMModel {
+	t.Helper()
+	plan, err := floorplan.NewMemoryPlan(geometry.NewRect(0, 0, 8, 6), banks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewDRAMModel(plan, DefaultDRAMParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Dynamic power must conserve command energy: summed over all units it is
+// exactly the command rates times their energies plus refresh.
+func TestDRAMEnergyConservation(t *testing.T) {
+	m := testDRAMModel(t, 16)
+	p := DefaultDRAMParams()
+	r := AccessRates{Activates: 2e8, Reads: 5e8, Writes: 3e8, RefreshDuty: 0.1}
+	res := m.Compute(r)
+	want := p.EActivate*r.Activates + p.ERead*r.Reads + p.EWrite*r.Writes + p.RefreshPower*r.RefreshDuty
+	var dyn float64
+	for _, v := range res.Dynamic {
+		dyn += v
+	}
+	if math.Abs(dyn-want)/want > 1e-12 {
+		t.Fatalf("dynamic power %.9f W, want %.9f W", dyn, want)
+	}
+	// Leakage is static density times area, independent of traffic.
+	var leak float64
+	for _, v := range res.Leakage {
+		leak += v
+	}
+	wantLeak := p.StaticDensity * m.Plan().Die.Area()
+	if math.Abs(leak-wantLeak)/wantLeak > 1e-9 {
+		t.Fatalf("leakage %.9f W, want %.9f W", leak, wantLeak)
+	}
+}
+
+func TestDRAMIdleDieDrawsOnlyRefreshAndStatic(t *testing.T) {
+	m := testDRAMModel(t, 16)
+	p := DefaultDRAMParams()
+	res := m.Compute(AccessRates{RefreshDuty: BaseRefreshDuty})
+	got := res.TotalPower()
+	want := p.RefreshPower*BaseRefreshDuty + p.StaticDensity*m.Plan().Die.Area()
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("idle power %.9f W, want %.9f W", got, want)
+	}
+}
+
+func TestDRAMBankWeightsSkewPower(t *testing.T) {
+	m := testDRAMModel(t, 16)
+	uniform := m.Compute(AccessRates{Activates: 1e8, Reads: 4e8, Writes: 1e8})
+	skew := m.Compute(AccessRates{
+		Activates: 1e8, Reads: 4e8, Writes: 1e8,
+		BankWeights: HotBankWeights(16, 0.5),
+	})
+	if !(skew.Dynamic["dram.bank0"] > 2*uniform.Dynamic["dram.bank0"]) {
+		t.Fatalf("hot bank not hot: skew %.6f vs uniform %.6f",
+			skew.Dynamic["dram.bank0"], uniform.Dynamic["dram.bank0"])
+	}
+	// Totals are invariant under the skew.
+	if math.Abs(skew.TotalPower()-uniform.TotalPower()) > 1e-12 {
+		t.Fatalf("skew changed total power: %.9f vs %.9f", skew.TotalPower(), uniform.TotalPower())
+	}
+	// Wrong-length or zero weights fall back to uniform.
+	bad := m.Compute(AccessRates{Activates: 1e8, Reads: 4e8, Writes: 1e8, BankWeights: []float64{1, 2}})
+	if bad.Dynamic["dram.bank0"] != uniform.Dynamic["dram.bank0"] {
+		t.Fatal("mismatched weight length did not fall back to uniform")
+	}
+}
+
+func TestDRAMComputeDeterministic(t *testing.T) {
+	m := testDRAMModel(t, 8)
+	r := AccessRates{Activates: 3e8, Reads: 6e8, Writes: 2e8, RefreshDuty: 0.2,
+		BankWeights: HotBankWeights(8, 0.4)}
+	a, b := m.Compute(r), m.Compute(r)
+	for name, v := range a.Dynamic {
+		if b.Dynamic[name] != v {
+			t.Fatalf("unit %s power not reproducible", name)
+		}
+	}
+	if a.TotalPower() != b.TotalPower() {
+		t.Fatal("TotalPower not reproducible")
+	}
+}
+
+func TestRefreshDutyForTemp(t *testing.T) {
+	if got := RefreshDutyForTemp(45); got != BaseRefreshDuty {
+		t.Fatalf("duty at 45°C = %v, want base %v", got, BaseRefreshDuty)
+	}
+	if got := RefreshDutyForTemp(95); math.Abs(got-2*BaseRefreshDuty) > 1e-12 {
+		t.Fatalf("duty at 95°C = %v, want %v", got, 2*BaseRefreshDuty)
+	}
+	if got := RefreshDutyForTemp(300); got != 1 {
+		t.Fatalf("duty at 300°C = %v, want cap 1", got)
+	}
+	// Monotone in temperature.
+	prev := 0.0
+	for temp := 40.0; temp <= 140; temp += 5 {
+		d := RefreshDutyForTemp(temp)
+		if d < prev {
+			t.Fatalf("duty not monotone at %v°C", temp)
+		}
+		prev = d
+	}
+}
+
+func TestAccessRatesFor(t *testing.T) {
+	r := AccessRatesFor(1e9, 0.75, 0.6)
+	if math.Abs(r.Reads-7.5e8) > 1 || math.Abs(r.Writes-2.5e8) > 1 {
+		t.Fatalf("read/write split wrong: %+v", r)
+	}
+	if math.Abs(r.Activates-4e8) > 1 {
+		t.Fatalf("activate rate wrong: %+v", r)
+	}
+	if r.RefreshDuty != BaseRefreshDuty {
+		t.Fatalf("refresh duty %v, want base", r.RefreshDuty)
+	}
+	// Out-of-range inputs clamp rather than go negative.
+	r = AccessRatesFor(-5, 2, -1)
+	if r.Activates < 0 || r.Reads < 0 || r.Writes < 0 {
+		t.Fatalf("negative rates from clamped input: %+v", r)
+	}
+}
+
+func TestNewDRAMModelRejectsBadParams(t *testing.T) {
+	plan, err := floorplan.NewMemoryPlan(geometry.NewRect(0, 0, 8, 6), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []DRAMParams{
+		{EActivate: -1},
+		func() DRAMParams { p := DefaultDRAMParams(); p.DecodeShare = 1.5; return p }(),
+		func() DRAMParams { p := DefaultDRAMParams(); p.IOShare = -0.1; return p }(),
+		func() DRAMParams { p := DefaultDRAMParams(); p.RefreshPower = -2; return p }(),
+	}
+	for i, p := range bad {
+		if _, err := NewDRAMModel(plan, p); err == nil {
+			t.Errorf("case %d: bad params accepted: %+v", i, p)
+		}
+	}
+	if _, err := NewDRAMModel(nil, DefaultDRAMParams()); err == nil {
+		t.Error("nil plan accepted")
+	}
+}

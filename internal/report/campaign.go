@@ -19,6 +19,18 @@ type RunSummary struct {
 	// model estimates, rendered with a "~" prefix to keep them visually
 	// distinct from exact simulation results.
 	Predicted bool
+	// Dies carries the per-die breakdown of a stacked run (empty for
+	// single-die runs), rendered as indented sub-rows under the stack-wide
+	// row.
+	Dies []DieSummary
+}
+
+// DieSummary is one die's slice of a stacked run: the plane's own peak
+// temperature and severity, reported under the stack-wide row.
+type DieSummary struct {
+	Label        string  // layer name, e.g. "core" or "dram"
+	PeakTemp     float64 // die peak temperature [°C]
+	PeakSeverity float64 // die peak severity; 0 if not recorded
 }
 
 // CampaignReport renders the Section-4-style per-run summary table for
@@ -42,6 +54,10 @@ func CampaignReport(rows []RunSummary) string {
 		}
 		t.Row(r.Label, r.Node, fmt.Sprint(r.Steps), tuh,
 			metric(r.PeakTemp), metric(r.PeakMLTD), metric(r.PeakSeverity), r.Status)
+		for _, d := range r.Dies {
+			t.Row("  └ "+d.Label, "", "", "",
+				metric(d.PeakTemp), "", metric(d.PeakSeverity), "")
+		}
 	}
 	return t.String()
 }

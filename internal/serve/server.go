@@ -105,6 +105,12 @@ type Options struct {
 	// keeps the simulator's explicit default.
 	DefaultSolver string
 
+	// DefaultStack, when set, is folded like DefaultSolver into submitted
+	// specs that leave both stack and layers unset: every run of the
+	// daemon defaults to that stacked scenario. Must be a sim.StackPresets
+	// name; empty keeps the single-die default.
+	DefaultStack string
+
 	// Surrogate, when set, enables predict-first triage: submitted specs
 	// that leave surrogate unset are opted in (folded before hashing,
 	// like DefaultSolver; an explicit false pins exact execution), and
@@ -203,6 +209,9 @@ func New(opts Options) (*Server, error) {
 		if _, err := thermal.NewSolver(opts.DefaultSolver, 0); err != nil {
 			return nil, err
 		}
+	}
+	if !sim.KnownStackPreset(opts.DefaultStack) {
+		return nil, fmt.Errorf("serve: unknown default stack %q (have %v)", opts.DefaultStack, sim.StackPresets())
 	}
 	if opts.Registry == nil {
 		opts.Registry = obs.NewRegistry()
@@ -641,6 +650,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	// And the default stack: specs that pin neither a preset nor custom
+	// layers inherit the daemon's stacked scenario, resolved before
+	// hashing for the same reason as the solver.
+	if s.opts.DefaultStack != "" {
+		for i := range req.Configs {
+			if req.Configs[i].Stack == "" && len(req.Configs[i].Layers) == 0 {
+				req.Configs[i].Stack = s.opts.DefaultStack
+			}
+		}
+	}
 	// Likewise the surrogate defaults: a daemon holding a model opts
 	// unset specs into triage (explicit surrogate:false still pins exact
 	// execution) and fills the zero-valued triage knobs, all before
@@ -921,6 +940,17 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 					if v.PredictedTUHSeconds != nil {
 						row.TUHMs = *v.PredictedTUHSeconds * 1e3
 					}
+				}
+				// Stacked runs break the stack-wide row down per die.
+				for d, label := range v.DieLabels {
+					die := report.DieSummary{Label: label}
+					if d < len(v.DieMaxTempC) {
+						die.PeakTemp = seriesMax(v.DieMaxTempC[d])
+					}
+					if d < len(v.DieSeverity) {
+						die.PeakSeverity = seriesMax(v.DieSeverity[d])
+					}
+					row.Dies = append(row.Dies, die)
 				}
 			}
 		}

@@ -83,6 +83,14 @@ type ConfigSpec struct {
 	Surrogate  *bool   `json:"surrogate,omitempty"`
 	TriageBand float64 `json:"triage_band,omitempty"`
 	AuditFrac  float64 `json:"audit_frac,omitempty"`
+	// Stack selects a stacked-scenario preset by name (sim.StackPresets:
+	// "core-on-memory", "memory-on-core", "gpu-sm"); empty is the
+	// single-die default. An unset stack inherits the daemon's -stack
+	// default at submission, folded before hashing like Solver.
+	Stack string `json:"stack,omitempty"`
+	// Layers overrides the thermal layer stack directly (a custom
+	// cooling solution or die stack); mutually exclusive with Stack.
+	Layers []thermal.Layer `json:"layers,omitempty"`
 }
 
 // Config materializes the spec into a sim.Config.
@@ -124,6 +132,10 @@ func (s ConfigSpec) Config() (sim.Config, error) {
 		Surrogate:       s.Surrogate != nil && *s.Surrogate,
 		TriageBand:      s.TriageBand,
 		AuditFrac:       s.AuditFrac,
+		StackPreset:     s.Stack,
+	}
+	if len(s.Layers) > 0 {
+		cfg.Stack = append([]thermal.Layer(nil), s.Layers...)
 	}
 	solver, err := thermal.NewSolver(s.Solver, s.SolverTol)
 	if err != nil {
@@ -201,6 +213,15 @@ type RunView struct {
 	HotspotUnits  map[string]int `json:"hotspot_units,omitempty"`
 	FirstHotspots []HotspotView  `json:"first_hotspots,omitempty"`
 
+	// Per-die series, present only on stacked runs (all omitempty, so
+	// single-die payloads keep their exact legacy bytes). DieLabels names
+	// the active planes bottom-up; DieMaxTempC/DieSeverity index by die
+	// then step; MemPowerW is the memory die's power per step.
+	DieLabels   []string    `json:"die_labels,omitempty"`
+	DieMaxTempC [][]float64 `json:"die_max_temp_c,omitempty"`
+	DieSeverity [][]float64 `json:"die_severity,omitempty"`
+	MemPowerW   []float64   `json:"mem_power_w,omitempty"`
+
 	// Predicted marks a run resolved by surrogate triage without exact
 	// execution: the series above are empty and the predicted_* fields
 	// carry the estimate. Exact results never emit these fields, so an
@@ -246,6 +267,12 @@ func newRunView(spec ConfigSpec, hash string, res *sim.Result) RunView {
 	}
 	for _, h := range res.FirstHotspots {
 		v.FirstHotspots = append(v.FirstHotspots, HotspotView{X: h.X, Y: h.Y, Temp: h.Temp, MLTD: h.MLTD})
+	}
+	if len(res.DieLabels) > 0 {
+		v.DieLabels = res.DieLabels
+		v.DieMaxTempC = res.DieMaxTemp
+		v.DieSeverity = res.DieSeverity
+		v.MemPowerW = res.MemPower
 	}
 	if res.Predicted && res.Prediction != nil {
 		v.Predicted = true

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"hotgauge/internal/sim"
+	"hotgauge/internal/thermal"
+)
+
+func TestSpecStackMaterialization(t *testing.T) {
+	base := ConfigSpec{Workload: "gcc", Steps: 2}
+
+	stacked := base
+	stacked.Stack = sim.StackCoreOnMemory
+	cfg, err := stacked.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.StackPreset != sim.StackCoreOnMemory {
+		t.Fatalf("StackPreset = %q, want %q", cfg.StackPreset, sim.StackCoreOnMemory)
+	}
+
+	custom := base
+	custom.Layers = thermal.LiquidCooledStack()
+	cfg, err = custom.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Stack) != len(custom.Layers) {
+		t.Fatalf("custom layers: got %d, want %d", len(cfg.Stack), len(custom.Layers))
+	}
+
+	// Every preset changes the content address; unknown presets fail at
+	// hash time (normalize rejects them before any run is enqueued).
+	seen := map[string]string{"": specHash(t, base)}
+	for _, preset := range sim.StackPresets() {
+		s := base
+		s.Stack = preset
+		h := specHash(t, s)
+		for other, oh := range seen {
+			if oh == h {
+				t.Fatalf("preset %q hashes like %q", preset, other)
+			}
+		}
+		seen[preset] = h
+	}
+	bad := base
+	bad.Stack = "no-such-stack"
+	cfg, err = bad.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfg.Hash(); err == nil {
+		t.Fatal("unknown stack preset hashed without error")
+	}
+}
+
+// TestDefaultStackFolding mirrors TestDefaultSolverFolding: the daemon's
+// -stack default lands in specs that pin neither a preset nor custom
+// layers, before hashing, and explicit choices win.
+func TestDefaultStackFolding(t *testing.T) {
+	_, ts := newTestServer(t, Options{DefaultStack: sim.StackCoreOnMemory})
+
+	unset := ConfigSpec{Workload: "gcc", Steps: 2}
+	got := submit(t, ts, unset)
+
+	stacked := unset
+	stacked.Stack = sim.StackCoreOnMemory
+	if want := specHash(t, stacked); got.Hashes[0] != want {
+		t.Fatalf("folded hash %s, want the explicit stacked spec's %s", got.Hashes[0], want)
+	}
+
+	// A pinned preset wins over the daemon default.
+	pinned := unset
+	pinned.Stack = sim.StackGPUSM
+	got = submit(t, ts, pinned)
+	if want := specHash(t, pinned); got.Hashes[0] != want {
+		t.Fatalf("pinned-stack hash %s, want %s", got.Hashes[0], want)
+	}
+
+	// Custom layers also suppress the fold: the daemon must not stack a
+	// preset on top of an explicit layer stack (that combination is
+	// rejected as mutually exclusive).
+	layered := unset
+	layered.Layers = thermal.LiquidCooledStack()
+	got = submit(t, ts, layered)
+	if want := specHash(t, layered); got.Hashes[0] != want {
+		t.Fatalf("custom-layers hash %s, want %s", got.Hashes[0], want)
+	}
+}
+
+func TestSubmitRejectsUnknownStack(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp := postJobs(t, ts, ConfigSpec{Workload: "gcc", Steps: 2, Stack: "no-such-stack"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestNewRejectsUnknownDefaultStack(t *testing.T) {
+	if _, err := New(Options{DefaultStack: "no-such-stack"}); err == nil {
+		t.Fatal("New accepted an unknown default stack")
+	}
+}
+
+// TestStackedRunView runs a stacked spec end-to-end through the daemon
+// and checks the per-die series reach the wire form and the /report
+// breakdown, while single-die payloads keep their legacy shape.
+func TestStackedRunView(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	stacked := ConfigSpec{Workload: "gcc", Steps: 3, Stack: sim.StackMemoryOnCore, RecordSeverity: true}
+	plain := ConfigSpec{Workload: "gcc", Steps: 3, RecordSeverity: true}
+	job := submit(t, ts, stacked, plain)
+	waitState(t, ts, job.ID, JobDone)
+
+	var v RunView
+	getJSON(t, ts, "/jobs/"+job.ID+"/results/0", &v)
+	if len(v.DieLabels) != 2 {
+		t.Fatalf("die labels = %v, want 2 planes", v.DieLabels)
+	}
+	if len(v.DieMaxTempC) != 2 || len(v.DieSeverity) != 2 {
+		t.Fatalf("per-die series missing: %d max, %d severity", len(v.DieMaxTempC), len(v.DieSeverity))
+	}
+	if len(v.MemPowerW) != v.StepsRun {
+		t.Fatalf("%d mem-power samples, want %d", len(v.MemPowerW), v.StepsRun)
+	}
+
+	// The single-die payload must not grow the new keys.
+	raw := getBody(t, ts, "/jobs/"+job.ID+"/results/1")
+	for _, banned := range []string{"die_labels", "mem_power_w"} {
+		if bytes.Contains(raw, []byte(banned)) {
+			t.Fatalf("single-die payload contains %q:\n%s", banned, raw)
+		}
+	}
+
+	// The report breaks the stacked row down per die.
+	rep := getBody(t, ts, "/jobs/"+job.ID+"/report")
+	for _, label := range v.DieLabels {
+		if !bytes.Contains(rep, []byte(label)) {
+			t.Fatalf("report missing die %q:\n%s", label, rep)
+		}
+	}
+}

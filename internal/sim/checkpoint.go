@@ -48,6 +48,10 @@ type Checkpoint struct {
 	UnitSeverity                  map[string][]float64
 	HotspotUnit                   map[floorplan.Kind]int
 
+	// Multi-die series (stacked presets; see Result.DieMaxTemp).
+	DieMaxTemp, DieSeverity [][]float64
+	MemPower                []float64
+
 	// Steady-state fast-path detector state (Config.FastSteady): the
 	// previous frame's power map plus the consecutive-steady-frame count
 	// and converged flag. All zero when the fast path is off; restoring
@@ -91,6 +95,13 @@ func snapshot(state *thermal.State, res *Result, done, total int, sd *steadyDete
 		MLTD:        append([]float64(nil), res.MLTD...),
 		Severity:    append([]float64(nil), res.Severity...),
 		TempPcts:    append([][5]float64(nil), res.TempPcts...),
+		MemPower:    append([]float64(nil), res.MemPower...),
+	}
+	for _, s := range res.DieMaxTemp {
+		ck.DieMaxTemp = append(ck.DieMaxTemp, append([]float64(nil), s...))
+	}
+	for _, s := range res.DieSeverity {
+		ck.DieSeverity = append(ck.DieSeverity, append([]float64(nil), s...))
 	}
 	if res.TUHStep >= 0 {
 		ck.FirstHotspots = append([]core.Hotspot(nil), res.FirstHotspots...)
@@ -161,6 +172,17 @@ func (m runMetrics) resume(cfg Config, state *thermal.State, res *Result, src pe
 	res.MLTD = append([]float64(nil), ck.MLTD...)
 	res.Severity = append([]float64(nil), ck.Severity...)
 	res.TempPcts = append([][5]float64(nil), ck.TempPcts...)
+	res.MemPower = append([]float64(nil), ck.MemPower...)
+	if len(ck.DieMaxTemp) == len(res.DieMaxTemp) {
+		for i, s := range ck.DieMaxTemp {
+			res.DieMaxTemp[i] = append([]float64(nil), s...)
+		}
+	}
+	if len(ck.DieSeverity) == len(res.DieSeverity) {
+		for i, s := range ck.DieSeverity {
+			res.DieSeverity[i] = append([]float64(nil), s...)
+		}
+	}
 	if res.UnitSeverity != nil {
 		for name := range res.UnitSeverity {
 			res.UnitSeverity[name] = append([]float64(nil), ck.UnitSeverity[name]...)

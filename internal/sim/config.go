@@ -101,6 +101,14 @@ type Config struct {
 	Stack           []thermal.Layer
 	SinkConductance float64
 
+	// StackPreset selects a named multi-die stacked scenario (see
+	// StackPresets): the stack gains a second active plane, core power
+	// lands on the logic die, and the DRAM power model drives the memory
+	// die from the cores' memory-access rates. Mutually exclusive with a
+	// custom Stack. Part of Config.Hash — a stacked run must never share
+	// a content address with its single-die twin.
+	StackPreset string
+
 	// DisableLeakageFeedback freezes leakage at the ambient temperature
 	// (the leakage ablation).
 	DisableLeakageFeedback bool
@@ -274,6 +282,20 @@ func (c *Config) normalize() error {
 	if c.Solver == nil {
 		c.Solver = &thermal.Explicit{}
 	}
+	if c.StackPreset != "" {
+		scn, err := stackScenarioFor(c.StackPreset)
+		if err != nil {
+			return err
+		}
+		// Filling the preset's stack must be idempotent (normalize runs
+		// again when hashing a normalized config), so an already-filled
+		// stack is fine when it matches the preset exactly.
+		if c.Stack == nil {
+			c.Stack = scn.Stack
+		} else if !stacksEqual(c.Stack, scn.Stack) {
+			return fmt.Errorf("sim: StackPreset %q and a custom Stack are mutually exclusive", c.StackPreset)
+		}
+	}
 	if c.Stack == nil {
 		c.Stack = thermal.DefaultStack()
 	}
@@ -327,6 +349,19 @@ func (c *Config) normalize() error {
 		}
 	}
 	return nil
+}
+
+// stacksEqual reports whether two layer stacks are identical.
+func stacksEqual(a, b []thermal.Layer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // newSource builds the configured performance model, wrapping in SMT

@@ -59,8 +59,12 @@ type canonicalConfig struct {
 	CyclesPerStep  uint64            `json:"cycles_per_step"`
 	Solver         string            `json:"solver"`
 	Stack          []thermal.Layer   `json:"stack"`
-	SinkConduct    float64           `json:"sink_conductance"`
-	DisableLeakage bool              `json:"disable_leakage_feedback"`
+	// StackPreset is omitted when empty so every single-die config keeps
+	// its pre-existing content address; the preset's expanded Stack (with
+	// its Active markers) also lands in the stack field above.
+	StackPreset    string  `json:"stack_preset,omitempty"`
+	SinkConduct    float64 `json:"sink_conductance"`
+	DisableLeakage bool    `json:"disable_leakage_feedback"`
 	// The steady-state fast-path fields are omitted when off, so every
 	// pre-existing config keeps its content address.
 	FastSteady      bool    `json:"fast_steady,omitempty"`
@@ -143,6 +147,7 @@ func (c Config) canonicalJSON() ([]byte, error) {
 		CyclesPerStep:   cc.CyclesPerStep,
 		Solver:          solver,
 		Stack:           cc.Stack,
+		StackPreset:     cc.StackPreset,
 		SinkConduct:     cc.SinkConductance,
 		DisableLeakage:  cc.DisableLeakageFeedback,
 		FastSteady:      cc.FastSteady,

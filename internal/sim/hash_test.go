@@ -6,7 +6,6 @@ import (
 
 	"hotgauge/internal/core"
 	"hotgauge/internal/floorplan"
-	"hotgauge/internal/geometry"
 	"hotgauge/internal/perf"
 	"hotgauge/internal/tech"
 	"hotgauge/internal/thermal"
@@ -194,8 +193,8 @@ func TestHashRejectsOpaqueConfigs(t *testing.T) {
 
 type stubSolver struct{}
 
-func (stubSolver) Step(*thermal.Grid, *thermal.State, *geometry.Field, float64) error { return nil }
-func (stubSolver) Name() string                                                       { return "stub" }
+func (stubSolver) Step(*thermal.Grid, *thermal.State, *thermal.Power, float64) error { return nil }
+func (stubSolver) Name() string                                                      { return "stub" }
 
 func mustSource(t *testing.T, cfg Config) perf.Source {
 	t.Helper()

@@ -18,12 +18,18 @@ import (
 // unaffected. Set by matching Fig. 1's intra-unit gradients.
 const subUnitConcentration = 2.5
 
-// rasterCache precomputes, once per run, how each floorplan unit maps onto
-// the thermal grid: which cells it covers and with what area fraction.
+// rasterCache precomputes, once per run, how a die's units map onto the
+// thermal grid: which cells each unit covers and with what area fraction.
 // This turns the per-timestep power-map build and per-unit mean-temperature
-// query into cheap table walks.
+// query into cheap table walks. One cache serves one injection plane; a
+// stacked run builds a second cache for its memory die with that plane's
+// state offset.
 type rasterCache struct {
 	units []unitCells
+	// base is the plane's flat offset into the full thermal state
+	// (grid layer × NX×NY); cell indices stay plane-local so the same
+	// cache injects into per-plane power frames.
+	base int
 }
 
 type unitCells struct {
@@ -33,14 +39,14 @@ type unitCells struct {
 }
 
 type weightedCell struct {
-	idx  int     // flat cell index in the active layer
+	idx  int     // flat cell index within the plane
 	frac float64 // fraction of the unit's area in this cell
 }
 
-func newRasterCache(fp *floorplan.Floorplan, nx, ny int, resolutionMM float64) *rasterCache {
-	rc := &rasterCache{}
+func newRasterCache(units []floorplan.Unit, nx, ny int, resolutionMM float64, base int) *rasterCache {
+	rc := &rasterCache{base: base}
 	grid := geometry.NewField(nx, ny, resolutionMM)
-	for _, u := range fp.Units {
+	for _, u := range units {
 		uc := unitCells{name: u.Name}
 		clipped := u.Rect.Intersection(grid.Bounds())
 		if clipped.Empty() {
@@ -111,7 +117,7 @@ func (rc *rasterCache) unitMeans(grid *thermal.Grid, state *thermal.State) map[s
 		}
 		sum := 0.0
 		for _, wc := range uc.cells {
-			sum += state.T[wc.idx] * wc.frac
+			sum += state.T[rc.base+wc.idx] * wc.frac
 		}
 		out[uc.name] = sum / uc.area
 	}

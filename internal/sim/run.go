@@ -53,6 +53,20 @@ type Result struct {
 	UnitSeverity map[string][]float64
 	InitialTemp  float64 // mean junction temperature at t=0 [°C]
 
+	// Multi-die series, populated only when the grid has more than one
+	// active plane (Config.StackPreset). DieLabels names the active
+	// planes bottom-up; DieMaxTemp[i] is plane i's per-step maximum
+	// temperature, and DieSeverity[i] its per-step peak severity (with
+	// Record.Severity). On stacked runs MaxTemp is the stack-wide
+	// maximum while MeanTemp, MLTD, Severity and hotspot detection stay
+	// on the logic die, whose frame is also what Fields/FinalField hold.
+	DieLabels   []string
+	DieMaxTemp  [][]float64
+	DieSeverity [][]float64
+	// MemPower is the memory die's per-step total power [W] (stacked
+	// presets with a memory die only); Power then includes it.
+	MemPower []float64
+
 	// Controller traces (recorded only when a Controller is set).
 	ThrottleTrace []float64 // applied throttle per step
 	CoreTrace     []int     // core running the primary workload per step
@@ -155,9 +169,14 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
-	raster := newRasterCache(fp, grid.NX, grid.NY, cfg.Resolution)
+	stk, err := newStackRuntime(&cfg, fp, grid)
+	if err != nil {
+		return nil, err
+	}
+	raster := newRasterCache(fp.Units, grid.NX, grid.NY, cfg.Resolution,
+		grid.ActiveLayerIndex(stk.corePlane)*grid.NX*grid.NY)
 
-	state, err := initialState(cfg, fp, pm, grid, raster)
+	state, err := initialState(cfg, pm, grid, raster, stk)
 	if err != nil {
 		return nil, err
 	}
@@ -174,6 +193,15 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 	setupSpan.End()
 
 	res = &Result{Config: pristine, TUH: math.Inf(1), TUHStep: -1, InitialTemp: grid.MeanTemp(state)}
+	planes := grid.ActiveLayers()
+	stacked := planes > 1
+	if stacked {
+		res.DieLabels = dieLabels(grid)
+		res.DieMaxTemp = make([][]float64, planes)
+		if cfg.Record.Severity {
+			res.DieSeverity = make([][]float64, planes)
+		}
+	}
 	if cfg.Record.CellDeltas {
 		res.DeltaHist, _ = stats.NewHistogram(-5, 5, 200)
 	}
@@ -212,9 +240,13 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 	// Double-buffered junction frames: the step loop alternates between
 	// two fields instead of allocating one per step; frames that outlive
 	// a step (Result.Fields samples) are cloned on demand.
-	prevField := grid.ActiveField(state)
+	prevField := grid.ActiveFieldAt(state, stk.corePlane)
 	curField := geometry.NewField(grid.NX, grid.NY, cfg.Resolution)
-	powerField := geometry.NewField(grid.NX, grid.NY, cfg.Resolution)
+	powerField := stk.coreFrame()
+	var dieField *geometry.Field
+	if stacked && cfg.Record.Severity {
+		dieField = geometry.NewField(grid.NX, grid.NY, cfg.Resolution)
+	}
 	tempTh := analyzer.Definition().TempThreshold
 
 	curCore := cfg.Core
@@ -241,6 +273,8 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 			return power.IdleGateFloor + (power.ActiveGateFloor-power.IdleGateFloor)*duty
 		}
 		var in power.Input
+		memAcc := float64(act.Counters.MemAccesses)
+		loads, stores := float64(act.Counters.Loads), float64(act.Counters.Stores)
 		for c := 0; c < floorplan.NumCores; c++ {
 			switch {
 			case c == curCore:
@@ -251,6 +285,9 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 				prof := cfg.Assignments[c]
 				in.CoreActivity[c] = sAct.Unit
 				in.CoreFloor[c] = floorFor(prof.ParamsAt(step).Intensity)
+				memAcc += float64(sAct.Counters.MemAccesses)
+				loads += float64(sAct.Counters.Loads)
+				stores += float64(sAct.Counters.Stores)
 			default:
 				in.CoreActivity[c] = idle
 				in.CoreFloor[c] = power.IdleGateFloor
@@ -265,20 +302,22 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 		}
 		pr := pm.Compute(in)
 
-		// Rasterize unit powers onto the active layer.
+		// Rasterize unit powers onto the logic die's plane, then evaluate
+		// the memory die (if any) from this step's aggregate traffic.
 		for i := range powerField.Data {
 			powerField.Data[i] = 0
 		}
 		raster.inject(powerField, pr)
+		memPower := stk.stepMemory(grid, state, memAcc, loads, stores, cfg.CyclesPerStep)
 		powerSpan.End()
 
 		thermalSpan := m.thermal.Start()
-		armed := steady != nil && steady.observe(powerField.Data)
+		armed := steady != nil && steady.observe(stk.steadyView())
 		switch {
 		case armed && !steady.converged:
 			// The power map has been steady long enough: jump to the SOR
 			// steady state instead of integrating the settling tail.
-			if _, err := thermal.SolveSteady(grid, state, powerField, 0, 0); err != nil {
+			if _, err := thermal.SolveSteady(grid, state, stk.pw, 0, 0); err != nil {
 				return nil, err
 			}
 			steady.converged = true
@@ -288,12 +327,12 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 			// the solver step is a no-op, skip it.
 			m.steadySkips.Inc()
 		default:
-			if err := cfg.Solver.Step(grid, state, powerField, Timestep); err != nil {
+			if err := cfg.Solver.Step(grid, state, stk.pw, Timestep); err != nil {
 				return nil, err
 			}
 		}
 		field := curField
-		if err := grid.ActiveFieldInto(state, field); err != nil {
+		if err := grid.ActiveFieldAtInto(state, stk.corePlane, field); err != nil {
 			return nil, err
 		}
 		thermalSpan.End()
@@ -313,20 +352,51 @@ func RunCtx(ctx context.Context, cfg Config) (res *Result, err error) {
 			}
 		}
 
-		// Per-step series.
+		// Per-step series. On a stacked grid MaxTemp covers every active
+		// plane; per-die maxima land in DieMaxTemp.
 		maxT, _, _ := field.Max()
+		if stacked {
+			for i := 0; i < planes; i++ {
+				m := maxT
+				if i != stk.corePlane {
+					m = grid.MaxTempAt(state, i)
+				}
+				res.DieMaxTemp[i] = append(res.DieMaxTemp[i], m)
+				if m > maxT {
+					maxT = m
+				}
+			}
+		}
 		if math.IsNaN(maxT) || math.IsInf(maxT, 0) {
 			return nil, &SolverDivergedError{Step: step, Solver: cfg.Solver.Name(), MaxTemp: maxT}
 		}
 		res.MaxTemp = append(res.MaxTemp, maxT)
 		res.MeanTemp = append(res.MeanTemp, field.Mean())
-		res.Power = append(res.Power, pr.TotalPower())
+		if stk.dram != nil {
+			res.MemPower = append(res.MemPower, memPower)
+			res.Power = append(res.Power, pr.TotalPower()+memPower)
+		} else {
+			res.Power = append(res.Power, pr.TotalPower())
+		}
 		res.IPC = append(res.IPC, act.Counters.IPC())
 		if cfg.Record.MLTD {
 			res.MLTD = append(res.MLTD, analyzer.MaxMLTD(field))
 		}
 		if cfg.Record.Severity {
-			res.Severity = append(res.Severity, analyzer.MaxSeverity(field))
+			sev := analyzer.MaxSeverity(field)
+			res.Severity = append(res.Severity, sev)
+			if stacked {
+				for i := 0; i < planes; i++ {
+					s := sev
+					if i != stk.corePlane {
+						if err := grid.ActiveFieldAtInto(state, i, dieField); err != nil {
+							return nil, err
+						}
+						s = analyzer.MaxSeverity(dieField)
+					}
+					res.DieSeverity[i] = append(res.DieSeverity[i], s)
+				}
+			}
 		}
 		if cfg.Record.TempPercentiles {
 			p := stats.Percentiles(field.Data, 5, 25, 50, 75, 95)
@@ -517,7 +587,7 @@ func (m runMetrics) ctxCause(ctx context.Context) error {
 }
 
 // initialState prepares the thermal state for the configured warmup mode.
-func initialState(cfg Config, fp *floorplan.Floorplan, pm *power.Model, grid *thermal.Grid, raster *rasterCache) (*thermal.State, error) {
+func initialState(cfg Config, pm *power.Model, grid *thermal.Grid, raster *rasterCache, stk *stackRuntime) (*thermal.State, error) {
 	state := grid.NewState(cfg.Ambient)
 	if cfg.Warmup == WarmupCold {
 		return state, nil
@@ -536,12 +606,24 @@ func initialState(cfg Config, fp *floorplan.Floorplan, pm *power.Model, grid *th
 	}
 	in.TempDefault = cfg.Ambient + 10 // mild leakage estimate for warm idle silicon
 	pr := pm.Compute(in)
-	pf := geometry.NewField(grid.NX, grid.NY, cfg.Resolution)
+	pf := stk.coreFrame()
+	for i := range pf.Data {
+		pf.Data[i] = 0
+	}
 	raster.inject(pf, pr)
-	if err := thermal.WarmStart(grid, state, pf); err != nil {
+	if stk.dram != nil {
+		// The idle memory die still refreshes at the base duty and leaks.
+		mres := stk.dram.Compute(power.AccessRates{RefreshDuty: power.BaseRefreshDuty})
+		mf := stk.frames[stk.memPlane]
+		for i := range mf.Data {
+			mf.Data[i] = 0
+		}
+		stk.memRaster.inject(mf, mres)
+	}
+	if err := thermal.WarmStart(grid, state, stk.pw); err != nil {
 		return nil, err
 	}
-	if _, err := thermal.SolveSteady(grid, state, pf, 1e-4, 0); err != nil {
+	if _, err := thermal.SolveSteady(grid, state, stk.pw, 1e-4, 0); err != nil {
 		return nil, err
 	}
 

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"hotgauge/internal/thermal"
+)
+
+func stackedConfig(t *testing.T, preset string, steps int) Config {
+	t.Helper()
+	cfg := fastConfig(t, "gcc", steps)
+	cfg.StackPreset = preset
+	return cfg
+}
+
+// Every preset must run end-to-end and produce the per-die series with
+// plausible physics: two die labels, memory power flowing, and the
+// stack-wide maximum covering both planes.
+func TestStackPresetsRunEndToEnd(t *testing.T) {
+	for _, preset := range StackPresets() {
+		t.Run(preset, func(t *testing.T) {
+			cfg := stackedConfig(t, preset, 6)
+			cfg.Record.Severity = true
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.DieLabels) != 2 {
+				t.Fatalf("die labels = %v, want 2 active planes", res.DieLabels)
+			}
+			if len(res.DieMaxTemp) != 2 || len(res.DieSeverity) != 2 {
+				t.Fatalf("per-die series missing: %d max, %d severity",
+					len(res.DieMaxTemp), len(res.DieSeverity))
+			}
+			for i := range res.DieMaxTemp {
+				if len(res.DieMaxTemp[i]) != res.StepsRun {
+					t.Fatalf("die %d: %d max-temp samples, want %d",
+						i, len(res.DieMaxTemp[i]), res.StepsRun)
+				}
+			}
+			if len(res.MemPower) != res.StepsRun {
+				t.Fatalf("%d memory-power samples, want %d", len(res.MemPower), res.StepsRun)
+			}
+			for step := range res.MaxTemp {
+				// Memory dies at least refresh and leak.
+				if res.MemPower[step] <= 0 {
+					t.Fatalf("step %d: memory power %v, want > 0", step, res.MemPower[step])
+				}
+				// The stack max covers every die.
+				for i := range res.DieMaxTemp {
+					if res.DieMaxTemp[i][step] > res.MaxTemp[step] {
+						t.Fatalf("step %d: die %d max %.3f exceeds stack max %.3f",
+							step, i, res.DieMaxTemp[i][step], res.MaxTemp[step])
+					}
+				}
+				// Total power includes the memory die.
+				if res.Power[step] <= res.MemPower[step] {
+					t.Fatalf("step %d: total power %.3f does not include memory %.3f",
+						step, res.Power[step], res.MemPower[step])
+				}
+			}
+		})
+	}
+}
+
+// A single-die run keeps empty multi-die series, and a DefaultStack run
+// with an explicit Active marker on its junction layer is bit-identical
+// to the unmarked default (the legacy path is the i=0 special case, not
+// a different code path).
+func TestSingleDieRunUnchanged(t *testing.T) {
+	base := fastConfig(t, "gcc", 5)
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DieLabels != nil || a.DieMaxTemp != nil || a.MemPower != nil {
+		t.Fatal("single-die run populated multi-die series")
+	}
+
+	marked := fastConfig(t, "gcc", 5)
+	marked.Stack = thermal.DefaultStack()
+	marked.Stack[0].Active = true
+	b, err := Run(marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.MaxTemp {
+		if a.MaxTemp[i] != b.MaxTemp[i] || a.MeanTemp[i] != b.MeanTemp[i] || a.Power[i] != b.Power[i] {
+			t.Fatalf("step %d: marked-active run diverged from default", i)
+		}
+	}
+}
+
+// The buried-die orientation must be hotter than the heatsink-adjacent
+// one for the same workload — the effect the stacked presets exist to
+// expose.
+func TestBuriedCoreRunsHotter(t *testing.T) {
+	hot, err := Run(stackedConfig(t, StackMemoryOnCore, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cool, err := Run(stackedConfig(t, StackCoreOnMemory, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(hot.MaxTemp) - 1
+	if !(hot.MaxTemp[last] > cool.MaxTemp[last]) {
+		t.Fatalf("buried core max %.3f not hotter than top-die core %.3f",
+			hot.MaxTemp[last], cool.MaxTemp[last])
+	}
+}
+
+func TestStackPresetHashCoherence(t *testing.T) {
+	plain := fastConfig(t, "gcc", 4)
+	h0, err := plain.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Legacy canonical JSON must not grow new keys: single-die configs
+	// keep their pre-existing content addresses.
+	js, err := plain.canonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"stack_preset", "Active"} {
+		if strings.Contains(string(js), banned) {
+			t.Fatalf("legacy canonical JSON contains %q:\n%s", banned, js)
+		}
+	}
+
+	seen := map[string]string{"": h0}
+	for _, preset := range StackPresets() {
+		cfg := stackedConfig(t, preset, 4)
+		h, err := cfg.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for other, oh := range seen {
+			if oh == h {
+				t.Fatalf("preset %q hashes like %q", preset, other)
+			}
+		}
+		seen[preset] = h
+		// Hashing is stable across repeated normalization.
+		if h2, _ := cfg.Hash(); h2 != h {
+			t.Fatalf("preset %q hash not idempotent", preset)
+		}
+	}
+}
+
+func TestStackPresetValidation(t *testing.T) {
+	cfg := stackedConfig(t, "no-such-stack", 3)
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "stack preset") {
+		t.Fatalf("unknown preset error = %v", err)
+	}
+	both := stackedConfig(t, StackGPUSM, 3)
+	both.Stack = thermal.LiquidCooledStack()
+	if _, err := Run(both); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("preset+stack error = %v", err)
+	}
+	// A result's config re-hashes identically even though normalize
+	// filled Stack from the preset in the run's private copy.
+	ok := stackedConfig(t, StackGPUSM, 3)
+	h1, err := ok.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := res.Config.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("Result.Config hash drifted after run")
+	}
+}

@@ -22,6 +22,12 @@ type Grid struct {
 	capC  []float64 // per-cell heat capacity per layer [J/K]
 	gConv float64   // per-cell convective conductance on the top layer [W/K]
 
+	// active lists the grid layers that receive power injection, in
+	// ascending order: the first sublayer of every stack Layer marked
+	// Active, or {0} for legacy stacks with no Active marker. Power
+	// frame i of a Power value injects into grid layer active[i].
+	active []int
+
 	Ambient float64 // ambient temperature [°C]
 
 	dtStable float64 // largest stable explicit substep [s]
@@ -49,8 +55,23 @@ func NewGrid(die geometry.Rect, resolutionMM float64, stack []Layer, sinkConduct
 
 	g := &Grid{NX: nx, NY: ny, Dx: dx, Ambient: ambient}
 	for _, l := range stack {
-		if l.Thickness <= 0 || l.Conductivity <= 0 || l.VolumetricHeatCapacity <= 0 {
-			return nil, fmt.Errorf("thermal: invalid layer %q", l.Name)
+		// Reject unphysical layers with a per-field diagnostic instead of
+		// letting effK/effCv silently coerce bad scales to 1 and run the
+		// wrong physics.
+		switch {
+		case l.Thickness <= 0:
+			return nil, fmt.Errorf("thermal: layer %q has non-positive Thickness %v", l.Name, l.Thickness)
+		case l.Conductivity <= 0:
+			return nil, fmt.Errorf("thermal: layer %q has non-positive Conductivity %v", l.Name, l.Conductivity)
+		case l.VolumetricHeatCapacity <= 0:
+			return nil, fmt.Errorf("thermal: layer %q has non-positive VolumetricHeatCapacity %v", l.Name, l.VolumetricHeatCapacity)
+		case l.KScale < 0:
+			return nil, fmt.Errorf("thermal: layer %q has negative KScale %v (use 0 or omit for no scaling)", l.Name, l.KScale)
+		case l.CvScale < 0:
+			return nil, fmt.Errorf("thermal: layer %q has negative CvScale %v (use 0 or omit for no scaling)", l.Name, l.CvScale)
+		}
+		if l.Active {
+			g.active = append(g.active, len(g.thick))
 		}
 		sub := l.Sublayers
 		if sub < 1 {
@@ -67,6 +88,10 @@ func NewGrid(die geometry.Rect, resolutionMM float64, stack []Layer, sinkConduct
 		}
 	}
 	g.NL = len(g.thick)
+	if len(g.active) == 0 {
+		// Legacy single-die convention: power injects into grid layer 0.
+		g.active = []int{0}
+	}
 	// Combine vertical conductances: series of the two half-slabs.
 	for l := 0; l < g.NL-1; l++ {
 		r := g.thick[l]/(2*g.gUp[l]) + g.thick[l+1]/(2*g.gUp[l+1])
@@ -132,40 +157,67 @@ func (s *State) Clone() *State {
 	return &State{T: t}
 }
 
-// ActiveField extracts the active-layer (junction) temperatures as a 2-D
-// field with pitch in millimeters — the surface the hotspot detector and
-// all of the paper's thermal maps operate on.
+// ActiveLayers returns how many power-injecting planes the grid has
+// (1 for legacy single-die stacks).
+func (g *Grid) ActiveLayers() int { return len(g.active) }
+
+// ActiveLayerIndex returns the grid-layer index of active plane i.
+func (g *Grid) ActiveLayerIndex(i int) int { return g.active[i] }
+
+// ActiveLayerName returns the material name of active plane i — the die
+// label stacked scenarios report per-die metrics under.
+func (g *Grid) ActiveLayerName(i int) string { return g.layerName[g.active[i]] }
+
+// ActiveField extracts the first active plane's (junction) temperatures
+// as a 2-D field with pitch in millimeters — the surface the hotspot
+// detector and all of the paper's thermal maps operate on for
+// single-die stacks.
 func (g *Grid) ActiveField(s *State) *geometry.Field {
+	return g.ActiveFieldAt(s, 0)
+}
+
+// ActiveFieldAt extracts active plane i's temperatures as a 2-D field.
+func (g *Grid) ActiveFieldAt(s *State, i int) *geometry.Field {
 	f := geometry.NewField(g.NX, g.NY, g.Dx*1e3)
-	copy(f.Data, s.T[:g.NX*g.NY])
+	base := g.active[i] * g.NX * g.NY
+	copy(f.Data, s.T[base:base+g.NX*g.NY])
 	return f
 }
 
-// ActiveFieldInto copies the active-layer temperatures into an existing
-// field, letting step loops reuse one buffer instead of allocating a
-// frame per timestep.
+// ActiveFieldInto copies the first active plane's temperatures into an
+// existing field, letting step loops reuse one buffer instead of
+// allocating a frame per timestep.
 func (g *Grid) ActiveFieldInto(s *State, f *geometry.Field) error {
+	return g.ActiveFieldAtInto(s, 0, f)
+}
+
+// ActiveFieldAtInto copies active plane i's temperatures into an
+// existing field.
+func (g *Grid) ActiveFieldAtInto(s *State, i int, f *geometry.Field) error {
 	if f.NX != g.NX || f.NY != g.NY {
 		return fmt.Errorf("thermal: field %dx%d does not match grid %dx%d", f.NX, f.NY, g.NX, g.NY)
 	}
-	copy(f.Data, s.T[:g.NX*g.NY])
+	base := g.active[i] * g.NX * g.NY
+	copy(f.Data, s.T[base:base+g.NX*g.NY])
 	return nil
 }
 
-// SetActiveField overwrites the active-layer temperatures from a field
-// (used to impose non-uniform initial conditions).
+// SetActiveField overwrites the first active plane's temperatures from a
+// field (used to impose non-uniform initial conditions).
 func (g *Grid) SetActiveField(s *State, f *geometry.Field) error {
 	if f.NX != g.NX || f.NY != g.NY {
 		return fmt.Errorf("thermal: field %dx%d does not match grid %dx%d", f.NX, f.NY, g.NX, g.NY)
 	}
-	copy(s.T[:g.NX*g.NY], f.Data)
+	base := g.active[0] * g.NX * g.NY
+	copy(s.T[base:base+g.NX*g.NY], f.Data)
 	return nil
 }
 
-// MaxTemp returns the hottest cell of the active layer.
-func (g *Grid) MaxTemp(s *State) float64 {
+// MaxTempAt returns the hottest cell of active plane i.
+func (g *Grid) MaxTempAt(s *State, i int) float64 {
+	base := g.active[i] * g.NX * g.NY
 	m := math.Inf(-1)
-	for _, t := range s.T[:g.NX*g.NY] {
+	for _, t := range s.T[base : base+g.NX*g.NY] {
 		if t > m {
 			m = t
 		}
@@ -173,14 +225,54 @@ func (g *Grid) MaxTemp(s *State) float64 {
 	return m
 }
 
-// MeanTemp returns the mean active-layer temperature.
-func (g *Grid) MeanTemp(s *State) float64 {
+// MeanTempAt returns the mean temperature of active plane i.
+func (g *Grid) MeanTempAt(s *State, i int) float64 {
+	base := g.active[i] * g.NX * g.NY
 	sum := 0.0
 	plane := g.NX * g.NY
-	for _, t := range s.T[:plane] {
+	for _, t := range s.T[base : base+plane] {
 		sum += t
 	}
 	return sum / float64(plane)
+}
+
+// MaxTemp returns the hottest cell across every active plane.
+func (g *Grid) MaxTemp(s *State) float64 {
+	m := g.MaxTempAt(s, 0)
+	for i := 1; i < len(g.active); i++ {
+		if v := g.MaxTempAt(s, i); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MeanTemp returns the mean active-plane temperature. Single-active
+// grids take the legacy single-plane path explicitly; multi-die stacks
+// average the per-plane means (each plane has equal cell count).
+func (g *Grid) MeanTemp(s *State) float64 {
+	if len(g.active) == 1 {
+		return g.MeanTempAt(s, 0)
+	}
+	sum := 0.0
+	for i := range g.active {
+		sum += g.MeanTempAt(s, i)
+	}
+	return sum / float64(len(g.active))
+}
+
+// layerEnergy adds grid layer l's stored energy relative to ref into the
+// running accumulator acc and returns it. EnergyAbove chains one call
+// per layer through the same accumulator, so the summation order (and
+// therefore the floating-point result) is identical to the historical
+// single-loop formulation.
+func (g *Grid) layerEnergy(s *State, l int, ref, acc float64) float64 {
+	c := g.capC[l]
+	base := l * g.NY * g.NX
+	for i := 0; i < g.NX*g.NY; i++ {
+		acc += c * (s.T[base+i] - ref)
+	}
+	return acc
 }
 
 // EnergyAbove returns the total thermal energy stored in the stack
@@ -188,23 +280,50 @@ func (g *Grid) MeanTemp(s *State) float64 {
 func (g *Grid) EnergyAbove(s *State, ref float64) float64 {
 	e := 0.0
 	for l := 0; l < g.NL; l++ {
-		c := g.capC[l]
-		base := l * g.NY * g.NX
-		for i := 0; i < g.NX*g.NY; i++ {
-			e += c * (s.T[base+i] - ref)
-		}
+		e = g.layerEnergy(s, l, ref, e)
 	}
 	return e
 }
 
-// checkPower validates a power map against the grid.
-func (g *Grid) checkPower(power *geometry.Field) error {
-	if power == nil {
-		return fmt.Errorf("thermal: nil power field")
+// EnergyAboveAt returns the energy stored in grid layer l alone [J].
+func (g *Grid) EnergyAboveAt(s *State, l int, ref float64) float64 {
+	return g.layerEnergy(s, l, ref, 0)
+}
+
+// checkPower validates a power input against the grid: one frame per
+// active plane, each matching the in-plane grid.
+func (g *Grid) checkPower(p *Power) error {
+	if p == nil {
+		return fmt.Errorf("thermal: nil power")
 	}
-	if power.NX != g.NX || power.NY != g.NY {
-		return fmt.Errorf("thermal: power field %dx%d does not match grid %dx%d",
-			power.NX, power.NY, g.NX, g.NY)
+	if len(p.Frames) != len(g.active) {
+		return fmt.Errorf("thermal: %d power frames for %d active layers", len(p.Frames), len(g.active))
+	}
+	for i, f := range p.Frames {
+		if f == nil {
+			return fmt.Errorf("thermal: nil power frame %d", i)
+		}
+		if f.NX != g.NX || f.NY != g.NY {
+			return fmt.Errorf("thermal: power frame %d is %dx%d, grid is %dx%d",
+				i, f.NX, f.NY, g.NX, g.NY)
+		}
 	}
 	return nil
+}
+
+// layerPower expands a validated Power into one data slice per grid
+// layer (nil for passive layers), reusing dst when it has capacity so
+// solvers stay allocation-free after warmup.
+func (g *Grid) layerPower(p *Power, dst [][]float64) [][]float64 {
+	if cap(dst) < g.NL {
+		dst = make([][]float64, g.NL)
+	}
+	dst = dst[:g.NL]
+	for i := range dst {
+		dst[i] = nil
+	}
+	for i, l := range g.active {
+		dst[l] = p.Frames[i].Data
+	}
+	return dst
 }

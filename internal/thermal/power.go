@@ -1,0 +1,28 @@
+package thermal
+
+import "hotgauge/internal/geometry"
+
+// Power is the per-step power input to a solver: one frame per active
+// layer, in the grid's active-layer order (bottom of the stack first —
+// the same order ActiveFieldAt uses). Single-die grids have exactly one
+// frame, so NewPower(field) is the drop-in replacement for the old
+// single-field argument.
+type Power struct {
+	Frames []*geometry.Field
+}
+
+// NewPower wraps per-active-layer power frames, bottom-up.
+func NewPower(frames ...*geometry.Field) *Power {
+	return &Power{Frames: frames}
+}
+
+// Total returns the summed power across all frames [W].
+func (p *Power) Total() float64 {
+	t := 0.0
+	for _, f := range p.Frames {
+		if f != nil {
+			t += f.Sum()
+		}
+	}
+	return t
+}

@@ -18,11 +18,12 @@ func Psi(die geometry.Rect, resolutionMM float64) (float64, error) {
 		return 0, err
 	}
 	const totalPower = 20.0 // W; Ψ is linear in power, any value works
-	power := geometry.NewField(g.NX, g.NY, resolutionMM)
+	frame := geometry.NewField(g.NX, g.NY, resolutionMM)
 	per := totalPower / float64(g.NX*g.NY)
-	for i := range power.Data {
-		power.Data[i] = per
+	for i := range frame.Data {
+		frame.Data[i] = per
 	}
+	power := NewPower(frame)
 	s := g.NewState(DefaultAmbient)
 	if err := WarmStart(g, s, power); err != nil {
 		return 0, err

@@ -5,21 +5,21 @@ import (
 	"math"
 	"sync"
 
-	"hotgauge/internal/geometry"
 	"hotgauge/internal/obs"
 )
 
 // Solver advances a thermal state by one simulation timestep under a
-// power map (W per active-layer cell). Implementations: Explicit
-// (default), Implicit (backward Euler, for large steps) and ADI
+// power input (W per cell, one frame per active plane). Implementations:
+// Explicit (default), Implicit (backward Euler, for large steps) and ADI
 // (alternating-direction-implicit with adaptive substepping, the
 // campaign fast solver).
 //
 // Solvers carry reusable scratch buffers, so a Solver value must not be
 // shared between concurrent Step calls; give each goroutine its own.
 type Solver interface {
-	// Step advances s by dt seconds with the given active-layer power.
-	Step(g *Grid, s *State, power *geometry.Field, dt float64) error
+	// Step advances s by dt seconds with the given per-active-plane
+	// power frames.
+	Step(g *Grid, s *State, power *Power, dt float64) error
 	// Name identifies the solver in reports and benchmarks.
 	Name() string
 }
@@ -57,6 +57,7 @@ type Explicit struct {
 
 	scratch []float64
 	zero    []float64
+	lp      [][]float64
 	// Per-grid decisions (scratch sizing, worker count) are hoisted out
 	// of the substep loop: they are recomputed only when Step sees a
 	// different *Grid than the previous call. Changing Workers between
@@ -77,7 +78,7 @@ type Explicit struct {
 func (e *Explicit) Name() string { return "explicit" }
 
 // Step implements Solver.
-func (e *Explicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) error {
+func (e *Explicit) Step(g *Grid, s *State, power *Power, dt float64) error {
 	if err := g.checkPower(power); err != nil {
 		return err
 	}
@@ -100,13 +101,15 @@ func (e *Explicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) er
 		e.workers = e.workerCount(g)
 		e.grid = g
 	}
+	e.lp = g.layerPower(power, e.lp)
+	lp := e.lp
 	zeros := e.zero[:g.NX]
 	cur, next := s.T, e.scratch[:len(s.T)]
 	rows := g.NL * g.NY
 	workers := e.workers
 	for it := 0; it < n; it++ {
 		if workers <= 1 {
-			stepRows(g, cur, next, power.Data, zeros, sub, 0, rows)
+			stepRows(g, cur, next, lp, zeros, sub, 0, rows)
 		} else {
 			var wg sync.WaitGroup
 			for k := 0; k < workers; k++ {
@@ -117,7 +120,7 @@ func (e *Explicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) er
 				wg.Add(1)
 				go func(cur, next []float64, r0, r1 int) {
 					defer wg.Done()
-					stepRows(g, cur, next, power.Data, zeros, sub, r0, r1)
+					stepRows(g, cur, next, lp, zeros, sub, r0, r1)
 				}(cur, next, r0, r1)
 			}
 			wg.Wait()
@@ -143,6 +146,7 @@ type Implicit struct {
 
 	scratch []float64
 	zero    []float64
+	lp      [][]float64
 
 	// Substeps, when set, counts the inner Gauss-Seidel sweeps executed
 	// (the implicit analogue of the explicit solver's substeps; sim
@@ -161,7 +165,7 @@ type Implicit struct {
 func (im *Implicit) Name() string { return "implicit" }
 
 // Step implements Solver.
-func (im *Implicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) error {
+func (im *Implicit) Step(g *Grid, s *State, power *Power, dt float64) error {
 	if err := g.checkPower(power); err != nil {
 		return err
 	}
@@ -183,13 +187,14 @@ func (im *Implicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) e
 	if cap(im.zero) < g.NX {
 		im.zero = make([]float64, g.NX)
 	}
+	im.lp = g.layerPower(power, im.lp)
 	t := im.scratch[:len(old)]
 	copy(t, old)
 	converged := false
 	residual := math.Inf(1)
 	for it := 0; it < maxIters; it++ {
 		im.Substeps.Inc()
-		residual = gsSweep(g, old, t, power.Data, im.zero[:g.NX], dt)
+		residual = gsSweep(g, old, t, im.lp, im.zero[:g.NX], dt)
 		if residual < tol {
 			converged = true
 			break
@@ -204,20 +209,35 @@ func (im *Implicit) Step(g *Grid, s *State, power *geometry.Field, dt float64) e
 }
 
 // WarmStart overwrites the state with the analytic layer-wise solution of
-// the 1-D (laterally averaged) network for the given power map. For a
+// the 1-D (laterally averaged) network for the given power input. For a
 // uniform power map this IS the steady state; for structured maps it is a
 // starting guess that removes the slowest (vertical offset) error modes
-// from the SOR iteration.
-func WarmStart(g *Grid, s *State, power *geometry.Field) error {
+// from the SOR iteration. With multiple active planes the flux crossing
+// interface l↔l+1 is the power injected at or below layer l (all heat
+// exits through the top-layer convection), which reduces exactly to the
+// legacy single-total formula when only layer 0 injects.
+func WarmStart(g *Grid, s *State, power *Power) error {
 	if err := g.checkPower(power); err != nil {
 		return err
 	}
-	total := power.Sum()
+	totals := make([]float64, len(power.Frames))
+	total := 0.0
+	for i, f := range power.Frames {
+		totals[i] = f.Sum()
+		total += totals[i]
+	}
 	plane := float64(g.NX * g.NY)
 	layerT := make([]float64, g.NL)
 	layerT[g.NL-1] = g.Ambient + total/(g.gConv*plane)
+	flow := total
+	ai := len(g.active) - 1
 	for l := g.NL - 2; l >= 0; l-- {
-		layerT[l] = layerT[l+1] + total/(g.gUp[l]*plane)
+		// Power injected above this interface never crosses it.
+		if ai >= 0 && g.active[ai] == l+1 {
+			flow -= totals[ai]
+			ai--
+		}
+		layerT[l] = layerT[l+1] + flow/(g.gUp[l]*plane)
 	}
 	for l := 0; l < g.NL; l++ {
 		base := l * g.NX * g.NY
@@ -229,10 +249,10 @@ func WarmStart(g *Grid, s *State, power *geometry.Field) error {
 }
 
 // SolveSteady relaxes the state to the steady-state solution for the given
-// power map using SOR, and returns the iteration count. The state is used
+// power input using SOR, and returns the iteration count. The state is used
 // as the starting guess; use WarmStart first when no better guess exists.
 // It works in place on the state and allocates nothing per call.
-func SolveSteady(g *Grid, s *State, power *geometry.Field, tol float64, maxIters int) (int, error) {
+func SolveSteady(g *Grid, s *State, power *Power, tol float64, maxIters int) (int, error) {
 	if err := g.checkPower(power); err != nil {
 		return 0, err
 	}
@@ -248,6 +268,9 @@ func SolveSteady(g *Grid, s *State, power *geometry.Field, tol float64, maxIters
 	t := s.T
 	for it := 1; it <= maxIters; it++ {
 		maxDelta := 0.0
+		// Active planes are ascending, so a single cursor pairs each
+		// layer with its power frame without allocating.
+		ai := 0
 		for l := 0; l < nl; l++ {
 			gl := g.gLat[l]
 			base := l * plane
@@ -258,6 +281,11 @@ func SolveSteady(g *Grid, s *State, power *geometry.Field, tol float64, maxIters
 			}
 			if l > 0 {
 				gDown = g.gUp[l-1]
+			}
+			var pw []float64
+			if ai < len(g.active) && g.active[ai] == l {
+				pw = power.Frames[ai].Data
+				ai++
 			}
 			for iy := 0; iy < ny; iy++ {
 				row := base + iy*nx
@@ -292,8 +320,8 @@ func SolveSteady(g *Grid, s *State, power *geometry.Field, tol float64, maxIters
 						num += g.gConv * g.Ambient
 						den += g.gConv
 					}
-					if l == 0 {
-						num += power.Data[i]
+					if pw != nil {
+						num += pw[i-base]
 					}
 					gs := num / den
 					nv := t[i] + omega*(gs-t[i])

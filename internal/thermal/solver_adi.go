@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"hotgauge/internal/geometry"
 	"hotgauge/internal/obs"
 )
 
@@ -86,6 +85,7 @@ type ADI struct {
 	work  []float64 // sweeps transform r → w₃ in place here
 	prev  []float64 // u(1), then the previous ladder level, for Richardson
 	zeros []float64
+	lp    [][]float64
 }
 
 // Name implements Solver.
@@ -97,7 +97,7 @@ func (a *ADI) Name() string { return "adi" }
 // (2, 4, … substeps from the saved state), stopping when the Richardson
 // estimate against the previous level meets ErrTol or MaxSubsteps is
 // reached, and commits the finest field.
-func (a *ADI) Step(g *Grid, s *State, power *geometry.Field, dt float64) error {
+func (a *ADI) Step(g *Grid, s *State, power *Power, dt float64) error {
 	if err := g.checkPower(power); err != nil {
 		return err
 	}
@@ -125,13 +125,15 @@ func (a *ADI) Step(g *Grid, s *State, power *geometry.Field, dt float64) error {
 	}
 	save, rhs0, rhs := a.save[:cells], a.rhs0[:cells], a.rhs[:cells]
 	work, prev, zeros := a.work[:cells], a.prev[:cells], a.zeros[:g.NX]
+	a.lp = g.layerPower(power, a.lp)
+	lp := a.lp
 
 	// Level 1: single substep with the free resolved-dynamics estimate.
 	// The candidate u(1) lands in prev rather than s.T, so accepting it
 	// is one memmove and escalating needs no save/restore copies — s.T
 	// still holds uⁿ, and prev is already the ladder's comparison field.
 	a.prepare(g, dt)
-	rhsRows(g, s.T, rhs0, power.Data, zeros, dt)
+	rhsRows(g, s.T, rhs0, lp, zeros, dt)
 	a.sweepX(g, rhs0, work)
 	a.sweepY(g, work)
 	a.sweepZInto(g, work, s.T, prev)
@@ -168,7 +170,7 @@ func (a *ADI) Step(g *Grid, s *State, power *geometry.Field, dt float64) error {
 			a.sweepY(g, work)
 			a.sweepZAdd(g, work, s.T)
 			for k := 1; k < n; k++ {
-				rhsRows(g, s.T, rhs, power.Data, zeros, sub)
+				rhsRows(g, s.T, rhs, lp, zeros, sub)
 				a.sweepX(g, rhs, work)
 				a.sweepY(g, work)
 				a.sweepZAdd(g, work, s.T)
@@ -202,8 +204,9 @@ func (a *ADI) Step(g *Grid, s *State, power *geometry.Field, dt float64) error {
 
 // advanceOnce commits a single Douglas–Gunn substep of size dt on u and
 // returns the local-truncation estimate ‖w₃ − r‖∞. It is the unit the
-// reference oracle adiStepRef mirrors (see solver_equiv_test.go).
-func (a *ADI) advanceOnce(g *Grid, u, power []float64, dt float64) float64 {
+// reference oracle adiStepRef mirrors (see solver_equiv_test.go). power
+// holds one plane slice per grid layer (nil for passive layers).
+func (a *ADI) advanceOnce(g *Grid, u []float64, power [][]float64, dt float64) float64 {
 	cells := len(u)
 	if cap(a.rhs) < cells {
 		a.rhs = make([]float64, cells)
@@ -574,8 +577,9 @@ func (a *ADI) sweepZInto(g *Grid, w, u, out []float64) {
 
 // rhsRows writes r = dt·F(cur) — the explicit forward-Euler update delta
 // including power injection and convection — into out. Same boundary
-// peeling and sum form as stepRows, minus the +t.
-func rhsRows(g *Grid, cur, out, power, zeros []float64, dt float64) {
+// peeling and sum form as stepRows, minus the +t; power holds one plane
+// slice per grid layer (nil for passive layers).
+func rhsRows(g *Grid, cur, out []float64, power [][]float64, zeros []float64, dt float64) {
 	nx, ny, nl := g.NX, g.NY, g.NL
 	plane := nx * ny
 	amb := g.Ambient
@@ -608,8 +612,9 @@ func rhsRows(g *Grid, cur, out, power, zeros []float64, dt float64) {
 		dd := cur[i0-dOff : i0-dOff+nx]
 		uu := cur[i0+uOff : i0+uOff+nx]
 		pw := zeros[:nx]
-		if l == 0 {
-			pw = power[iy*nx : iy*nx+nx]
+		lpw := power[l]
+		if lpw != nil {
+			pw = lpw[iy*nx : iy*nx+nx]
 		}
 		o := out[i0 : i0+nx]
 
@@ -625,7 +630,7 @@ func rhsRows(g *Grid, cur, out, power, zeros []float64, dt float64) {
 		lat := gl*c[1] + gN*nn[0] + gS*ss[0]
 		o[0] = (lat + (gDown*dd[0] + gUp*uu[0]) + (cp + pw[0]) - gEdge*c[0]) * invC
 
-		if l > 0 && l < nl-1 && iy > 0 && iy < ny-1 {
+		if lpw == nil && l > 0 && l < nl-1 && iy > 0 && iy < ny-1 {
 			// Pure-interior row (no convection, no power): one lateral
 			// conductance multiplies the whole neighbour sum, exactly as
 			// in stepRows.

@@ -29,7 +29,7 @@ func TestADISweepsMatchReference(t *testing.T) {
 		for _, sh := range adiShapes {
 			g := syntheticGrid(sh.nx, sh.ny, sh.nl, rng)
 			u := randTemps(g.Cells(), rng)
-			power := randPower(g.NX, g.NY, rng)
+			power := singleLayerPower(g, randPower(g.NX, g.NY, rng))
 			dt := 20 * g.dtStable
 
 			fast := append([]float64(nil), u...)
@@ -48,6 +48,32 @@ func TestADISweepsMatchReference(t *testing.T) {
 	}
 }
 
+// TestADISweepsMatchReferenceMultiActive repeats the oracle comparison
+// with power injected on several grid layers at once — the stacked-die
+// configuration the multi-frame Power path produces.
+func TestADISweepsMatchReferenceMultiActive(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for _, sh := range adiShapes {
+		g := syntheticGrid(sh.nx, sh.ny, sh.nl, rng)
+		u := randTemps(g.Cells(), rng)
+		power := multiLayerPower(g, rng)
+		dt := 20 * g.dtStable
+
+		fast := append([]float64(nil), u...)
+		ref := append([]float64(nil), u...)
+		var a ADI
+		a.advanceOnce(g, fast, power, dt)
+		adiStepRef(g, ref, power, dt)
+
+		for i := range ref {
+			if !closeTo(fast[i], ref[i], 1e-9) {
+				t.Fatalf("%dx%dx%d: cell %d: fast %.17g vs ref %.17g",
+					sh.nx, sh.ny, sh.nl, i, fast[i], ref[i])
+			}
+		}
+	}
+}
+
 // TestADICoefficientReuse pins the coefficient cache: a second substep at
 // the same dt must reuse the prepared Thomas coefficients and still match
 // the oracle (a stale-cache bug would show up as a mismatch after the
@@ -59,7 +85,7 @@ func TestADICoefficientReuse(t *testing.T) {
 		for _, sh := range []struct{ nx, ny, nl int }{{9, 8, 5}, {7, 1, 3}} {
 			g := syntheticGrid(sh.nx, sh.ny, sh.nl, rng)
 			u := randTemps(g.Cells(), rng)
-			power := randPower(g.NX, g.NY, rng)
+			power := singleLayerPower(g, randPower(g.NX, g.NY, rng))
 			dt := dtF * g.dtStable
 			fast := append([]float64(nil), u...)
 			ref := append([]float64(nil), u...)
@@ -101,7 +127,7 @@ func TestSolverAccuracyTable(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			g := newTestGrid(t)
 			power := uniformPower(g, 3.0)
-			power.Data[g.NY/2*g.NX+g.NX/2] += 1.0 // hotspot source
+			power.Frames[0].Data[g.NY/2*g.NX+g.NX/2] += 1.0 // hotspot source
 
 			dt := tc.dtF * g.dtStable
 			steps := int(math.Ceil(1e-3 / dt))

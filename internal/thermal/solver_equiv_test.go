@@ -4,8 +4,6 @@ import (
 	"math"
 	"math/rand"
 	"testing"
-
-	"hotgauge/internal/geometry"
 )
 
 // Equivalence tests: the optimized kernels of solver_fast.go against the
@@ -62,7 +60,30 @@ func syntheticGrid(nx, ny, nl int, rng *rand.Rand) *Grid {
 		}
 	}
 	g.dtStable *= 0.5
+	g.active = []int{0}
 	return g
+}
+
+// singleLayerPower places one power plane at grid layer 0 — the legacy
+// injection convention the kernels' [][]float64 shape generalizes.
+func singleLayerPower(g *Grid, p []float64) [][]float64 {
+	lp := make([][]float64, g.NL)
+	lp[0] = p
+	return lp
+}
+
+// multiLayerPower places independent random power planes on a spread of
+// grid layers (bottom, middle, top) to exercise multi-active injection.
+func multiLayerPower(g *Grid, rng *rand.Rand) [][]float64 {
+	lp := make([][]float64, g.NL)
+	lp[0] = randPower(g.NX, g.NY, rng)
+	if g.NL > 2 {
+		lp[g.NL/2] = randPower(g.NX, g.NY, rng)
+	}
+	if g.NL > 1 {
+		lp[g.NL-1] = randPower(g.NX, g.NY, rng)
+	}
+	return lp
 }
 
 func randTemps(n int, rng *rand.Rand) []float64 {
@@ -91,7 +112,7 @@ func TestStepKernelMatchesReference(t *testing.T) {
 	for _, sh := range kernelShapes {
 		g := syntheticGrid(sh.nx, sh.ny, sh.nl, rng)
 		cur := randTemps(g.Cells(), rng)
-		power := randPower(g.NX, g.NY, rng)
+		power := singleLayerPower(g, randPower(g.NX, g.NY, rng))
 		zeros := make([]float64, g.NX)
 		dt := g.dtStable
 
@@ -114,7 +135,7 @@ func TestGsSweepMatchesReference(t *testing.T) {
 	for _, sh := range kernelShapes {
 		g := syntheticGrid(sh.nx, sh.ny, sh.nl, rng)
 		old := randTemps(g.Cells(), rng)
-		power := randPower(g.NX, g.NY, rng)
+		power := singleLayerPower(g, randPower(g.NX, g.NY, rng))
 		zeros := make([]float64, g.NX)
 		dt := 100 * g.dtStable
 
@@ -137,13 +158,14 @@ func TestGsSweepMatchesReference(t *testing.T) {
 
 // refExplicitStep replicates Explicit.Step's substepping with the
 // reference kernel.
-func refExplicitStep(g *Grid, s *State, power *geometry.Field, dt float64) {
+func refExplicitStep(g *Grid, s *State, power *Power, dt float64) {
+	lp := g.layerPower(power, nil)
 	n := int(math.Ceil(dt / g.dtStable))
 	sub := dt / float64(n)
 	cur := s.T
 	next := make([]float64, len(cur))
 	for it := 0; it < n; it++ {
-		stepOnceRef(g, cur, next, power.Data, sub)
+		stepOnceRef(g, cur, next, lp, sub)
 		cur, next = next, cur
 	}
 	if &cur[0] != &s.T[0] {
@@ -154,7 +176,7 @@ func refExplicitStep(g *Grid, s *State, power *geometry.Field, dt float64) {
 func TestExplicitStepMatchesReferenceDriver(t *testing.T) {
 	g := newTestGrid(t)
 	power := uniformPower(g, 2.0)
-	power.Data[g.NY/2*g.NX+g.NX/2] += 0.5 // off-center point source
+	power.Frames[0].Data[g.NY/2*g.NX+g.NX/2] += 0.5 // off-center point source
 	sFast := g.NewState(DefaultAmbient)
 	sRef := sFast.Clone()
 
@@ -175,10 +197,11 @@ func TestExplicitStepMatchesReferenceDriver(t *testing.T) {
 
 // refImplicitStep replicates Implicit.Step's Gauss-Seidel loop with the
 // reference sweep and the solver's default tolerance and iteration cap.
-func refImplicitStep(g *Grid, s *State, power *geometry.Field, dt float64) {
+func refImplicitStep(g *Grid, s *State, power *Power, dt float64) {
+	lp := g.layerPower(power, nil)
 	old := append([]float64(nil), s.T...)
 	for it := 0; it < 60; it++ {
-		if gsSweepRef(g, old, s.T, power.Data, dt) < 1e-5 {
+		if gsSweepRef(g, old, s.T, lp, dt) < 1e-5 {
 			break
 		}
 	}
@@ -187,7 +210,7 @@ func refImplicitStep(g *Grid, s *State, power *geometry.Field, dt float64) {
 func TestImplicitStepMatchesReferenceDriver(t *testing.T) {
 	g := newTestGrid(t)
 	power := uniformPower(g, 2.0)
-	power.Data[2*g.NX+3] += 0.4
+	power.Frames[0].Data[2*g.NX+3] += 0.4
 	sFast := g.NewState(DefaultAmbient)
 	sRef := sFast.Clone()
 
@@ -209,7 +232,7 @@ func TestImplicitStepMatchesReferenceDriver(t *testing.T) {
 func TestExplicitParallelMatchesSerial(t *testing.T) {
 	g := newTestGrid(t)
 	power := uniformPower(g, 2.0)
-	power.Data[5] += 0.3
+	power.Frames[0].Data[5] += 0.3
 	serial := g.NewState(DefaultAmbient)
 	par := serial.Clone()
 

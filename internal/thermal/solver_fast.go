@@ -36,9 +36,10 @@ func stepCell(t, lat, gDown, down, gUp, up, cp, pwv, gSum, invC float64) float64
 
 // stepRows advances rows [r0, r1) of the explicit substep from cur into
 // next; a row is one (layer, iy) line of NX cells, so global row r
-// starts at flat index r*NX. It only reads cur and writes disjoint rows
-// of next, so distinct ranges may run concurrently.
-func stepRows(g *Grid, cur, next, power, zeros []float64, dt float64, r0, r1 int) {
+// starts at flat index r*NX. power holds one plane slice per grid layer
+// (nil for passive layers — see Grid.layerPower). It only reads cur and
+// writes disjoint rows of next, so distinct ranges may run concurrently.
+func stepRows(g *Grid, cur, next []float64, power [][]float64, zeros []float64, dt float64, r0, r1 int) {
 	nx, ny, nl := g.NX, g.NY, g.NL
 	plane := nx * ny
 	amb := g.Ambient
@@ -73,8 +74,9 @@ func stepRows(g *Grid, cur, next, power, zeros []float64, dt float64, r0, r1 int
 		dd := cur[i0-dOff : i0-dOff+nx]
 		uu := cur[i0+uOff : i0+uOff+nx]
 		pw := zeros[:nx]
-		if l == 0 {
-			pw = power[iy*nx : iy*nx+nx]
+		lpw := power[l]
+		if lpw != nil {
+			pw = lpw[iy*nx : iy*nx+nx]
 		}
 		o := next[i0 : i0+nx]
 
@@ -89,7 +91,7 @@ func stepRows(g *Grid, cur, next, power, zeros []float64, dt float64, r0, r1 int
 		}
 		o[0] = stepCell(c[0], gl*c[1]+gN*nn[0]+gS*ss[0], gDown, dd[0], gUp, uu[0], cp, pw[0], gEdge, invC)
 
-		if l > 0 && l < nl-1 && iy > 0 && iy < ny-1 {
+		if lpw == nil && l > 0 && l < nl-1 && iy > 0 && iy < ny-1 {
 			// Pure-interior row (all of N/S/down/up present, no
 			// convection, no power): the dominant case. One lateral
 			// conductance multiplies the whole neighbour sum.
@@ -115,10 +117,11 @@ func stepRows(g *Grid, cur, next, power, zeros []float64, dt float64, r0, r1 int
 // gsSweep performs one in-place Gauss-Seidel sweep of the backward-Euler
 // system and returns the largest per-cell update. Cells update in the
 // same row-major order as gsSweepRef, so the mixed old/new neighbour
-// reads — the defining property of Gauss-Seidel — are preserved. It
+// reads — the defining property of Gauss-Seidel — are preserved. power
+// holds one plane slice per grid layer (nil for passive layers). It
 // cannot be parallelized without changing the iteration (it would become
 // a Jacobi/red-black variant).
-func gsSweep(g *Grid, old, t, power, zeros []float64, dt float64) float64 {
+func gsSweep(g *Grid, old, t []float64, power [][]float64, zeros []float64, dt float64) float64 {
 	nx, ny, nl := g.NX, g.NY, g.NL
 	plane := nx * ny
 	amb := g.Ambient
@@ -152,8 +155,8 @@ func gsSweep(g *Grid, old, t, power, zeros []float64, dt float64) float64 {
 		dd := t[i0-dOff : i0-dOff+nx]
 		uu := t[i0+uOff : i0+uOff+nx]
 		pw := zeros[:nx]
-		if l == 0 {
-			pw = power[iy*nx : iy*nx+nx]
+		if lpw := power[l]; lpw != nil {
+			pw = lpw[iy*nx : iy*nx+nx]
 		}
 		oo := old[i0 : i0+nx]
 

@@ -9,8 +9,9 @@ import "math"
 // the physics, never with the optimizations.
 
 // stepOnceRef performs one explicit substep from cur into next,
-// evaluating the boundary conditions with per-cell branches.
-func stepOnceRef(g *Grid, cur, next, power []float64, dt float64) {
+// evaluating the boundary conditions with per-cell branches. power holds
+// one plane slice per grid layer (nil for passive layers).
+func stepOnceRef(g *Grid, cur, next []float64, power [][]float64, dt float64) {
 	nx, ny, nl := g.NX, g.NY, g.NL
 	plane := nx * ny
 	for l := 0; l < nl; l++ {
@@ -18,6 +19,7 @@ func stepOnceRef(g *Grid, cur, next, power []float64, dt float64) {
 		invC := dt / g.capC[l]
 		base := l * plane
 		top := l == nl-1
+		pw := power[l]
 		var gUp, gDown float64
 		if l < nl-1 {
 			gUp = g.gUp[l]
@@ -52,8 +54,8 @@ func stepOnceRef(g *Grid, cur, next, power []float64, dt float64) {
 				if top {
 					flux += g.gConv * (g.Ambient - t)
 				}
-				if l == 0 {
-					flux += power[i]
+				if pw != nil {
+					flux += pw[i-base]
 				}
 				next[i] = t + flux*invC
 			}
@@ -66,8 +68,9 @@ func stepOnceRef(g *Grid, cur, next, power []float64, dt float64) {
 // stepOnceRef, and each directional system is assembled into freshly
 // allocated tridiagonal bands and solved with a generic Thomas solver.
 // The optimized sweeps in solver_adi.go are validated against this
-// cell-for-cell (see solver_equiv_test.go).
-func adiStepRef(g *Grid, u, power []float64, dt float64) {
+// cell-for-cell (see solver_equiv_test.go). power holds one plane slice
+// per grid layer (nil for passive layers).
+func adiStepRef(g *Grid, u []float64, power [][]float64, dt float64) {
 	nx, ny, nl := g.NX, g.NY, g.NL
 	plane := nx * ny
 	cells := nl * plane
@@ -182,8 +185,9 @@ func thomasRef(a, b, c, d []float64) []float64 {
 
 // gsSweepRef performs one in-place Gauss-Seidel sweep of the backward-
 // Euler system and returns the largest per-cell update, evaluating the
-// boundary conditions with per-cell branches.
-func gsSweepRef(g *Grid, old, t, power []float64, dt float64) float64 {
+// boundary conditions with per-cell branches. power holds one plane
+// slice per grid layer (nil for passive layers).
+func gsSweepRef(g *Grid, old, t []float64, power [][]float64, dt float64) float64 {
 	nx, ny, nl := g.NX, g.NY, g.NL
 	plane := nx * ny
 	maxDelta := 0.0
@@ -192,6 +196,7 @@ func gsSweepRef(g *Grid, old, t, power []float64, dt float64) float64 {
 		cOverDt := g.capC[l] / dt
 		base := l * plane
 		top := l == nl-1
+		pw := power[l]
 		var gUp, gDown float64
 		if l < nl-1 {
 			gUp = g.gUp[l]
@@ -233,8 +238,8 @@ func gsSweepRef(g *Grid, old, t, power []float64, dt float64) float64 {
 					num += g.gConv * g.Ambient
 					den += g.gConv
 				}
-				if l == 0 {
-					num += power[i]
+				if pw != nil {
+					num += pw[i-base]
 				}
 				nv := num / den
 				if d := math.Abs(nv - t[i]); d > maxDelta {

@@ -22,6 +22,13 @@ type Layer struct {
 	// CvScale multiplies heat capacity similarly (the full heatsink mass
 	// hangs off the die-footprint column).
 	CvScale float64
+	// Active marks the slab as power-injecting: its first (bottom-most)
+	// grid sublayer receives one power frame per Step. A stack with no
+	// Active slab keeps the legacy convention of injecting into grid
+	// layer 0. The json tag omits the zero value so legacy stacks keep
+	// byte-stable canonical encodings (sim.Config.Hash serializes Layer
+	// directly).
+	Active bool `json:"Active,omitempty"`
 }
 
 // effK returns the effective conductivity including the off-die scale.
@@ -55,6 +62,11 @@ const (
 	// Aluminum heatsink body (HS483-ND class).
 	alK  = 237.0
 	alCv = 2.42e6
+	// TSV/microbump bond layer between stacked dies: an underfill +
+	// copper-pillar composite. The effective vertical conductivity of the
+	// sparse Cu vias in underfill is far below bulk copper.
+	bondK  = 3.0 // W/(m·K)
+	bondCv = 2.2e6
 )
 
 // DefaultStack returns the Fig. 4 / Table II thermal stack, from the
@@ -107,6 +119,62 @@ func LiquidCooledStack() []Layer {
 		Sublayers: 1, KScale: 4, CvScale: 2,
 	}
 	return s
+}
+
+// coolingTail returns the package layers shared by every stacked
+// scenario: TIM, spreader, grease and heatsink from DefaultStack.
+func coolingTail() []Layer {
+	d := DefaultStack()
+	return d[2:] // solder-tim, copper-spreader, grease, heatsink
+}
+
+// CoreOnMemoryStack is a two-die 3D stack with the logic die bonded on
+// top of a DRAM die (logic-on-memory, the CoMeT "3Dmem under core"
+// arrangement): the memory die sits at the bottom of the stack, farthest
+// from the heatsink, and the thinned core die is above it, adjacent to
+// the package TIM. Both dies inject power; the TSV/microbump bond layer
+// couples them vertically.
+func CoreOnMemoryStack() []Layer {
+	layers := []Layer{
+		{Name: "dram-active", Thickness: 20e-6, Conductivity: siliconK, VolumetricHeatCapacity: siliconCv, Sublayers: 1, Active: true},
+		{Name: "dram-bulk", Thickness: 80e-6, Conductivity: siliconK, VolumetricHeatCapacity: siliconCv, Sublayers: 1},
+		{Name: "tsv-bond", Thickness: 20e-6, Conductivity: bondK, VolumetricHeatCapacity: bondCv, Sublayers: 1},
+		{Name: "core-active", Thickness: 20e-6, Conductivity: siliconK, VolumetricHeatCapacity: siliconCv, Sublayers: 1, Active: true},
+		{Name: "core-bulk", Thickness: 180e-6, Conductivity: siliconK, VolumetricHeatCapacity: siliconCv, Sublayers: 2},
+	}
+	return append(layers, coolingTail()...)
+}
+
+// MemoryOnCoreStack is the reverse arrangement: the core die is buried
+// at the bottom of the stack with the DRAM die between it and the
+// heatsink. Thermally this is the aggressive case — every watt the core
+// burns must cross the bond layer and the (heated) memory die before
+// reaching the sink — which is exactly why it is the scenario worth
+// characterizing.
+func MemoryOnCoreStack() []Layer {
+	layers := []Layer{
+		{Name: "core-active", Thickness: 20e-6, Conductivity: siliconK, VolumetricHeatCapacity: siliconCv, Sublayers: 1, Active: true},
+		{Name: "core-bulk", Thickness: 80e-6, Conductivity: siliconK, VolumetricHeatCapacity: siliconCv, Sublayers: 1},
+		{Name: "tsv-bond", Thickness: 20e-6, Conductivity: bondK, VolumetricHeatCapacity: bondCv, Sublayers: 1},
+		{Name: "dram-active", Thickness: 20e-6, Conductivity: siliconK, VolumetricHeatCapacity: siliconCv, Sublayers: 1, Active: true},
+		{Name: "dram-bulk", Thickness: 180e-6, Conductivity: siliconK, VolumetricHeatCapacity: siliconCv, Sublayers: 2},
+	}
+	return append(layers, coolingTail()...)
+}
+
+// GPUSMStack is a GTX480-style Si–TIM–Si–TIM sandwich: a framebuffer
+// DRAM die soldered under the SM (shader) die with a thin die-attach TIM
+// between them, then the normal package path to the heatsink. Both
+// silicon dies are active.
+func GPUSMStack() []Layer {
+	layers := []Layer{
+		{Name: "fb-dram-active", Thickness: 20e-6, Conductivity: siliconK, VolumetricHeatCapacity: siliconCv, Sublayers: 1, Active: true},
+		{Name: "fb-dram-bulk", Thickness: 280e-6, Conductivity: siliconK, VolumetricHeatCapacity: siliconCv, Sublayers: 1},
+		{Name: "die-tim", Thickness: 50e-6, Conductivity: timK, VolumetricHeatCapacity: timCv, Sublayers: 1},
+		{Name: "sm-active", Thickness: 20e-6, Conductivity: siliconK, VolumetricHeatCapacity: siliconCv, Sublayers: 1, Active: true},
+		{Name: "sm-bulk", Thickness: 300e-6, Conductivity: siliconK, VolumetricHeatCapacity: siliconCv, Sublayers: 2},
+	}
+	return append(layers, coolingTail()...)
 }
 
 // DefaultAmbient is the local ambient temperature the paper assumes for

@@ -23,13 +23,25 @@ func newTestGrid(t *testing.T) *Grid {
 	return g
 }
 
-func uniformPower(g *Grid, total float64) *geometry.Field {
+// uniformField fills one power frame with a uniform total.
+func uniformField(g *Grid, total float64) *geometry.Field {
 	f := geometry.NewField(g.NX, g.NY, g.Dx*1e3)
 	per := total / float64(g.NX*g.NY)
 	for i := range f.Data {
 		f.Data[i] = per
 	}
 	return f
+}
+
+// uniformPower wraps a uniform frame per active plane, splitting the
+// total evenly — for legacy single-die grids this is one frame holding
+// the whole total.
+func uniformPower(g *Grid, total float64) *Power {
+	frames := make([]*geometry.Field, g.ActiveLayers())
+	for i := range frames {
+		frames[i] = uniformField(g, total/float64(len(frames)))
+	}
+	return NewPower(frames...)
 }
 
 func TestNewGridErrors(t *testing.T) {
@@ -201,7 +213,7 @@ func TestPointSourceProducesLocalizedPeak(t *testing.T) {
 	p.Set(cx, cy, 2.0) // 2 W in one 100 µm cell
 	var e Explicit
 	for i := 0; i < 10; i++ {
-		if err := e.Step(g, s, p, 200e-6); err != nil {
+		if err := e.Step(g, s, NewPower(p), 200e-6); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -227,7 +239,7 @@ func TestSymmetryPreserved(t *testing.T) {
 	p.Set(g.NX-1-3, g.NY/2, 1.0)
 	var e Explicit
 	for i := 0; i < 15; i++ {
-		if err := e.Step(g, s, p, 200e-6); err != nil {
+		if err := e.Step(g, s, NewPower(p), 200e-6); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -252,11 +264,12 @@ func TestImplicitMatchesExplicit(t *testing.T) {
 	si := g.NewState(DefaultAmbient)
 	var ex Explicit
 	im := Implicit{MaxIters: 200, Tol: 1e-7}
+	pw := NewPower(p)
 	for i := 0; i < 10; i++ {
-		if err := ex.Step(g, se, p, 100e-6); err != nil {
+		if err := ex.Step(g, se, pw, 100e-6); err != nil {
 			t.Fatal(err)
 		}
-		if err := im.Step(g, si, p, 100e-6); err != nil {
+		if err := im.Step(g, si, pw, 100e-6); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -364,7 +377,7 @@ func TestHotspotDecaysWithin200Microseconds(t *testing.T) {
 	// 0.2 W into one cell ≈ 20 W/mm²: a hot 7nm execution-unit density.
 	p.Set(g.NX/2, g.NY/2, 0.2)
 	var e Explicit
-	if err := e.Step(g, s, p, 200e-6); err != nil {
+	if err := e.Step(g, s, NewPower(p), 200e-6); err != nil {
 		t.Fatal(err)
 	}
 	rise := g.MaxTemp(s) - DefaultAmbient
@@ -417,7 +430,7 @@ func TestEnergyConservationProperty(t *testing.T) {
 		}
 		s := g.NewState(DefaultAmbient)
 		var e Explicit
-		if err := e.Step(g, s, p, 200e-6); err != nil {
+		if err := e.Step(g, s, NewPower(p), 200e-6); err != nil {
 			return false
 		}
 		injected := total * 200e-6
@@ -442,10 +455,11 @@ func TestSteadyBalanceProperty(t *testing.T) {
 			total += p.Data[i]
 		}
 		s := g.NewState(DefaultAmbient)
-		if err := WarmStart(g, s, p); err != nil {
+		pw := NewPower(p)
+		if err := WarmStart(g, s, pw); err != nil {
 			return false
 		}
-		if _, err := SolveSteady(g, s, p, 1e-7, 0); err != nil {
+		if _, err := SolveSteady(g, s, pw, 1e-7, 0); err != nil {
 			return false
 		}
 		out := 0.0
