@@ -5,7 +5,7 @@ GO ?= go
 BENCH_COUNT ?= 10
 BENCH_PATTERN ?= BenchmarkKernelThermalStep|BenchmarkKernelADIStep|BenchmarkKernelMLTDField|BenchmarkSec4ATempScaling|BenchmarkStackedRun
 
-.PHONY: all build test vet fmt-check check faultcheck stackcheck crashcheck clustercheck triagecheck bench bench-check bench-all serve-smoke
+.PHONY: all build test vet fmt-check check faultcheck stackcheck crashcheck clustercheck chaoscheck fuzzsmoke triagecheck bench bench-check bench-all serve-smoke
 
 all: check
 
@@ -57,6 +57,28 @@ crashcheck:
 # lease-expiry wait makes it seconds-slow.
 clustercheck:
 	HOTGAUGE_CLUSTER_E2E=1 $(GO) test -race -count=1 -run '^TestClusterKillWorker$$' -v ./internal/serve/
+
+# The chaos soak e2e: a coordinator plus three workers run a full
+# campaign under three seeded chaos schedules (the flaky and lossy
+# presets, and a one-way partition that opens mid-campaign and heals),
+# asserting every run resolves exactly once with bytes identical to an
+# undisturbed single-node control, that the partitioned worker's
+# dispatch breaker trips and later closes, and — via the fencing suite —
+# that a superseded lease epoch cannot resolve a run. Env-gated because
+# partition windows and lease expiries make it seconds-slow.
+chaoscheck:
+	HOTGAUGE_CHAOS_E2E=1 $(GO) test -race -count=1 -run '^TestChaosSoak$$' -v ./internal/serve/
+	$(GO) test -race -count=1 -run '^TestFencedEpoch' -v ./internal/cluster/
+
+# Short coverage-guided fuzz runs over the decode boundaries chaos
+# corruption exercises: both cluster wire envelopes (seal / verify /
+# round-trip must never panic and never unseal corrupt bytes) and the
+# job-submission spec decoder (materialize + hash must be stable).
+FUZZTIME ?= 10s
+fuzzsmoke:
+	$(GO) test -run=NONE -fuzz='^FuzzRemoteRunEnvelope$$' -fuzztime=$(FUZZTIME) ./internal/sim/
+	$(GO) test -run=NONE -fuzz='^FuzzRemoteResultEnvelope$$' -fuzztime=$(FUZZTIME) ./internal/sim/
+	$(GO) test -run=NONE -fuzz='^FuzzConfigSpecDecode$$' -fuzztime=$(FUZZTIME) ./internal/serve/
 
 # The predict-first triage e2e: a ≥50-run campaign simulates exactly
 # (the control), a surrogate is fitted from the control's result store,

@@ -73,11 +73,16 @@ func main() {
 	advertise := flag.String("advertise", "", "base URL the coordinator dials this worker back on (default derived from -addr; requires -join)")
 	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "coordinator lease window: a worker silent this long is declared dead and its runs reassigned")
 	batch := flag.Int("batch", 4, "runs pushed to a worker per dispatch batch (also bounds what a dying worker can strand)")
+	chaosProfile := flag.String("chaos-profile", "", "dev-only: seeded network fault injection on every cluster RPC — a preset name (flaky | lossy), @file, or inline JSON chaos schedule; empty disables")
+	chaosSeed := flag.Int64("chaos-seed", 1, "dev-only: deterministic seed for -chaos-profile fault draws; the same profile + seed replays the same faults")
 	verbose := flag.Bool("v", false, "log every request")
 	flag.Parse()
 
 	if *faultRate > 0 {
 		log.Printf("hotgauged: FAULT INJECTION ENABLED (rate=%g seed=%d) — dev mode only", *faultRate, *faultSeed)
+	}
+	if *chaosProfile != "" {
+		log.Printf("hotgauged: CHAOS INJECTION ENABLED (profile=%s seed=%d) — dev mode only", *chaosProfile, *chaosSeed)
 	}
 	if *checkpointEvery > 0 && *dataDir == "" {
 		log.Fatalf("hotgauged: -checkpoint-every requires -data-dir")
@@ -94,6 +99,13 @@ func main() {
 		fp, _ := surrogate.Fingerprint(model)
 		log.Printf("hotgauged: surrogate triage enabled: model %s (%d training runs, fingerprint %s)",
 			*surrogatePath, len(model.Keys), fp)
+	}
+	// Resolve the worker identity before building the server: the chaos
+	// transport names this endpoint in partition schedules, so a worker
+	// daemon must carry its worker name from the start.
+	var wname, wself string
+	if *join != "" {
+		wname, wself = workerIdentity(*workerName, *advertise, *addr)
 	}
 	reg := obs.NewRegistry()
 	opts := serve.Options{
@@ -115,6 +127,9 @@ func main() {
 		CheckpointEvery: *checkpointEvery,
 		ClusterLeaseTTL: *leaseTTL,
 		ClusterBatch:    *batch,
+		ChaosProfile:    *chaosProfile,
+		ChaosSeed:       *chaosSeed,
+		ChaosSelf:       wname,
 		TriageBand:      *triageBand,
 		AuditFrac:       *auditFrac,
 	}
@@ -157,11 +172,10 @@ func main() {
 	// back with a batch the moment registration lands. JoinCluster keeps
 	// retrying for a while, so worker/coordinator boot order is free.
 	if *join != "" {
-		name, self := workerIdentity(*workerName, *advertise, *addr)
-		if err := srv.JoinCluster(*join, name, self); err != nil {
+		if err := srv.JoinCluster(*join, wname, wself); err != nil {
 			log.Fatalf("hotgauged: %v", err)
 		}
-		log.Printf("hotgauged: joined %s as worker %q (advertising %s)", *join, name, self)
+		log.Printf("hotgauged: joined %s as worker %q (advertising %s)", *join, wname, wself)
 	} else {
 		log.Printf("hotgauged: coordinating (lease-ttl=%s batch=%d); workers join with -join", *leaseTTL, *batch)
 	}

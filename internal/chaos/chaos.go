@@ -1,0 +1,246 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"hotgauge/internal/obs"
+)
+
+// Options configures a Transport.
+type Options struct {
+	// Self names this endpoint in partition schedules ("coordinator",
+	// "worker-1", ...).
+	Self string
+	// Profile is the chaos schedule to impose.
+	Profile Profile
+	// Seed drives every random draw; the same profile, seed and request
+	// sequence replays the same faults.
+	Seed int64
+	// Registry receives the chaos/* counters (nil = a fresh one).
+	Registry *obs.Registry
+	// Next performs the real round trips (nil = http.DefaultTransport).
+	Next http.RoundTripper
+	// Clock overrides time.Now for partition windows (tests).
+	Clock func() time.Time
+}
+
+// Transport is a fault-injecting http.RoundTripper: it imposes the
+// Profile's latency, drops, duplicates, corruption, truncation and
+// partitions on every request, deterministically from the seed. Peer
+// endpoints are registered by name with AddPeer as their dynamically
+// assigned addresses become known (a join callback on the coordinator,
+// the -join flag on a worker), which is what lets a schedule written
+// against names like "worker-1" apply to httptest- or OS-assigned
+// ports. Safe for concurrent use.
+type Transport struct {
+	opts  Options
+	next  http.RoundTripper
+	clock func() time.Time
+	start time.Time
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	peers map[string]string // endpoint name → host:port
+
+	mRequests, mDropReq, mDropResp *obs.Counter
+	mDelayed, mDuplicated          *obs.Counter
+	mCorrupted, mTruncated         *obs.Counter
+	mPartitioned                   *obs.Counter
+}
+
+// New creates a Transport. The partition clock starts now: window
+// offsets in the profile are relative to this call.
+func New(o Options) *Transport {
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.Next == nil {
+		o.Next = http.DefaultTransport
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	reg := o.Registry
+	return &Transport{
+		opts:         o,
+		next:         o.Next,
+		clock:        o.Clock,
+		start:        o.Clock(),
+		rng:          rand.New(rand.NewSource(o.Seed)),
+		peers:        map[string]string{},
+		mRequests:    reg.Counter(MetricRequests),
+		mDropReq:     reg.Counter(MetricDroppedRequests),
+		mDropResp:    reg.Counter(MetricDroppedResponses),
+		mDelayed:     reg.Counter(MetricDelayed),
+		mDuplicated:  reg.Counter(MetricDuplicated),
+		mCorrupted:   reg.Counter(MetricCorrupted),
+		mTruncated:   reg.Counter(MetricTruncated),
+		mPartitioned: reg.Counter(MetricPartitioned),
+	}
+}
+
+// AddPeer binds an endpoint name to an address (a base URL or bare
+// host:port), so partition schedules written against names resolve the
+// dynamically assigned ports behind them. Re-binding a name replaces
+// its address.
+func (t *Transport) AddPeer(name, addr string) {
+	host := addr
+	if strings.Contains(addr, "://") {
+		if u, err := url.Parse(addr); err == nil && u.Host != "" {
+			host = u.Host
+		}
+	}
+	t.mu.Lock()
+	t.peers[name] = host
+	t.mu.Unlock()
+}
+
+// peerNameLocked reverse-maps a request's host to its endpoint name;
+// unknown hosts keep their host:port as the name (so "*" rules still
+// apply to them).
+func (t *Transport) peerNameLocked(host string) string {
+	for name, h := range t.peers {
+		if h == host {
+			return name
+		}
+	}
+	return host
+}
+
+// partitionedLocked reports whether an active window cuts self→dest.
+func (t *Transport) partitionedLocked(dest string, elapsed time.Duration) bool {
+	ms := elapsed.Milliseconds()
+	match := func(rule, name string) bool { return rule == "*" || rule == name }
+	for _, p := range t.opts.Profile.Partitions {
+		if ms < p.StartMS || (p.EndMS != 0 && ms >= p.EndMS) {
+			continue
+		}
+		if match(p.From, t.opts.Self) && match(p.To, dest) {
+			return true
+		}
+		if !p.OneWay && match(p.From, dest) && match(p.To, t.opts.Self) {
+			return true
+		}
+	}
+	return false
+}
+
+// draw runs one seeded rate check.
+func (t *Transport) draw(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rng.Float64() < rate
+}
+
+// RoundTrip implements http.RoundTripper. Fault order models a real
+// link: partition first (nothing crosses a cut), then latency, then a
+// request-side drop, then body mutations (corrupt, truncate) and
+// duplicate delivery, then a response-side drop — the peer has acted
+// but the sender never learns.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mRequests.Inc()
+	prof := t.opts.Profile
+
+	t.mu.Lock()
+	dest := t.peerNameLocked(req.URL.Host)
+	elapsed := t.clock().Sub(t.start)
+	cut := t.partitionedLocked(dest, elapsed)
+	t.mu.Unlock()
+	if cut {
+		t.mPartitioned.Inc()
+		return nil, fmt.Errorf("chaos: partition %s → %s active", t.opts.Self, dest)
+	}
+
+	if prof.LatencyMS > 0 || prof.LatencyJitterMS > 0 {
+		d := time.Duration(prof.LatencyMS) * time.Millisecond
+		if prof.LatencyJitterMS > 0 {
+			t.mu.Lock()
+			d += time.Duration(t.rng.Int63n(prof.LatencyJitterMS+1)) * time.Millisecond
+			t.mu.Unlock()
+		}
+		t.mDelayed.Inc()
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+
+	if t.draw(prof.DropRate) {
+		t.mDropReq.Inc()
+		return nil, fmt.Errorf("chaos: request %s → %s dropped", t.opts.Self, dest)
+	}
+
+	var body []byte
+	if req.Body != nil {
+		b, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		body = b
+	}
+
+	if len(body) > 0 && t.draw(prof.CorruptRate) {
+		t.mCorrupted.Inc()
+		body = append([]byte(nil), body...)
+		t.mu.Lock()
+		i := t.rng.Intn(len(body))
+		bit := byte(1) << uint(t.rng.Intn(8))
+		t.mu.Unlock()
+		body[i] ^= bit
+	}
+	if len(body) > 0 && t.draw(prof.TruncateRate) {
+		t.mTruncated.Inc()
+		t.mu.Lock()
+		n := t.rng.Intn(len(body))
+		t.mu.Unlock()
+		body = body[:n]
+	}
+
+	if t.draw(prof.DupRate) {
+		t.mDuplicated.Inc()
+		if resp, err := t.send(req, body); err == nil {
+			// First delivery of the pair: the peer processes it, the
+			// sender only sees the second response.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+
+	resp, err := t.send(req, body)
+	if err != nil {
+		return nil, err
+	}
+
+	if t.draw(prof.ResponseDropRate) {
+		t.mDropResp.Inc()
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("chaos: response %s → %s dropped", dest, t.opts.Self)
+	}
+	return resp, nil
+}
+
+// send performs one real round trip with the (possibly mutated) body.
+func (t *Transport) send(req *http.Request, body []byte) (*http.Response, error) {
+	r := req.Clone(req.Context())
+	if req.Body != nil {
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		r.ContentLength = int64(len(body))
+	}
+	return t.next.RoundTrip(r)
+}

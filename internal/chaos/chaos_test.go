@@ -1,0 +1,221 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hotgauge/internal/obs"
+)
+
+func TestParseProfilePresetsAndInline(t *testing.T) {
+	for name := range Presets() {
+		p, err := ParseProfile(name)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if p.Zero() {
+			t.Fatalf("preset %q parsed to a zero profile", name)
+		}
+	}
+	p, err := ParseProfile(`{"drop_rate": 0.5, "latency_ms": 3}`)
+	if err != nil {
+		t.Fatalf("inline: %v", err)
+	}
+	if p.DropRate != 0.5 || p.LatencyMS != 3 {
+		t.Fatalf("inline parsed wrong: %+v", p)
+	}
+	if _, err := ParseProfile(""); err != nil {
+		t.Fatalf("empty profile should parse: %v", err)
+	}
+	if _, err := ParseProfile("no-such-preset"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := ParseProfile(`{"drop_rate": 1.5}`); err == nil {
+		t.Fatal("out-of-range rate accepted")
+	}
+	if _, err := ParseProfile(`{"partitions":[{"from":"a","to":"b","start_ms":10,"end_ms":5}]}`); err == nil {
+		t.Fatal("inverted partition window accepted")
+	}
+}
+
+func TestParseProfileFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := os.WriteFile(path, []byte(`{"name":"disk","dup_rate":0.25}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseProfile("@" + path)
+	if err != nil {
+		t.Fatalf("@file: %v", err)
+	}
+	if p.Name != "disk" || p.DupRate != 0.25 {
+		t.Fatalf("@file parsed wrong: %+v", p)
+	}
+}
+
+// TestTransportDeterministic replays the same profile + seed against
+// the same request sequence and expects bit-identical fault decisions.
+func TestTransportDeterministic(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	run := func() (int64, int64, int64) {
+		reg := obs.NewRegistry()
+		tr := New(Options{Self: "a", Seed: 42, Registry: reg,
+			Profile: Profile{DropRate: 0.3, DupRate: 0.2, ResponseDropRate: 0.1}})
+		client := &http.Client{Transport: tr}
+		for i := 0; i < 50; i++ {
+			resp, err := client.Post(ts.URL, "application/json", bytes.NewReader([]byte(`{"i":1}`)))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return reg.Counter(MetricDroppedRequests).Value(),
+			reg.Counter(MetricDuplicated).Value(),
+			reg.Counter(MetricDroppedResponses).Value()
+	}
+	d1, u1, r1 := run()
+	d2, u2, r2 := run()
+	if d1 != d2 || u1 != u2 || r1 != r2 {
+		t.Fatalf("same seed diverged: (%d,%d,%d) vs (%d,%d,%d)", d1, u1, r1, d2, u2, r2)
+	}
+	if d1 == 0 || u1 == 0 || r1 == 0 {
+		t.Fatalf("expected some of every fault over 50 requests, got drops=%d dups=%d respdrops=%d", d1, u1, r1)
+	}
+}
+
+// TestPartitionWindow drives a one-way partition window with a fake
+// clock: closed before start, cut inside the window (only from→to),
+// healed after end.
+func TestPartitionWindow(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	newT := func(self string) *Transport {
+		tr := New(Options{Self: self, Seed: 1, Clock: clock, Profile: Profile{
+			Partitions: []Partition{{From: "coordinator", To: "worker-1", StartMS: 100, EndMS: 300, OneWay: true}},
+		}})
+		tr.AddPeer("worker-1", ts.URL)
+		return tr
+	}
+	get := func(tr *Transport) error {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+		resp, err := tr.RoundTrip(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		return err
+	}
+
+	coord := newT("coordinator")
+	other := newT("worker-2")
+	if err := get(coord); err != nil {
+		t.Fatalf("before window: %v", err)
+	}
+	now = now.Add(150 * time.Millisecond)
+	if err := get(coord); err == nil {
+		t.Fatal("inside window: coordinator → worker-1 not cut")
+	}
+	if err := get(other); err != nil {
+		t.Fatalf("inside window: unrelated pair cut: %v", err)
+	}
+	now = now.Add(200 * time.Millisecond) // past EndMS
+	if err := get(coord); err != nil {
+		t.Fatalf("after window (healed): %v", err)
+	}
+	if got := coord.mPartitioned.Value(); got != 1 {
+		t.Fatalf("partitioned count = %d, want 1", got)
+	}
+}
+
+// TestSymmetricPartition checks that a non-OneWay window cuts both
+// directions from a single rule.
+func TestSymmetricPartition(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	tr := New(Options{Self: "worker-1", Seed: 1, Profile: Profile{
+		Partitions: []Partition{{From: "coordinator", To: "worker-1", StartMS: 0}},
+	}})
+	tr.AddPeer("coordinator", ts.URL)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+	if _, err := tr.RoundTrip(req); err == nil {
+		t.Fatal("reverse direction of a symmetric partition not cut")
+	}
+}
+
+// TestCorruptAndTruncateMutateBody checks the body mutations actually
+// reach the server changed, while the sender's copy of the request is
+// untouched.
+func TestCorruptAndTruncateMutateBody(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		got.Store(string(b))
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	orig := `{"payload":"0123456789abcdef"}`
+	tr := New(Options{Self: "a", Seed: 3, Profile: Profile{CorruptRate: 1}})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Post(ts.URL, "application/json", bytes.NewReader([]byte(orig)))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if got.Load().(string) == orig {
+		t.Fatal("corrupt_rate=1 delivered an unmodified body")
+	}
+
+	tr2 := New(Options{Self: "a", Seed: 3, Profile: Profile{TruncateRate: 1}})
+	client2 := &http.Client{Transport: tr2}
+	resp2, err := client2.Post(ts.URL, "application/json", bytes.NewReader([]byte(orig)))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp2.Body.Close()
+	if s := got.Load().(string); len(s) >= len(orig) {
+		t.Fatalf("truncate_rate=1 delivered %d bytes, want fewer than %d", len(s), len(orig))
+	}
+}
+
+// TestDuplicateDelivery checks dup_rate=1 delivers every request twice.
+func TestDuplicateDelivery(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	tr := New(Options{Self: "a", Seed: 9, Profile: Profile{DupRate: 1}})
+	client := &http.Client{Transport: tr}
+	for i := 0; i < 3; i++ {
+		resp, err := client.Post(ts.URL, "application/json", bytes.NewReader([]byte(`{}`)))
+		if err != nil {
+			t.Fatalf("post %d: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	if got := hits.Load(); got != 6 {
+		t.Fatalf("server saw %d deliveries of 3 requests, want 6", got)
+	}
+}

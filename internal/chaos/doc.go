@@ -1,0 +1,10 @@
+// Package chaos injects deterministic, seeded network faults into the
+// campaign cluster's control plane. Its Transport wraps an
+// http.RoundTripper and imposes latency distributions, request and
+// response drops, duplicate deliveries, corrupted and truncated bodies,
+// and one-way or symmetric partitions between named endpoints — all
+// drawn from a serializable Profile replayed from a single seed, so a
+// soak that found a bug is rerunnable bit-for-bit. The serving layer
+// mounts it under -chaos-profile/-chaos-seed; production binaries that
+// never set a profile pay nothing.
+package chaos

@@ -1,0 +1,33 @@
+package chaos
+
+// Metric names the chaos transport records into the daemon's
+// obs.Registry, so a soak (or an operator replaying one) can see
+// exactly which faults the schedule injected next to the cluster/*
+// counters they provoked.
+const (
+	// MetricRequests counts every request the transport saw.
+	MetricRequests = "chaos/requests"
+
+	// MetricDroppedRequests / MetricDroppedResponses count requests
+	// dropped before reaching the peer and responses discarded after the
+	// peer processed the request — the second is the interesting one for
+	// exactly-once: the receiver acted, the sender thinks it failed.
+	MetricDroppedRequests  = "chaos/dropped_requests"
+	MetricDroppedResponses = "chaos/dropped_responses"
+
+	// MetricDelayed counts requests that served injected latency.
+	MetricDelayed = "chaos/delayed"
+
+	// MetricDuplicated counts requests delivered twice.
+	MetricDuplicated = "chaos/duplicated"
+
+	// MetricCorrupted / MetricTruncated count request bodies mutated in
+	// flight (a flipped bit, a cut tail) — the faults the wire envelopes'
+	// CRC32C checksums exist to catch.
+	MetricCorrupted = "chaos/corrupted"
+	MetricTruncated = "chaos/truncated"
+
+	// MetricPartitioned counts requests refused by an active partition
+	// window between the transport's self endpoint and its destination.
+	MetricPartitioned = "chaos/partitioned"
+)

@@ -1,0 +1,153 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Partition is one window during which traffic between two named
+// endpoints is refused. Windows are relative to the transport's
+// creation instant, so the same profile given to every node of a
+// cluster produces one synchronized (symmetric, unless OneWay) cut.
+type Partition struct {
+	// From and To name the endpoints (a Transport's Self and its peer
+	// alias table); "*" matches any endpoint.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// StartMS / EndMS bound the window in milliseconds since the
+	// transport started; EndMS 0 means the partition never heals.
+	StartMS int64 `json:"start_ms"`
+	EndMS   int64 `json:"end_ms,omitempty"`
+	// OneWay cuts only From→To traffic: To can still reach From, the
+	// asymmetry that makes a worker look alive (heartbeats arrive) while
+	// unreachable (batches fail) — the breaker's reason to exist.
+	OneWay bool `json:"one_way,omitempty"`
+}
+
+// Profile is one serializable chaos schedule: every fault the Transport
+// can inject, with rates in [0,1] and latencies in milliseconds. A
+// profile plus a seed is a complete, replayable description of a soak's
+// network weather.
+type Profile struct {
+	// Name labels the profile in logs ("" for inline ones).
+	Name string `json:"name,omitempty"`
+	// LatencyMS is added to every request; LatencyJitterMS is a further
+	// uniform [0, jitter] draw on top.
+	LatencyMS       int64 `json:"latency_ms,omitempty"`
+	LatencyJitterMS int64 `json:"latency_jitter_ms,omitempty"`
+	// DropRate loses requests before the peer sees them;
+	// ResponseDropRate loses responses after the peer has already acted
+	// — the ack-lost case that turns retries into duplicate deliveries.
+	DropRate         float64 `json:"drop_rate,omitempty"`
+	ResponseDropRate float64 `json:"response_drop_rate,omitempty"`
+	// DupRate delivers a request twice back-to-back.
+	DupRate float64 `json:"dup_rate,omitempty"`
+	// CorruptRate flips one bit of the request body; TruncateRate cuts
+	// the body at a random prefix.
+	CorruptRate  float64 `json:"corrupt_rate,omitempty"`
+	TruncateRate float64 `json:"truncate_rate,omitempty"`
+	// Partitions are the scheduled connectivity cuts.
+	Partitions []Partition `json:"partitions,omitempty"`
+}
+
+// Zero reports whether the profile injects nothing — the production
+// default, under which the transport passes requests straight through.
+func (p Profile) Zero() bool {
+	return p.LatencyMS == 0 && p.LatencyJitterMS == 0 &&
+		p.DropRate == 0 && p.ResponseDropRate == 0 && p.DupRate == 0 &&
+		p.CorruptRate == 0 && p.TruncateRate == 0 && len(p.Partitions) == 0
+}
+
+// Validate rejects rates outside [0,1], negative latencies and
+// inverted partition windows.
+func (p Profile) Validate() error {
+	rates := map[string]float64{
+		"drop_rate":          p.DropRate,
+		"response_drop_rate": p.ResponseDropRate,
+		"dup_rate":           p.DupRate,
+		"corrupt_rate":       p.CorruptRate,
+		"truncate_rate":      p.TruncateRate,
+	}
+	for name, r := range rates {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("chaos: %s %v outside [0,1]", name, r)
+		}
+	}
+	if p.LatencyMS < 0 || p.LatencyJitterMS < 0 {
+		return fmt.Errorf("chaos: negative latency (%d ms, jitter %d ms)", p.LatencyMS, p.LatencyJitterMS)
+	}
+	for i, w := range p.Partitions {
+		if w.From == "" || w.To == "" {
+			return fmt.Errorf("chaos: partition %d without from/to endpoints", i)
+		}
+		if w.StartMS < 0 || (w.EndMS != 0 && w.EndMS <= w.StartMS) {
+			return fmt.Errorf("chaos: partition %d window [%d,%d) is inverted", i, w.StartMS, w.EndMS)
+		}
+	}
+	return nil
+}
+
+// Presets returns the named built-in profiles, so -chaos-profile can
+// name a schedule instead of inlining JSON: "flaky" (latency, request
+// and response drops, duplicates — the retry-machinery workout),
+// "lossy" (bit flips, truncation, duplicates — the integrity-checksum
+// workout). Partition schedules name endpoints, so they are always
+// written out explicitly.
+func Presets() map[string]Profile {
+	return map[string]Profile{
+		"flaky": {
+			Name:             "flaky",
+			LatencyMS:        2,
+			LatencyJitterMS:  8,
+			DropRate:         0.15,
+			ResponseDropRate: 0.10,
+			DupRate:          0.10,
+		},
+		"lossy": {
+			Name:            "lossy",
+			LatencyMS:       1,
+			LatencyJitterMS: 3,
+			CorruptRate:     0.15,
+			TruncateRate:    0.10,
+			DupRate:         0.05,
+		},
+	}
+}
+
+// ParseProfile resolves a -chaos-profile flag value: "" means no chaos,
+// a preset name picks a built-in schedule, "@path" loads a JSON profile
+// from disk, and anything starting with "{" is parsed as inline JSON.
+func ParseProfile(s string) (Profile, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Profile{}, nil
+	}
+	if p, ok := Presets()[s]; ok {
+		return p, nil
+	}
+	var raw []byte
+	switch {
+	case strings.HasPrefix(s, "@"):
+		b, err := os.ReadFile(strings.TrimPrefix(s, "@"))
+		if err != nil {
+			return Profile{}, fmt.Errorf("chaos: reading profile: %w", err)
+		}
+		raw = b
+	case strings.HasPrefix(s, "{"):
+		raw = []byte(s)
+	default:
+		return Profile{}, fmt.Errorf("chaos: unknown profile %q (want a preset name, @file, or inline JSON)", s)
+	}
+	var p Profile
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Profile{}, fmt.Errorf("chaos: parsing profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import "time"
+
+// breakerState is the classic three-state dispatch circuit breaker.
+type breakerState int
+
+const (
+	// breakerClosed: dispatch flows normally.
+	breakerClosed breakerState = iota
+	// breakerOpen: consecutive push failures crossed the threshold;
+	// the worker is routed around until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen: the cooldown elapsed; exactly one probe batch
+	// may be dispatched. Its outcome closes or re-opens the breaker.
+	breakerHalfOpen
+)
+
+// String names the state for status reports and logs.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker guards batch dispatch to one worker. A transient push failure
+// below the threshold only delays the next attempt (the caller applies
+// backoff); crossing the threshold trips the breaker, which the
+// coordinator answers by pulling the worker out of the ring and
+// reassigning its runs — routing around it without declaring it dead,
+// because a one-way partition (pushes fail, heartbeats arrive) is not
+// death. After cooldown the breaker half-opens for a single probe
+// batch; success closes it and re-adds the worker to the ring. Not
+// goroutine-safe: the coordinator's mutex guards it.
+type breaker struct {
+	threshold int           // consecutive failures that trip (≥1)
+	cooldown  time.Duration // open → half-open timer
+
+	state    breakerState
+	failures int       // consecutive push failures since last success
+	openedAt time.Time // when the breaker last tripped
+}
+
+// newBreaker builds a breaker; non-positive arguments take the
+// defaults (3 failures, the caller's lease TTL as cooldown).
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 10 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// dispatchable reports whether a batch may be dispatched: closed flows
+// freely and half-open admits the probe (the coordinator's one-open-
+// batch-per-worker invariant bounds it to a single probe batch); open
+// blocks until tryHalfOpen's timer fires.
+func (b *breaker) dispatchable() bool { return b.state != breakerOpen }
+
+// tryHalfOpen performs the timed open → half-open transition, returning
+// true exactly when it happens so the caller can count it and restore
+// the worker to the ring for its probe.
+func (b *breaker) tryHalfOpen(now time.Time) bool {
+	if b.state == breakerOpen && now.Sub(b.openedAt) >= b.cooldown {
+		b.state = breakerHalfOpen
+		return true
+	}
+	return false
+}
+
+// success records a successful push: any state closes and the failure
+// streak resets. Returns true when this call closed a non-closed
+// breaker (the caller counts it and restores the worker to the ring).
+func (b *breaker) success() bool {
+	closed := b.state != breakerClosed
+	b.state = breakerClosed
+	b.failures = 0
+	return closed
+}
+
+// failure records a failed push and returns true when this call
+// tripped the breaker open (from closed, by crossing the threshold, or
+// from half-open, where any failure re-opens immediately).
+func (b *breaker) failure(now time.Time) bool {
+	b.failures++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.failures >= b.threshold) {
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	}
+	return false
+}

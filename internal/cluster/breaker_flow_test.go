@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hotgauge/internal/obs"
+	"hotgauge/internal/sim"
+)
+
+// TestBreakerTripRerouteAndRecover is the end-to-end breaker flow: a
+// worker that heartbeats fine but refuses every batch (the one-way
+// partition shape) trips its dispatch breaker after consecutive push
+// failures, the campaign reroutes around it and still resolves every
+// run exactly once, and once the fault heals the cooldown's half-open
+// probe closes the breaker and the worker serves again.
+func TestBreakerTripRerouteAndRecover(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, srv := newCoordServer(t, CoordinatorOptions{
+		LeaseTTL: 2 * time.Second, Batch: 2, Registry: reg,
+		BreakerThreshold: 2, BreakerCooldown: 100 * time.Millisecond, RetrySeed: 5,
+	})
+
+	var counts sync.Map
+	newTestWorker(t, srv.URL, "good", echoExec("good", &counts))
+
+	// flaky refuses batches while broken; healed, it accepts them and
+	// posts proper sealed, epoch-echoing results.
+	var broken atomic.Bool
+	broken.Store(true)
+	fmux := http.NewServeMux()
+	fmux.HandleFunc("POST /cluster/batch", func(w http.ResponseWriter, r *http.Request) {
+		if broken.Load() {
+			http.Error(w, "refused", http.StatusInternalServerError)
+			return
+		}
+		var br batchRequest
+		if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(br.Runs)})
+		go func() {
+			for _, run := range br.Runs {
+				res := sim.RemoteResult{Job: run.Job, Index: run.Index, Hash: run.Hash,
+					Epoch: run.Epoch, Payload: []byte(`"flaky"`)}
+				body, _ := json.Marshal(resultsRequest{Worker: "flaky",
+					Results: []sim.RemoteResult{res.Sealed()}})
+				resp, err := http.Post(srv.URL+"/cluster/results", "application/json", bytes.NewReader(body))
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	})
+	fsrv := httptest.NewServer(fmux)
+	t.Cleanup(fsrv.Close)
+	if err := c.join("flaky", fsrv.URL); err != nil {
+		t.Fatal(err)
+	}
+	// flaky's heartbeats keep flowing throughout: refused batches must
+	// read as a dispatch fault (breaker territory), never as death
+	// (sweep territory).
+	hbStop := make(chan struct{})
+	t.Cleanup(func() { close(hbStop) })
+	go func() {
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-tick.C:
+				body, _ := json.Marshal(heartbeatRequest{Name: "flaky"})
+				resp, err := http.Post(srv.URL+"/cluster/heartbeat", "application/json", bytes.NewReader(body))
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+
+	// Phase 1: with flaky refusing, every campaign must still complete
+	// (work stealing and reassignment route around the failures), and
+	// the accumulating consecutive push failures must trip the breaker.
+	// One campaign may not be enough: the steal pass can rescue flaky's
+	// requeued runs before its backoff allows a second push, so keep
+	// campaigns flowing until the trip lands.
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; counter(reg, MetricBreakerTrips) == 0; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("cluster/breaker_trips = 0 after repeated refused pushes")
+		}
+		runs := makeRuns(fmt.Sprintf("job-brk-%03d", i), 8)
+		payloads, errs, err := gather(t, c, context.Background(), runs)
+		if err != nil || len(errs) != 0 {
+			t.Fatalf("campaign under a refusing worker: err=%v run errors=%v", err, errs)
+		}
+		if len(payloads) != len(runs) {
+			t.Fatalf("resolved %d of %d runs", len(payloads), len(runs))
+		}
+	}
+	for _, ws := range c.Status().Workers {
+		if ws.Name != "flaky" {
+			continue
+		}
+		if !ws.Alive {
+			t.Fatal("tripped worker declared dead despite flowing heartbeats")
+		}
+		if ws.Breaker == "closed" {
+			t.Fatalf("flaky's breaker reads %q after refusing every push", ws.Breaker)
+		}
+	}
+
+	// Phase 2: heal the fault. Campaigns keep flowing until the cooldown
+	// half-opens the breaker, a probe batch lands, and the breaker
+	// closes — proving the routed-around worker rejoins service.
+	broken.Store(false)
+	deadline = time.Now().Add(10 * time.Second)
+	for i := 0; counter(reg, MetricBreakerCloses) == 0; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never closed after the fault healed")
+		}
+		heal := makeRuns(fmt.Sprintf("job-heal-%03d", i), 2)
+		if _, herrs, herr := gather(t, c, context.Background(), heal); herr != nil || len(herrs) != 0 {
+			t.Fatalf("post-heal campaign: err=%v run errors=%v", herr, herrs)
+		}
+	}
+	if n := counter(reg, MetricBreakerHalfOpens); n == 0 {
+		t.Fatal("cluster/breaker_half_opens = 0 though the breaker closed")
+	}
+	for _, ws := range c.Status().Workers {
+		if ws.Name == "flaky" && ws.Breaker != "closed" {
+			t.Fatalf("flaky's breaker reads %q after recovery", ws.Breaker)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine walks the closed → open → half-open → closed
+// cycle at the exact transition points.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, 200*time.Millisecond)
+
+	if !b.dispatchable() {
+		t.Fatal("fresh breaker not dispatchable")
+	}
+	if b.failure(now) {
+		t.Fatal("tripped below threshold (1 failure)")
+	}
+	if b.failure(now) {
+		t.Fatal("tripped below threshold (2 failures)")
+	}
+	if !b.dispatchable() {
+		t.Fatal("closed breaker with sub-threshold failures not dispatchable")
+	}
+	if !b.failure(now) {
+		t.Fatal("did not trip at the threshold (3rd consecutive failure)")
+	}
+	if b.dispatchable() {
+		t.Fatal("open breaker dispatchable")
+	}
+
+	// Cooldown boundary: one tick early stays open, at cooldown half-opens.
+	if b.tryHalfOpen(now.Add(199 * time.Millisecond)) {
+		t.Fatal("half-opened before the cooldown")
+	}
+	if !b.tryHalfOpen(now.Add(200 * time.Millisecond)) {
+		t.Fatal("did not half-open at the cooldown")
+	}
+	if b.tryHalfOpen(now.Add(300 * time.Millisecond)) {
+		t.Fatal("half-opened twice for one cooldown")
+	}
+	if !b.dispatchable() {
+		t.Fatal("half-open breaker must admit the probe batch")
+	}
+
+	// A half-open probe failure re-opens immediately, regardless of the
+	// threshold.
+	reopened := now.Add(250 * time.Millisecond)
+	if !b.failure(reopened) {
+		t.Fatal("half-open failure did not re-trip")
+	}
+	if b.dispatchable() {
+		t.Fatal("re-opened breaker dispatchable")
+	}
+
+	// Second cooldown, successful probe closes and resets the streak.
+	if !b.tryHalfOpen(reopened.Add(200 * time.Millisecond)) {
+		t.Fatal("did not half-open after the second cooldown")
+	}
+	if !b.success() {
+		t.Fatal("success() did not report closing a half-open breaker")
+	}
+	if b.success() {
+		t.Fatal("success() reported closing an already-closed breaker")
+	}
+	if b.failures != 0 {
+		t.Fatalf("failure streak %d after success, want 0", b.failures)
+	}
+	if !b.dispatchable() {
+		t.Fatal("closed breaker not dispatchable")
+	}
+}
+
+// TestBreakerSuccessResetsStreak pins that any success wipes the
+// consecutive-failure count — two failures, a success, and two more
+// failures must not trip a threshold-3 breaker.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Second)
+	b.failure(now)
+	b.failure(now)
+	b.success()
+	if b.failure(now) || b.failure(now) {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+	if !b.failure(now) {
+		t.Fatal("third consecutive failure did not trip")
+	}
+}
+
+// TestBackoffDelaysDoubleCappedAndSeeded checks the delay schedule:
+// base·2^(n−1) with ×[0.5,1.5) jitter, capped at max, and bit-identical
+// across two instances sharing a seed.
+func TestBackoffDelaysDoubleCappedAndSeeded(t *testing.T) {
+	base, max := 50*time.Millisecond, 400*time.Millisecond
+	b1 := newBackoff(base, max, 7)
+	b2 := newBackoff(base, max, 7)
+	other := newBackoff(base, max, 8)
+	diverged := false
+	for attempt := 1; attempt <= 8; attempt++ {
+		raw := base << uint(attempt-1)
+		if raw > max {
+			raw = max
+		}
+		d1 := b1.delay(attempt)
+		lo, hi := raw/2, raw+raw/2
+		if d1 < lo || d1 >= hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d1, lo, hi)
+		}
+		if d2 := b2.delay(attempt); d2 != d1 {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", attempt, d1, d2)
+		}
+		if other.delay(attempt) != d1 {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical 8-delay schedules")
+	}
+}

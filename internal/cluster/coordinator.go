@@ -40,6 +40,7 @@ type LeaseEvent struct {
 	Run     int
 	Hash    string
 	Worker  string
+	Epoch   int64
 	Expires time.Time
 }
 
@@ -70,9 +71,28 @@ type CoordinatorOptions struct {
 	// Client is the HTTP client used to push batches (nil = a client
 	// with a 10 s total timeout).
 	Client *http.Client
+	// RPCTimeout bounds each individual batch push with a per-request
+	// context deadline (default 5 s). Under a chaos transport's latency
+	// injection this — not the client's total timeout — is what keeps a
+	// single slow link from wedging the dispatch loop.
+	RPCTimeout time.Duration
+	// BreakerThreshold is the consecutive-push-failure count that trips
+	// a worker's dispatch circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before it
+	// half-opens for a probe batch (default: the lease TTL).
+	BreakerCooldown time.Duration
+	// RetrySeed seeds the dispatch-retry backoff jitter (0 = the package
+	// default); a chaos soak pins it for replayable schedules.
+	RetrySeed int64
 	// OnLease, when non-nil, observes lease grants and expiries (the
 	// serving layer journals them). Called outside the scheduler lock.
 	OnLease func(LeaseEvent)
+	// OnJoin, when non-nil, observes every worker registration (name and
+	// base URL), called outside the scheduler lock. The serving layer
+	// uses it to teach a chaos transport the peer names behind
+	// dynamically assigned addresses.
+	OnJoin func(name, addr string)
 	// LocalExec, when non-nil, executes runs on the coordinator itself
 	// whenever no worker is alive, so a cluster-mode job degrades to
 	// single-node execution instead of stalling.
@@ -89,6 +109,7 @@ type task struct {
 	done     func(payload []byte, err error)
 	attempts int
 	worker   string // current assignee ("" = unassigned)
+	epoch    int64  // fencing token of the current custody (0 = none)
 	resolved bool
 }
 
@@ -108,10 +129,12 @@ type resolution struct {
 // to idle ones. Create with NewCoordinator, feed it with Execute, and
 // stop it with Close (after cancelling outstanding Execute contexts).
 type Coordinator struct {
-	opts   CoordinatorOptions
-	clock  func() time.Time
-	client *http.Client
-	leases *LeaseTable
+	opts       CoordinatorOptions
+	clock      func() time.Time
+	client     *http.Client
+	leases     *LeaseTable
+	rpcTimeout time.Duration
+	retry      *backoff
 
 	mu         sync.Mutex
 	workers    map[string]*remoteWorker
@@ -134,6 +157,9 @@ type Coordinator struct {
 	mLeasesGranted, mLeasesExpired             *obs.Counter
 	mReassigned, mStolen                       *obs.Counter
 	mLocalRuns, mAbandoned                     *obs.Counter
+	mFenced, mIntegrity                        *obs.Counter
+	mBreakerTrips, mBreakerHalfOpens           *obs.Counter
+	mBreakerCloses                             *obs.Counter
 }
 
 // NewCoordinator creates a coordinator and starts its scheduling loop.
@@ -150,6 +176,15 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	if opts.LocalWorkers <= 0 {
 		opts.LocalWorkers = runtime.GOMAXPROCS(0)
 	}
+	if opts.RPCTimeout <= 0 {
+		opts.RPCTimeout = 5 * time.Second
+	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 3
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = opts.LeaseTTL
+	}
 	clock := opts.Clock
 	if clock == nil {
 		clock = time.Now
@@ -160,33 +195,40 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	}
 	reg := opts.Registry
 	c := &Coordinator{
-		opts:            opts,
-		clock:           clock,
-		client:          client,
-		leases:          NewLeaseTable(opts.LeaseTTL),
-		workers:         map[string]*remoteWorker{},
-		ring:            NewRing(opts.Replicas),
-		tasks:           map[string]*task{},
-		kick:            make(chan struct{}, 1),
-		stop:            make(chan struct{}),
-		loopDone:        make(chan struct{}),
-		localSem:        make(chan struct{}, opts.LocalWorkers),
-		gWorkers:        reg.Gauge(MetricWorkers),
-		gPending:        reg.Gauge(MetricPendingRuns),
-		gLeased:         reg.Gauge(MetricLeasedRuns),
-		mJoins:          reg.Counter(MetricJoins),
-		mWorkersLost:    reg.Counter(MetricWorkersLost),
-		mBatches:        reg.Counter(MetricBatchesDispatched),
-		mRunsDispatched: reg.Counter(MetricRunsDispatched),
-		mDispatchErrors: reg.Counter(MetricDispatchErrors),
-		mResults:        reg.Counter(MetricResultsReceived),
-		mDuplicates:     reg.Counter(MetricDuplicateResults),
-		mLeasesGranted:  reg.Counter(MetricLeasesGranted),
-		mLeasesExpired:  reg.Counter(MetricLeasesExpired),
-		mReassigned:     reg.Counter(MetricRunsReassigned),
-		mStolen:         reg.Counter(MetricRunsStolen),
-		mLocalRuns:      reg.Counter(MetricLocalRuns),
-		mAbandoned:      reg.Counter(MetricRunsAbandoned),
+		opts:              opts,
+		clock:             clock,
+		client:            client,
+		leases:            NewLeaseTable(opts.LeaseTTL),
+		rpcTimeout:        opts.RPCTimeout,
+		retry:             newBackoff(0, 0, opts.RetrySeed),
+		workers:           map[string]*remoteWorker{},
+		ring:              NewRing(opts.Replicas),
+		tasks:             map[string]*task{},
+		kick:              make(chan struct{}, 1),
+		stop:              make(chan struct{}),
+		loopDone:          make(chan struct{}),
+		localSem:          make(chan struct{}, opts.LocalWorkers),
+		gWorkers:          reg.Gauge(MetricWorkers),
+		gPending:          reg.Gauge(MetricPendingRuns),
+		gLeased:           reg.Gauge(MetricLeasedRuns),
+		mJoins:            reg.Counter(MetricJoins),
+		mWorkersLost:      reg.Counter(MetricWorkersLost),
+		mBatches:          reg.Counter(MetricBatchesDispatched),
+		mRunsDispatched:   reg.Counter(MetricRunsDispatched),
+		mDispatchErrors:   reg.Counter(MetricDispatchErrors),
+		mResults:          reg.Counter(MetricResultsReceived),
+		mDuplicates:       reg.Counter(MetricDuplicateResults),
+		mLeasesGranted:    reg.Counter(MetricLeasesGranted),
+		mLeasesExpired:    reg.Counter(MetricLeasesExpired),
+		mReassigned:       reg.Counter(MetricRunsReassigned),
+		mStolen:           reg.Counter(MetricRunsStolen),
+		mLocalRuns:        reg.Counter(MetricLocalRuns),
+		mAbandoned:        reg.Counter(MetricRunsAbandoned),
+		mFenced:           reg.Counter(MetricFencedResults),
+		mIntegrity:        reg.Counter(MetricIntegrityRejected),
+		mBreakerTrips:     reg.Counter(MetricBreakerTrips),
+		mBreakerHalfOpens: reg.Counter(MetricBreakerHalfOpens),
+		mBreakerCloses:    reg.Counter(MetricBreakerCloses),
 	}
 	go c.loop()
 	return c
@@ -247,7 +289,8 @@ func (c *Coordinator) step() {
 
 	c.mu.Lock()
 	events = append(events, c.sweepLocked(now)...)
-	c.stealLocked()
+	c.probeLocked(now)
+	c.stealLocked(now)
 	ev, res := c.dispatchLocked(now)
 	events = append(events, ev...)
 	resolutions = append(resolutions, res...)
@@ -302,7 +345,7 @@ func (c *Coordinator) sweepLocked(now time.Time) []LeaseEvent {
 			c.mLeasesExpired.Inc()
 			if t := c.tasks[l.Key]; t != nil {
 				events = append(events, LeaseEvent{Kind: LeaseExpired, Job: t.run.Job,
-					Run: t.run.Index, Hash: l.Hash, Worker: l.Worker, Expires: l.Expires})
+					Run: t.run.Index, Hash: l.Hash, Worker: l.Worker, Epoch: l.Epoch, Expires: l.Expires})
 			}
 		}
 		c.markDeadLocked(w, "heartbeats stopped")
@@ -316,7 +359,7 @@ func (c *Coordinator) sweepLocked(now time.Time) []LeaseEvent {
 			continue
 		}
 		events = append(events, LeaseEvent{Kind: LeaseExpired, Job: t.run.Job,
-			Run: t.run.Index, Hash: l.Hash, Worker: l.Worker, Expires: l.Expires})
+			Run: t.run.Index, Hash: l.Hash, Worker: l.Worker, Epoch: l.Epoch, Expires: l.Expires})
 		c.reassignLocked(t, "lease expired")
 		c.mReassigned.Inc()
 	}
@@ -358,21 +401,45 @@ func (c *Coordinator) placeUnassignedLocked() {
 	}
 }
 
+// probeLocked performs the timed open → half-open breaker transitions:
+// a worker whose cooldown elapsed re-enters the ring so the next
+// dispatch sends it one probe batch (the one-open-batch invariant
+// bounds the probe), whose outcome closes or re-opens the breaker.
+func (c *Coordinator) probeLocked(now time.Time) {
+	for _, w := range c.workers {
+		if w.dead || w.brk == nil {
+			continue
+		}
+		if w.brk.tryHalfOpen(now) {
+			c.mBreakerHalfOpens.Inc()
+			c.ring.Add(w.name)
+			c.placeUnassignedLocked()
+		}
+	}
+}
+
 // stealLocked migrates queued runs from the most-backlogged worker to
 // idle ones: a worker with nothing queued and no open batch takes up to
-// one batch from the longest queue. Stealing breaks hash affinity on
-// purpose — affinity is a cache optimization, idle capacity is not.
-func (c *Coordinator) stealLocked() {
+// one batch from the longest stuck queue. Stealing breaks hash affinity
+// on purpose — affinity is a cache optimization, idle capacity is not.
+// A thief must be dispatchable (breaker not open, no backoff pending):
+// moving runs onto a routed-around worker would strand them. A victim
+// must be one whose queue cannot dispatch right now — an open batch on
+// the wire, or a backoff/breaker hold — because an idle dispatch-ready
+// worker's queue is pushed in this very step, and stealing from it
+// would just ping-pong runs between idle workers under the lock.
+func (c *Coordinator) stealLocked(now time.Time) {
 	for {
 		var thief, victim *remoteWorker
 		for _, w := range c.workers {
 			if w.dead {
 				continue
 			}
-			if !w.busy() && w.queuedLen() == 0 && thief == nil {
+			if !w.busy() && w.queuedLen() == 0 && w.dispatchReady(now) && thief == nil {
 				thief = w
 			}
-			if w.queuedLen() > 0 && (victim == nil || w.queuedLen() > victim.queuedLen()) {
+			if w.queuedLen() > 0 && (w.busy() || !w.dispatchReady(now)) &&
+				(victim == nil || w.queuedLen() > victim.queuedLen()) {
 				victim = w
 			}
 		}
@@ -396,15 +463,15 @@ func (c *Coordinator) stealLocked() {
 	}
 }
 
-// dispatchLocked pushes one bounded batch to every alive worker that
-// has queued runs and no open batch. Returns the grant events to
-// journal and the resolutions of runs that exhausted their assignment
-// budget.
+// dispatchLocked pushes one bounded batch to every alive, dispatchable
+// worker that has queued runs and no open batch. Returns the grant
+// events to journal and the resolutions of runs that exhausted their
+// assignment budget.
 func (c *Coordinator) dispatchLocked(now time.Time) ([]LeaseEvent, []resolution) {
 	var events []LeaseEvent
 	var resolutions []resolution
 	for _, w := range c.workers {
-		if w.dead || w.busy() {
+		if w.dead || w.busy() || !w.dispatchReady(now) {
 			continue
 		}
 		var batch []*task
@@ -436,10 +503,12 @@ func (c *Coordinator) dispatchLocked(now time.Time) ([]LeaseEvent, []resolution)
 			}
 			w.inflight[t.key()] = t
 			l := c.leases.Grant(t.key(), t.run.Hash, w.name, now)
+			t.epoch = l.Epoch
+			t.run.Epoch = l.Epoch
 			c.mLeasesGranted.Inc()
 			events = append(events, LeaseEvent{Kind: LeaseGranted, Job: t.run.Job,
-				Run: t.run.Index, Hash: t.run.Hash, Worker: w.name, Expires: l.Expires})
-			runs = append(runs, t.run)
+				Run: t.run.Index, Hash: t.run.Hash, Worker: w.name, Epoch: l.Epoch, Expires: l.Expires})
+			runs = append(runs, t.run.Sealed())
 		}
 		if len(runs) == 0 {
 			continue
@@ -453,33 +522,110 @@ func (c *Coordinator) dispatchLocked(now time.Time) ([]LeaseEvent, []resolution)
 	return events, resolutions
 }
 
-// push POSTs one batch to a worker. A failed push declares the worker
-// dead — its runs (including this batch) reassign immediately instead
-// of waiting out the lease.
+// push POSTs one batch to a worker. Failure no longer declares the
+// worker dead (a refused or lost push may be a transient fault or a
+// one-way partition — heartbeats, the liveness signal, may still be
+// flowing): the batch requeues on the same worker behind a jittered
+// backoff, and crossing the consecutive-failure threshold trips the
+// worker's circuit breaker so the scheduler routes around it. A
+// successful push closes a half-open breaker.
 func (c *Coordinator) push(name, addr string, runs []sim.RemoteRun) {
 	defer c.wg.Done()
-	body, err := json.Marshal(batchRequest{Runs: runs})
-	if err == nil {
-		var resp *http.Response
-		resp, err = c.client.Post(addr+"/cluster/batch", "application/json", bytes.NewReader(body))
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode/100 != 2 {
-				err = fmt.Errorf("cluster: worker %s refused batch: HTTP %d", name, resp.StatusCode)
-			}
-		}
-	}
+	err := c.postBatch(addr, runs)
+	now := c.clock()
 	c.mu.Lock()
 	w := c.workers[name]
 	if w != nil {
 		w.sending = false
 		if err != nil {
 			c.mDispatchErrors.Inc()
-			c.markDeadLocked(w, "batch push failed")
+			c.pushFailedLocked(w, now)
+		} else if w.brk != nil && w.brk.success() {
+			c.mBreakerCloses.Inc()
+			w.retryAt = time.Time{}
+			if !w.dead {
+				c.ring.Add(w.name)
+			}
 		}
 	}
 	c.mu.Unlock()
 	c.kickDispatch()
+}
+
+// postBatch marshals and POSTs one batch under a per-request context
+// deadline, so a black-holed or chaos-delayed connection costs at most
+// rpcTimeout before the retry machinery takes over.
+func (c *Coordinator) postBatch(addr string, runs []sim.RemoteRun) error {
+	body, err := json.Marshal(batchRequest{Runs: runs})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.rpcTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/cluster/batch", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("cluster: batch refused: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// pushFailedLocked returns a failed batch's runs to their worker's
+// queue — the batch never executed, so the attempt is refunded and the
+// lease released — then records the failure on the breaker: below the
+// threshold the worker just waits out a jittered backoff; at the
+// threshold the breaker trips and the scheduler routes around it.
+func (c *Coordinator) pushFailedLocked(w *remoteWorker, now time.Time) {
+	if w.dead {
+		return
+	}
+	for k, t := range w.inflight {
+		delete(w.inflight, k)
+		if t.resolved || t.worker != w.name {
+			continue // resolved or reassigned meanwhile: not ours to requeue
+		}
+		c.leases.Release(k)
+		t.attempts--
+		w.queue = append(w.queue, t)
+	}
+	if w.brk == nil {
+		w.brk = newBreaker(c.opts.BreakerThreshold, c.opts.BreakerCooldown)
+	}
+	if w.brk.failure(now) {
+		c.mBreakerTrips.Inc()
+		c.tripLocked(w)
+		return
+	}
+	w.retryAt = now.Add(c.retry.delay(w.brk.failures))
+}
+
+// tripLocked routes around a tripped worker without declaring it dead:
+// it leaves the ring so new placements avoid it, and its queued runs
+// move to the survivors. Heartbeats keep renewing its liveness (a
+// one-way partition is not death); the breaker cooldown's half-open
+// probe decides recovery, and the heartbeat sweep remains the backstop
+// if the worker really is gone.
+func (c *Coordinator) tripLocked(w *remoteWorker) {
+	c.ring.Remove(w.name)
+	moved := 0
+	for _, t := range w.queue {
+		if !t.resolved && t.worker == w.name {
+			c.reassignLocked(t, "breaker tripped")
+			moved++
+		}
+	}
+	w.queue = nil
+	if moved > 0 {
+		c.mReassigned.Add(int64(moved))
+	}
 }
 
 // localFallbackLocked runs queued work on the coordinator itself when
@@ -546,16 +692,32 @@ func (c *Coordinator) resolveLocked(t *task) bool {
 	return true
 }
 
-// result resolves one run with a worker-posted outcome. Late results
-// for already-resolved runs (a reassigned run's original worker
-// finishing anyway) are counted and dropped — the first result wins.
-func (c *Coordinator) result(worker string, rr sim.RemoteResult) bool {
+// result resolves one run with a worker-posted outcome. Three guards
+// run before resolution: a sealed result whose CRC32C does not verify
+// is returned as an error (the HTTP layer answers 400 and the worker
+// retries with a freshly marshaled body); a result echoing a superseded
+// lease epoch is fenced — counted and dropped, because the run was
+// reassigned while its original worker was partitioned, and a zombie
+// must not resolve runs it no longer owns; and late results for
+// already-resolved runs are counted and dropped — the first result
+// wins. Fenced and duplicate results still return accepted=false with a
+// 200, so the posting worker stops retrying.
+func (c *Coordinator) result(worker string, rr sim.RemoteResult) (bool, error) {
+	if err := rr.CheckIntegrity(); err != nil {
+		c.mIntegrity.Inc()
+		return false, err
+	}
 	c.mu.Lock()
 	t := c.tasks[rr.Key()]
 	if t == nil || t.resolved {
 		c.mDuplicates.Inc()
 		c.mu.Unlock()
-		return false
+		return false, nil
+	}
+	if rr.Epoch != 0 && rr.Epoch != t.epoch {
+		c.mFenced.Inc()
+		c.mu.Unlock()
+		return false, nil
 	}
 	c.resolveLocked(t)
 	c.mResults.Inc()
@@ -570,7 +732,7 @@ func (c *Coordinator) result(worker string, rr sim.RemoteResult) bool {
 	}
 	t.done(rr.Payload, err)
 	c.kickDispatch()
-	return true
+	return true, nil
 }
 
 // Execute shards runs across the cluster and blocks until every run is
@@ -656,6 +818,10 @@ type WorkerStatus struct {
 	Queued        int    `json:"queued"`
 	Inflight      int    `json:"inflight"`
 	LastBeatMSAgo int64  `json:"last_beat_ms_ago"`
+	// Breaker is the worker's dispatch circuit-breaker state: "closed",
+	// "open" (routed around after consecutive push failures) or
+	// "half-open" (probe pending).
+	Breaker string `json:"breaker"`
 }
 
 // Status is the coordinator's scheduling snapshot (GET /cluster/status).
@@ -672,6 +838,10 @@ func (c *Coordinator) Status() Status {
 	defer c.mu.Unlock()
 	st := Status{PendingRuns: c.pendingLocked(), LeasedRuns: c.leases.Len()}
 	for _, w := range c.workers {
+		brk := breakerClosed.String()
+		if w.brk != nil {
+			brk = w.brk.state.String()
+		}
 		st.Workers = append(st.Workers, WorkerStatus{
 			Name:          w.name,
 			Addr:          w.addr,
@@ -679,6 +849,7 @@ func (c *Coordinator) Status() Status {
 			Queued:        w.queuedLen(),
 			Inflight:      len(w.inflight),
 			LastBeatMSAgo: now.Sub(w.lastBeat).Milliseconds(),
+			Breaker:       brk,
 		})
 	}
 	return st

@@ -385,7 +385,7 @@ func TestStealFromBackloggedWorker(t *testing.T) {
 		a.queue = append(a.queue, tk)
 		c.tasks[tk.key()] = tk
 	}
-	c.stealLocked()
+	c.stealLocked(time.Now())
 	if got := b.queuedLen(); got != 4 {
 		t.Fatalf("thief took %d runs, want one batch of 4", got)
 	}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hotgauge/internal/obs"
+	"hotgauge/internal/sim"
+)
+
+// waitCond polls cond until it reports true or the deadline lapses.
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// silentWorker is a stub worker endpoint that accepts every pushed
+// batch with 202 and then says nothing — no results, no heartbeats —
+// while recording the runs (and so the fencing epochs) it was handed.
+type silentWorker struct {
+	mu   sync.Mutex
+	runs []sim.RemoteRun
+}
+
+func (s *silentWorker) serve(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/batch", func(w http.ResponseWriter, r *http.Request) {
+		var br batchRequest
+		if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		s.runs = append(s.runs, br.Runs...)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(br.Runs)})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func (s *silentWorker) got() []sim.RemoteRun {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]sim.RemoteRun(nil), s.runs...)
+}
+
+// TestFencedEpochRejectsStaleResult is the zombie-worker scenario:
+// a worker takes a batch and goes silent, its lease expires and the run
+// is re-granted to an heir under a strictly higher fencing epoch, and
+// then the original worker comes back from the partition and posts its
+// result. The stale-epoch result must be fenced — counted, dropped, and
+// the run left unresolved — while the heir's current-epoch result
+// resolves it exactly once.
+func TestFencedEpochRejectsStaleResult(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, _ := newCoordServer(t, CoordinatorOptions{
+		LeaseTTL: 150 * time.Millisecond, Batch: 2, Registry: reg,
+	})
+
+	zombie := &silentWorker{}
+	if err := c.join("zombie", zombie.serve(t).URL); err != nil {
+		t.Fatal(err)
+	}
+
+	runs := makeRuns("job-fence", 1)
+	var mu sync.Mutex
+	var gotPayload []byte
+	var gotErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = c.Execute(context.Background(), runs, func(k int, payload []byte, err error) {
+			mu.Lock()
+			gotPayload, gotErr = payload, err
+			mu.Unlock()
+		})
+	}()
+
+	waitCond(t, "zombie to receive the run", func() bool { return len(zombie.got()) == 1 })
+	stale := zombie.got()[0]
+	if stale.Epoch == 0 {
+		t.Fatal("dispatched run carries no fencing epoch")
+	}
+
+	// The zombie never heartbeats: one TTL later it is declared dead and
+	// the run returns to the scheduler. The heir joining re-grants it
+	// under a fresh epoch.
+	waitCond(t, "zombie to be declared dead", func() bool {
+		return counter(reg, MetricWorkersLost) >= 1
+	})
+	heir := &silentWorker{}
+	if err := c.join("heir", heir.serve(t).URL); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "heir to receive the reassigned run", func() bool { return len(heir.got()) == 1 })
+	fresh := heir.got()[0]
+	if fresh.Epoch <= stale.Epoch {
+		t.Fatalf("re-granted epoch %d not above the superseded %d", fresh.Epoch, stale.Epoch)
+	}
+
+	// The zombie resurrects and posts under its superseded epoch.
+	zres := sim.RemoteResult{Job: stale.Job, Index: stale.Index, Hash: stale.Hash,
+		Epoch: stale.Epoch, Payload: []byte(`"zombie"`)}.Sealed()
+	if ok, err := c.result("zombie", zres); err != nil || ok {
+		t.Fatalf("stale-epoch result: accepted=%v err=%v, want fenced (false, nil)", ok, err)
+	}
+	if n := counter(reg, MetricFencedResults); n != 1 {
+		t.Fatalf("cluster/fenced_results = %d, want 1", n)
+	}
+	select {
+	case <-done:
+		t.Fatal("fenced result resolved the run")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The heir's current-epoch result is the one that lands.
+	hres := sim.RemoteResult{Job: fresh.Job, Index: fresh.Index, Hash: fresh.Hash,
+		Epoch: fresh.Epoch, Payload: []byte(`"heir"`)}.Sealed()
+	if ok, err := c.result("heir", hres); err != nil || !ok {
+		t.Fatalf("current-epoch result: accepted=%v err=%v, want accepted", ok, err)
+	}
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	if gotErr != nil {
+		t.Fatalf("run resolved with error: %v", gotErr)
+	}
+	if string(gotPayload) != `"heir"` {
+		t.Fatalf("resolved payload = %s, want the heir's", gotPayload)
+	}
+	if n := counter(reg, MetricResultsReceived); n != 1 {
+		t.Fatalf("cluster/results_received = %d, want exactly 1", n)
+	}
+}
+
+// TestFencedEpochLegacyZeroPasses pins the compatibility rule: a result
+// carrying epoch 0 (a pre-fencing peer that never echoes the token)
+// bypasses the fence, exactly as an unsealed Sum==0 envelope bypasses
+// the integrity check.
+func TestFencedEpochLegacyZeroPasses(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, _ := newCoordServer(t, CoordinatorOptions{
+		LeaseTTL: time.Minute, Batch: 2, Registry: reg,
+	})
+	w := &silentWorker{}
+	if err := c.join("w", w.serve(t).URL); err != nil {
+		t.Fatal(err)
+	}
+	runs := makeRuns("job-legacy", 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = c.Execute(context.Background(), runs, func(int, []byte, error) {})
+	}()
+	waitCond(t, "run to be dispatched", func() bool { return len(w.got()) == 1 })
+
+	legacy := sim.RemoteResult{Job: runs[0].Job, Index: runs[0].Index,
+		Hash: runs[0].Hash, Payload: []byte(`"legacy"`)} // Epoch 0, unsealed
+	if ok, err := c.result("w", legacy); err != nil || !ok {
+		t.Fatalf("legacy epoch-0 result: accepted=%v err=%v, want accepted", ok, err)
+	}
+	<-done
+	if n := counter(reg, MetricFencedResults); n != 0 {
+		t.Fatalf("cluster/fenced_results = %d, want 0", n)
+	}
+}
+
+// TestResultIntegrityRejected posts a sealed result whose payload was
+// tampered after sealing: the CRC32C gate must answer 400 (so the
+// worker's retry re-marshals a fresh copy) and count the rejection.
+func TestResultIntegrityRejected(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, srv := newCoordServer(t, CoordinatorOptions{
+		LeaseTTL: time.Minute, Batch: 2, Registry: reg,
+	})
+
+	res := sim.RemoteResult{Job: "job-x", Index: 0, Hash: "h-x", Payload: []byte(`"ok"`)}.Sealed()
+	res.Payload = []byte(`"tampered"`)
+	body, err := json.Marshal(resultsRequest{Worker: "w", Results: []sim.RemoteResult{res}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/cluster/results", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupted result answered HTTP %d, want 400", resp.StatusCode)
+	}
+	if n := counter(reg, MetricIntegrityRejected); n != 1 {
+		t.Fatalf("cluster/integrity_rejected = %d, want 1", n)
+	}
+}

@@ -112,9 +112,12 @@ func (c *Coordinator) HandleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-// HandleResults is POST /cluster/results: accept finished runs. Always
-// 200 — duplicates are acknowledged so the worker stops retrying them,
-// and the accepted count tells it (and tests) how many were first.
+// HandleResults is POST /cluster/results: accept finished runs.
+// Duplicates and fenced (superseded-epoch) results are acknowledged
+// with 200 so the worker stops retrying them — the accepted count tells
+// it (and tests) how many were first. A result failing its CRC32C
+// integrity check gets 400: the body was corrupted in flight, and the
+// worker's retry re-marshals a fresh copy.
 func (c *Coordinator) HandleResults(w http.ResponseWriter, r *http.Request) {
 	var req resultsRequest
 	if err := decodeInto(r, &req); err != nil {
@@ -123,7 +126,12 @@ func (c *Coordinator) HandleResults(w http.ResponseWriter, r *http.Request) {
 	}
 	accepted := 0
 	for _, rr := range req.Results {
-		if c.result(req.Worker, rr) {
+		ok, err := c.result(req.Worker, rr)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if ok {
 			accepted++
 		}
 	}

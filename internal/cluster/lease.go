@@ -19,6 +19,13 @@ type Lease struct {
 	Hash string
 	// Worker is the holder's name.
 	Worker string
+	// Epoch is the lease's fencing token: a counter incremented on
+	// every grant the table makes, so a re-granted (reassigned) run
+	// always carries a strictly higher epoch than any earlier custody
+	// of it. The coordinator stamps dispatched runs with it and rejects
+	// results echoing a superseded epoch — a worker resurrected after a
+	// partition heal cannot resolve runs it no longer owns.
+	Epoch int64
 	// Expires is the instant the lease lapses unless renewed.
 	Expires time.Time
 }
@@ -32,6 +39,7 @@ type LeaseTable struct {
 
 	mu     sync.Mutex
 	leases map[string]Lease // by Key
+	epoch  int64            // last fencing token handed out
 }
 
 // NewLeaseTable creates an empty table with the given TTL.
@@ -43,11 +51,14 @@ func NewLeaseTable(ttl time.Duration) *LeaseTable {
 func (t *LeaseTable) TTL() time.Duration { return t.ttl }
 
 // Grant creates (or reassigns) the lease for key, expiring one TTL
-// after now, and returns it.
+// after now, and returns it. Every grant — including a re-grant of the
+// same key — draws a fresh, strictly increasing fencing epoch, so the
+// previous holder's token is superseded the moment custody moves.
 func (t *LeaseTable) Grant(key, hash, worker string, now time.Time) Lease {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	l := Lease{Key: key, Hash: hash, Worker: worker, Expires: now.Add(t.ttl)}
+	t.epoch++
+	l := Lease{Key: key, Hash: hash, Worker: worker, Epoch: t.epoch, Expires: now.Add(t.ttl)}
 	t.leases[key] = l
 	return l
 }

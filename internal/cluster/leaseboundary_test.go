@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hotgauge/internal/obs"
+)
+
+// fakeClock is a mutex-guarded manual clock shared between a test and
+// the coordinator's background loop.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// TestHeartbeatBoundaryAtTTL pins the liveness boundary under a fake
+// clock: a worker silent for exactly one TTL is still alive (the sweep
+// condition is strictly greater-than), and one instant past it is dead.
+func TestHeartbeatBoundaryAtTTL(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	c := NewCoordinator(CoordinatorOptions{
+		LeaseTTL: 100 * time.Millisecond, Registry: reg, Clock: clk.Now,
+	})
+	t.Cleanup(c.Close)
+	if err := c.join("a", "http://127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+
+	clk.Advance(100 * time.Millisecond) // exactly one TTL of silence
+	c.step()
+	if n := counter(reg, MetricWorkersLost); n != 0 {
+		t.Fatalf("worker lost at exactly one TTL of silence (workers_lost=%d)", n)
+	}
+	if c.AliveWorkers() != 1 {
+		t.Fatal("worker not alive at the TTL boundary")
+	}
+
+	clk.Advance(time.Nanosecond) // one tick past
+	c.step()
+	if n := counter(reg, MetricWorkersLost); n != 1 {
+		t.Fatalf("worker not lost one tick past the TTL (workers_lost=%d)", n)
+	}
+	if c.AliveWorkers() != 0 {
+		t.Fatal("dead worker still counted alive")
+	}
+}
+
+// TestHeartbeatDelayedThenHeals walks a worker through a near-death
+// delay and back: a heartbeat arriving one tick before the TTL renews
+// custody for a full window, silence past the next TTL kills it, a
+// dead worker's heartbeat is refused (the rejoin cue), and rejoining
+// revives it.
+func TestHeartbeatDelayedThenHeals(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	c := NewCoordinator(CoordinatorOptions{
+		LeaseTTL: 100 * time.Millisecond, Registry: reg, Clock: clk.Now,
+	})
+	t.Cleanup(c.Close)
+	if err := c.join("a", "http://127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A beat delayed to one tick short of the TTL still lands.
+	clk.Advance(100*time.Millisecond - time.Millisecond)
+	if !c.heartbeat("a") {
+		t.Fatal("heartbeat one tick before the TTL refused")
+	}
+	// That beat bought a full new window: one TTL of further silence is
+	// survivable...
+	clk.Advance(100 * time.Millisecond)
+	c.step()
+	if c.AliveWorkers() != 1 {
+		t.Fatal("renewed worker died within one TTL of its last beat")
+	}
+	// ...and one tick more is not.
+	clk.Advance(time.Millisecond)
+	c.step()
+	if c.AliveWorkers() != 0 {
+		t.Fatal("worker survived past one TTL after its last beat")
+	}
+
+	// Death is sticky until a rejoin: the late heartbeat is refused so
+	// the worker knows to re-register, and the rejoin revives it.
+	if c.heartbeat("a") {
+		t.Fatal("dead worker's heartbeat accepted — it must be told to rejoin")
+	}
+	if err := c.join("a", "http://127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if c.AliveWorkers() != 1 {
+		t.Fatal("rejoined worker not alive")
+	}
+}
+
+// TestLeaseTableBoundariesAndEpochs pins the table's exact expiry
+// semantics and the fencing-token contract: every grant — including a
+// re-grant of the same key — draws a strictly increasing epoch, renewal
+// extends expiry without drawing one, and a lease lapses at exactly its
+// expiry instant (!Expires.After(now)).
+func TestLeaseTableBoundariesAndEpochs(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	lt := NewLeaseTable(100 * time.Millisecond)
+
+	l1 := lt.Grant("k1", "h1", "a", t0)
+	l2 := lt.Grant("k2", "h2", "a", t0)
+	if l1.Epoch != 1 || l2.Epoch != 2 {
+		t.Fatalf("first grants drew epochs %d, %d; want 1, 2", l1.Epoch, l2.Epoch)
+	}
+
+	// One tick before expiry nothing lapses; renewal pushes both leases
+	// a full TTL out without minting new epochs.
+	if got := lt.Expire(t0.Add(100*time.Millisecond - time.Nanosecond)); len(got) != 0 {
+		t.Fatalf("%d leases expired before their boundary", len(got))
+	}
+	if n := lt.Renew("a", t0.Add(50*time.Millisecond)); n != 2 {
+		t.Fatalf("renew touched %d leases, want 2", n)
+	}
+	if got := lt.Expire(t0.Add(100 * time.Millisecond)); len(got) != 0 {
+		t.Fatalf("%d renewed leases expired at their original boundary", len(got))
+	}
+
+	// At exactly the renewed expiry instant, both lapse.
+	got := lt.Expire(t0.Add(150 * time.Millisecond))
+	if len(got) != 2 {
+		t.Fatalf("%d leases expired at the boundary instant, want 2", len(got))
+	}
+	if lt.Len() != 0 {
+		t.Fatalf("%d leases outstanding after expiry", lt.Len())
+	}
+
+	// A re-grant of an expired key supersedes every earlier custody.
+	l3 := lt.Grant("k1", "h1", "b", t0.Add(200*time.Millisecond))
+	if l3.Epoch != 3 {
+		t.Fatalf("re-grant drew epoch %d, want 3", l3.Epoch)
+	}
+	if l3.Epoch <= l1.Epoch {
+		t.Fatal("re-granted epoch does not supersede the original")
+	}
+}

@@ -26,11 +26,28 @@ type remoteWorker struct {
 	inflight map[string]*task
 	// sending marks a batch POST in flight to this worker.
 	sending bool
+	// brk is the worker's dispatch circuit breaker (nil until the first
+	// push failure or join; nil reads as closed).
+	brk *breaker
+	// retryAt delays the next dispatch after a transient push failure
+	// below the breaker threshold (jittered backoff).
+	retryAt time.Time
 }
 
 // busy reports whether the worker has an open batch (results pending or
 // a push on the wire).
 func (w *remoteWorker) busy() bool { return w.sending || len(w.inflight) > 0 }
+
+// dispatchReady reports whether the scheduler may push a batch now: the
+// breaker must not be open and any transient-failure backoff must have
+// elapsed. A nil breaker (no failure ever recorded, or a worker built
+// directly in tests) reads as closed.
+func (w *remoteWorker) dispatchReady(now time.Time) bool {
+	if w.brk != nil && !w.brk.dispatchable() {
+		return false
+	}
+	return !now.Before(w.retryAt)
+}
 
 // queuedLen counts the unresolved tasks in the worker's queue.
 func (w *remoteWorker) queuedLen() int {
@@ -70,19 +87,32 @@ func (c *Coordinator) join(name, addr string) error {
 	if w.dead || w.addr != addr {
 		// A revived or re-addressed worker starts clean: whatever it
 		// held was reassigned at death, and stale inflight bookkeeping
-		// must not block its first batch.
+		// must not block its first batch. Its breaker resets too — a
+		// restarted process earns a fresh failure budget.
 		w.inflight = map[string]*task{}
 		w.queue = nil
 		w.sending = false
+		w.brk = nil
+		w.retryAt = time.Time{}
+	}
+	if w.brk == nil {
+		w.brk = newBreaker(c.opts.BreakerThreshold, c.opts.BreakerCooldown)
 	}
 	w.addr = addr
 	w.dead = false
 	w.lastBeat = c.clock()
-	c.ring.Add(name)
+	if w.brk.dispatchable() {
+		// An open breaker keeps the worker out of the ring until its
+		// half-open probe succeeds, even across a spurious re-join.
+		c.ring.Add(name)
+	}
 	c.mJoins.Inc()
 	// Runs parked while no worker was alive get an owner now.
 	c.placeUnassignedLocked()
 	c.mu.Unlock()
+	if c.opts.OnJoin != nil {
+		c.opts.OnJoin(name, addr)
+	}
 	c.kickDispatch()
 	return nil
 }

@@ -63,6 +63,29 @@ const (
 	// lease costs a re-dispatch, never a lost result.
 	MetricOrphanLeases = "cluster/orphan_leases"
 
+	// MetricFencedResults counts worker-posted results rejected because
+	// they echoed a superseded lease epoch: the run was reassigned (new
+	// fencing token) while the posting worker was partitioned or
+	// presumed dead. Fencing is what keeps a resurrected zombie from
+	// resolving runs it no longer owns; the run's current holder still
+	// resolves it exactly once.
+	MetricFencedResults = "cluster/fenced_results"
+
+	// MetricIntegrityRejected counts wire envelopes (batch specs or
+	// result payloads) whose CRC32C integrity checksum did not match —
+	// corruption in flight. The sender retries with a freshly marshaled
+	// body, so a flipped bit costs a round trip, never a wrong result.
+	MetricIntegrityRejected = "cluster/integrity_rejected"
+
+	// Dispatch circuit breaker lifecycle: MetricBreakerTrips counts
+	// transitions to open (threshold of consecutive push failures, or a
+	// failed half-open probe), MetricBreakerHalfOpens counts cooldown
+	// expiries admitting a probe batch, and MetricBreakerCloses counts
+	// successful probes restoring the worker to the ring.
+	MetricBreakerTrips     = "cluster/breaker_trips"
+	MetricBreakerHalfOpens = "cluster/breaker_half_opens"
+	MetricBreakerCloses    = "cluster/breaker_closes"
+
 	// Worker-side counters: batches accepted, runs executed for the
 	// coordinator, result posts that exhausted their retries, and
 	// re-registrations after the coordinator forgot us (restart).

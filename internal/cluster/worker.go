@@ -38,6 +38,19 @@ type WorkerOptions struct {
 	// join before giving up (0 = 10 s) — a worker booted moments
 	// before its coordinator should wait, not crash.
 	JoinTimeout time.Duration
+	// RPCTimeout bounds each control-plane request (join, heartbeat,
+	// result post) with its own context deadline (default 5 s), so one
+	// black-holed request can never wedge the heartbeat loop past the
+	// lease TTL.
+	RPCTimeout time.Duration
+	// RetrySeed seeds the jittered backoff of the join and result-post
+	// retry loops (0 = the package default).
+	RetrySeed int64
+	// Clock overrides time.Now (tests).
+	Clock func() time.Time
+	// Sleep overrides the retry loops' cancellable wait (tests pair it
+	// with Clock to step a fake clock through backoff schedules).
+	Sleep func(ctx context.Context, d time.Duration) error
 }
 
 // Worker executes runs pushed by a coordinator: it registers itself,
@@ -48,6 +61,9 @@ type WorkerOptions struct {
 type Worker struct {
 	opts   WorkerOptions
 	client *http.Client
+	clock  func() time.Time
+	sleep  func(ctx context.Context, d time.Duration) error
+	retry  *backoff
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -58,6 +74,7 @@ type Worker struct {
 	beatEvery time.Duration
 
 	mBatches, mRuns, mPostErrors, mRejoins *obs.Counter
+	mIntegrity                             *obs.Counter
 }
 
 // NewWorker creates a worker; call Start to join the cluster.
@@ -80,6 +97,15 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 	if opts.JoinTimeout <= 0 {
 		opts.JoinTimeout = 10 * time.Second
 	}
+	if opts.RPCTimeout <= 0 {
+		opts.RPCTimeout = 5 * time.Second
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = sleepCtx
+	}
 	client := opts.Client
 	if client == nil {
 		client = &http.Client{Timeout: 10 * time.Second}
@@ -88,6 +114,9 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 	return &Worker{
 		opts:        opts,
 		client:      client,
+		clock:       opts.Clock,
+		sleep:       opts.Sleep,
+		retry:       newBackoff(0, 0, opts.RetrySeed),
 		ctx:         ctx,
 		cancel:      cancel,
 		sem:         make(chan struct{}, opts.Concurrency),
@@ -96,26 +125,28 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 		mRuns:       opts.Registry.Counter(MetricWorkerRuns),
 		mPostErrors: opts.Registry.Counter(MetricWorkerPostErrors),
 		mRejoins:    opts.Registry.Counter(MetricWorkerRejoins),
+		mIntegrity:  opts.Registry.Counter(MetricIntegrityRejected),
 	}, nil
 }
 
 // Start joins the coordinator (retrying through JoinTimeout, so boot
 // order between worker and coordinator does not matter) and starts the
-// heartbeat loop.
+// heartbeat loop. Join retries back off exponentially with seeded
+// jitter instead of hammering a fixed cadence: a fleet of workers
+// booting against a not-yet-listening coordinator decorrelates its
+// retry storm, and a test replaying one seed sees the same schedule.
 func (w *Worker) Start() error {
-	deadline := time.Now().Add(w.opts.JoinTimeout)
-	for {
+	deadline := w.clock().Add(w.opts.JoinTimeout)
+	for attempt := 1; ; attempt++ {
 		err := w.join()
 		if err == nil {
 			break
 		}
-		if time.Now().After(deadline) {
+		if w.clock().After(deadline) {
 			return fmt.Errorf("cluster: joining %s: %w", w.opts.Coordinator, err)
 		}
-		select {
-		case <-w.ctx.Done():
-			return w.ctx.Err()
-		case <-time.After(250 * time.Millisecond):
+		if serr := w.sleep(w.ctx, w.retry.delay(attempt)); serr != nil {
+			return serr
 		}
 	}
 	w.wg.Add(1)
@@ -145,7 +176,9 @@ func (w *Worker) join() error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(w.ctx, http.MethodPost,
+	ctx, cancel := context.WithTimeout(w.ctx, w.opts.RPCTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		w.opts.Coordinator+"/cluster/join", bytes.NewReader(body))
 	if err != nil {
 		return err
@@ -183,10 +216,8 @@ func (w *Worker) heartbeatLoop() {
 		w.mu.Lock()
 		beat := w.beatEvery
 		w.mu.Unlock()
-		select {
-		case <-w.ctx.Done():
+		if w.sleep(w.ctx, beat) != nil {
 			return
-		case <-time.After(beat):
 		}
 		status, err := w.postJSON("/cluster/heartbeat", heartbeatRequest{Name: w.opts.Name}, nil)
 		if err != nil {
@@ -200,14 +231,17 @@ func (w *Worker) heartbeatLoop() {
 	}
 }
 
-// postJSON POSTs v to the coordinator path, optionally decoding the
-// response into out, and returns the HTTP status.
+// postJSON POSTs v to the coordinator path under a per-request context
+// deadline, optionally decoding the response into out, and returns the
+// HTTP status.
 func (w *Worker) postJSON(path string, v any, out any) (int, error) {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return 0, err
 	}
-	req, err := http.NewRequestWithContext(w.ctx, http.MethodPost,
+	ctx, cancel := context.WithTimeout(w.ctx, w.opts.RPCTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		w.opts.Coordinator+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, err
@@ -244,6 +278,13 @@ func (w *Worker) HandleBatch(rw http.ResponseWriter, r *http.Request) {
 			httpError(rw, http.StatusBadRequest, "bad run in batch: %v", err)
 			return
 		}
+		if err := run.CheckIntegrity(); err != nil {
+			// A sealed envelope corrupted in flight: refuse the whole
+			// batch so the coordinator's retry re-marshals it fresh.
+			w.mIntegrity.Inc()
+			httpError(rw, http.StatusBadRequest, "%v", err)
+			return
+		}
 	}
 	w.mBatches.Inc()
 	for _, run := range req.Runs {
@@ -271,7 +312,7 @@ func (w *Worker) execute(run sim.RemoteRun) {
 	if w.ctx.Err() != nil {
 		return // dying: let the lease expire rather than post a cancellation
 	}
-	res := sim.RemoteResult{Job: run.Job, Index: run.Index, Hash: run.Hash}
+	res := sim.RemoteResult{Job: run.Job, Index: run.Index, Hash: run.Hash, Epoch: run.Epoch}
 	switch {
 	case err != nil:
 		res.Error = err.Error()
@@ -291,20 +332,20 @@ func (w *Worker) execute(run sim.RemoteRun) {
 	w.postResult(res)
 }
 
-// postResult delivers one result, retrying transient failures briefly.
-// The coordinator's 200 is an ack even for duplicates, so a retry can
-// never double-resolve a run.
+// postResult delivers one sealed result, retrying transient failures
+// behind the seeded jittered backoff. The coordinator's 200 is an ack
+// even for duplicates and fenced results, so a retry can never
+// double-resolve a run; a 400 means the body was corrupted in flight,
+// and the next attempt re-marshals it fresh.
 func (w *Worker) postResult(res sim.RemoteResult) {
-	req := resultsRequest{Worker: w.opts.Name, Results: []sim.RemoteResult{res}}
-	for attempt := 0; attempt < 3; attempt++ {
+	req := resultsRequest{Worker: w.opts.Name, Results: []sim.RemoteResult{res.Sealed()}}
+	for attempt := 1; attempt <= 3; attempt++ {
 		status, err := w.postJSON("/cluster/results", req, nil)
 		if err == nil && status == http.StatusOK {
 			return
 		}
-		select {
-		case <-w.ctx.Done():
+		if w.sleep(w.ctx, w.retry.delay(attempt)) != nil {
 			return
-		case <-time.After(100 * time.Millisecond):
 		}
 	}
 	w.mPostErrors.Inc()

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"hotgauge/internal/sim"
+)
+
+// TestWorkerJoinBackoff drives Start's join-retry loop through the
+// Clock/Sleep seams against a coordinator that keeps refusing: the
+// retry delays must follow the capped exponential schedule with
+// ×[0.5,1.5) jitter (not the old fixed cadence), the deadline must be
+// enforced on the fake clock, and one seed must replay one schedule.
+func TestWorkerJoinBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "not yet", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(srv.Close)
+
+	run := func(seed int64) ([]time.Duration, error) {
+		t.Helper()
+		now := time.Unix(0, 0)
+		var slept []time.Duration
+		w, err := NewWorker(WorkerOptions{
+			Name:        "w",
+			Coordinator: srv.URL,
+			SelfURL:     "http://127.0.0.1:1",
+			Exec:        func(ctx context.Context, run sim.RemoteRun) ([]byte, error) { return nil, nil },
+			JoinTimeout: 2 * time.Second,
+			RetrySeed:   seed,
+			Clock:       func() time.Time { return now },
+			Sleep: func(ctx context.Context, d time.Duration) error {
+				slept = append(slept, d)
+				now = now.Add(d)
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serr := w.Start()
+		w.Stop()
+		return slept, serr
+	}
+
+	slept, err := run(7)
+	if err == nil {
+		t.Fatal("Start succeeded against a refusing coordinator")
+	}
+	if len(slept) < 4 {
+		t.Fatalf("only %d retries before the 2 s join budget elapsed", len(slept))
+	}
+	base, max := 50*time.Millisecond, 2*time.Second
+	for i, d := range slept {
+		raw := base << uint(i) // attempt i+1 → base·2^i
+		if raw > max {
+			raw = max
+		}
+		if d < raw/2 || d >= raw+raw/2 {
+			t.Fatalf("retry %d slept %v, outside the jitter window [%v, %v)", i+1, d, raw/2, raw+raw/2)
+		}
+	}
+	// All sleeps summed must have pushed the fake clock past the budget —
+	// the loop gave up because time ran out, not after a fixed count.
+	var total time.Duration
+	for _, d := range slept {
+		total += d
+	}
+	if total <= 2*time.Second {
+		t.Fatalf("Start gave up after only %v of fake time", total)
+	}
+
+	again, _ := run(7)
+	if !reflect.DeepEqual(slept, again) {
+		t.Fatalf("seed 7 replayed a different schedule:\n%v\n%v", slept, again)
+	}
+}

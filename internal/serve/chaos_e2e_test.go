@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"hotgauge/internal/chaos"
+	"hotgauge/internal/cluster"
+)
+
+// joinChaosWorkers is joinWorkers with a chaos schedule on each worker's
+// control-plane client: every join, heartbeat and result post rides the
+// fault-injecting transport. Each worker perturbs the seed so the three
+// daemons do not draw identical fault sequences in lockstep.
+func joinChaosWorkers(t *testing.T, coordTS *httptest.Server, n int, profile string, seed int64) []*Server {
+	t.Helper()
+	workers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("worker-%d", i)
+		ws, wts := newClusterNode(t, Options{
+			ChaosProfile: profile,
+			ChaosSeed:    seed + int64(i) + 1,
+			ChaosSelf:    name,
+		})
+		if err := ws.JoinCluster(coordTS.URL, name, wts.URL); err != nil {
+			t.Fatalf("worker %d join under chaos: %v", i, err)
+		}
+		workers[i] = ws
+	}
+	return workers
+}
+
+// waitJobDone is waitState(JobDone) with a soak-sized deadline: under an
+// aggressive chaos schedule a run can lose its batch push, its lease and
+// its result post before landing, so completion can take several lease
+// TTLs longer than a quiet cluster.
+func waitJobDone(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		getJSON(t, ts, "/jobs/"+id, &st)
+		switch st.State {
+		case JobDone:
+			return
+		case JobFailed, JobCancelled:
+			t.Fatalf("job %s reached %s under chaos, want done", id, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s not done after %v under chaos", id, timeout)
+}
+
+// soakCampaign submits specs to a chaos'd coordinator, waits for the job,
+// and proves the resolution exact: every run's bytes identical to the
+// undisturbed control, and the coordinator accepted each run's result
+// exactly once (worker-posted or local fallback — duplicates, fenced
+// epochs and corrupt posts all land in their own counters, not here).
+func soakCampaign(t *testing.T, coord *Server, coordTS *httptest.Server, specs []ConfigSpec, want [][]byte) {
+	t.Helper()
+	sub := submit(t, coordTS, specs...)
+	waitJobDone(t, coordTS, sub.ID, 90*time.Second)
+	for i := range specs {
+		if got := fetchRun(t, coordTS, sub.ID, i); !bytes.Equal(got, want[i]) {
+			t.Fatalf("run %d: bytes under chaos differ from undisturbed control\n got: %s\nwant: %s",
+				i, got, want[i])
+		}
+	}
+	snap := coord.Registry().Snapshot()
+	got := int(snap.Counters[cluster.MetricResultsReceived] + snap.Counters[cluster.MetricLocalRuns])
+	if got != len(specs) {
+		t.Errorf("results_received+local_runs = %d, want exactly %d (exactly-once)", got, len(specs))
+	}
+}
+
+// TestChaosSoak is the chaos soak e2e (`make chaoscheck`): a coordinator
+// plus three workers run a full campaign under three seeded chaos
+// schedules — the "flaky" preset (latency, request/response drops,
+// duplicates), the "lossy" preset (bit flips, truncation, duplicates),
+// and an explicit one-way partition that opens mid-campaign and heals —
+// and every schedule must resolve every run exactly once with bytes
+// identical to an undisturbed single-node control. Gated behind
+// HOTGAUGE_CHAOS_E2E because lease expiries and partition windows make
+// it seconds-slow.
+func TestChaosSoak(t *testing.T) {
+	if os.Getenv("HOTGAUGE_CHAOS_E2E") == "" {
+		t.Skip("set HOTGAUGE_CHAOS_E2E=1 (make chaoscheck) to run the chaos soak e2e")
+	}
+	specs := clusterSpecs(12)
+
+	// The undisturbed control: same campaign, single quiet node.
+	_, controlTS := newTestServer(t, Options{})
+	control := submit(t, controlTS, specs...)
+	waitState(t, controlTS, control.ID, JobDone)
+	want := make([][]byte, len(specs))
+	for i := range specs {
+		want[i] = fetchRun(t, controlTS, control.ID, i)
+	}
+
+	for _, tc := range []struct {
+		preset string
+		seed   int64
+	}{
+		{"flaky", 7},
+		{"lossy", 11},
+	} {
+		t.Run(tc.preset, func(t *testing.T) {
+			coord, coordTS := newClusterNode(t, Options{
+				ChaosProfile: tc.preset,
+				ChaosSeed:    tc.seed,
+			})
+			workers := joinChaosWorkers(t, coordTS, 3, tc.preset, tc.seed)
+			waitFor(t, func() bool { return coord.Coordinator().AliveWorkers() == 3 }, "workers to join")
+
+			soakCampaign(t, coord, coordTS, specs, want)
+
+			// The schedule must actually have fired: the coordinator's
+			// pushes and the workers' posts all rode the transport.
+			if n := coord.Registry().Snapshot().Counters[chaos.MetricRequests]; n == 0 {
+				t.Error("chaos/requests = 0 on the coordinator: schedule never armed")
+			}
+			injected := int64(0)
+			for _, ws := range workers {
+				injected += ws.Registry().Snapshot().Counters[chaos.MetricRequests]
+			}
+			if injected == 0 {
+				t.Error("chaos/requests = 0 across all workers: schedule never armed")
+			}
+		})
+	}
+
+	t.Run("partition-heals", func(t *testing.T) {
+		// A one-way cut from the coordinator to worker-1 that opens
+		// mid-campaign: worker-1's heartbeats keep arriving (it looks
+		// alive) while every batch push to it fails — the exact shape the
+		// dispatch breaker exists for. The window heals at 6 s, after
+		// which the half-open probe must restore the worker to service.
+		const profile = `{"partitions":[{"from":"coordinator","to":"worker-1","start_ms":250,"end_ms":6000,"one_way":true}]}`
+		start := time.Now()
+		coord, coordTS := newClusterNode(t, Options{
+			ChaosProfile: profile,
+			ChaosSeed:    13,
+		})
+		workers := joinWorkers(t, coordTS, 3) // the fault lives coordinator-side only
+		waitFor(t, func() bool { return coord.Coordinator().AliveWorkers() == 3 }, "workers to join")
+		for _, ws := range workers {
+			stallRuns(ws, 250*time.Millisecond)
+		}
+
+		soakCampaign(t, coord, coordTS, specs, want)
+
+		ccount := func(name string) int {
+			return int(coord.Registry().Snapshot().Counters[name])
+		}
+		total := len(specs)
+
+		// The main campaign may outrun the breaker: the steal pass
+		// rescues the partitioned worker's requeued runs, and the push-
+		// failure streak only resets on a successful push — so keep small
+		// fresh campaigns flowing inside the window until the trip lands.
+		deadline := time.Now().Add(5 * time.Second)
+		for i := 0; ccount(cluster.MetricBreakerTrips) == 0; i++ {
+			if time.Now().After(deadline) {
+				t.Fatal("cluster/breaker_trips = 0 inside the partition window")
+			}
+			drv := make([]ConfigSpec, 6)
+			for k := range drv {
+				drv[k] = tinySpec(7, 20+10*i+k)
+			}
+			sub := submit(t, coordTS, drv...)
+			waitJobDone(t, coordTS, sub.ID, 30*time.Second)
+			total += len(drv)
+		}
+		if n := ccount(chaos.MetricPartitioned); n == 0 {
+			t.Error("chaos/partitioned = 0 though the breaker tripped")
+		}
+		for _, wst := range coord.Coordinator().Status().Workers {
+			if wst.Name == "worker-1" && !wst.Alive {
+				t.Error("worker-1 declared dead: a one-way cut must read as a dispatch fault, not death")
+			}
+		}
+
+		// Outlive the window, then keep tiny campaigns flowing until the
+		// cooldown half-opens the breaker, a probe push lands on the
+		// healed link, and the breaker closes.
+		if rest := 6*time.Second + 200*time.Millisecond - time.Since(start); rest > 0 {
+			time.Sleep(rest)
+		}
+		deadline = time.Now().Add(15 * time.Second)
+		for i := 0; ccount(cluster.MetricBreakerCloses) == 0; i++ {
+			if time.Now().After(deadline) {
+				t.Fatal("breaker never closed after the partition healed")
+			}
+			heal := make([]ConfigSpec, 2)
+			for k := range heal {
+				heal[k] = tinySpec(10, 60+2*i+k)
+			}
+			sub := submit(t, coordTS, heal...)
+			waitJobDone(t, coordTS, sub.ID, 30*time.Second)
+			total += len(heal)
+		}
+		if n := ccount(cluster.MetricBreakerHalfOpens); n == 0 {
+			t.Error("cluster/breaker_half_opens = 0 though the breaker closed")
+		}
+		for _, wst := range coord.Coordinator().Status().Workers {
+			if wst.Name == "worker-1" && wst.Breaker != "closed" {
+				t.Errorf("worker-1 breaker reads %q after the heal, want closed", wst.Breaker)
+			}
+		}
+
+		// Cumulative exactly-once across every campaign of the soak.
+		got := ccount(cluster.MetricResultsReceived) + ccount(cluster.MetricLocalRuns)
+		if got != total {
+			t.Errorf("results_received+local_runs = %d across the soak, want exactly %d", got, total)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"time"
 
 	"hotgauge/internal/cluster"
 	"hotgauge/internal/sim"
@@ -17,16 +18,25 @@ import (
 // gets one — a daemon with no registered workers is simply a cluster of
 // zero, its jobs running on the ordinary local campaign path — so
 // turning a single node into a coordinator is nothing more than
-// pointing workers at it.
+// pointing workers at it. With a chaos profile configured, batch pushes
+// ride the fault-injecting transport, and every joining worker's name
+// and address are taught to it so partition schedules written against
+// worker names resolve their dynamically assigned ports.
 func (s *Server) newCoordinator() *cluster.Coordinator {
-	return cluster.NewCoordinator(cluster.CoordinatorOptions{
+	opts := cluster.CoordinatorOptions{
 		LeaseTTL:     s.opts.ClusterLeaseTTL,
 		Batch:        s.opts.ClusterBatch,
 		Registry:     s.reg,
 		OnLease:      s.journalLease,
 		LocalExec:    s.executeRemoteRun,
 		LocalWorkers: s.opts.RunWorkers,
-	})
+		RetrySeed:    s.opts.ChaosSeed,
+	}
+	if s.chaosT != nil {
+		opts.Client = &http.Client{Timeout: 10 * time.Second, Transport: s.chaosT}
+		opts.OnJoin = s.chaosT.AddPeer
+	}
+	return cluster.NewCoordinator(opts)
 }
 
 // journalLease appends a lease transition to the journal (when
@@ -48,6 +58,7 @@ func (s *Server) journalLease(ev cluster.LeaseEvent) {
 		Run:           ev.Run,
 		Hash:          ev.Hash,
 		Worker:        ev.Worker,
+		Epoch:         ev.Epoch,
 		ExpiresUnixMS: ev.Expires.UnixMilli(),
 	}.Marshal()
 	if err == nil {
@@ -65,14 +76,23 @@ func (s *Server) journalLease(ev cluster.LeaseEvent) {
 // the coordinator may dial back immediately. The daemon keeps serving
 // its own job API; cluster work shares its executor, cache and store.
 func (s *Server) JoinCluster(coordinatorURL, name, selfURL string) error {
-	w, err := cluster.NewWorker(cluster.WorkerOptions{
+	wopts := cluster.WorkerOptions{
 		Name:        name,
 		Coordinator: coordinatorURL,
 		SelfURL:     selfURL,
 		Exec:        s.executeRemoteRun,
 		Registry:    s.reg,
 		Concurrency: s.opts.RunWorkers,
-	})
+		RetrySeed:   s.opts.ChaosSeed,
+	}
+	if s.chaosT != nil {
+		// The worker's control-plane calls ride the chaos transport too;
+		// "coordinator" is the name partition schedules use for the far
+		// end of every worker's RPCs.
+		s.chaosT.AddPeer("coordinator", coordinatorURL)
+		wopts.Client = &http.Client{Timeout: 10 * time.Second, Transport: s.chaosT}
+	}
+	w, err := cluster.NewWorker(wopts)
 	if err != nil {
 		return err
 	}

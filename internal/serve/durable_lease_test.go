@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"hotgauge/internal/cluster"
+	"hotgauge/internal/obs"
+	"hotgauge/internal/store"
+)
+
+// TestRecoveryCountsOrphanLeases plants the journal a coordinator crash
+// leaves behind — a submitted job with three runs out on workers, one
+// lease still open, one cleared by an expiry record, one cleared by its
+// run reaching a terminal state — and asserts recovery requeues the job,
+// completes it, and counts exactly the one still-open lease in
+// cluster/orphan_leases: the run a worker held at the crash, which costs
+// a re-dispatch but never a lost result.
+func TestRecoveryCountsOrphanLeases(t *testing.T) {
+	dir := t.TempDir()
+	specs := []ConfigSpec{tinySpec(7, 3), tinySpec(10, 3), tinySpec(14, 3)}
+	hashes := make([]string, len(specs))
+	for i, spec := range specs {
+		cfg, err := spec.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hashes[i], err = cfg.Hash(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRec := func(b []byte, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Journal.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const job = "job-000050"
+	appendRec(json.Marshal(journalRecord{
+		Type: recSubmitted, Job: job, Specs: specs, Hashes: hashes,
+	}))
+	expires := time.Now().Add(500 * time.Millisecond).UnixMilli()
+	// Run 0: lease granted, never cleared — the orphan.
+	appendRec(store.LeaseRecord{Type: store.RecLeaseGranted, Job: job, Run: 0,
+		Hash: hashes[0], Worker: "w0", Epoch: 1, ExpiresUnixMS: expires}.Marshal())
+	// Run 1: granted, then expired before the crash — cleared.
+	appendRec(store.LeaseRecord{Type: store.RecLeaseGranted, Job: job, Run: 1,
+		Hash: hashes[1], Worker: "w1", Epoch: 2, ExpiresUnixMS: expires}.Marshal())
+	appendRec(store.LeaseRecord{Type: store.RecLeaseExpired, Job: job, Run: 1,
+		Hash: hashes[1], Worker: "w1", Epoch: 2}.Marshal())
+	// Run 2: granted, then resolved to a terminal run state — cleared.
+	appendRec(store.LeaseRecord{Type: store.RecLeaseGranted, Job: job, Run: 2,
+		Hash: hashes[2], Worker: "w2", Epoch: 3, ExpiresUnixMS: expires}.Marshal())
+	appendRec(json.Marshal(journalRecord{Type: recRun, Job: job, Run: 2, State: RunFailed,
+		Error: "worker died mid-run"}))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Options{DataDir: dir, Registry: reg})
+	waitState(t, ts, job, JobDone)
+	if got := reg.Snapshot().Counters[cluster.MetricOrphanLeases]; got != 1 {
+		t.Fatalf("cluster/orphan_leases = %d after recovery, want exactly 1", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"hotgauge/internal/chaos"
 	"hotgauge/internal/cluster"
 	"hotgauge/internal/fault"
 	"hotgauge/internal/obs"
@@ -97,6 +98,20 @@ type Options struct {
 	// bounds how many runs a dying worker can strand for one lease TTL.
 	ClusterBatch int
 
+	// ChaosProfile, when non-empty, routes every cluster RPC this daemon
+	// makes (batch pushes on a coordinator; join, heartbeat and result
+	// posts on a worker) through a seeded fault-injecting transport —
+	// the hotgauged -chaos-profile flag. The value is a chaos preset
+	// name, "@file", or inline JSON (see chaos.ParseProfile). Dev/test
+	// only: never enable in production.
+	ChaosProfile string
+	// ChaosSeed seeds the chaos transport's fault draws (default 1);
+	// the same profile + seed replays the same faults.
+	ChaosSeed int64
+	// ChaosSelf names this endpoint in chaos partition schedules
+	// (default "coordinator"; worker daemons pass their worker name).
+	ChaosSelf string
+
 	// DefaultSolver, when set, is folded into submitted specs that leave
 	// solver unset — before hashing, deduplication and journaling, so the
 	// result cache, the journal and cluster workers all see the resolved
@@ -153,6 +168,9 @@ type Server struct {
 	// JoinCluster (guarded by mu).
 	coord   *cluster.Coordinator
 	cworker *cluster.Worker
+	// chaosT is the fault-injecting transport every cluster RPC rides
+	// when Options.ChaosProfile is set (nil otherwise — zero cost).
+	chaosT *chaos.Transport
 
 	// triager applies Options.Surrogate's triage policy (nil when no
 	// surrogate is configured). Daemon-lifetime, so surrogate/* metrics
@@ -245,6 +263,29 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.Surrogate != nil {
 		s.triager = sim.NewTriager(sim.TriageOptions{Predictor: opts.Surrogate}, opts.Registry)
+	}
+	if opts.ChaosProfile != "" {
+		prof, err := chaos.ParseProfile(opts.ChaosProfile)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		if !prof.Zero() {
+			seed := opts.ChaosSeed
+			if seed == 0 {
+				seed = 1
+			}
+			self := opts.ChaosSelf
+			if self == "" {
+				self = "coordinator"
+			}
+			s.chaosT = chaos.New(chaos.Options{
+				Self:     self,
+				Profile:  prof,
+				Seed:     seed,
+				Registry: opts.Registry,
+			})
+		}
 	}
 	s.coord = s.newCoordinator()
 	s.routes()

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzConfigSpecDecode drives arbitrary JSON through the submission
+// path's spec handling: decode, materialize to a sim.Config, and hash.
+// Nothing may panic, and a spec that materializes must hash stably —
+// the content address is what cluster dispatch, the result cache and
+// the on-disk store all key on, so an unstable hash would silently
+// cross-wire results.
+func FuzzConfigSpecDecode(f *testing.F) {
+	f.Add([]byte(`{"workload":"gcc","node":7,"steps":50}`))
+	f.Add([]byte(`{"workload":"mcf","node":10,"steps":10,"solver":"adi","record_severity":true}`))
+	f.Add([]byte(`{"workload":"gcc","steps":20,"stack":"core-on-memory"}`))
+	f.Add([]byte(`{"workload":"gcc","steps":50,"scale_unit":{"fpIWin":10},"ic_area_factor":1.5}`))
+	f.Add([]byte(`{"steps":-5}`))
+	f.Add([]byte(`{"workload":"nope","steps":1}`))
+	f.Add([]byte(`{"workload":"gcc","steps":1,"surrogate":true,"triage_band":0.2}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec ConfigSpec
+		if json.Unmarshal(data, &spec) != nil {
+			return
+		}
+		cfg, err := spec.Config()
+		if err != nil {
+			return // invalid specs must error, not panic
+		}
+		// Hash validates further (e.g. the step count); an error there is
+		// the submit handler's 400, not a defect — but it must be
+		// deterministic either way.
+		h1, err1 := cfg.Hash()
+		cfg2, err := spec.Config()
+		if err != nil {
+			t.Fatalf("second materialization failed: %v", err)
+		}
+		h2, err2 := cfg2.Hash()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("hash validation unstable: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if h1 == "" {
+			t.Fatal("materialized config hashed to the empty string")
+		}
+		if h1 != h2 {
+			t.Fatalf("config hash unstable: %s vs %s", h1, h2)
+		}
+	})
+}

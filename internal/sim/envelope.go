@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"strconv"
 )
 
@@ -24,6 +27,20 @@ type RemoteRun struct {
 	Hash string `json:"hash"`
 	// Spec is the JSON config spec, opaque to the envelope.
 	Spec json.RawMessage `json:"spec"`
+	// Epoch is the fencing token of the lease this dispatch rides:
+	// monotonically increasing across every grant a coordinator makes.
+	// A worker echoes it in its RemoteResult, and the coordinator
+	// rejects results carrying a superseded epoch — a zombie worker
+	// resurrected after a partition heal cannot resolve runs that were
+	// reassigned while it was gone. Zero means unfenced (pre-epoch
+	// peers).
+	Epoch int64 `json:"epoch,omitempty"`
+	// Sum is the CRC32C integrity checksum over the envelope's other
+	// fields (see Checksum). It exists because the cluster wire is not
+	// assumed perfect: a corrupted-in-flight spec can still be valid
+	// JSON, and without the checksum a worker would silently execute
+	// the wrong config. Zero means unsealed.
+	Sum uint32 `json:"sum,omitempty"`
 }
 
 // Key is the run's cluster-wide identity: job id and run index. The
@@ -47,6 +64,57 @@ func (r RemoteRun) Validate() error {
 	return nil
 }
 
+// castagnoli is the CRC32C table shared by both envelope checksums —
+// the same polynomial the journal's record framing uses.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// sumField writes one length-delimited field into the checksum stream,
+// so adjacent fields can never alias ("ab","c" vs "a","bc").
+func sumField(h io.Writer, b []byte) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(b)))
+	h.Write(n[:])
+	h.Write(b)
+}
+
+func sumInt(h io.Writer, v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	sumField(h, b[:])
+}
+
+// Checksum is the CRC32C over every field of the envelope except Sum
+// itself, computed from length-delimited encodings so field boundaries
+// cannot alias.
+func (r RemoteRun) Checksum() uint32 {
+	h := crc32.New(castagnoli)
+	sumField(h, []byte(r.Job))
+	sumInt(h, int64(r.Index))
+	sumField(h, []byte(r.Hash))
+	sumInt(h, r.Epoch)
+	sumField(h, r.Spec)
+	return h.Sum32()
+}
+
+// Sealed returns a copy of the envelope with Sum set to its checksum.
+func (r RemoteRun) Sealed() RemoteRun {
+	r.Sum = r.Checksum()
+	return r
+}
+
+// CheckIntegrity verifies a sealed envelope's checksum. Unsealed
+// envelopes (Sum == 0, from peers predating the checksum) pass — the
+// check guards against corruption, not omission.
+func (r RemoteRun) CheckIntegrity() error {
+	if r.Sum == 0 {
+		return nil
+	}
+	if got := r.Checksum(); got != r.Sum {
+		return fmt.Errorf("sim: remote run %s failed its integrity check (sum %08x, computed %08x): corrupted in flight", r.Key(), r.Sum, got)
+	}
+	return nil
+}
+
 // RemoteResult is the wire envelope of one run's outcome posted back to
 // the coordinator. Exactly one of Payload and Error is meaningful: a
 // successful run carries its marshaled result bytes (stored verbatim in
@@ -65,10 +133,55 @@ type RemoteResult struct {
 	// wall-time budget (*RunTimeoutError), so the coordinator can count
 	// it as a serving-layer timeout without parsing the error text.
 	TimedOut bool `json:"timed_out,omitempty"`
+	// Epoch echoes the fencing token of the RemoteRun this result
+	// answers. The coordinator compares it against the run's current
+	// lease epoch and rejects mismatches — the zombie-worker guard.
+	Epoch int64 `json:"epoch,omitempty"`
+	// Sum is the CRC32C integrity checksum over the result's other
+	// fields (see Checksum); it keeps a corrupted-but-still-valid-JSON
+	// payload from being stored as the run's canonical bytes. Zero
+	// means unsealed.
+	Sum uint32 `json:"sum,omitempty"`
 }
 
 // Key matches RemoteRun.Key for the dispatched run this result answers.
 func (r RemoteResult) Key() string { return r.Job + "/" + strconv.Itoa(r.Index) }
+
+// Checksum is the CRC32C over every field of the result except Sum
+// itself.
+func (r RemoteResult) Checksum() uint32 {
+	h := crc32.New(castagnoli)
+	sumField(h, []byte(r.Job))
+	sumInt(h, int64(r.Index))
+	sumField(h, []byte(r.Hash))
+	sumInt(h, r.Epoch)
+	sumField(h, r.Payload)
+	sumField(h, []byte(r.Error))
+	to := int64(0)
+	if r.TimedOut {
+		to = 1
+	}
+	sumInt(h, to)
+	return h.Sum32()
+}
+
+// Sealed returns a copy of the result with Sum set to its checksum.
+func (r RemoteResult) Sealed() RemoteResult {
+	r.Sum = r.Checksum()
+	return r
+}
+
+// CheckIntegrity verifies a sealed result's checksum; unsealed results
+// pass (corruption guard, not an omission guard).
+func (r RemoteResult) CheckIntegrity() error {
+	if r.Sum == 0 {
+		return nil
+	}
+	if got := r.Checksum(); got != r.Sum {
+		return fmt.Errorf("sim: remote result %s failed its integrity check (sum %08x, computed %08x): corrupted in flight", r.Key(), r.Sum, got)
+	}
+	return nil
+}
 
 // RemoteRunError is how a worker-reported failure surfaces from the
 // coordinator's result gather: the remote error text plus the worker

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzRemoteRunEnvelope throws arbitrary JSON at the dispatch
+// envelope's decode → validate → seal → round-trip path: nothing may
+// panic, a freshly sealed envelope must verify, and sealing must
+// survive a marshal/unmarshal round trip (the exact bytes a worker
+// receives) with a stable checksum and identity.
+func FuzzRemoteRunEnvelope(f *testing.F) {
+	seed := RemoteRun{Job: "job-000001", Index: 0, Hash: "sha256:ab", Spec: json.RawMessage(`{"steps":50}`), Epoch: 3}.Sealed()
+	if b, err := json.Marshal(seed); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"job":"j","run":3,"hash":"h","spec":{},"epoch":9,"sum":123}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"run":-1,"spec":null}`))
+	f.Add([]byte(`{"job":"j","run":0,"hash":"h","spec":[1,2,{"x":"y"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r RemoteRun
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		_ = r.Validate()
+		_ = r.Key()
+		_ = r.CheckIntegrity()
+
+		// Normalize first: re-marshaling compacts the raw Spec, and the
+		// checksum covers its exact bytes (production always seals
+		// already-compact marshal output).
+		b1, err := json.Marshal(r)
+		if err != nil {
+			return // e.g. a Spec that decoded but cannot re-encode
+		}
+		var norm RemoteRun
+		if err := json.Unmarshal(b1, &norm); err != nil {
+			t.Fatalf("re-decoding own marshal output: %v", err)
+		}
+		sealed := norm.Sealed()
+		if err := sealed.CheckIntegrity(); err != nil {
+			t.Fatalf("freshly sealed run fails its own check: %v", err)
+		}
+		wire, err := json.Marshal(sealed)
+		if err != nil {
+			t.Fatalf("sealed run does not marshal: %v", err)
+		}
+		var back RemoteRun
+		if err := json.Unmarshal(wire, &back); err != nil {
+			t.Fatalf("sealed run does not round-trip: %v", err)
+		}
+		if err := back.CheckIntegrity(); err != nil {
+			t.Fatalf("round-tripped sealed run fails its check: %v", err)
+		}
+		if back.Key() != sealed.Key() || back.Epoch != sealed.Epoch {
+			t.Fatalf("round trip changed identity: %s/%d vs %s/%d",
+				back.Key(), back.Epoch, sealed.Key(), sealed.Epoch)
+		}
+	})
+}
+
+// FuzzRemoteResultEnvelope is the same contract for the result
+// envelope, including the TimedOut bit that rides the checksum.
+func FuzzRemoteResultEnvelope(f *testing.F) {
+	seed := RemoteResult{Job: "job-000001", Index: 1, Hash: "sha256:cd",
+		Payload: json.RawMessage(`{"severity":[0.4]}`), Epoch: 7}.Sealed()
+	if b, err := json.Marshal(seed); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"job":"j","run":0,"hash":"h","error":"boom","timed_out":true}`))
+	f.Add([]byte(`{"job":"j","run":2,"hash":"h","payload":"x","sum":999}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r RemoteResult
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		_ = r.Key()
+		_ = r.CheckIntegrity()
+
+		b1, err := json.Marshal(r)
+		if err != nil {
+			return
+		}
+		var norm RemoteResult
+		if err := json.Unmarshal(b1, &norm); err != nil {
+			t.Fatalf("re-decoding own marshal output: %v", err)
+		}
+		sealed := norm.Sealed()
+		if err := sealed.CheckIntegrity(); err != nil {
+			t.Fatalf("freshly sealed result fails its own check: %v", err)
+		}
+		wire, err := json.Marshal(sealed)
+		if err != nil {
+			t.Fatalf("sealed result does not marshal: %v", err)
+		}
+		var back RemoteResult
+		if err := json.Unmarshal(wire, &back); err != nil {
+			t.Fatalf("sealed result does not round-trip: %v", err)
+		}
+		if err := back.CheckIntegrity(); err != nil {
+			t.Fatalf("round-tripped sealed result fails its check: %v", err)
+		}
+		if back.Key() != sealed.Key() || back.TimedOut != sealed.TimedOut {
+			t.Fatal("round trip changed result identity")
+		}
+	})
+}

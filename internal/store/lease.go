@@ -26,6 +26,10 @@ type LeaseRecord struct {
 	Run    int    `json:"run"`
 	Hash   string `json:"hash,omitempty"`
 	Worker string `json:"worker,omitempty"`
+	// Epoch is the lease's fencing token (monotonic across every grant a
+	// coordinator makes), journaled so operators can reconstruct custody
+	// order when reading a chaotic campaign's trail.
+	Epoch int64 `json:"epoch,omitempty"`
 	// ExpiresUnixMS is the lease deadline, for operators reading the
 	// journal; replay only needs the grant/expiry pairing.
 	ExpiresUnixMS int64 `json:"expires_unix_ms,omitempty"`

@@ -1,0 +1,178 @@
+#!/usr/bin/env bash
+# chaos_demo.sh — the docs/OPERATIONS.md partition walkthrough,
+# non-interactive.
+#
+# Builds cmd/hotgauged, starts a coordinator whose cluster RPCs ride a
+# seeded chaos schedule (-chaos-profile/-chaos-seed) containing one
+# one-way partition window coordinator→w2, plus three ordinary workers.
+# Campaigns flow continuously while the window opens and heals, and the
+# script asserts that:
+#   * every campaign completes despite the cut,
+#   * the breaker trips (cluster/breaker_trips) and the coordinator
+#     routes around w2 WITHOUT declaring it dead — its heartbeats still
+#     arrive, so a one-way cut must read as a dispatch fault, not death,
+#   * the chaos transport actually refused traffic (chaos/partitioned),
+#   * after the window heals, a half-open probe closes the breaker and
+#     w2 returns to service (cluster/breaker_closes, /cluster/status),
+#   * every run across the whole soak resolved exactly once
+#     (cluster/results_received + cluster/local_runs).
+#
+# Requires: go, curl, jq. Exits nonzero on any failed assertion.
+set -euo pipefail
+
+BASE_PORT="${BASE_PORT:-18290}"
+COORD="http://127.0.0.1:${BASE_PORT}"
+WORKDIR="$(mktemp -d)"
+BIN="${WORKDIR}/hotgauged"
+PIDS=()
+
+# The partition window, in milliseconds since the coordinator process
+# started its chaos transport: opens after the first campaigns are
+# already flowing, heals while the script is still submitting.
+PART_START_MS=4000
+PART_END_MS=12000
+PROFILE="{\"partitions\":[{\"from\":\"coordinator\",\"to\":\"w2\",\"start_ms\":${PART_START_MS},\"end_ms\":${PART_END_MS},\"one_way\":true}]}"
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        [ -n "${pid}" ] || continue
+        kill "${pid}" 2>/dev/null || true
+    done
+    sleep 0.5
+    for pid in "${PIDS[@]:-}"; do
+        [ -n "${pid}" ] || continue
+        kill -9 "${pid}" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "${WORKDIR}"
+}
+trap cleanup EXIT
+
+fail() { echo "chaos-demo: FAIL: $*" >&2; exit 1; }
+
+for off in 0 1 2 3; do
+    port=$((BASE_PORT + off))
+    if (exec 3<>"/dev/tcp/127.0.0.1/${port}") 2>/dev/null; then
+        fail "port ${port} is already in use; stop it or set BASE_PORT=<free base>"
+    fi
+done
+
+echo "chaos-demo: building hotgauged"
+go build -o "${BIN}" ./cmd/hotgauged
+
+wait_healthy() {
+    local base=$1 pid=$2 log=$3
+    for i in $(seq 1 50); do
+        if curl -fsS "${base}/healthz" >/dev/null 2>&1; then return 0; fi
+        kill -0 "${pid}" 2>/dev/null || { cat "${log}" >&2; fail "daemon on ${base} exited early"; }
+        sleep 0.2
+    done
+    fail "daemon on ${base} never became healthy"
+}
+
+metric() {
+    curl -fsS "${COORD}/metrics" | jq ".counters[\"$1\"] // 0"
+}
+
+echo "chaos-demo: starting coordinator on :${BASE_PORT} with a one-way w2 partition window [${PART_START_MS}ms, ${PART_END_MS}ms)"
+COORD_START_MS="$(date +%s%3N)"
+"${BIN}" -addr "127.0.0.1:${BASE_PORT}" -lease-ttl 1s -batch 2 \
+    -chaos-profile "${PROFILE}" -chaos-seed 13 \
+    >"${WORKDIR}/coord.log" 2>&1 &
+PIDS+=($!)
+wait_healthy "${COORD}" "${PIDS[0]}" "${WORKDIR}/coord.log"
+
+for i in 1 2 3; do
+    port=$((BASE_PORT + i))
+    echo "chaos-demo: starting worker w${i} on :${port}"
+    "${BIN}" -addr "127.0.0.1:${port}" -join "${COORD}" -worker "w${i}" \
+        >"${WORKDIR}/w${i}.log" 2>&1 &
+    PIDS+=($!)
+done
+for i in 1 2 3; do
+    wait_healthy "http://127.0.0.1:$((BASE_PORT + i))" "${PIDS[$i]}" "${WORKDIR}/w${i}.log"
+done
+
+echo "chaos-demo: waiting for all three workers to register"
+for i in $(seq 1 50); do
+    alive="$(curl -fsS "${COORD}/cluster/status" | jq '[.workers[] | select(.alive)] | length')"
+    [ "${alive}" = 3 ] && break
+    sleep 0.2
+done
+[ "${alive}" = 3 ] || fail "only ${alive}/3 workers registered"
+
+TOTAL=0
+
+# submit_campaign N: one 4-run campaign with hashes nobody has seen
+# before (steps advance every call), waited to completion.
+CAMPAIGN_SEQ=0
+submit_campaign() {
+    local s=$((20 + 4 * CAMPAIGN_SEQ)) job_id state
+    CAMPAIGN_SEQ=$((CAMPAIGN_SEQ + 1))
+    local campaign="{\"configs\":[
+      {\"workload\":\"gcc\",\"node\":7,\"steps\":${s},\"warmup\":\"cold\",\"resolution\":0.2},
+      {\"workload\":\"gcc\",\"node\":10,\"steps\":$((s + 1)),\"warmup\":\"cold\",\"resolution\":0.2},
+      {\"workload\":\"gcc\",\"node\":14,\"steps\":$((s + 2)),\"warmup\":\"cold\",\"resolution\":0.2},
+      {\"workload\":\"gcc\",\"node\":7,\"steps\":$((s + 3)),\"warmup\":\"cold\",\"resolution\":0.2}
+    ]}"
+    job_id="$(curl -fsS -X POST "${COORD}/jobs" -d "${campaign}" | jq -r .id)"
+    [ -n "${job_id}" ] && [ "${job_id}" != null ] || fail "submit returned no job id"
+    for i in $(seq 1 300); do
+        state="$(curl -fsS "${COORD}/jobs/${job_id}" | jq -r .state)"
+        case "${state}" in
+            done) TOTAL=$((TOTAL + 4)); return 0 ;;
+            failed|cancelled) curl -fsS "${COORD}/jobs/${job_id}" >&2; fail "job ${job_id} ended ${state}" ;;
+        esac
+        sleep 0.2
+    done
+    fail "job ${job_id} did not finish (last state: ${state})"
+}
+
+# Phase 1: keep campaigns flowing while the window opens; every one must
+# complete, and the accumulating refused pushes to w2 must trip the
+# breaker. The streak only resets on a successful push, so the trip
+# lands even when single campaigns hash little work onto w2.
+echo "chaos-demo: campaigns flowing into the partition window"
+DEADLINE_MS=$((COORD_START_MS + PART_END_MS - 2000))
+while [ "$(metric cluster/breaker_trips)" = 0 ]; do
+    [ "$(date +%s%3N)" -lt "${DEADLINE_MS}" ] \
+        || fail "cluster/breaker_trips never rose inside the partition window"
+    submit_campaign
+done
+echo "chaos-demo: breaker tripped after $((TOTAL / 4)) campaigns (all completed)"
+
+[ "$(metric chaos/partitioned)" -ge 1 ] \
+    || fail "chaos/partitioned = 0 though the breaker tripped"
+curl -fsS "${COORD}/cluster/status" | jq -e '.workers[] | select(.name == "w2") | .alive' >/dev/null \
+    || fail "w2 declared dead: a one-way cut must read as a dispatch fault, not death"
+
+# Phase 2: outlive the window, then keep campaigns flowing until the
+# cooldown half-opens the breaker, a probe push lands on the healed
+# link, and the breaker closes.
+NOW_MS="$(date +%s%3N)"
+REST_MS=$((COORD_START_MS + PART_END_MS + 200 - NOW_MS))
+if [ "${REST_MS}" -gt 0 ]; then
+    echo "chaos-demo: waiting $((REST_MS / 1000)).$((REST_MS % 1000))s for the partition to heal"
+    sleep "$(awk "BEGIN{print ${REST_MS}/1000}")"
+fi
+echo "chaos-demo: partition healed; campaigns flowing until the breaker closes"
+DEADLINE_MS=$(($(date +%s%3N) + 20000))
+while [ "$(metric cluster/breaker_closes)" = 0 ]; do
+    [ "$(date +%s%3N)" -lt "${DEADLINE_MS}" ] \
+        || fail "breaker never closed after the partition healed"
+    submit_campaign
+done
+[ "$(metric cluster/breaker_half_opens)" -ge 1 ] \
+    || fail "cluster/breaker_half_opens = 0 though the breaker closed"
+BRK="$(curl -fsS "${COORD}/cluster/status" | jq -r '.workers[] | select(.name == "w2") | .breaker')"
+[ "${BRK}" = closed ] || fail "w2 breaker reads '${BRK}' after the heal, want closed"
+
+# Exactly-once across the whole soak: every submitted run resolved via
+# exactly one accepted result (worker-posted or local fallback) —
+# duplicates, fenced epochs and corrupt posts land in other counters.
+RECEIVED="$(metric cluster/results_received)"
+LOCAL="$(metric cluster/local_runs)"
+[ $((RECEIVED + LOCAL)) = "${TOTAL}" ] \
+    || fail "results_received+local_runs = $((RECEIVED + LOCAL)), want exactly ${TOTAL}"
+
+echo "chaos-demo: OK (campaigns: $((CAMPAIGN_SEQ)), runs: ${TOTAL}, trips: $(metric cluster/breaker_trips), closes: $(metric cluster/breaker_closes), partitioned RPCs: $(metric chaos/partitioned))"
